@@ -1,0 +1,31 @@
+//! Criterion bench for the paper's fig9: each branch runs the scaled
+//! memslap workload at 2 worker threads (scale via MC_OPS / MC_KEYS).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut scale = bench::Scale::tiny();
+    if let Ok(v) = std::env::var("MC_OPS") {
+        if let Ok(n) = v.parse() {
+            scale.ops = n;
+        }
+    }
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for cfg in bench::figures::fig9() {
+        let label = cfg.label.clone();
+        g.bench_function(&label, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += Duration::from_secs_f64(bench::run_once(&cfg, &scale, 2).secs);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro-benches of the STM primitives underneath every figure:
+//! per-transaction cost of reads/writes for each algorithm, with and
+//! without the global serial readers/writer lock, plus the serialization
+//! paths (start-serial and in-flight switch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tm::{
+    Algorithm, ContentionManager, RelaxedPlan, SerialLockMode, TBytes, TCell, TmRuntime,
+    Transaction,
+};
+
+fn runtime(algo: Algorithm, serial: SerialLockMode) -> TmRuntime {
+    let cm = match serial {
+        SerialLockMode::ReaderWriter => ContentionManager::GCC_DEFAULT,
+        SerialLockMode::None => ContentionManager::None,
+    };
+    TmRuntime::builder()
+        .algorithm(algo)
+        .contention_manager(cm)
+        .serial_lock(serial)
+        .build()
+}
+
+fn bench_read_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn_rw10");
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        for (serial, tag) in [
+            (SerialLockMode::ReaderWriter, "rwlock"),
+            (SerialLockMode::None, "nolock"),
+        ] {
+            let rt = runtime(algo, serial);
+            let cells: Vec<TCell<u64>> = (0..10).map(TCell::new).collect();
+            g.bench_function(format!("{algo}/{tag}"), |b| {
+                b.iter(|| {
+                    rt.atomic(|tx| {
+                        for c in &cells {
+                            let v = tx.read(c)?;
+                            tx.write(c, v + 1)?;
+                        }
+                        Ok(())
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_read_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn_readonly50");
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        let rt = runtime(algo, SerialLockMode::None);
+        let cells: Vec<TCell<u64>> = (0..50).map(TCell::new).collect();
+        g.bench_function(format!("{algo}"), |b| {
+            b.iter(|| {
+                rt.atomic(|tx| {
+                    let mut sum = 0u64;
+                    for c in &cells {
+                        sum = sum.wrapping_add(tx.read(c)?);
+                    }
+                    Ok(sum)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_memcpy(c: &mut Criterion) {
+    // The §4 claim: buffered-update algorithms pay for byte-wise stores
+    // read back as words (the memcpy-heavy memcached transactions).
+    let mut g = c.benchmark_group("txn_memcpy256");
+    let payload = vec![0xabu8; 256];
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        let rt = runtime(algo, SerialLockMode::None);
+        let dst = TBytes::zeroed(256);
+        g.bench_function(format!("{algo}"), |b| {
+            b.iter(|| {
+                rt.atomic(|tx| {
+                    tx.write_bytes(&dst, 0, &payload)?;
+                    tx.read_bytes_vec(&dst)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serialization");
+    let rt = runtime(Algorithm::Eager, SerialLockMode::ReaderWriter);
+    let cell = TCell::new(0u64);
+    g.bench_function("start_serial", |b| {
+        b.iter(|| {
+            rt.relaxed(RelaxedPlan::serial(), |tx| tx.fetch_add(&cell, 1))
+        })
+    });
+    g.bench_function("in_flight_switch", |b| {
+        b.iter(|| {
+            rt.relaxed(RelaxedPlan::new(), |tx| {
+                tx.fetch_add(&cell, 1)?;
+                tx.unsafe_op(|| ())
+            })
+        })
+    });
+    g.bench_function("atomic_no_serialization", |b| {
+        b.iter(|| rt.atomic(|tx| tx.fetch_add(&cell, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_read_write,
+    bench_read_only,
+    bench_memcpy,
+    bench_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the paper's table3: the 4-thread serialization
+//! measurement. Prints the table once, then times each branch's run.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench::Scale::tiny();
+    bench::print_table("table3 (criterion preview)", &bench::figures::table3(), &scale);
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for cfg in bench::figures::table3() {
+        let label = cfg.label.clone();
+        g.bench_function(&label, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += Duration::from_secs_f64(bench::run_once(&cfg, &scale, 4).secs);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 10.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_figure("Figure 10", &bench::figures::fig10(), &scale);
+}

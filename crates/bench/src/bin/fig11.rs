@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 11 (STM algorithms and contention
+//! managers on the NoLock runtime) plus the §4 abort-rate discussion.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_figure(
+        "Figure 11: Comparison to other TM algorithms and contention managers",
+        &bench::figures::fig11(),
+        &scale,
+    );
+    let threads = scale.threads.iter().copied().max().unwrap_or(4);
+    bench::print_abort_rates(&scale, threads);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 4.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_figure("Figure 4", &bench::figures::fig4(), &scale);
+}

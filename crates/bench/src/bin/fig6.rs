@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 6.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_figure("Figure 6", &bench::figures::fig6(), &scale);
+}

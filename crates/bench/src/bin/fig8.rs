@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 8.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_figure("Figure 8", &bench::figures::fig8(), &scale);
+}

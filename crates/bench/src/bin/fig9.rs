@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 9.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_figure("Figure 9", &bench::figures::fig9(), &scale);
+}

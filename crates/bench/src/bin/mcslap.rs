@@ -1,0 +1,208 @@
+//! `mcslap`: a memslap-flag-compatible load generator that drives the
+//! cache through the **binary protocol** layer (encode → decode →
+//! dispatch for every operation), end to end.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin mcslap -- \
+//!       --concurrency 4 --execute-number 10000 --binary --branch ip-nolock
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mcache::proto::binary::{self, Opcode, Request};
+use mcache::{Branch, McCache, McConfig, Stage};
+use workload::{Op, Workload};
+
+struct Args {
+    concurrency: usize,
+    execute_number: usize,
+    binary: bool,
+    branch: Branch,
+    value_size: usize,
+    keys: usize,
+}
+
+fn parse_branch(name: &str) -> Option<Branch> {
+    Some(match name {
+        "baseline" => Branch::Baseline,
+        "semaphore" => Branch::Semaphore,
+        "ip" => Branch::Ip(Stage::Plain),
+        "it" => Branch::It(Stage::Plain),
+        "ip-max" => Branch::Ip(Stage::Max),
+        "it-max" => Branch::It(Stage::Max),
+        "ip-lib" => Branch::Ip(Stage::Lib),
+        "it-lib" => Branch::It(Stage::Lib),
+        "ip-oncommit" => Branch::Ip(Stage::OnCommit),
+        "it-oncommit" => Branch::It(Stage::OnCommit),
+        "ip-nolock" => Branch::IpNoLock,
+        "it-nolock" => Branch::ItNoLock,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        concurrency: 4,
+        execute_number: 10_000,
+        binary: false,
+        branch: Branch::IpNoLock,
+        value_size: 256,
+        keys: 2000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = String>| {
+            it.next().and_then(|v| v.parse::<usize>().ok())
+        };
+        match flag.as_str() {
+            "--concurrency" | "-c" => {
+                if let Some(v) = num(&mut it) {
+                    args.concurrency = v.max(1);
+                }
+            }
+            "--execute-number" | "-x" => {
+                if let Some(v) = num(&mut it) {
+                    args.execute_number = v;
+                }
+            }
+            "--value-size" => {
+                if let Some(v) = num(&mut it) {
+                    args.value_size = v.max(1);
+                }
+            }
+            "--keys" => {
+                if let Some(v) = num(&mut it) {
+                    args.keys = v.max(1);
+                }
+            }
+            "--binary" => args.binary = true,
+            "--branch" => {
+                if let Some(b) = it.next().as_deref().and_then(parse_branch) {
+                    args.branch = b;
+                } else {
+                    eprintln!("unknown branch; see examples/cache_server.rs for names");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let wl = Arc::new(
+        Workload::builder()
+            .concurrency(args.concurrency)
+            .execute_number(args.execute_number)
+            .key_count(args.keys)
+            .value_size(args.value_size)
+            .binary(args.binary)
+            .build(),
+    );
+    let handle = McCache::start(McConfig {
+        branch: args.branch,
+        workers: args.concurrency,
+        ..Default::default()
+    });
+    let cache = handle.cache().clone();
+    for i in 0..wl.key_count() {
+        cache.set(0, wl.key(i), &wl.value(i), 0, 0);
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..args.concurrency {
+            let cache = cache.clone();
+            let wl = wl.clone();
+            let binary = args.binary;
+            s.spawn(move || {
+                for op in wl.stream(w) {
+                    if binary {
+                        // Full wire path: encode, decode, dispatch.
+                        let req = match op {
+                            Op::Get(k) => Request {
+                                opcode: Opcode::Get,
+                                opaque: w as u32,
+                                cas: 0,
+                                key: wl.key(k).to_vec(),
+                                value: vec![],
+                                extra: 0,
+                            },
+                            Op::Set(k) => Request {
+                                opcode: Opcode::Set,
+                                opaque: w as u32,
+                                cas: 0,
+                                key: wl.key(k).to_vec(),
+                                value: wl.value(k),
+                                extra: 0,
+                            },
+                            Op::Delete(k) => Request {
+                                opcode: Opcode::Delete,
+                                opaque: w as u32,
+                                cas: 0,
+                                key: wl.key(k).to_vec(),
+                                value: vec![],
+                                extra: 0,
+                            },
+                            Op::Incr(k, d) => Request {
+                                opcode: Opcode::Increment,
+                                opaque: w as u32,
+                                cas: 0,
+                                key: wl.key(k).to_vec(),
+                                value: vec![],
+                                extra: d,
+                            },
+                        };
+                        let wire = req.encode();
+                        let decoded = Request::decode(&wire).expect("self-encoded frame");
+                        let resp = binary::execute(&cache, w, &decoded);
+                        assert_eq!(resp.opaque, w as u32);
+                    } else {
+                        match op {
+                            Op::Get(k) => {
+                                cache.get(w, wl.key(k));
+                            }
+                            Op::Set(k) => {
+                                cache.set(w, wl.key(k), &wl.value(k), 0, 0);
+                            }
+                            Op::Delete(k) => {
+                                cache.delete(w, wl.key(k));
+                            }
+                            Op::Incr(k, d) => {
+                                cache.arith(w, wl.key(k), d, true);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_ops = args.concurrency * args.execute_number;
+    let stats = cache.stats();
+    let tm = cache.tm_stats();
+    println!(
+        "{} ops in {:.3}s = {:.0} ops/s  ({} threads, {} branch, {})",
+        total_ops,
+        secs,
+        total_ops as f64 / secs,
+        args.concurrency,
+        args.branch,
+        if args.binary { "binary" } else { "api" },
+    );
+    println!(
+        "hits={} misses={} evictions={} expansions={} rebalances={}",
+        stats.threads.get_hits,
+        stats.threads.get_misses,
+        stats.global.evictions,
+        stats.global.expansions,
+        stats.global.rebalances,
+    );
+    println!("tm: {tm}");
+}

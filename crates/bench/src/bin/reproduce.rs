@@ -1,0 +1,19 @@
+//! Runs every evaluation artifact of the paper in order, printing
+//! paper-format figures and tables (see EXPERIMENTS.md for the recorded
+//! output and the paper-vs-measured comparison).
+fn main() {
+    let scale = bench::Scale::from_env();
+    eprintln!("reproducing all figures/tables at {scale:?}");
+    bench::print_figure("Figure 4: Performance of baseline transactional memcached", &bench::figures::fig4(), &scale);
+    bench::print_table("Table 1: Frequency and cause of serialized transactions", &bench::figures::table1(), &scale);
+    bench::print_figure("Figure 6: Performance of maximally transactionalized memcached", &bench::figures::fig6(), &scale);
+    bench::print_table("Table 2: Frequency and cause of serialized transactions (Max)", &bench::figures::table2(), &scale);
+    bench::print_figure("Figure 8: Performance with safe library functions", &bench::figures::fig8(), &scale);
+    bench::print_table("Table 3: Frequency and cause of serialized transactions (Lib)", &bench::figures::table3(), &scale);
+    bench::print_figure("Figure 9: Performance with onCommit handlers", &bench::figures::fig9(), &scale);
+    bench::print_table("Table 4: Frequency and cause of serialized transactions (onCommit)", &bench::figures::table4(), &scale);
+    bench::print_figure("Figure 10: Performance without the readers/writer lock", &bench::figures::fig10(), &scale);
+    bench::print_figure("Figure 11: Comparison to other TM algorithms and contention managers", &bench::figures::fig11(), &scale);
+    let threads = scale.threads.iter().copied().max().unwrap_or(4);
+    bench::print_abort_rates(&scale, threads);
+}

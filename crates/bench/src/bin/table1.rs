@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_table("Table 1", &bench::figures::table1(), &scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_table("Table 2", &bench::figures::table2(), &scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 3.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_table("Table 3", &bench::figures::table3(), &scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 4.
+fn main() {
+    let scale = bench::Scale::from_env();
+    bench::print_table("Table 4", &bench::figures::table4(), &scale);
+}

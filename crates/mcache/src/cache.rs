@@ -1,0 +1,1290 @@
+//! [`McCache`]: the cache façade with one operation driver per branch
+//! family — lock-based (Baseline/Semaphore), IP (privatized item locks),
+//! and IT (transactional item sections) — plus the two maintenance threads
+//! (hash-table expansion and slab rebalancing) and their condition
+//! synchronization in both the condvar (Figure 2, left) and semaphore
+//! (Figure 2, comments) forms.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lockprof::{ProfiledMutex, Profiler};
+use parking_lot::Condvar;
+use tm::{Abort, Algorithm, ContentionManager, RelaxedPlan, SerialLockMode, StatsSnapshot, TmRuntime, Transaction};
+use tmstd::ByteAccess;
+
+use crate::core::{AllocError, CacheCore, GetHit};
+use crate::ctx::Ctx;
+use crate::hashes::jenkins_hash;
+use crate::item::ItemHandle;
+use crate::policy::{Branch, Category, ItemMode, Policy, SectionKind};
+use crate::sem::Semaphore;
+use crate::slabs::SlabConfig;
+use crate::stats::{GlobalSnapshot, ThreadSnapshot, ThreadStats};
+
+/// Longest accepted key, as in memcached.
+pub const KEY_MAX: usize = 250;
+
+/// Cache configuration.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// Which point of the paper's history to run.
+    pub branch: Branch,
+    /// STM algorithm for the transactional branches (Figure 11).
+    pub algorithm: Algorithm,
+    /// Contention manager; `None` derives GCC's default (serialize-after-
+    /// 100) when the serial lock is present, and no-CM otherwise.
+    pub contention: Option<ContentionManager>,
+    /// Slab geometry.
+    pub slab: SlabConfig,
+    /// Initial hash power (2^n buckets).
+    pub hash_power: u32,
+    /// Maximum hash power the table can expand to.
+    pub hash_power_max: u32,
+    /// Item-lock stripes (2^n).
+    pub item_lock_power: u32,
+    /// Number of worker slots (per-thread stats blocks).
+    pub workers: usize,
+    /// Verbose logging (the `fprintf(stderr, ...)` serialization site).
+    pub verbose: bool,
+    /// Bump an item's LRU position on every Nth get per worker — the
+    /// compressed model of memcached's 60-second `item_update` rule.
+    pub lru_bump_every: u64,
+    /// Run the two maintenance threads.
+    pub maintenance: bool,
+    /// §5 future-work optimization: on IT branches, replace the get path's
+    /// refcount incr/decr pair with a plain transactional read (valid
+    /// because the whole get is one atomic transaction). Ignored on lock
+    /// and IP branches, where privatized readers still need real
+    /// reference counts.
+    pub refcount_elision: bool,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            branch: Branch::Baseline,
+            algorithm: Algorithm::Eager,
+            contention: None,
+            slab: SlabConfig::default(),
+            hash_power: 12,
+            hash_power_max: 17,
+            item_lock_power: 8,
+            workers: 4,
+            verbose: false,
+            lru_bump_every: 8,
+            maintenance: true,
+            refcount_elision: false,
+        }
+    }
+}
+
+/// A returned value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GetValue {
+    /// The stored bytes.
+    pub data: Vec<u8>,
+    /// Client flags.
+    pub flags: u32,
+    /// CAS id.
+    pub cas: u64,
+}
+
+/// Store command flavors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Unconditional store.
+    Set,
+    /// Store only if absent.
+    Add,
+    /// Store only if present.
+    Replace,
+    /// Store only if present with this CAS id.
+    Cas(u64),
+}
+
+/// Store command outcomes (the memcached protocol's reply set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreStatus {
+    /// `STORED`.
+    Stored,
+    /// `NOT_STORED` (failed `add`/`replace` predicate).
+    NotStored,
+    /// `EXISTS` (CAS mismatch).
+    Exists,
+    /// `NOT_FOUND` (CAS on a missing key).
+    NotFound,
+    /// `SERVER_ERROR object too large for cache`.
+    TooLarge,
+    /// `SERVER_ERROR out of memory storing object`.
+    OutOfMemory,
+}
+
+/// Outcome of `incr`/`decr`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithStatus {
+    /// New value.
+    Ok(u64),
+    /// `NOT_FOUND`.
+    NotFound,
+    /// `CLIENT_ERROR cannot increment or decrement non-numeric value`.
+    NonNumeric,
+}
+
+struct WorkerSlot {
+    lock: ProfiledMutex<()>,
+    stats: ThreadStats,
+    op_count: AtomicU64,
+}
+
+/// The cache. Create with [`McCache::start`]; share via the returned
+/// [`Arc`]; maintenance threads stop when [`McCache::shutdown`] runs (also
+/// called on drop of the handle returned by `start`).
+pub struct McCache {
+    cfg: McConfig,
+    policy: Policy,
+    rt: TmRuntime,
+    core: CacheCore,
+    profiler: Profiler,
+    start_time: Instant,
+    // Lock-branch locks, in the §3.1 order: item, cache, slabs, stats.
+    cache_lock: ProfiledMutex<()>,
+    slabs_lock: ProfiledMutex<()>,
+    stats_lock: ProfiledMutex<()>,
+    rebalance_mutex: ProfiledMutex<()>,
+    // Condition synchronization, both forms.
+    assoc_cv: Condvar,
+    slab_cv: Condvar,
+    assoc_sem: Semaphore,
+    slab_sem: Semaphore,
+    workers: Vec<WorkerSlot>,
+    log_lines: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl std::fmt::Debug for McCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McCache")
+            .field("branch", &self.cfg.branch.to_string())
+            .field("algorithm", &self.cfg.algorithm)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Owns the maintenance threads; shuts the cache down on drop.
+#[derive(Debug)]
+pub struct McHandle {
+    cache: Arc<McCache>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl McHandle {
+    /// The shared cache.
+    pub fn cache(&self) -> &Arc<McCache> {
+        &self.cache
+    }
+}
+
+impl std::ops::Deref for McHandle {
+    type Target = McCache;
+    fn deref(&self) -> &McCache {
+        &self.cache
+    }
+}
+
+impl Drop for McHandle {
+    fn drop(&mut self) {
+        self.cache.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Aggregated statistics for `stats`-style reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Global counters.
+    pub global: GlobalSnapshot,
+    /// Sum of per-thread counters.
+    pub threads: ThreadSnapshot,
+    /// Verbose log lines emitted.
+    pub log_lines: u64,
+}
+
+impl McCache {
+    /// Builds the cache and spawns its maintenance threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (zero workers, or a
+    /// contention manager that needs the serial lock on a NoLock branch).
+    pub fn start(cfg: McConfig) -> McHandle {
+        assert!(cfg.workers > 0, "need at least one worker slot");
+        let policy = cfg.branch.policy();
+        let cm = cfg.contention.unwrap_or(if policy.serial_lock {
+            ContentionManager::GCC_DEFAULT
+        } else {
+            ContentionManager::None
+        });
+        let rt = TmRuntime::builder()
+            .algorithm(cfg.algorithm)
+            .contention_manager(cm)
+            .serial_lock(if policy.serial_lock {
+                SerialLockMode::ReaderWriter
+            } else {
+                SerialLockMode::None
+            })
+            .build();
+        let profiler = Profiler::new();
+        let core = CacheCore::new(
+            cfg.slab,
+            cfg.hash_power,
+            cfg.hash_power_max,
+            cfg.item_lock_power,
+            &profiler,
+        );
+        let workers = (0..cfg.workers)
+            .map(|i| WorkerSlot {
+                lock: ProfiledMutex::new(&format!("thread_stats[{i}]"), (), &profiler),
+                stats: ThreadStats::default(),
+                op_count: AtomicU64::new(0),
+            })
+            .collect();
+        let cache = Arc::new(McCache {
+            policy,
+            rt,
+            core,
+            cache_lock: ProfiledMutex::new("cache_lock", (), &profiler),
+            slabs_lock: ProfiledMutex::new("slabs_lock", (), &profiler),
+            stats_lock: ProfiledMutex::new("stats_lock", (), &profiler),
+            rebalance_mutex: ProfiledMutex::new("slab_rebalance_lock", (), &profiler),
+            assoc_cv: Condvar::new(),
+            slab_cv: Condvar::new(),
+            assoc_sem: Semaphore::new(),
+            slab_sem: Semaphore::new(),
+            workers,
+            log_lines: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            start_time: Instant::now(),
+            profiler,
+            cfg,
+        });
+        let mut threads = Vec::new();
+        if cache.cfg.maintenance {
+            let c = cache.clone();
+            threads.push(std::thread::spawn(move || c.assoc_maintenance_loop()));
+            let c = cache.clone();
+            threads.push(std::thread::spawn(move || c.slab_rebalance_loop()));
+        }
+        McHandle { cache, threads }
+    }
+
+    /// Stops the maintenance threads (idempotent).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.assoc_sem.post();
+        self.slab_sem.post();
+        self.assoc_cv.notify_all();
+        self.slab_cv.notify_all();
+    }
+
+    /// The active branch.
+    pub fn branch(&self) -> Branch {
+        self.cfg.branch
+    }
+
+    /// The TM runtime's statistics (Tables 1–4 raw material).
+    pub fn tm_stats(&self) -> StatsSnapshot {
+        self.rt.stats()
+    }
+
+    /// The mutrace-style lock contention report (§3.1 methodology).
+    pub fn lock_report(&self) -> String {
+        self.profiler.report_table()
+    }
+
+    /// The lock profiler itself.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Aggregated cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        let mut threads = ThreadSnapshot::default();
+        for w in &self.workers {
+            threads = threads + w.stats.snapshot_direct();
+        }
+        CacheStats {
+            global: self.core.global.snapshot_direct(),
+            threads,
+            log_lines: self.log_lines.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cache-relative time in seconds (memcached's `current_time`), offset
+    /// so that time 0/1 never collide with "immediately".
+    pub fn rel_time(&self) -> u32 {
+        self.start_time.elapsed().as_secs() as u32 + 2
+    }
+
+    // ------------------------------------------------------------------
+    // Section machinery
+    // ------------------------------------------------------------------
+
+    /// Runs one critical-section-turned-transaction. `entry` lists unsafe
+    /// categories performed unconditionally at the top of the section
+    /// (start-serial causes); `mid` lists those reachable later
+    /// (in-flight-switch causes). Only meaningful on transactional
+    /// branches.
+    fn tx_section<'e, R>(
+        &'e self,
+        entry: &[Category],
+        mid: &[Category],
+        mut f: impl FnMut(&mut Ctx<'_, 'e>) -> Result<R, Abort>,
+    ) -> R {
+        match self.policy.section_kind(entry, mid) {
+            SectionKind::Atomic => self.rt.atomic(|tx| f(&mut Ctx::Atomic(tx))),
+            SectionKind::Relaxed => self
+                .rt
+                .relaxed(RelaxedPlan::new(), |tx| f(&mut Ctx::Relaxed(tx))),
+            SectionKind::RelaxedSerial => self
+                .rt
+                .relaxed(RelaxedPlan::serial(), |tx| f(&mut Ctx::Relaxed(tx))),
+        }
+    }
+
+    /// IP's item-lock acquire: a mini-transaction spinning on a boolean
+    /// (Figure 1a's `tm_lock`).
+    fn ip_item_lock(&self, stripe: usize) {
+        let cell = self.core.item_locks.cell(stripe);
+        loop {
+            let got = self.rt.atomic(|tx| {
+                if tx.read(cell)? {
+                    Ok(false)
+                } else {
+                    tx.write(cell, true)?;
+                    Ok(true)
+                }
+            });
+            if got {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// IP's item-lock release mini-transaction (a single-location
+    /// transaction expression, which GCC — and this runtime — does not
+    /// optimize; §3.3 flags the cost).
+    fn ip_item_unlock(&self, stripe: usize) {
+        self.rt.expr_write(self.core.item_locks.cell(stripe), false);
+    }
+
+    /// Verbose logging inside a section: `fprintf(stderr, ...)` guarded by
+    /// the verbose flag — unsafe pre-onCommit, a commit handler after.
+    fn maybe_log<'e>(&'e self, ctx: &mut Ctx<'_, 'e>, _what: &'static str) -> Result<(), Abort> {
+        if !self.cfg.verbose {
+            return Ok(());
+        }
+        let sink = &self.log_lines;
+        if !ctx.in_transaction() {
+            sink.fetch_add(1, Ordering::Relaxed);
+        } else if self.policy.is_deferred(Category::LogIo) {
+            ctx.defer_or_run(move || {
+                sink.fetch_add(1, Ordering::Relaxed);
+            });
+        } else {
+            ctx.unsafe_op(|| sink.fetch_add(1, Ordering::Relaxed))?;
+        }
+        Ok(())
+    }
+
+    /// Wakes a maintenance thread from inside a section: condvar signal in
+    /// Baseline (Figure 2 left), `sem_post` after — unsafe pre-onCommit,
+    /// then deferred to an onCommit handler.
+    fn signal_maintenance<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        slab: bool,
+    ) -> Result<(), Abort> {
+        let g = &self.core.global;
+        let c = ctx.fetch_add_word(g.maintenance_signals.word(), 1);
+        c?;
+        if !self.policy.semaphores {
+            // Baseline: cond_signal while holding the lock.
+            debug_assert!(!ctx.in_transaction());
+            if slab {
+                self.slab_cv.notify_one();
+            } else {
+                self.assoc_cv.notify_one();
+            }
+            return Ok(());
+        }
+        let sem = if slab { &self.slab_sem } else { &self.assoc_sem };
+        if !ctx.in_transaction() {
+            sem.post();
+        } else if self.policy.is_deferred(Category::SemPost) {
+            ctx.defer_or_run(move || sem.post());
+        } else {
+            ctx.unsafe_op(|| sem.post())?;
+        }
+        Ok(())
+    }
+
+    /// Per-op statistics: the per-thread block under its own lock, then
+    /// the global `cmd_total` under `stats_lock` — the §3.1 contended
+    /// lock.
+    fn op_stats<'s>(
+        &'s self,
+        w: usize,
+        f: impl Fn(&'s ThreadStats) -> (
+            &'s tm::TCell<u64>,
+            Option<&'s tm::TCell<u64>>,
+        ),
+    ) {
+        let slot = &self.workers[w];
+        let (a, b) = f(&slot.stats);
+        let cells = std::iter::once(a).chain(b);
+        if !self.policy.transactional {
+            let _g = slot.lock.lock();
+            let mut ctx = Ctx::Direct;
+            for cell in cells {
+                let v = ctx.get_word(cell.word()).expect("direct");
+                ctx.put_word(cell.word(), v + 1).expect("direct");
+            }
+        } else {
+            // The per-thread stats lock became a transaction (§3.1).
+            self.tx_section(&[], &[], |ctx| {
+                for cell in std::iter::once(a).chain(b) {
+                    let v = ctx.get_word(cell.word())?;
+                    ctx.put_word(cell.word(), v + 1)?;
+                }
+                Ok(())
+            });
+        }
+    }
+
+    fn bump_cmd_total(&self) {
+        let g = &self.core.global;
+        if !self.policy.transactional {
+            let _s = self.stats_lock.lock();
+            let mut ctx = Ctx::Direct;
+            let v = ctx.get_word(g.cmd_total.word()).expect("direct");
+            ctx.put_word(g.cmd_total.word(), v + 1).expect("direct");
+        } else {
+            self.tx_section(&[], &[], |ctx| {
+                let v = ctx.get_word(g.cmd_total.word())?;
+                ctx.put_word(g.cmd_total.word(), v + 1)
+            });
+        }
+    }
+
+    /// IT enlarges critical sections (the Figure-3 observation: "using TM
+    /// will encourage programmers to enlarge critical sections"): the
+    /// per-thread and global stats updates fold into the main item
+    /// transaction instead of running as their own mini-transactions.
+    fn stats_inline<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        cell: &'e tm::TCell<u64>,
+        extra: Option<&'e tm::TCell<u64>>,
+    ) -> Result<(), Abort> {
+        for c in std::iter::once(cell).chain(extra) {
+            let v = ctx.get_word(c.word())?;
+            ctx.put_word(c.word(), v + 1)?;
+        }
+        let g = &self.core.global;
+        let v = ctx.get_word(g.cmd_total.word())?;
+        ctx.put_word(g.cmd_total.word(), v + 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Client operations
+    // ------------------------------------------------------------------
+
+    /// `get key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a valid worker slot or the key exceeds
+    /// [`KEY_MAX`].
+    pub fn get(&self, w: usize, key: &[u8]) -> Option<GetValue> {
+        assert!(key.len() <= KEY_MAX && !key.is_empty(), "bad key length");
+        let hv = jenkins_hash(key, 0);
+        let now = self.rel_time();
+        let stripe = self.core.item_locks.stripe(hv);
+        let ops = self.workers[w].op_count.fetch_add(1, Ordering::Relaxed);
+        let bump_hint = self.cfg.lru_bump_every != 0 && ops.is_multiple_of(self.cfg.lru_bump_every);
+        let core = &self.core;
+        let policy = self.policy;
+
+        let hit: Option<GetHit> = match self.policy.item_mode {
+            ItemMode::Lock => {
+                let _g = core.item_locks.mutex(stripe).lock();
+                let mut ctx = Ctx::Direct;
+                let hit = core
+                    .item_get(&mut ctx, &policy, key, hv, now, bump_hint, false)
+                    .expect("direct sections never abort");
+                if let Some(h) = &hit {
+                    if h.needs_bump {
+                        // item -> cache lock order.
+                        let _c = self.cache_lock.lock();
+                        core.update_item(&mut ctx, &policy, h.handle, now)
+                            .expect("direct");
+                    }
+                }
+                self.maybe_log(&mut ctx, "get").expect("direct");
+                hit
+            }
+            ItemMode::Privatize => {
+                self.ip_item_lock(stripe);
+                let mut ctx = Ctx::Direct;
+                let hit = core
+                    .item_get(&mut ctx, &policy, key, hv, now, bump_hint, false)
+                    .expect("privatized sections never abort");
+                self.maybe_log(&mut ctx, "get").expect("direct");
+                if let Some(h) = &hit {
+                    if h.needs_bump {
+                        self.update_section(key, hv, h.handle, now);
+                    }
+                }
+                self.ip_item_unlock(stripe);
+                hit
+            }
+            ItemMode::Transactional => {
+                let tstats = &self.workers[w].stats;
+                let elide = self.cfg.refcount_elision;
+                let hit = self.tx_section(
+                    &[Category::VolatileFlag],
+                    &[Category::Libc, Category::RefcountRmw, Category::LogIo, Category::AssertAbort],
+                    |ctx| {
+                        let h = core.item_get(ctx, &policy, key, hv, now, bump_hint, elide)?;
+                        self.maybe_log(ctx, "get")?;
+                        self.stats_inline(
+                            ctx,
+                            &tstats.get_cmds,
+                            Some(if h.is_some() { &tstats.get_hits } else { &tstats.get_misses }),
+                        )?;
+                        Ok(h)
+                    },
+                );
+                if let Some(h) = &hit {
+                    if h.needs_bump {
+                        self.update_section(key, hv, h.handle, now);
+                    }
+                }
+                hit
+            }
+        };
+
+        if self.policy.item_mode != ItemMode::Transactional {
+            self.op_stats(w, |t| {
+                (
+                    &t.get_cmds,
+                    Some(if hit.is_some() { &t.get_hits } else { &t.get_misses }),
+                )
+            });
+            self.bump_cmd_total();
+        }
+        hit.map(|h| GetValue {
+            data: h.value,
+            flags: h.flags,
+            cas: h.cas,
+        })
+    }
+
+    /// The `item_update` critical section (cache-lock category): re-finds
+    /// the item by key — it may have been evicted since the lookup — and
+    /// bumps its LRU position. The section starts with safe pointer work;
+    /// the re-find's `memcmp` is a mid-transaction libc call until Lib, so
+    /// this is the in-flight-switch site of Tables 1–2.
+    fn update_section(&self, key: &[u8], hv: u32, h: ItemHandle, now: u32) {
+        let core = &self.core;
+        let policy = self.policy;
+        self.tx_section(
+            &[],
+            &[Category::Libc, Category::AssertAbort],
+            |ctx| {
+                if let Some(cur) = core.assoc.find(ctx, &policy, &core.arena, key, hv)? {
+                    if cur == h {
+                        core.update_item(ctx, &policy, h, now)?;
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// `set key`.
+    pub fn set(&self, w: usize, key: &[u8], value: &[u8], flags: u32, exptime: u32) -> StoreStatus {
+        self.store(w, StoreMode::Set, key, value, flags, exptime)
+    }
+
+    /// `add key` (store only if absent).
+    pub fn add(&self, w: usize, key: &[u8], value: &[u8], flags: u32, exptime: u32) -> StoreStatus {
+        self.store(w, StoreMode::Add, key, value, flags, exptime)
+    }
+
+    /// `replace key` (store only if present).
+    pub fn replace(
+        &self,
+        w: usize,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+    ) -> StoreStatus {
+        self.store(w, StoreMode::Replace, key, value, flags, exptime)
+    }
+
+    /// `cas key` (store only if unchanged since `cas_id`).
+    pub fn cas(
+        &self,
+        w: usize,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        cas_id: u64,
+    ) -> StoreStatus {
+        self.store(w, StoreMode::Cas(cas_id), key, value, flags, exptime)
+    }
+
+    /// `append key`: concatenate after the existing value (get + CAS loop,
+    /// as a client library would retry).
+    pub fn append(&self, w: usize, key: &[u8], tail: &[u8]) -> StoreStatus {
+        self.concat(w, key, tail, true)
+    }
+
+    /// `prepend key`: concatenate before the existing value.
+    pub fn prepend(&self, w: usize, key: &[u8], head: &[u8]) -> StoreStatus {
+        self.concat(w, key, head, false)
+    }
+
+    fn concat(&self, w: usize, key: &[u8], extra: &[u8], after: bool) -> StoreStatus {
+        for _ in 0..16 {
+            let Some(old) = self.get(w, key) else {
+                return StoreStatus::NotStored;
+            };
+            let mut data = Vec::with_capacity(old.data.len() + extra.len());
+            if after {
+                data.extend_from_slice(&old.data);
+                data.extend_from_slice(extra);
+            } else {
+                data.extend_from_slice(extra);
+                data.extend_from_slice(&old.data);
+            }
+            match self.store(w, StoreMode::Cas(old.cas), key, &data, old.flags, 0) {
+                StoreStatus::Exists => continue, // raced; retry
+                s => return s,
+            }
+        }
+        StoreStatus::NotStored
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn store(
+        &self,
+        w: usize,
+        mode: StoreMode,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+    ) -> StoreStatus {
+        assert!(key.len() <= KEY_MAX && !key.is_empty(), "bad key length");
+        let hv = jenkins_hash(key, 0);
+        let now = self.rel_time();
+        let stripe = self.core.item_locks.stripe(hv);
+        let core = &self.core;
+        let policy = self.policy;
+        let nbytes = value.len() as u32;
+
+        let status = match self.policy.item_mode {
+            ItemMode::Lock => {
+                let _g = core.item_locks.mutex(stripe).lock();
+                let mut ctx = Ctx::Direct;
+                // §3.1: the cache_lock section whose first action takes
+                // slabs_lock — the lock-order fix merged them; here the
+                // lock branches take them nested in the fixed order.
+                let alloc = {
+                    let _c = self.cache_lock.lock();
+                    let _s = self.slabs_lock.lock();
+                    core.alloc_item(&mut ctx, &policy, key, flags, exptime, nbytes, now, stripe)
+                        .expect("direct")
+                };
+                match alloc {
+                    Err(AllocError::TooLarge) => StoreStatus::TooLarge,
+                    Err(AllocError::OutOfMemory) => StoreStatus::OutOfMemory,
+                    Ok(a) => {
+                        let it = core.arena.resolve(a.handle);
+                        let sizes = it.sizes(&mut ctx).expect("direct");
+                        it.write_value(&mut ctx, &policy, sizes, value).expect("direct");
+                        let st = {
+                            let _c = self.cache_lock.lock();
+                            self.link_new(&mut ctx, mode, key, hv, a.handle, a.evicted > 0)
+                        };
+                        core.item_release(&mut ctx, &policy, a.handle).expect("direct");
+                        st
+                    }
+                }
+            }
+            ItemMode::Privatize => {
+                self.ip_item_lock(stripe);
+                let alloc = self.alloc_section(key, flags, exptime, nbytes, now, stripe);
+                let st = match alloc {
+                    Err(AllocError::TooLarge) => StoreStatus::TooLarge,
+                    Err(AllocError::OutOfMemory) => StoreStatus::OutOfMemory,
+                    Ok(a) => {
+                        // Privatized: the new item's bytes are written
+                        // directly while the item lock is held.
+                        let mut ctx = Ctx::Direct;
+                        let it = core.arena.resolve(a.handle);
+                        let sizes = it.sizes(&mut ctx).expect("direct");
+                        it.write_value(&mut ctx, &policy, sizes, value).expect("direct");
+                        let (st, _) = self.tx_section(
+                            &[Category::VolatileFlag],
+                            &[
+                                Category::Libc,
+                                Category::SemPost,
+                                Category::LogIo,
+                                Category::AssertAbort,
+                            ],
+                            |ctx| {
+                                let expanding =
+                                    core.assoc.is_expanding(ctx, &policy)?;
+                                let _ = expanding;
+                                self.link_new_tx(ctx, mode, key, hv, a.handle, a.evicted > 0, false)
+                            },
+                        );
+                        let mut ctx = Ctx::Direct;
+                        core.item_release(&mut ctx, &policy, a.handle).expect("direct");
+                        st
+                    }
+                };
+                self.ip_item_unlock(stripe);
+                st
+            }
+            ItemMode::Transactional => {
+                let alloc = self.alloc_section(key, flags, exptime, nbytes, now, usize::MAX);
+                match alloc {
+                    Err(AllocError::TooLarge) => StoreStatus::TooLarge,
+                    Err(AllocError::OutOfMemory) => StoreStatus::OutOfMemory,
+                    Ok(a) => {
+                        // The store transaction *begins* with the value
+                        // memcpy — libc on every path, so this section
+                        // starts serial until Lib (IT-Max's persistent
+                        // "Start Serial" column).
+                        self.tx_section(
+                            &[Category::Libc],
+                            &[Category::AssertAbort],
+                            |ctx| {
+                                let it = core.arena.resolve(a.handle);
+                                let sizes = it.sizes(ctx)?;
+                                it.write_value(ctx, &policy, sizes, value)
+                            },
+                        );
+                        let (st, signal) = self.tx_section(
+                            &[Category::VolatileFlag],
+                            &[Category::Libc, Category::RefcountRmw, Category::LogIo, Category::AssertAbort],
+                            |ctx| {
+                                let expanding =
+                                    core.assoc.is_expanding(ctx, &policy)?;
+                                let _ = expanding;
+                                let (st, signal) = self.link_new_tx(
+                                    ctx,
+                                    mode,
+                                    key,
+                                    hv,
+                                    a.handle,
+                                    a.evicted > 0,
+                                    true,
+                                )?;
+                                core.item_release(ctx, &policy, a.handle)?;
+                                let tstats = &self.workers[w].stats;
+                                self.stats_inline(ctx, &tstats.set_cmds, None)?;
+                                Ok((st, signal))
+                            },
+                        );
+                        if signal {
+                            // IT hoists the maintenance wakeup out of the
+                            // (already large) store transaction into its
+                            // own section, whose entry *is* the sem_post.
+                            let evicted = a.evicted > 0;
+                            self.tx_section(&[Category::SemPost], &[], |ctx| {
+                                self.signal_maintenance(ctx, false)?;
+                                if evicted {
+                                    self.signal_maintenance(ctx, true)?;
+                                }
+                                Ok(())
+                            });
+                        }
+                        st
+                    }
+                }
+            }
+        };
+
+        if status == StoreStatus::OutOfMemory {
+            // The allocation raised the rebalance signal; deliver the wakeup
+            // (a sem_post site like any other).
+            if !self.policy.transactional {
+                let mut ctx = Ctx::Direct;
+                self.signal_maintenance(&mut ctx, true).expect("direct");
+            } else {
+                self.tx_section(&[Category::SemPost], &[], |ctx| {
+                    self.signal_maintenance(ctx, true)
+                });
+            }
+        }
+        if self.policy.item_mode != ItemMode::Transactional
+            || matches!(status, StoreStatus::TooLarge | StoreStatus::OutOfMemory)
+        {
+            self.op_stats(w, |t| (&t.set_cmds, None));
+            self.bump_cmd_total();
+        }
+        status
+    }
+
+    /// The merged cache+slabs allocation section for the transactional
+    /// branches (§3.1's lock-order fix). Entry reads the `volatile` slab
+    /// rebalance signal; eviction reads victim refcounts and the suffix
+    /// `snprintf` is libc — the in-flight causes pre-Max/pre-Lib.
+    fn alloc_section(
+        &self,
+        key: &[u8],
+        flags: u32,
+        exptime: u32,
+        nbytes: u32,
+        now: u32,
+        held_stripe: usize,
+    ) -> Result<crate::core::Allocation, AllocError> {
+        let core = &self.core;
+        let policy = self.policy;
+        self.tx_section(
+            &[Category::VolatileFlag],
+            &[Category::Libc, Category::RefcountRmw, Category::AssertAbort],
+            |ctx| {
+                let sig = ctx.volatile_read(&policy, core.arena.rebalance_signal.word())?;
+                let _ = sig;
+                core.alloc_item(ctx, &policy, key, flags, exptime, nbytes, now, held_stripe)
+            },
+        )
+    }
+
+    /// Decide + unlink-old + link-new, inside whatever section the caller
+    /// holds (`Ctx::Direct` for the lock branches). Returns the status and
+    /// — transactionally — whether an expansion wants the maintainer.
+    fn link_new<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        mode: StoreMode,
+        key: &[u8],
+        hv: u32,
+        new_h: ItemHandle,
+        evicted: bool,
+    ) -> StoreStatus {
+        match self.link_new_tx(ctx, mode, key, hv, new_h, evicted, false) {
+            Ok((st, _)) => st,
+            Err(_) => unreachable!("direct sections never abort"),
+        }
+    }
+
+    /// Transaction-compatible version of [`McCache::link_new`]. When
+    /// `defer_signal` is set (IT), the expansion wakeup is reported to the
+    /// caller instead of signaled inline; the returned pair is
+    /// `(status, signal_needed)`.
+    #[allow(clippy::too_many_arguments)]
+    fn link_new_tx<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        mode: StoreMode,
+        key: &[u8],
+        hv: u32,
+        new_h: ItemHandle,
+        evicted: bool,
+        defer_signal: bool,
+    ) -> Result<(StoreStatus, bool), Abort> {
+        let core = &self.core;
+        let policy = self.policy;
+        let existing = core.assoc.find(ctx, &policy, &core.arena, key, hv)?;
+        let proceed = match (mode, existing) {
+            (StoreMode::Set, _) => Ok(()),
+            (StoreMode::Add, None) => Ok(()),
+            (StoreMode::Add, Some(_)) => Err(StoreStatus::NotStored),
+            (StoreMode::Replace, Some(_)) => Ok(()),
+            (StoreMode::Replace, None) => Err(StoreStatus::NotStored),
+            (StoreMode::Cas(_), None) => Err(StoreStatus::NotFound),
+            (StoreMode::Cas(c), Some(old)) => {
+                if core.arena.resolve(old).cas(ctx)? == c {
+                    Ok(())
+                } else {
+                    Err(StoreStatus::Exists)
+                }
+            }
+        };
+        match proceed {
+            Err(st) => {
+                // Failed predicate: the item stays private; the caller's
+                // item_release (refcount 1 -> 0, unlinked) frees the chunk.
+                Ok((st, false))
+            }
+            Ok(()) => {
+                if let Some(old) = existing {
+                    core.unlink_item(ctx, &policy, old, hv)?;
+                }
+                let wants_maintainer = core.link_item(ctx, &policy, new_h, hv)?;
+                self.maybe_log(ctx, "set")?;
+                let mut signal_later = false;
+                if wants_maintainer || evicted {
+                    if defer_signal {
+                        signal_later = true;
+                    } else {
+                        self.signal_maintenance(ctx, false)?;
+                        if evicted {
+                            self.signal_maintenance(ctx, true)?;
+                        }
+                    }
+                }
+                Ok((StoreStatus::Stored, signal_later))
+            }
+        }
+    }
+
+    /// `delete key`.
+    pub fn delete(&self, w: usize, key: &[u8]) -> bool {
+        assert!(key.len() <= KEY_MAX && !key.is_empty(), "bad key length");
+        let hv = jenkins_hash(key, 0);
+        let stripe = self.core.item_locks.stripe(hv);
+        let core = &self.core;
+        let policy = self.policy;
+        let found = match self.policy.item_mode {
+            ItemMode::Lock => {
+                let _g = core.item_locks.mutex(stripe).lock();
+                let _c = self.cache_lock.lock();
+                let mut ctx = Ctx::Direct;
+                match core
+                    .assoc
+                    .find(&mut ctx, &policy, &core.arena, key, hv)
+                    .expect("direct")
+                {
+                    Some(h) => {
+                        core.unlink_item(&mut ctx, &policy, h, hv).expect("direct");
+                        true
+                    }
+                    None => false,
+                }
+            }
+            ItemMode::Privatize | ItemMode::Transactional => {
+                if self.policy.item_mode == ItemMode::Privatize {
+                    self.ip_item_lock(stripe);
+                }
+                let inline_stats = self.policy.item_mode == ItemMode::Transactional;
+                let tstats = &self.workers[w].stats;
+                let found = self.tx_section(
+                    &[Category::VolatileFlag],
+                    &[Category::Libc, Category::RefcountRmw, Category::AssertAbort],
+                    |ctx| {
+                        let found = match core.assoc.find(ctx, &policy, &core.arena, key, hv)? {
+                            Some(h) => {
+                                core.unlink_item(ctx, &policy, h, hv)?;
+                                true
+                            }
+                            None => false,
+                        };
+                        if inline_stats {
+                            self.stats_inline(ctx, &tstats.delete_cmds, None)?;
+                        }
+                        Ok(found)
+                    },
+                );
+                if self.policy.item_mode == ItemMode::Privatize {
+                    self.ip_item_unlock(stripe);
+                }
+                found
+            }
+        };
+        if self.policy.item_mode != ItemMode::Transactional {
+            self.op_stats(w, |t| (&t.delete_cmds, None));
+            self.bump_cmd_total();
+        }
+        found
+    }
+
+    /// `incr`/`decr key delta`.
+    pub fn arith(&self, w: usize, key: &[u8], delta: u64, incr: bool) -> ArithStatus {
+        assert!(key.len() <= KEY_MAX && !key.is_empty(), "bad key length");
+        let hv = jenkins_hash(key, 0);
+        let now = self.rel_time();
+        let stripe = self.core.item_locks.stripe(hv);
+        let core = &self.core;
+        let policy = self.policy;
+        let res = match self.policy.item_mode {
+            ItemMode::Lock | ItemMode::Privatize => {
+                // do_add_delta runs under the item lock: privatized in IP,
+                // so the strtoull/snprintf pair stays uninstrumented.
+                if self.policy.item_mode == ItemMode::Privatize {
+                    self.ip_item_lock(stripe);
+                }
+                let res = {
+                    let _g = (self.policy.item_mode == ItemMode::Lock)
+                        .then(|| core.item_locks.mutex(stripe).lock());
+                    let mut ctx = Ctx::Direct;
+                    core.arith(&mut ctx, &policy, key, hv, delta, incr, now)
+                        .expect("direct")
+                };
+                if self.policy.item_mode == ItemMode::Privatize {
+                    self.ip_item_unlock(stripe);
+                }
+                res
+            }
+            ItemMode::Transactional => {
+                let tstats = &self.workers[w].stats;
+                self.tx_section(
+                    &[Category::VolatileFlag],
+                    &[Category::Libc, Category::RefcountRmw, Category::AssertAbort],
+                    |ctx| {
+                        let r = core.arith(ctx, &policy, key, hv, delta, incr, now)?;
+                        self.stats_inline(ctx, &tstats.arith_cmds, None)?;
+                        Ok(r)
+                    },
+                )
+            }
+        };
+        if self.policy.item_mode != ItemMode::Transactional {
+            self.op_stats(w, |t| (&t.arith_cmds, None));
+            self.bump_cmd_total();
+        }
+        match res {
+            None => ArithStatus::NotFound,
+            Some(Err(())) => ArithStatus::NonNumeric,
+            Some(Ok(v)) => ArithStatus::Ok(v),
+        }
+    }
+
+    /// `touch key exptime`.
+    pub fn touch(&self, w: usize, key: &[u8], exptime: u32) -> bool {
+        assert!(key.len() <= KEY_MAX && !key.is_empty(), "bad key length");
+        let hv = jenkins_hash(key, 0);
+        let now = self.rel_time();
+        let stripe = self.core.item_locks.stripe(hv);
+        let core = &self.core;
+        let _policy = self.policy;
+        let found = match self.policy.item_mode {
+            ItemMode::Lock => {
+                let _g = core.item_locks.mutex(stripe).lock();
+                let mut ctx = Ctx::Direct;
+                self.touch_inner(&mut ctx, key, hv, exptime, now).expect("direct")
+            }
+            ItemMode::Privatize => {
+                self.ip_item_lock(stripe);
+                let mut ctx = Ctx::Direct;
+                let r = self.touch_inner(&mut ctx, key, hv, exptime, now).expect("direct");
+                self.ip_item_unlock(stripe);
+                r
+            }
+            ItemMode::Transactional => self.tx_section(
+                &[Category::VolatileFlag],
+                &[Category::Libc, Category::AssertAbort],
+                |ctx| self.touch_inner(ctx, key, hv, exptime, now),
+            ),
+        };
+        self.op_stats(w, |t| (&t.touch_cmds, None));
+        self.bump_cmd_total();
+        found
+    }
+
+    fn touch_inner<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        key: &[u8],
+        hv: u32,
+        exptime: u32,
+        now: u32,
+    ) -> Result<bool, Abort> {
+        let core = &self.core;
+        let policy = self.policy;
+        match core.assoc.find(ctx, &policy, &core.arena, key, hv)? {
+            Some(h) => {
+                let it = core.arena.resolve(h);
+                it.set_times(ctx, exptime, now)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// `flush_all`.
+    pub fn flush_all(&self, w: usize) {
+        let now = self.rel_time();
+        let core = &self.core;
+        if !self.policy.transactional {
+            let _s = self.stats_lock.lock();
+            let mut ctx = Ctx::Direct;
+            core.flush_all(&mut ctx, now).expect("direct");
+        } else {
+            self.tx_section(&[], &[], |ctx| core.flush_all(ctx, now));
+        }
+        let _ = w;
+        self.bump_cmd_total();
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance threads (§3.2's two Figure-2 instances)
+    // ------------------------------------------------------------------
+
+    fn assoc_maintenance_loop(&self) {
+        let core = &self.core;
+        let policy = self.policy;
+        while !self.shutdown.load(Ordering::SeqCst) {
+            // Wait to be woken: cond_wait under cache_lock in Baseline
+            // (Figure 2 left), sem_wait outside the critical section after
+            // the §3.2 refactor.
+            if !self.policy.semaphores {
+                let mut g = self.cache_lock.lock();
+                g.wait_on_for(&self.assoc_cv, Duration::from_millis(20));
+                drop(g);
+            } else {
+                self.assoc_sem.wait_timeout(Duration::from_millis(20));
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Migrate in bounded batches until the expansion completes.
+            // (idle, completed): idle ends the inner loop; completed means
+            // this call finished a migration and the stat should bump.
+            loop {
+                let (idle, completed) = if !self.policy.transactional {
+                    let _c = self.cache_lock.lock();
+                    let mut ctx = Ctx::Direct;
+                    if !core.assoc.is_expanding(&mut ctx, &policy).expect("direct") {
+                        (true, false)
+                    } else {
+                        let done = core
+                            .assoc
+                            .migrate_step(&mut ctx, &policy, &core.arena, 4)
+                            .expect("direct");
+                        (done, done)
+                    }
+                } else {
+                    self.tx_section(
+                        &[Category::VolatileFlag],
+                        &[Category::AssertAbort],
+                        |ctx| {
+                            if !core.assoc.is_expanding(ctx, &policy)? {
+                                return Ok((true, false));
+                            }
+                            let done =
+                                core.assoc.migrate_step(ctx, &policy, &core.arena, 4)?;
+                            Ok((done, done))
+                        },
+                    )
+                };
+                if completed {
+                    if !self.policy.transactional {
+                        let _s = self.stats_lock.lock();
+                        let mut ctx = Ctx::Direct;
+                        core.global
+                            .bump(&mut ctx, &core.global.expansions)
+                            .expect("direct");
+                    } else {
+                        self.tx_section(&[], &[], |ctx| {
+                            core.global.bump(ctx, &core.global.expansions)
+                        });
+                    }
+                }
+                if idle {
+                    break;
+                }
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn slab_rebalance_loop(&self) {
+        let core = &self.core;
+        let policy = self.policy;
+        while !self.shutdown.load(Ordering::SeqCst) {
+            if !self.policy.semaphores {
+                let mut g = self.slabs_lock.lock();
+                g.wait_on_for(&self.slab_cv, Duration::from_millis(25));
+                drop(g);
+            } else {
+                self.slab_sem.wait_timeout(Duration::from_millis(25));
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Acquire the rebalance lock: a trylock spin on the mutex in
+            // the lock branches; the transactional boolean (§3.1) after.
+            if !self.policy.transactional {
+                let guard = loop {
+                    if let Some(g) = self.rebalance_mutex.try_lock() {
+                        break Some(g);
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    std::thread::yield_now(); // the paper's pthread_yield fallback
+                };
+                let Some(_guard) = guard else { return };
+                let _s = self.slabs_lock.lock();
+                let mut ctx = Ctx::Direct;
+                self.rebalance_once(&mut ctx).expect("direct");
+            } else {
+                loop {
+                    let got = self.tx_section(&[Category::VolatileFlag], &[], |ctx| {
+                        let sig =
+                            ctx.volatile_read(&policy, core.arena.rebalance_signal.word())?;
+                        let _ = sig;
+                        let cell = core.arena.rebalance_lock.word();
+                        if ctx.get_word(cell)? != 0 {
+                            Ok(false)
+                        } else {
+                            ctx.put_word(cell, 1)?;
+                            Ok(true)
+                        }
+                    });
+                    if got {
+                        break;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+                self.tx_section(
+                    &[Category::VolatileFlag],
+                    &[Category::AssertAbort],
+                    |ctx| self.rebalance_once(ctx),
+                );
+                self.tx_section(&[], &[], |ctx| {
+                    ctx.put_word(core.arena.rebalance_lock.word(), 0)
+                });
+            }
+        }
+    }
+
+    /// One rebalance attempt under the slabs lock / inside a transaction.
+    fn rebalance_once<'e>(&'e self, ctx: &mut Ctx<'_, 'e>) -> Result<(), Abort> {
+        let core = &self.core;
+        let policy = self.policy;
+        if ctx.volatile_read(&policy, core.arena.rebalance_signal.word())? == 0 {
+            return Ok(());
+        }
+        let receiver = ctx.get_word(core.arena.needy_class.word())? as u8;
+        if let Some(donor) = core.arena.pick_donor(ctx)? {
+            if core.arena.rebalance_step(ctx, &policy, donor, receiver)? {
+                let n = ctx.get_word(core.global.rebalances.word())?;
+                ctx.put_word(core.global.rebalances.word(), n + 1)?;
+            }
+        }
+        ctx.volatile_write(&policy, core.arena.rebalance_signal.word(), 0)?;
+        Ok(())
+    }
+}

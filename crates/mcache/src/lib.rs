@@ -1,0 +1,347 @@
+//! # mcache — a memcached-1.4.15-like cache with every branch from
+//! "Transactionalizing Legacy Code" (ASPLOS 2014)
+//!
+//! This crate rebuilds the system the paper modified: a slab-allocated,
+//! LRU-evicting, chained-hash in-memory cache with memcached 1.4.15's
+//! four-level lock hierarchy (item locks, `cache_lock`, `slabs_lock`,
+//! `stats_lock` — acquired in that order, with the documented `trylock`
+//! order violations), per-thread statistics, reference-counted items, a
+//! hash-expansion maintenance thread, and a slab rebalancer.
+//!
+//! Every point of the paper's transactionalization history is selectable
+//! as a [`Branch`]:
+//!
+//! | branch | meaning |
+//! |---|---|
+//! | `Baseline` | pthread-style locks + condition variables |
+//! | `Semaphore` | condvars replaced by semaphores (§3.2) |
+//! | `Ip(stage)` / `It(stage)` | locks replaced by transactions, item locks privatized (IP) or transactionalized (IT), at stage `Plain`/`Callable`/`Max`/`Lib`/`OnCommit` (§3.3–§3.5) |
+//! | `IpNoLock` / `ItNoLock` | onCommit stage on a runtime without the global serial lock (§4) |
+//!
+//! ```
+//! use mcache::{Branch, McCache, McConfig, Stage};
+//!
+//! let cache = McCache::start(McConfig {
+//!     branch: Branch::Ip(Stage::OnCommit),
+//!     workers: 2,
+//!     ..Default::default()
+//! });
+//! assert_eq!(
+//!     cache.set(0, b"greeting", b"hello", 0, 0),
+//!     mcache::StoreStatus::Stored
+//! );
+//! let v = cache.get(1, b"greeting").expect("just stored");
+//! assert_eq!(v.data, b"hello");
+//! // Serialization accounting for the paper's tables:
+//! let tm = cache.tm_stats();
+//! assert_eq!(tm.start_serial + tm.in_flight_switch, 0, "onCommit stage never serializes");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assoc;
+pub mod cache;
+pub mod core;
+pub mod ctx;
+pub mod hashes;
+pub mod item;
+pub mod lru;
+pub mod policy;
+pub mod proto;
+pub mod sem;
+pub mod slabs;
+pub mod stats;
+
+pub use cache::{
+    ArithStatus, CacheStats, GetValue, McCache, McConfig, McHandle, StoreMode, StoreStatus,
+    KEY_MAX,
+};
+pub use policy::{Branch, Category, ItemMode, Policy, SectionKind, Stage};
+pub use slabs::SlabConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn small_config(branch: Branch) -> McConfig {
+        McConfig {
+            branch,
+            workers: 4,
+            slab: SlabConfig {
+                mem_limit: 4 << 20,
+                page_size: 64 << 10,
+                chunk_min: 96,
+                growth_factor: 1.5,
+            },
+            hash_power: 8,
+            hash_power_max: 12,
+            item_lock_power: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_branch_does_basic_ops() {
+        for branch in Branch::all() {
+            let c = McCache::start(small_config(branch));
+            assert_eq!(c.set(0, b"k1", b"v1", 7, 0), StoreStatus::Stored, "{branch}");
+            let v = c.get(0, b"k1").unwrap_or_else(|| panic!("{branch}: lost k1"));
+            assert_eq!(v.data, b"v1");
+            assert_eq!(v.flags, 7);
+            assert_eq!(c.add(0, b"k1", b"x", 0, 0), StoreStatus::NotStored, "{branch}");
+            assert_eq!(c.add(0, b"k2", b"v2", 0, 0), StoreStatus::Stored, "{branch}");
+            assert_eq!(c.replace(0, b"k2", b"v2b", 0, 0), StoreStatus::Stored);
+            assert_eq!(c.replace(0, b"nope", b"x", 0, 0), StoreStatus::NotStored);
+            assert!(c.delete(0, b"k2"), "{branch}");
+            assert!(!c.delete(0, b"k2"), "{branch}");
+            assert!(c.get(0, b"k2").is_none(), "{branch}");
+        }
+    }
+
+    #[test]
+    fn cas_semantics_per_branch() {
+        for branch in [Branch::Baseline, Branch::Ip(Stage::Lib), Branch::ItNoLock] {
+            let c = McCache::start(small_config(branch));
+            c.set(0, b"k", b"v1", 0, 0);
+            let cas = c.get(0, b"k").unwrap().cas;
+            assert_eq!(c.cas(0, b"k", b"v2", 0, 0, cas), StoreStatus::Stored, "{branch}");
+            assert_eq!(c.cas(0, b"k", b"v3", 0, 0, cas), StoreStatus::Exists, "{branch}");
+            assert_eq!(
+                c.cas(0, b"missing", b"v", 0, 0, cas),
+                StoreStatus::NotFound,
+                "{branch}"
+            );
+            assert_eq!(c.get(0, b"k").unwrap().data, b"v2");
+        }
+    }
+
+    #[test]
+    fn incr_decr_per_branch() {
+        for branch in [Branch::Semaphore, Branch::It(Stage::Plain), Branch::IpNoLock] {
+            let c = McCache::start(small_config(branch));
+            c.set(0, b"n", b"10", 0, 0);
+            assert_eq!(c.arith(0, b"n", 5, true), ArithStatus::Ok(15), "{branch}");
+            assert_eq!(c.arith(0, b"n", 20, false), ArithStatus::Ok(0), "{branch}");
+            assert_eq!(c.arith(0, b"missing", 1, true), ArithStatus::NotFound);
+            c.set(0, b"s", b"word", 0, 0);
+            assert_eq!(c.arith(0, b"s", 1, true), ArithStatus::NonNumeric, "{branch}");
+        }
+    }
+
+    #[test]
+    fn append_prepend() {
+        let c = McCache::start(small_config(Branch::Baseline));
+        c.set(0, b"k", b"mid", 0, 0);
+        assert_eq!(c.append(0, b"k", b"-end"), StoreStatus::Stored);
+        assert_eq!(c.prepend(0, b"k", b"start-"), StoreStatus::Stored);
+        assert_eq!(c.get(0, b"k").unwrap().data, b"start-mid-end");
+        assert_eq!(c.append(0, b"missing", b"x"), StoreStatus::NotStored);
+    }
+
+    #[test]
+    fn expired_items_die_lazily() {
+        let c = McCache::start(small_config(Branch::It(Stage::OnCommit)));
+        // exptime=1 is in the past (rel_time starts at 2): dead on arrival.
+        c.set(0, b"k", b"v", 0, 1);
+        assert!(c.get(0, b"k").is_none());
+        // A future exptime stays alive.
+        c.set(0, b"k2", b"v", 0, 1_000_000);
+        assert!(c.get(0, b"k2").is_some());
+    }
+
+    #[test]
+    fn touch_extends_lifetime() {
+        let c = McCache::start(small_config(Branch::Ip(Stage::Max)));
+        c.set(0, b"k", b"v", 0, 0);
+        assert!(c.touch(0, b"k", 0));
+        assert!(!c.touch(0, b"missing", 0));
+        assert!(c.get(0, b"k").is_some());
+    }
+
+    #[test]
+    fn flush_all_clears_visibility() {
+        let c = McCache::start(small_config(Branch::Ip(Stage::Plain)));
+        c.set(0, b"k", b"v", 0, 0);
+        c.flush_all(0);
+        std::thread::sleep(std::time::Duration::from_millis(1100));
+        assert!(c.get(0, b"k").is_none(), "flushed item must die");
+        c.set(0, b"k2", b"v2", 0, 0);
+        // rel_time advanced past the watermark for the new item? The
+        // watermark kills items whose last access <= flush time; a store
+        // in the same second is an edge we avoid by sleeping above.
+        assert!(c.get(0, b"k2").is_some());
+    }
+
+    #[test]
+    fn concurrent_workers_all_branches_smoke() {
+        for branch in Branch::all() {
+            let handle = McCache::start(small_config(branch));
+            let c = handle.cache().clone();
+            let mut threads = vec![];
+            for w in 0..4 {
+                let c = Arc::clone(&c);
+                threads.push(std::thread::spawn(move || {
+                    for i in 0..120u32 {
+                        let key = format!("k{}", (w * 37 + i as usize) % 50);
+                        match i % 4 {
+                            0 => {
+                                c.set(w, key.as_bytes(), format!("val-{i}").as_bytes(), 0, 0);
+                            }
+                            3 if i % 12 == 3 => {
+                                c.delete(w, key.as_bytes());
+                            }
+                            _ => {
+                                if let Some(v) = c.get(w, key.as_bytes()) {
+                                    assert!(
+                                        v.data.starts_with(b"val-"),
+                                        "{branch}: corrupt value {:?}",
+                                        v.data
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            for t in threads {
+                t.join().unwrap_or_else(|_| panic!("worker died on {branch}"));
+            }
+            let s = handle.stats();
+            assert_eq!(s.threads.total_cmds(), 480, "{branch}");
+        }
+    }
+
+    #[test]
+    fn serialization_stats_shape_follows_stages() {
+        // The qualitative content of Tables 1-4: serialization causes
+        // shrink monotonically as the stages progress, and vanish at
+        // onCommit.
+        let run = |branch: Branch| {
+            let c = McCache::start(small_config(branch));
+            for i in 0..300u32 {
+                let key = format!("key-{}", i % 40);
+                if i % 10 == 0 {
+                    c.set(0, key.as_bytes(), b"some-value-payload", 0, 0);
+                } else {
+                    c.get(0, key.as_bytes());
+                }
+            }
+            c.tm_stats()
+        };
+        let plain = run(Branch::It(Stage::Plain));
+        assert!(
+            plain.start_serial > 0,
+            "IT-Plain item sections must start serial: {plain:?}"
+        );
+        let max = run(Branch::It(Stage::Max));
+        assert!(
+            max.in_flight_switch > 0,
+            "IT-Max must switch in flight on libc: {max:?}"
+        );
+        let oncommit = run(Branch::It(Stage::OnCommit));
+        assert_eq!(oncommit.start_serial, 0, "{oncommit:?}");
+        assert_eq!(oncommit.in_flight_switch, 0, "{oncommit:?}");
+        assert!(oncommit.commit_handlers_run > 0 || oncommit.commits > 0);
+        let ip_plain = run(Branch::Ip(Stage::Plain));
+        assert!(
+            ip_plain.transactions() > plain.transactions(),
+            "IP multiplies transaction count vs IT (lock/unlock mini-txns): {} vs {}",
+            ip_plain.transactions(),
+            plain.transactions()
+        );
+    }
+
+    #[test]
+    fn lock_branch_contention_shows_in_profiler() {
+        let handle = McCache::start(small_config(Branch::Baseline));
+        let c = handle.cache().clone();
+        let mut threads = vec![];
+        for w in 0..4 {
+            let c = Arc::clone(&c);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let key = format!("x{}", i % 10);
+                    if i % 3 == 0 {
+                        c.set(w, key.as_bytes(), b"v", 0, 0);
+                    } else {
+                        c.get(w, key.as_bytes());
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = handle.lock_report();
+        assert!(report.contains("cache_lock"), "{report}");
+        assert!(report.contains("stats_lock"), "{report}");
+    }
+
+    #[test]
+    fn verbose_logging_is_counted_and_oncommit_defers() {
+        let mut cfg = small_config(Branch::It(Stage::OnCommit));
+        cfg.verbose = true;
+        let c = McCache::start(cfg);
+        c.set(0, b"k", b"v", 0, 0);
+        c.get(0, b"k");
+        let s = c.stats();
+        assert!(s.log_lines >= 2, "verbose ops must log: {s:?}");
+        assert!(c.tm_stats().commit_handlers_run > 0, "logs deferred to onCommit");
+        assert_eq!(c.tm_stats().in_flight_switch, 0);
+    }
+
+    #[test]
+    fn eviction_under_memory_pressure() {
+        let mut cfg = small_config(Branch::Ip(Stage::OnCommit));
+        cfg.slab.mem_limit = 512 << 10;
+        let c = McCache::start(cfg);
+        let value = vec![3u8; 2048];
+        for i in 0..600 {
+            let key = format!("pressure-{i}");
+            let st = c.set(0, key.as_bytes(), &value, 0, 0);
+            assert_eq!(st, StoreStatus::Stored, "at {i}");
+        }
+        let s = c.stats();
+        assert!(s.global.evictions > 0, "{s:?}");
+        assert!(c.get(0, b"pressure-599").is_some());
+    }
+
+    #[test]
+    fn refcount_elision_preserves_semantics() {
+        // §5 future-work: on IT, get's refcount RMW pair becomes a plain
+        // transactional read; results must be indistinguishable.
+        let mut cfg = small_config(Branch::ItNoLock);
+        cfg.refcount_elision = true;
+        let c = McCache::start(cfg);
+        c.set(0, b"k", b"v", 3, 0);
+        let v = c.get(0, b"k").unwrap();
+        assert_eq!((v.data.as_slice(), v.flags), (b"v".as_slice(), 3));
+        assert!(c.delete(0, b"k"));
+        assert!(c.get(0, b"k").is_none());
+        // Elision is a no-op on IP (privatized readers need refcounts).
+        let mut cfg = small_config(Branch::IpNoLock);
+        cfg.refcount_elision = true;
+        let c = McCache::start(cfg);
+        c.set(0, b"k", b"v", 0, 0);
+        assert!(c.get(0, b"k").is_some());
+    }
+
+    #[test]
+    fn expansion_triggers_and_completes() {
+        let mut cfg = small_config(Branch::Semaphore);
+        cfg.hash_power = 6;
+        let c = McCache::start(cfg);
+        for i in 0..400 {
+            let key = format!("grow-{i}");
+            c.set(0, key.as_bytes(), b"v", 0, 0);
+        }
+        // Give the maintenance thread time to migrate.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        for i in 0..400 {
+            let key = format!("grow-{i}");
+            assert!(c.get(0, key.as_bytes()).is_some(), "lost {key} in expansion");
+        }
+        assert!(c.stats().global.maintenance_signals > 0);
+    }
+}

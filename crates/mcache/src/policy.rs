@@ -1,0 +1,339 @@
+//! Branches and stages: the paper's code-history as a runtime policy.
+//!
+//! The paper develops memcached along two axes:
+//!
+//! * **item-lock treatment** — *IP* (ItemPriv): item locks become tiny
+//!   lock-acquire/release transactions on a boolean and item data stays
+//!   *privatized* (accessed directly while the lock is held); *IT*
+//!   (ItemTx): item-lock critical sections become transactions outright.
+//! * **transactionalization stage** — how much of memcached has been made
+//!   transaction-safe: condition variables → semaphores (§3.2), lock
+//!   replacement ± `callable` annotations (§3.3), volatiles & refcounts
+//!   (§3.3 "Max"), safe libraries (§3.4 "Lib"), and onCommit handlers
+//!   (§3.5), after which no transaction ever serializes and the global
+//!   serial lock can be removed (§4, "NoLock").
+//!
+//! A [`Branch`] selects a point on both axes; [`Policy`] answers the
+//! questions the cache code asks at each potential-serialization site.
+
+use std::fmt;
+
+/// The kinds of operations that are *unsafe* inside a transaction until a
+/// given stage makes them safe. These are the paper's serialization causes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Reads of `volatile` maintenance flags (memcached's `expanding`,
+    /// `slab_rebalance_signal`, ...). Safe from [`Stage::Max`], when the
+    /// variables are re-declared as plain words accessed transactionally.
+    VolatileFlag,
+    /// `lock incr`-style reference-count read-modify-writes. Safe from
+    /// [`Stage::Max`].
+    RefcountRmw,
+    /// Calls into libc (`memcmp`, `memcpy`, `strlen`, `strtoull`,
+    /// `snprintf`, ...). Safe from [`Stage::Lib`] via the `tmstd`
+    /// reimplementations and marshaling wrappers.
+    Libc,
+    /// `sem_post` used to wake maintenance threads. Deferred to an
+    /// `onCommit` handler from [`Stage::OnCommit`].
+    SemPost,
+    /// Verbose-mode logging (`fprintf(stderr, ...)`, `perror`). Deferred
+    /// to an `onCommit` handler from [`Stage::OnCommit`].
+    LogIo,
+    /// `assert`/`abort`: terminating calls whose unsafe part never runs in
+    /// a correct execution. Wrapped `transaction_pure` from
+    /// [`Stage::OnCommit`].
+    AssertAbort,
+}
+
+/// How far the transactionalization has progressed (§3.3–§3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Locks replaced by relaxed transactions; no `callable` annotations.
+    Plain,
+    /// `transaction_callable` applied maximally. The paper measured no
+    /// behavioral difference from [`Stage::Plain`] (Table 1), and GCC
+    /// instruments visible source either way, so this policy differs only
+    /// in name — reproduced faithfully.
+    Callable,
+    /// Volatiles and reference counts transactionalized ("Max", §3.3).
+    Max,
+    /// Standard-library calls made transaction-safe ("Lib", §3.4).
+    Lib,
+    /// Remaining unsafe calls moved to onCommit handlers / pure wrappers
+    /// (§3.5): no transaction ever requires serialization.
+    OnCommit,
+}
+
+impl Stage {
+    /// All stages, in paper order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Plain,
+        Stage::Callable,
+        Stage::Max,
+        Stage::Lib,
+        Stage::OnCommit,
+    ];
+}
+
+/// How item locks are treated in a transactional branch (§3.1, Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ItemMode {
+    /// Real striped mutexes (lock-based branches only).
+    Lock,
+    /// "IP": lock acquire/release become boolean mini-transactions; item
+    /// data is privatized and accessed directly while the lock is held.
+    Privatize,
+    /// "IT": item-lock critical sections become transactions.
+    Transactional,
+}
+
+/// One point in the paper's development history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Branch {
+    /// Unmodified lock-based memcached (pthread locks + condition
+    /// variables).
+    Baseline,
+    /// Stage 2: condition variables replaced by semaphores; still all
+    /// locks.
+    Semaphore,
+    /// ItemPriv at the given stage.
+    Ip(Stage),
+    /// ItemTx at the given stage.
+    It(Stage),
+    /// ItemPriv + onCommit + the serial readers/writer lock removed (§4).
+    IpNoLock,
+    /// ItemTx + onCommit + the serial lock removed (§4).
+    ItNoLock,
+}
+
+impl Branch {
+    /// Every branch the figures exercise, in presentation order.
+    pub fn all() -> Vec<Branch> {
+        let mut v = vec![Branch::Baseline, Branch::Semaphore];
+        for s in Stage::ALL {
+            v.push(Branch::Ip(s));
+            v.push(Branch::It(s));
+        }
+        v.push(Branch::IpNoLock);
+        v.push(Branch::ItNoLock);
+        v
+    }
+
+    /// The policy this branch implies.
+    pub fn policy(&self) -> Policy {
+        match *self {
+            Branch::Baseline => Policy {
+                transactional: false,
+                item_mode: ItemMode::Lock,
+                stage: Stage::Plain,
+                semaphores: false,
+                serial_lock: true,
+            },
+            Branch::Semaphore => Policy {
+                transactional: false,
+                item_mode: ItemMode::Lock,
+                stage: Stage::Plain,
+                semaphores: true,
+                serial_lock: true,
+            },
+            Branch::Ip(stage) => Policy {
+                transactional: true,
+                item_mode: ItemMode::Privatize,
+                stage,
+                semaphores: true,
+                serial_lock: true,
+            },
+            Branch::It(stage) => Policy {
+                transactional: true,
+                item_mode: ItemMode::Transactional,
+                stage,
+                semaphores: true,
+                serial_lock: true,
+            },
+            Branch::IpNoLock => Policy {
+                transactional: true,
+                item_mode: ItemMode::Privatize,
+                stage: Stage::OnCommit,
+                semaphores: true,
+                serial_lock: false,
+            },
+            Branch::ItNoLock => Policy {
+                transactional: true,
+                item_mode: ItemMode::Transactional,
+                stage: Stage::OnCommit,
+                semaphores: true,
+                serial_lock: false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Branch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Branch::Baseline => write!(f, "Baseline"),
+            Branch::Semaphore => write!(f, "Semaphore"),
+            Branch::Ip(Stage::Plain) => write!(f, "IP"),
+            Branch::It(Stage::Plain) => write!(f, "IT"),
+            Branch::Ip(Stage::Callable) => write!(f, "IP-Callable"),
+            Branch::It(Stage::Callable) => write!(f, "IT-Callable"),
+            Branch::Ip(Stage::Max) => write!(f, "IP-Max"),
+            Branch::It(Stage::Max) => write!(f, "IT-Max"),
+            Branch::Ip(Stage::Lib) => write!(f, "IP-Lib"),
+            Branch::It(Stage::Lib) => write!(f, "IT-Lib"),
+            Branch::Ip(Stage::OnCommit) => write!(f, "IP-onCommit"),
+            Branch::It(Stage::OnCommit) => write!(f, "IT-onCommit"),
+            Branch::IpNoLock => write!(f, "IP-NoLock"),
+            Branch::ItNoLock => write!(f, "IT-NoLock"),
+        }
+    }
+}
+
+/// The questions the cache code asks of its branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Policy {
+    /// Whether contended locks have been replaced by transactions.
+    pub transactional: bool,
+    /// Item-lock treatment.
+    pub item_mode: ItemMode,
+    /// Transactionalization stage.
+    pub stage: Stage,
+    /// Whether maintenance wakeups use semaphores instead of condvars.
+    pub semaphores: bool,
+    /// Whether the TM runtime keeps the global serial readers/writer lock.
+    pub serial_lock: bool,
+}
+
+impl Policy {
+    /// Whether an operation of this category may run *inside* a
+    /// transaction without forcing serialization (either reimplemented
+    /// safely or deferred to a commit handler).
+    pub fn is_safe(&self, c: Category) -> bool {
+        match c {
+            Category::VolatileFlag | Category::RefcountRmw => self.stage >= Stage::Max,
+            Category::Libc => self.stage >= Stage::Lib,
+            Category::SemPost | Category::LogIo | Category::AssertAbort => {
+                self.stage >= Stage::OnCommit
+            }
+        }
+    }
+
+    /// Whether this category is handled by deferring to an onCommit
+    /// handler (rather than a safe reimplementation).
+    pub fn is_deferred(&self, c: Category) -> bool {
+        matches!(c, Category::SemPost | Category::LogIo) && self.stage >= Stage::OnCommit
+    }
+
+    /// How a transactional section with these entry/mid unsafe categories
+    /// must run. `entry` categories are performed unconditionally as the
+    /// section's first action (GCC: unsafe on every path ⇒ begin serial);
+    /// `mid` categories may be reached later (GCC: switch in flight when
+    /// actually executed).
+    pub fn section_kind(&self, entry: &[Category], mid: &[Category]) -> SectionKind {
+        debug_assert!(self.transactional, "section_kind on a lock branch");
+        if entry.iter().any(|&c| !self.is_safe(c)) {
+            SectionKind::RelaxedSerial
+        } else if mid.iter().any(|&c| !self.is_safe(c)) {
+            SectionKind::Relaxed
+        } else {
+            SectionKind::Atomic
+        }
+    }
+}
+
+/// How a critical-section-turned-transaction begins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// `__transaction_atomic`: statically serialization-free.
+    Atomic,
+    /// `__transaction_relaxed`, instrumented start; switches in flight if
+    /// an unsafe operation is reached.
+    Relaxed,
+    /// `__transaction_relaxed` that begins serial-irrevocable: unsafe on
+    /// every path.
+    RelaxedSerial,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_progression_makes_categories_safe() {
+        let at = |s: Stage| Branch::Ip(s).policy();
+        assert!(!at(Stage::Plain).is_safe(Category::VolatileFlag));
+        assert!(at(Stage::Max).is_safe(Category::VolatileFlag));
+        assert!(at(Stage::Max).is_safe(Category::RefcountRmw));
+        assert!(!at(Stage::Max).is_safe(Category::Libc));
+        assert!(at(Stage::Lib).is_safe(Category::Libc));
+        assert!(!at(Stage::Lib).is_safe(Category::SemPost));
+        assert!(at(Stage::OnCommit).is_safe(Category::SemPost));
+        assert!(at(Stage::OnCommit).is_safe(Category::AssertAbort));
+    }
+
+    #[test]
+    fn callable_is_behaviorally_plain() {
+        // Table 1: IP vs IP-Callable nearly identical — modeled exactly.
+        let plain = Branch::Ip(Stage::Plain).policy();
+        let callable = Branch::Ip(Stage::Callable).policy();
+        for c in [
+            Category::VolatileFlag,
+            Category::RefcountRmw,
+            Category::Libc,
+            Category::SemPost,
+        ] {
+            assert_eq!(plain.is_safe(c), callable.is_safe(c));
+        }
+    }
+
+    #[test]
+    fn section_kind_rules() {
+        let p = Branch::It(Stage::Plain).policy();
+        assert_eq!(
+            p.section_kind(&[Category::VolatileFlag], &[Category::Libc]),
+            SectionKind::RelaxedSerial
+        );
+        let p = Branch::It(Stage::Max).policy();
+        assert_eq!(
+            p.section_kind(&[Category::VolatileFlag], &[Category::Libc]),
+            SectionKind::Relaxed
+        );
+        let p = Branch::It(Stage::Lib).policy();
+        assert_eq!(
+            p.section_kind(&[Category::VolatileFlag], &[Category::Libc]),
+            SectionKind::Atomic
+        );
+        let p = Branch::It(Stage::Lib).policy();
+        assert_eq!(
+            p.section_kind(&[Category::SemPost], &[]),
+            SectionKind::RelaxedSerial
+        );
+        let p = Branch::It(Stage::OnCommit).policy();
+        assert_eq!(p.section_kind(&[Category::SemPost], &[]), SectionKind::Atomic);
+    }
+
+    #[test]
+    fn branch_roster_and_names() {
+        let all = Branch::all();
+        assert_eq!(all.len(), 2 + 2 * 5 + 2);
+        assert_eq!(Branch::Ip(Stage::OnCommit).to_string(), "IP-onCommit");
+        assert_eq!(Branch::ItNoLock.to_string(), "IT-NoLock");
+        assert_eq!(Branch::Baseline.to_string(), "Baseline");
+    }
+
+    #[test]
+    fn nolock_branches_drop_serial_lock() {
+        assert!(!Branch::IpNoLock.policy().serial_lock);
+        assert!(Branch::Ip(Stage::OnCommit).policy().serial_lock);
+        assert_eq!(Branch::IpNoLock.policy().stage, Stage::OnCommit);
+    }
+
+    #[test]
+    fn lock_branches_are_not_transactional() {
+        assert!(!Branch::Baseline.policy().transactional);
+        assert!(!Branch::Semaphore.policy().transactional);
+        assert!(Branch::Baseline.policy().item_mode == ItemMode::Lock);
+        assert!(!Branch::Baseline.policy().semaphores);
+        assert!(Branch::Semaphore.policy().semaphores);
+    }
+}

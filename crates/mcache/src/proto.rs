@@ -1,0 +1,560 @@
+//! Protocol front-ends: the memcached ASCII protocol and the binary
+//! protocol memslap exercises with `--binary`.
+//!
+//! Parsing happens on private connection buffers — memcached does not
+//! parse inside critical sections — but it runs through the *same*
+//! `tmstd` string routines (`strncmp`, `isspace`, `strtol`, `strchr`) in
+//! their uninstrumented clones, keeping the single-source property
+//! end-to-end.
+
+use tm::TBytes;
+use tmstd::DirectAccess;
+
+use crate::cache::{ArithStatus, McCache, StoreStatus};
+
+/// Executes one complete ASCII request (command line and, for storage
+/// commands, the data block) against `cache` as worker `w`, returning the
+/// wire response.
+///
+/// Supported: `get`/`gets` (multi-key), `set`, `add`, `replace`,
+/// `append`, `prepend`, `cas`, `delete`, `incr`, `decr`, `touch`,
+/// `flush_all`, `stats`, `version`.
+pub fn execute_ascii(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
+    let buf = TBytes::from_slice(request);
+    let mut a = DirectAccess;
+    let line_end = match tmstd::strchr(&mut a, &buf, 0, b'\r').expect("direct") {
+        Some(i) => i,
+        None => return b"ERROR\r\n".to_vec(),
+    };
+    let line = &request[..line_end];
+    let mut parts = Tokens::new(line);
+    let Some(cmd) = parts.next() else {
+        return b"ERROR\r\n".to_vec();
+    };
+    match cmd {
+        b"get" | b"gets" => {
+            let with_cas = cmd == b"gets";
+            let mut out = Vec::new();
+            for key in parts {
+                if let Some(v) = cache.get(w, key) {
+                    out.extend_from_slice(b"VALUE ");
+                    out.extend_from_slice(key);
+                    if with_cas {
+                        out.extend_from_slice(
+                            format!(" {} {} {}\r\n", v.flags, v.data.len(), v.cas).as_bytes(),
+                        );
+                    } else {
+                        out.extend_from_slice(
+                            format!(" {} {}\r\n", v.flags, v.data.len()).as_bytes(),
+                        );
+                    }
+                    out.extend_from_slice(&v.data);
+                    out.extend_from_slice(b"\r\n");
+                }
+            }
+            out.extend_from_slice(b"END\r\n");
+            out
+        }
+        b"set" | b"add" | b"replace" | b"append" | b"prepend" | b"cas" => {
+            let Some(key) = parts.next() else {
+                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+            };
+            let (Some(flags), Some(exptime), Some(nbytes)) =
+                (parts.next_u64(), parts.next_u64(), parts.next_u64())
+            else {
+                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+            };
+            let cas_id = if cmd == b"cas" {
+                match parts.next_u64() {
+                    Some(c) => c,
+                    None => return b"CLIENT_ERROR bad command line format\r\n".to_vec(),
+                }
+            } else {
+                0
+            };
+            let data_start = line_end + 2;
+            let data_end = data_start + nbytes as usize;
+            if request.len() < data_end + 2 || &request[data_end..data_end + 2] != b"\r\n" {
+                return b"CLIENT_ERROR bad data chunk\r\n".to_vec();
+            }
+            let data = &request[data_start..data_end];
+            let st = match cmd {
+                b"set" => cache.set(w, key, data, flags as u32, exptime as u32),
+                b"add" => cache.add(w, key, data, flags as u32, exptime as u32),
+                b"replace" => cache.replace(w, key, data, flags as u32, exptime as u32),
+                b"append" => cache.append(w, key, data),
+                b"prepend" => cache.prepend(w, key, data),
+                b"cas" => cache.cas(w, key, data, flags as u32, exptime as u32, cas_id),
+                _ => unreachable!(),
+            };
+            store_reply(st).to_vec()
+        }
+        b"delete" => match parts.next() {
+            Some(key) if cache.delete(w, key) => b"DELETED\r\n".to_vec(),
+            Some(_) => b"NOT_FOUND\r\n".to_vec(),
+            None => b"CLIENT_ERROR bad command line format\r\n".to_vec(),
+        },
+        b"incr" | b"decr" => {
+            let (Some(key), Some(delta)) = (parts.next(), parts.next_u64()) else {
+                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+            };
+            match cache.arith(w, key, delta, cmd == b"incr") {
+                ArithStatus::Ok(v) => format!("{v}\r\n").into_bytes(),
+                ArithStatus::NotFound => b"NOT_FOUND\r\n".to_vec(),
+                ArithStatus::NonNumeric => {
+                    b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n".to_vec()
+                }
+            }
+        }
+        b"touch" => {
+            let (Some(key), Some(exp)) = (parts.next(), parts.next_u64()) else {
+                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+            };
+            if cache.touch(w, key, exp as u32) {
+                b"TOUCHED\r\n".to_vec()
+            } else {
+                b"NOT_FOUND\r\n".to_vec()
+            }
+        }
+        b"flush_all" => {
+            cache.flush_all(w);
+            b"OK\r\n".to_vec()
+        }
+        b"stats" => {
+            let s = cache.stats();
+            let mut out = String::new();
+            for (k, v) in [
+                ("cmd_get", s.threads.get_cmds),
+                ("get_hits", s.threads.get_hits),
+                ("get_misses", s.threads.get_misses),
+                ("cmd_set", s.threads.set_cmds),
+                ("curr_items", s.global.curr_items),
+                ("total_items", s.global.total_items),
+                ("evictions", s.global.evictions),
+                ("hash_expansions", s.global.expansions),
+                ("slab_reassigns", s.global.rebalances),
+            ] {
+                out.push_str(&format!("STAT {k} {v}\r\n"));
+            }
+            out.push_str("END\r\n");
+            out.into_bytes()
+        }
+        b"version" => format!("VERSION 1.4.15-tm ({})\r\n", cache.branch()).into_bytes(),
+        _ => b"ERROR\r\n".to_vec(),
+    }
+}
+
+fn store_reply(st: StoreStatus) -> &'static [u8] {
+    match st {
+        StoreStatus::Stored => b"STORED\r\n",
+        StoreStatus::NotStored => b"NOT_STORED\r\n",
+        StoreStatus::Exists => b"EXISTS\r\n",
+        StoreStatus::NotFound => b"NOT_FOUND\r\n",
+        StoreStatus::TooLarge => b"SERVER_ERROR object too large for cache\r\n",
+        StoreStatus::OutOfMemory => b"SERVER_ERROR out of memory storing object\r\n",
+    }
+}
+
+/// Whitespace tokenizer using the ctype helper from `tmstd` (the C
+/// tokenizer's `isspace` walk).
+struct Tokens<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a [u8]) -> Self {
+        Tokens { rest: line }
+    }
+
+    fn next_u64(&mut self) -> Option<u64> {
+        let tok = self.next()?;
+        tmstd::parse_u64(tok).and_then(|(v, used)| (used == tok.len()).then_some(v))
+    }
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = &'a [u8];
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let mut i = 0;
+        while i < self.rest.len() && tmstd::isspace(self.rest[i]) {
+            i += 1;
+        }
+        if i == self.rest.len() {
+            self.rest = &[];
+            return None;
+        }
+        let start = i;
+        while i < self.rest.len() && !tmstd::isspace(self.rest[i]) {
+            i += 1;
+        }
+        let tok = &self.rest[start..i];
+        self.rest = &self.rest[i..];
+        Some(tok)
+    }
+}
+
+/// The binary protocol (memslap `--binary`).
+pub mod binary {
+    use super::*;
+
+    /// Binary request magic.
+    pub const REQ_MAGIC: u8 = 0x80;
+    /// Binary response magic.
+    pub const RES_MAGIC: u8 = 0x81;
+
+    /// Binary opcodes (the subset memslap and our examples use).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[repr(u8)]
+    #[allow(missing_docs)]
+    pub enum Opcode {
+        Get = 0x00,
+        Set = 0x01,
+        Add = 0x02,
+        Replace = 0x03,
+        Delete = 0x04,
+        Increment = 0x05,
+        Decrement = 0x06,
+        Noop = 0x0a,
+        Version = 0x0b,
+    }
+
+    /// Binary status codes.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[repr(u16)]
+    #[allow(missing_docs)]
+    pub enum Status {
+        Ok = 0x0000,
+        KeyNotFound = 0x0001,
+        KeyExists = 0x0002,
+        ValueTooLarge = 0x0003,
+        NotStored = 0x0005,
+        NonNumeric = 0x0006,
+        OutOfMemory = 0x0082,
+        UnknownCommand = 0x0081,
+    }
+
+    /// A decoded binary request.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Request {
+        /// Command.
+        pub opcode: Opcode,
+        /// Opaque echoed back in the response.
+        pub opaque: u32,
+        /// CAS precondition (0 = none).
+        pub cas: u64,
+        /// Key bytes.
+        pub key: Vec<u8>,
+        /// Value bytes (stores).
+        pub value: Vec<u8>,
+        /// Client flags (stores) or delta (arithmetic).
+        pub extra: u64,
+    }
+
+    /// A binary response.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Response {
+        /// Outcome.
+        pub status: Status,
+        /// Echoed opaque.
+        pub opaque: u32,
+        /// Stored item's CAS (stores/gets).
+        pub cas: u64,
+        /// Value (gets, arithmetic results, version).
+        pub value: Vec<u8>,
+    }
+
+    impl Request {
+        /// Encodes to the 24-byte-header wire format. `htons`-family
+        /// conversions come from `tmstd`, as in the paper's §3.4 inventory.
+        pub fn encode(&self) -> Vec<u8> {
+            let keylen = self.key.len() as u16;
+            let extlen: u8 = match self.opcode {
+                Opcode::Set | Opcode::Add | Opcode::Replace => 8,
+                Opcode::Increment | Opcode::Decrement => 8,
+                _ => 0,
+            };
+            let body_len = self.key.len() + self.value.len() + extlen as usize;
+            let mut out = Vec::with_capacity(24 + body_len);
+            out.push(REQ_MAGIC);
+            out.push(self.opcode as u8);
+            out.extend_from_slice(&tmstd::htons(keylen).to_ne_bytes());
+            out.push(extlen);
+            out.push(0); // data type
+            out.extend_from_slice(&tmstd::htons(0).to_ne_bytes()); // vbucket
+            out.extend_from_slice(&tmstd::htonl(body_len as u32).to_ne_bytes());
+            out.extend_from_slice(&tmstd::htonl(self.opaque).to_ne_bytes());
+            out.extend_from_slice(&self.cas.to_be_bytes());
+            if extlen == 8 {
+                out.extend_from_slice(&self.extra.to_be_bytes());
+            }
+            out.extend_from_slice(&self.key);
+            out.extend_from_slice(&self.value);
+            out
+        }
+
+        /// Decodes from the wire format.
+        pub fn decode(buf: &[u8]) -> Option<Request> {
+            if buf.len() < 24 || buf[0] != REQ_MAGIC {
+                return None;
+            }
+            let opcode = match buf[1] {
+                0x00 => Opcode::Get,
+                0x01 => Opcode::Set,
+                0x02 => Opcode::Add,
+                0x03 => Opcode::Replace,
+                0x04 => Opcode::Delete,
+                0x05 => Opcode::Increment,
+                0x06 => Opcode::Decrement,
+                0x0a => Opcode::Noop,
+                0x0b => Opcode::Version,
+                _ => return None,
+            };
+            let keylen = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+            let extlen = buf[4] as usize;
+            let body_len = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+            let opaque = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
+            let cas = u64::from_be_bytes(buf[16..24].try_into().ok()?);
+            if buf.len() < 24 + body_len || body_len < keylen + extlen {
+                return None;
+            }
+            let extra = if extlen == 8 {
+                u64::from_be_bytes(buf[24..32].try_into().ok()?)
+            } else {
+                0
+            };
+            let key = buf[24 + extlen..24 + extlen + keylen].to_vec();
+            let value = buf[24 + extlen + keylen..24 + body_len].to_vec();
+            Some(Request {
+                opcode,
+                opaque,
+                cas,
+                key,
+                value,
+                extra,
+            })
+        }
+    }
+
+    /// Dispatches one binary request.
+    pub fn execute(cache: &McCache, w: usize, req: &Request) -> Response {
+        let mut resp = Response {
+            status: Status::Ok,
+            opaque: req.opaque,
+            cas: 0,
+            value: Vec::new(),
+        };
+        match req.opcode {
+            Opcode::Get => match cache.get(w, &req.key) {
+                Some(v) => {
+                    resp.cas = v.cas;
+                    resp.value = v.data;
+                }
+                None => resp.status = Status::KeyNotFound,
+            },
+            Opcode::Set | Opcode::Add | Opcode::Replace => {
+                let st = if req.cas != 0 {
+                    cache.cas(w, &req.key, &req.value, req.extra as u32, 0, req.cas)
+                } else {
+                    match req.opcode {
+                        Opcode::Set => cache.set(w, &req.key, &req.value, req.extra as u32, 0),
+                        Opcode::Add => cache.add(w, &req.key, &req.value, req.extra as u32, 0),
+                        _ => cache.replace(w, &req.key, &req.value, req.extra as u32, 0),
+                    }
+                };
+                resp.status = match st {
+                    StoreStatus::Stored => Status::Ok,
+                    StoreStatus::NotStored => Status::NotStored,
+                    StoreStatus::Exists => Status::KeyExists,
+                    StoreStatus::NotFound => Status::KeyNotFound,
+                    StoreStatus::TooLarge => Status::ValueTooLarge,
+                    StoreStatus::OutOfMemory => Status::OutOfMemory,
+                };
+            }
+            Opcode::Delete => {
+                if !cache.delete(w, &req.key) {
+                    resp.status = Status::KeyNotFound;
+                }
+            }
+            Opcode::Increment | Opcode::Decrement => {
+                match cache.arith(w, &req.key, req.extra, req.opcode == Opcode::Increment) {
+                    ArithStatus::Ok(v) => resp.value = v.to_be_bytes().to_vec(),
+                    ArithStatus::NotFound => resp.status = Status::KeyNotFound,
+                    ArithStatus::NonNumeric => resp.status = Status::NonNumeric,
+                }
+            }
+            Opcode::Noop => {}
+            Opcode::Version => {
+                resp.value = format!("1.4.15-tm ({})", cache.branch()).into_bytes();
+            }
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{McCache, McConfig};
+    use crate::policy::{Branch, Stage};
+
+    fn cache() -> crate::cache::McHandle {
+        McCache::start(McConfig {
+            branch: Branch::Ip(Stage::OnCommit),
+            workers: 1,
+            hash_power: 8,
+            hash_power_max: 10,
+            slab: crate::SlabConfig {
+                mem_limit: 2 << 20,
+                page_size: 64 << 10,
+                chunk_min: 96,
+                growth_factor: 1.5,
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn ascii_set_get_roundtrip() {
+        let c = cache();
+        let r = execute_ascii(&c, 0, b"set mykey 42 0 5\r\nhello\r\n");
+        assert_eq!(r, b"STORED\r\n");
+        let r = execute_ascii(&c, 0, b"get mykey\r\n");
+        assert_eq!(r, b"VALUE mykey 42 5\r\nhello\r\nEND\r\n");
+        let r = execute_ascii(&c, 0, b"get missing\r\n");
+        assert_eq!(r, b"END\r\n");
+    }
+
+    #[test]
+    fn ascii_gets_reports_cas_and_cas_store() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set k 0 0 1\r\nA\r\n");
+        let r = execute_ascii(&c, 0, b"gets k\r\n");
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.starts_with("VALUE k 0 1 "), "{text}");
+        let cas: u64 = text
+            .lines()
+            .next()
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let r = execute_ascii(&c, 0, format!("cas k 0 0 1 {cas}\r\nB\r\n").into_bytes().as_slice());
+        assert_eq!(r, b"STORED\r\n");
+        let r = execute_ascii(&c, 0, format!("cas k 0 0 1 {cas}\r\nC\r\n").into_bytes().as_slice());
+        assert_eq!(r, b"EXISTS\r\n");
+    }
+
+    #[test]
+    fn ascii_multi_get() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set a 0 0 1\r\nA\r\n");
+        execute_ascii(&c, 0, b"set b 0 0 1\r\nB\r\n");
+        let r = execute_ascii(&c, 0, b"get a b missing\r\n");
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.contains("VALUE a 0 1\r\nA"), "{text}");
+        assert!(text.contains("VALUE b 0 1\r\nB"), "{text}");
+        assert!(text.ends_with("END\r\n"));
+    }
+
+    #[test]
+    fn ascii_arith_delete_touch() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set n 0 0 2\r\n41\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"incr n 1\r\n"), b"42\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"decr n 2\r\n"), b"40\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"incr missing 1\r\n"), b"NOT_FOUND\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"touch n 100\r\n"), b"TOUCHED\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"delete n\r\n"), b"DELETED\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"delete n\r\n"), b"NOT_FOUND\r\n");
+    }
+
+    #[test]
+    fn ascii_errors() {
+        let c = cache();
+        assert_eq!(execute_ascii(&c, 0, b"bogus\r\n"), b"ERROR\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"no crlf"), b"ERROR\r\n");
+        assert!(execute_ascii(&c, 0, b"set k x y z\r\n").starts_with(b"CLIENT_ERROR"));
+        assert!(execute_ascii(&c, 0, b"set k 0 0 10\r\nshort\r\n").starts_with(b"CLIENT_ERROR"));
+    }
+
+    #[test]
+    fn ascii_stats_and_version() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set k 0 0 1\r\nA\r\n");
+        execute_ascii(&c, 0, b"get k\r\n");
+        let stats = String::from_utf8(execute_ascii(&c, 0, b"stats\r\n")).unwrap();
+        assert!(stats.contains("STAT cmd_get 1"), "{stats}");
+        assert!(stats.contains("STAT curr_items 1"), "{stats}");
+        let v = String::from_utf8(execute_ascii(&c, 0, b"version\r\n")).unwrap();
+        assert!(v.contains("1.4.15-tm"), "{v}");
+        assert!(v.contains("IP-onCommit"), "{v}");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let c = cache();
+        let set = binary::Request {
+            opcode: binary::Opcode::Set,
+            opaque: 99,
+            cas: 0,
+            key: b"bkey".to_vec(),
+            value: b"bval".to_vec(),
+            extra: 3,
+        };
+        // Wire encode/decode roundtrip.
+        let decoded = binary::Request::decode(&set.encode()).unwrap();
+        assert_eq!(decoded, set);
+        let resp = binary::execute(&c, 0, &decoded);
+        assert_eq!(resp.status, binary::Status::Ok);
+        assert_eq!(resp.opaque, 99);
+        let get = binary::Request {
+            opcode: binary::Opcode::Get,
+            opaque: 7,
+            cas: 0,
+            key: b"bkey".to_vec(),
+            value: vec![],
+            extra: 0,
+        };
+        let resp = binary::execute(&c, 0, &get);
+        assert_eq!(resp.status, binary::Status::Ok);
+        assert_eq!(resp.value, b"bval");
+        let del = binary::Request {
+            opcode: binary::Opcode::Delete,
+            opaque: 1,
+            cas: 0,
+            key: b"bkey".to_vec(),
+            value: vec![],
+            extra: 0,
+        };
+        assert_eq!(binary::execute(&c, 0, &del).status, binary::Status::Ok);
+        assert_eq!(
+            binary::execute(&c, 0, &del).status,
+            binary::Status::KeyNotFound
+        );
+    }
+
+    #[test]
+    fn binary_arith() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set n 0 0 1\r\n5\r\n");
+        let incr = binary::Request {
+            opcode: binary::Opcode::Increment,
+            opaque: 0,
+            cas: 0,
+            key: b"n".to_vec(),
+            value: vec![],
+            extra: 10,
+        };
+        let resp = binary::execute(&c, 0, &incr);
+        assert_eq!(resp.status, binary::Status::Ok);
+        assert_eq!(u64::from_be_bytes(resp.value.try_into().unwrap()), 15);
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage() {
+        assert!(binary::Request::decode(b"short").is_none());
+        assert!(binary::Request::decode(&[0x81; 30]).is_none(), "wrong magic");
+    }
+}

@@ -1,0 +1,131 @@
+//! A counting semaphore — the primitive the paper's §3.2 refactor
+//! substitutes for `pthread_cond_t` when waking maintenance threads
+//! (Figure 2's `sem_post` / `sem_wait`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore with `post` / `wait` / `wait_timeout`.
+#[derive(Default)]
+pub struct Semaphore {
+    count: Mutex<u64>,
+    cv: Condvar,
+    posts: AtomicU64,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with count zero.
+    pub fn new() -> Self {
+        Semaphore::default()
+    }
+
+    /// `sem_post`: increments the count and wakes one waiter. Safe to call
+    /// from an onCommit handler — it touches no transactional state.
+    pub fn post(&self) {
+        let mut c = self.count.lock();
+        *c += 1;
+        self.posts.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+    }
+
+    /// `sem_wait`: blocks until the count is positive, then decrements.
+    pub fn wait(&self) {
+        let mut c = self.count.lock();
+        while *c == 0 {
+            self.cv.wait(&mut c);
+        }
+        *c -= 1;
+    }
+
+    /// `sem_timedwait`: like [`Semaphore::wait`] but gives up after `dur`.
+    /// Returns `true` if a unit was consumed.
+    pub fn wait_timeout(&self, dur: Duration) -> bool {
+        let mut c = self.count.lock();
+        if *c == 0 {
+            let _ = self.cv.wait_for(&mut c, dur);
+        }
+        if *c == 0 {
+            return false;
+        }
+        *c -= 1;
+        true
+    }
+
+    /// `sem_trywait`: consumes a unit only if immediately available.
+    pub fn try_wait(&self) -> bool {
+        let mut c = self.count.lock();
+        if *c > 0 {
+            *c -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total posts ever (diagnostic; used to verify maintenance threads
+    /// actually get woken).
+    pub fn total_posts(&self) -> u64 {
+        self.posts.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("count", &*self.count.lock())
+            .field("posts", &self.total_posts())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn post_then_wait() {
+        let s = Semaphore::new();
+        s.post();
+        s.wait();
+        assert!(!s.try_wait());
+        assert_eq!(s.total_posts(), 1);
+    }
+
+    #[test]
+    fn wait_blocks_until_post() {
+        let s = Arc::new(Semaphore::new());
+        let t = {
+            let s = s.clone();
+            thread::spawn(move || {
+                s.wait();
+                42
+            })
+        };
+        thread::sleep(Duration::from_millis(10));
+        s.post();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let s = Semaphore::new();
+        assert!(!s.wait_timeout(Duration::from_millis(5)));
+        s.post();
+        assert!(s.wait_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let s = Semaphore::new();
+        for _ in 0..3 {
+            s.post();
+        }
+        assert!(s.try_wait() && s.try_wait() && s.try_wait());
+        assert!(!s.try_wait());
+    }
+}

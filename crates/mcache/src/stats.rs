@@ -1,0 +1,171 @@
+//! Statistics: the fourth lock category of §3.1.
+//!
+//! memcached keeps program-wide counters behind a global `stats_lock` and —
+//! after years of scalability work — most command counters in per-thread
+//! structures behind per-thread locks. The paper had to transactionalize
+//! *both*: the per-thread locks were never contended, but any mutex
+//! operation is unsafe inside an atomic transaction ("This highlights a
+//! flaw with relaxed transactions: when an unsafe operation is performed in
+//! a context where conflicts are exceedingly rare, it still necessitates
+//! the serialization of all transactions", §3.1).
+
+use tm::{Abort, TCell};
+use tmstd::ByteAccess;
+
+use crate::ctx::Ctx;
+
+macro_rules! cells {
+    ($(#[$sdoc:meta])* struct $name:ident { $($(#[$doc:meta])* $f:ident),* $(,)? } snapshot $snap:ident) => {
+        $(#[$sdoc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            $($(#[$doc])* pub $f: TCell<u64>,)*
+        }
+
+        /// Plain-value snapshot of the corresponding counter block.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct $snap {
+            $($(#[$doc])* pub $f: u64,)*
+        }
+
+        impl $name {
+            /// Uninstrumented snapshot (call outside critical sections).
+            pub fn snapshot_direct(&self) -> $snap {
+                $snap { $($f: self.$f.load_direct(),)* }
+            }
+        }
+
+        impl std::ops::Add for $snap {
+            type Output = $snap;
+            fn add(self, rhs: $snap) -> $snap {
+                $snap { $($f: self.$f + rhs.$f,)* }
+            }
+        }
+    };
+}
+
+cells! {
+    /// Counters guarded by the global `stats_lock`.
+    struct GlobalStats {
+        /// Items currently linked into the cache.
+        curr_items,
+        /// Items ever linked.
+        total_items,
+        /// Hash-table expansions completed.
+        expansions,
+        /// Items evicted to make room.
+        evictions,
+        /// Slab pages moved by the rebalancer.
+        rebalances,
+        /// `flush_all` commands.
+        flush_cmds,
+        /// Verbose log lines emitted (stand-in for the `stderr` stream).
+        log_lines,
+        /// Maintenance wakeup signals delivered.
+        maintenance_signals,
+        /// Total commands processed (the program-wide counter that keeps
+        /// `stats_lock` hot in §3.1's mutrace profile).
+        cmd_total,
+    } snapshot GlobalSnapshot
+}
+
+cells! {
+    /// One worker thread's command counters (per-thread lock category).
+    struct ThreadStats {
+        /// `get` commands.
+        get_cmds,
+        /// `get` hits.
+        get_hits,
+        /// `get` misses.
+        get_misses,
+        /// Store commands (`set`/`add`/`replace`/`cas`).
+        set_cmds,
+        /// `delete` commands.
+        delete_cmds,
+        /// `incr`/`decr` commands.
+        arith_cmds,
+        /// `touch` commands.
+        touch_cmds,
+    } snapshot ThreadSnapshot
+}
+
+impl GlobalStats {
+    /// Transactionally (or directly, under `stats_lock`) bumps a counter.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] under transactional access.
+    pub fn bump<'e>(&'e self, ctx: &mut Ctx<'_, 'e>, cell: &'e TCell<u64>) -> Result<(), Abort> {
+        let v = ctx.get_word(cell.word())?;
+        ctx.put_word(cell.word(), v + 1)
+    }
+}
+
+impl ThreadStats {
+    /// Bumps a per-thread counter; same access rules as the global block.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] under transactional access.
+    pub fn bump<'e>(&'e self, ctx: &mut Ctx<'_, 'e>, cell: &'e TCell<u64>) -> Result<(), Abort> {
+        let v = ctx.get_word(cell.word())?;
+        ctx.put_word(cell.word(), v + 1)
+    }
+}
+
+impl ThreadSnapshot {
+    /// All commands this thread executed.
+    pub fn total_cmds(&self) -> u64 {
+        self.get_cmds + self.set_cmds + self.delete_cmds + self.arith_cmds + self.touch_cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm::TmRuntime;
+
+    #[test]
+    fn direct_bump_and_snapshot() {
+        let g = GlobalStats::default();
+        let mut ctx = Ctx::Direct;
+        g.bump(&mut ctx, &g.curr_items).unwrap();
+        g.bump(&mut ctx, &g.curr_items).unwrap();
+        g.bump(&mut ctx, &g.total_items).unwrap();
+        let s = g.snapshot_direct();
+        assert_eq!(s.curr_items, 2);
+        assert_eq!(s.total_items, 1);
+    }
+
+    #[test]
+    fn transactional_bump() {
+        let rt = TmRuntime::default_runtime();
+        let t = ThreadStats::default();
+        rt.atomic(|tx| {
+            let mut ctx = Ctx::Atomic(tx);
+            t.bump(&mut ctx, &t.get_cmds)?;
+            t.bump(&mut ctx, &t.get_hits)
+        });
+        let s = t.snapshot_direct();
+        assert_eq!(s.get_cmds, 1);
+        assert_eq!(s.get_hits, 1);
+        assert_eq!(s.total_cmds(), 1);
+    }
+
+    #[test]
+    fn snapshots_add() {
+        let a = ThreadSnapshot {
+            get_cmds: 1,
+            set_cmds: 2,
+            ..Default::default()
+        };
+        let b = ThreadSnapshot {
+            get_cmds: 10,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.get_cmds, 11);
+        assert_eq!(c.set_cmds, 2);
+        assert_eq!(c.total_cmds(), 13);
+    }
+}

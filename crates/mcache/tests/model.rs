@@ -1,0 +1,284 @@
+//! Model-based testing: random operation sequences against a plain
+//! `HashMap` reference model, per branch. Single-threaded, so the cache
+//! must agree with the model exactly — any divergence is a correctness
+//! bug in the slab/assoc/LRU/store machinery.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mcache::{ArithStatus, Branch, McCache, McConfig, SlabConfig, Stage, StoreStatus};
+
+#[derive(Clone, Debug)]
+enum Cmd {
+    Set(u8, Vec<u8>),
+    Add(u8, Vec<u8>),
+    Replace(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+    Incr(u8, u16),
+    SetNumeric(u8, u32),
+    Append(u8, Vec<u8>),
+    CasFresh(u8, Vec<u8>),
+    CasStale(u8, Vec<u8>),
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    let key = 0u8..24;
+    let val = proptest::collection::vec(any::<u8>(), 0..48);
+    prop_oneof![
+        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::Set(k, v)),
+        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::Add(k, v)),
+        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::Replace(k, v)),
+        key.clone().prop_map(Cmd::Get),
+        key.clone().prop_map(Cmd::Delete),
+        (key.clone(), any::<u16>()).prop_map(|(k, d)| Cmd::Incr(k, d)),
+        (key.clone(), any::<u32>()).prop_map(|(k, v)| Cmd::SetNumeric(k, v)),
+        (key.clone(), proptest::collection::vec(any::<u8>(), 1..16))
+            .prop_map(|(k, v)| Cmd::Append(k, v)),
+        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::CasFresh(k, v)),
+        (key, val).prop_map(|(k, v)| Cmd::CasStale(k, v)),
+    ]
+}
+
+fn key_name(k: u8) -> Vec<u8> {
+    format!("model-key-{k:03}").into_bytes()
+}
+
+fn check_branch(branch: Branch, cmds: &[Cmd]) -> Result<(), TestCaseError> {
+    let cache = McCache::start(McConfig {
+        branch,
+        workers: 1,
+        slab: SlabConfig {
+            mem_limit: 4 << 20,
+            page_size: 64 << 10,
+            chunk_min: 96,
+            growth_factor: 1.5,
+        },
+        hash_power: 6,
+        hash_power_max: 9,
+        item_lock_power: 4,
+        maintenance: false, // single-threaded determinism
+        ..Default::default()
+    });
+    let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+    for cmd in cmds {
+        match cmd {
+            Cmd::Set(k, v) => {
+                let st = cache.set(0, &key_name(*k), v, 0, 0);
+                prop_assert_eq!(st, StoreStatus::Stored, "{} set", branch);
+                model.insert(*k, v.clone());
+            }
+            Cmd::Add(k, v) => {
+                let st = cache.add(0, &key_name(*k), v, 0, 0);
+                if model.contains_key(k) {
+                    prop_assert_eq!(st, StoreStatus::NotStored, "{} add-present", branch);
+                } else {
+                    prop_assert_eq!(st, StoreStatus::Stored, "{} add-absent", branch);
+                    model.insert(*k, v.clone());
+                }
+            }
+            Cmd::Replace(k, v) => {
+                let st = cache.replace(0, &key_name(*k), v, 0, 0);
+                if model.contains_key(k) {
+                    prop_assert_eq!(st, StoreStatus::Stored, "{} replace-present", branch);
+                    model.insert(*k, v.clone());
+                } else {
+                    prop_assert_eq!(st, StoreStatus::NotStored, "{} replace-absent", branch);
+                }
+            }
+            Cmd::Get(k) => {
+                let got = cache.get(0, &key_name(*k)).map(|g| g.data);
+                prop_assert_eq!(got.as_ref(), model.get(k), "{} get key {}", branch, k);
+            }
+            Cmd::Delete(k) => {
+                let deleted = cache.delete(0, &key_name(*k));
+                prop_assert_eq!(deleted, model.remove(k).is_some(), "{} delete", branch);
+            }
+            Cmd::SetNumeric(k, v) => {
+                let text = v.to_string().into_bytes();
+                cache.set(0, &key_name(*k), &text, 0, 0);
+                model.insert(*k, text);
+            }
+            Cmd::Incr(k, d) => {
+                let st = cache.arith(0, &key_name(*k), *d as u64, true);
+                match model.get_mut(k) {
+                    None => prop_assert_eq!(st, ArithStatus::NotFound, "{}", branch),
+                    Some(stored) => {
+                        // memcached's safe_strtoull: whole value numeric
+                        // modulo surrounding whitespace.
+                        let parse = |buf: &[u8]| {
+                            let (v, used) = tmstd::parse_u64(buf)?;
+                            buf[used..]
+                                .iter()
+                                .all(|&b| b == 0 || tmstd::isspace(b))
+                                .then_some(v)
+                        };
+                        match (stored.len() <= 40).then(|| parse(stored)).flatten() {
+                            Some(old) => {
+                                let new = old.wrapping_add(*d as u64);
+                                prop_assert_eq!(st, ArithStatus::Ok(new), "{}", branch);
+                                *stored = new.to_string().into_bytes();
+                            }
+                            None => {
+                                prop_assert_eq!(st, ArithStatus::NonNumeric, "{}", branch)
+                            }
+                        }
+                    }
+                }
+            }
+            Cmd::Append(k, v) => {
+                let st = cache.append(0, &key_name(*k), v);
+                match model.get_mut(k) {
+                    Some(stored) => {
+                        prop_assert_eq!(st, StoreStatus::Stored, "{} append", branch);
+                        stored.extend_from_slice(v);
+                    }
+                    None => prop_assert_eq!(st, StoreStatus::NotStored, "{} append", branch),
+                }
+            }
+            Cmd::CasFresh(k, v) => {
+                // CAS with the current id must succeed iff present.
+                match cache.get(0, &key_name(*k)) {
+                    Some(cur) => {
+                        let st = cache.cas(0, &key_name(*k), v, 0, 0, cur.cas);
+                        prop_assert_eq!(st, StoreStatus::Stored, "{} cas-fresh", branch);
+                        model.insert(*k, v.clone());
+                    }
+                    None => {
+                        let st = cache.cas(0, &key_name(*k), v, 0, 0, 1);
+                        prop_assert_eq!(st, StoreStatus::NotFound, "{} cas-missing", branch);
+                    }
+                }
+            }
+            Cmd::CasStale(k, v) => {
+                if model.contains_key(k) {
+                    // A CAS id from the future is always stale.
+                    let st = cache.cas(0, &key_name(*k), v, 0, 0, u64::MAX);
+                    prop_assert_eq!(st, StoreStatus::Exists, "{} cas-stale", branch);
+                }
+            }
+        }
+    }
+    // Final sweep: every model entry is retrievable, nothing extra lives.
+    for (k, v) in &model {
+        let got = cache.get(0, &key_name(*k)).map(|g| g.data);
+        prop_assert_eq!(got.as_ref(), Some(v), "{} final sweep key {}", branch, k);
+    }
+    prop_assert_eq!(
+        cache.stats().global.curr_items,
+        model.len() as u64,
+        "{} phantom items",
+        branch
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn baseline_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        check_branch(Branch::Baseline, &cmds)?;
+    }
+
+    #[test]
+    fn ip_plain_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        check_branch(Branch::Ip(Stage::Plain), &cmds)?;
+    }
+
+    #[test]
+    fn it_plain_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        check_branch(Branch::It(Stage::Plain), &cmds)?;
+    }
+
+    #[test]
+    fn ip_max_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        check_branch(Branch::Ip(Stage::Max), &cmds)?;
+    }
+
+    #[test]
+    fn it_lib_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        check_branch(Branch::It(Stage::Lib), &cmds)?;
+    }
+
+    #[test]
+    fn ip_oncommit_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        check_branch(Branch::Ip(Stage::OnCommit), &cmds)?;
+    }
+
+    #[test]
+    fn it_nolock_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        check_branch(Branch::ItNoLock, &cmds)?;
+    }
+}
+
+mod binary_wire {
+    use mcache::proto::binary::{Opcode, Request};
+    use proptest::prelude::*;
+
+    fn opcode_strategy() -> impl Strategy<Value = Opcode> {
+        prop_oneof![
+            Just(Opcode::Get),
+            Just(Opcode::Set),
+            Just(Opcode::Add),
+            Just(Opcode::Replace),
+            Just(Opcode::Delete),
+            Just(Opcode::Increment),
+            Just(Opcode::Decrement),
+            Just(Opcode::Noop),
+            Just(Opcode::Version),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// decode(encode(req)) == req for arbitrary well-formed requests.
+        #[test]
+        fn wire_roundtrip(
+            opcode in opcode_strategy(),
+            opaque in any::<u32>(),
+            cas in any::<u64>(),
+            key in proptest::collection::vec(any::<u8>(), 0..64),
+            value in proptest::collection::vec(any::<u8>(), 0..128),
+            extra in any::<u64>(),
+        ) {
+            let req = Request { opcode, opaque, cas, key, value, extra };
+            let wire = req.encode();
+            let back = Request::decode(&wire).expect("self-encoded frame must decode");
+            prop_assert_eq!(back.opcode, req.opcode);
+            prop_assert_eq!(back.opaque, req.opaque);
+            prop_assert_eq!(back.cas, req.cas);
+            prop_assert_eq!(back.key, req.key);
+            prop_assert_eq!(back.value, req.value);
+            // extras only travel on opcodes that carry them
+            match req.opcode {
+                Opcode::Set | Opcode::Add | Opcode::Replace
+                | Opcode::Increment | Opcode::Decrement => {
+                    prop_assert_eq!(back.extra, req.extra)
+                }
+                _ => prop_assert_eq!(back.extra, 0),
+            }
+        }
+
+        /// Truncated frames never decode (no panics, no partial reads).
+        #[test]
+        fn truncated_frames_rejected(
+            key in proptest::collection::vec(any::<u8>(), 1..32),
+            cut in any::<prop::sample::Index>(),
+        ) {
+            let req = Request {
+                opcode: Opcode::Set,
+                opaque: 7,
+                cas: 0,
+                key,
+                value: b"vvv".to_vec(),
+                extra: 1,
+            };
+            let wire = req.encode();
+            let cut_at = cut.index(wire.len().saturating_sub(1));
+            prop_assert!(Request::decode(&wire[..cut_at]).is_none());
+        }
+    }
+}

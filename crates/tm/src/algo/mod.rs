@@ -1,0 +1,139 @@
+//! The STM algorithm engines evaluated in the paper's §4 (Figure 11).
+//!
+//! * [`eager`] — the GCC default method group: encounter-time orec locking,
+//!   write-through (direct update) with an undo log.
+//! * [`lazy`] — the paper's "Lazy" variant: same orec table, but buffered
+//!   (redo-log) updates with commit-time locking.
+//! * [`norec`] — NOrec \[Dalessandro et al., PPoPP 2010\]: no ownership
+//!   records at all; a single global sequence lock plus value-based
+//!   validation.
+//!
+//! Engines operate on raw word addresses. The public API (`Tx<'env>`)
+//! guarantees every address passed in outlives the transaction, so the
+//! internal `usize -> &TWord` casts are sound.
+
+pub mod eager;
+pub mod lazy;
+pub mod norec;
+
+use crate::cell::TWord;
+use crate::error::Abort;
+use crate::runtime::RtInner;
+
+/// Which algorithm a runtime uses for instrumented transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// GCC default: encounter-time locking, write-through, undo log.
+    #[default]
+    Eager,
+    /// Commit-time locking over the same orec table, redo log.
+    Lazy,
+    /// Global sequence lock + value-based validation, redo log.
+    Norec,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Eager => write!(f, "gcc-eager"),
+            Algorithm::Lazy => write!(f, "lazy"),
+            Algorithm::Norec => write!(f, "norec"),
+        }
+    }
+}
+
+/// Reinterprets a stored word address. Soundness: addresses enter engines
+/// only through `Tx<'env>` methods whose signatures force the referent to
+/// outlive the transaction.
+#[inline]
+pub(crate) fn tword_at<'a>(addr: usize) -> &'a TWord {
+    unsafe { &*(addr as *const TWord) }
+}
+
+/// Per-attempt algorithm state.
+#[derive(Debug)]
+pub(crate) enum Engine {
+    Eager(eager::EagerTx),
+    Lazy(lazy::LazyTx),
+    Norec(norec::NorecTx),
+    /// Uninstrumented direct access: serial-irrevocable transactions.
+    Serial,
+}
+
+impl Engine {
+    pub(crate) fn begin(rt: &RtInner, tx_id: u64) -> Engine {
+        match rt.algorithm {
+            Algorithm::Eager => Engine::Eager(eager::EagerTx::begin(rt, tx_id)),
+            Algorithm::Lazy => Engine::Lazy(lazy::LazyTx::begin(rt, tx_id)),
+            Algorithm::Norec => Engine::Norec(norec::NorecTx::begin(rt)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn read_word(&mut self, rt: &RtInner, addr: usize) -> Result<u64, Abort> {
+        match self {
+            Engine::Eager(e) => e.read_word(rt, addr),
+            Engine::Lazy(e) => e.read_word(rt, addr),
+            Engine::Norec(e) => e.read_word(rt, addr),
+            Engine::Serial => Ok(tword_at(addr).load_direct()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn write_word(&mut self, rt: &RtInner, addr: usize, v: u64) -> Result<(), Abort> {
+        match self {
+            Engine::Eager(e) => e.write_word(rt, addr, v),
+            Engine::Lazy(e) => e.write_word(rt, addr, v),
+            Engine::Norec(e) => e.write_word(rt, addr, v),
+            Engine::Serial => {
+                tword_at(addr).store_direct(v);
+                Ok(())
+            }
+        }
+    }
+
+    /// True if this attempt has written nothing (read-only commit path).
+    pub(crate) fn is_read_only(&self) -> bool {
+        match self {
+            Engine::Eager(e) => e.is_read_only(),
+            Engine::Lazy(e) => e.is_read_only(),
+            Engine::Norec(e) => e.is_read_only(),
+            Engine::Serial => false,
+        }
+    }
+
+    /// Attempts to commit. On `Err` the engine has already rolled back.
+    pub(crate) fn commit(&mut self, rt: &RtInner) -> Result<(), Abort> {
+        match self {
+            Engine::Eager(e) => e.commit(rt),
+            Engine::Lazy(e) => e.commit(rt),
+            Engine::Norec(e) => e.commit(rt),
+            Engine::Serial => Ok(()),
+        }
+    }
+
+    /// Rolls back an attempt that will not commit.
+    pub(crate) fn rollback(&mut self, rt: &RtInner) {
+        match self {
+            Engine::Eager(e) => e.rollback(rt),
+            Engine::Lazy(e) => e.rollback(),
+            Engine::Norec(e) => e.rollback(),
+            Engine::Serial => {}
+        }
+    }
+
+    /// Upgrades to irrevocable mode. The caller must already hold the
+    /// serial lock exclusively (all other transactions drained). On success
+    /// the engine has published every buffered effect and `self` becomes
+    /// [`Engine::Serial`]; on failure the attempt must be aborted.
+    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner) -> Result<(), Abort> {
+        match self {
+            Engine::Eager(e) => e.make_irrevocable(rt)?,
+            Engine::Lazy(e) => e.make_irrevocable(rt)?,
+            Engine::Norec(e) => e.make_irrevocable(rt)?,
+            Engine::Serial => return Ok(()),
+        }
+        *self = Engine::Serial;
+        Ok(())
+    }
+}

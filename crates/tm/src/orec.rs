@@ -1,0 +1,201 @@
+//! The global ownership-record (orec) table.
+//!
+//! Like GCC libitm's `ml_wt` method group, conflict detection is mediated by
+//! a fixed-size table of versioned write-locks. Every transactional word
+//! hashes (by address) to one orec; writers lock the orec for the duration
+//! of their ownership, readers record the orec's version and revalidate.
+//!
+//! # Encoding
+//!
+//! An orec is a single `u64`:
+//!
+//! * `version << 1` (even) — unlocked, last committed at `version`;
+//! * `(owner_tx_id << 1) | 1` (odd) — locked by the transaction with that id.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Raw orec value.
+pub type OrecValue = u64;
+
+/// Returns `true` if the orec value is locked by some transaction.
+#[inline]
+pub fn is_locked(v: OrecValue) -> bool {
+    v & 1 == 1
+}
+
+/// Extracts the owner transaction id from a locked orec value.
+#[inline]
+pub fn owner_of(v: OrecValue) -> u64 {
+    debug_assert!(is_locked(v));
+    v >> 1
+}
+
+/// Extracts the commit version from an unlocked orec value.
+#[inline]
+pub fn version_of(v: OrecValue) -> u64 {
+    debug_assert!(!is_locked(v));
+    v >> 1
+}
+
+/// Builds the locked encoding for a transaction id.
+#[inline]
+pub fn locked_by(tx_id: u64) -> OrecValue {
+    (tx_id << 1) | 1
+}
+
+/// Builds the unlocked encoding for a version.
+#[inline]
+pub fn unlocked_at(version: u64) -> OrecValue {
+    version << 1
+}
+
+/// The table of ownership records shared by all transactions of one
+/// [`crate::TmRuntime`].
+///
+/// The table size trades false conflicts for memory; the default of 2^16
+/// entries matches the scale of the memcached reproduction's working set.
+pub struct OrecTable {
+    orecs: Box<[AtomicU64]>,
+    mask: usize,
+}
+
+impl OrecTable {
+    /// Default log2 of table size.
+    pub const DEFAULT_LOG_SIZE: u32 = 16;
+
+    /// Creates a table with `1 << log_size` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_size` is 0 or greater than 28.
+    pub fn new(log_size: u32) -> Self {
+        assert!(
+            (1..=28).contains(&log_size),
+            "orec table log_size {log_size} out of range 1..=28"
+        );
+        let n = 1usize << log_size;
+        let orecs = (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        OrecTable {
+            orecs: orecs.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of orecs in the table.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.orecs.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.orecs.is_empty()
+    }
+
+    /// Maps a word address to its orec index (Fibonacci hashing over the
+    /// word-aligned address, so adjacent words spread across the table).
+    #[inline]
+    pub fn index_of(&self, addr: usize) -> usize {
+        let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 24) & self.mask
+    }
+
+    /// Loads the orec at `idx`.
+    #[inline]
+    pub fn load(&self, idx: usize) -> OrecValue {
+        self.orecs[idx].load(Ordering::Acquire)
+    }
+
+    /// Attempts to CAS the orec at `idx` from `current` to `new`.
+    #[inline]
+    pub fn try_update(&self, idx: usize, current: OrecValue, new: OrecValue) -> bool {
+        self.orecs[idx]
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Unconditionally stores `new` at `idx`. Only the lock owner may call
+    /// this (release paths).
+    #[inline]
+    pub fn release(&self, idx: usize, new: OrecValue) {
+        self.orecs[idx].store(new, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for OrecTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrecTable")
+            .field("len", &self.orecs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        let l = locked_by(42);
+        assert!(is_locked(l));
+        assert_eq!(owner_of(l), 42);
+        let u = unlocked_at(7);
+        assert!(!is_locked(u));
+        assert_eq!(version_of(u), 7);
+    }
+
+    #[test]
+    fn fresh_table_is_unlocked_version_zero() {
+        let t = OrecTable::new(4);
+        assert_eq!(t.len(), 16);
+        assert!(!t.is_empty());
+        for i in 0..t.len() {
+            let v = t.load(i);
+            assert!(!is_locked(v));
+            assert_eq!(version_of(v), 0);
+        }
+    }
+
+    #[test]
+    fn index_is_stable_and_in_range() {
+        let t = OrecTable::new(8);
+        let addr = 0xdead_beef_usize & !7;
+        let i1 = t.index_of(addr);
+        let i2 = t.index_of(addr);
+        assert_eq!(i1, i2);
+        assert!(i1 < t.len());
+    }
+
+    #[test]
+    fn adjacent_words_usually_map_to_distinct_orecs() {
+        let t = OrecTable::new(10);
+        let base = 0x1000usize;
+        let a = t.index_of(base);
+        let b = t.index_of(base + 8);
+        let c = t.index_of(base + 16);
+        // Fibonacci hashing: consecutive words should not all collide.
+        assert!(a != b || b != c);
+    }
+
+    #[test]
+    fn cas_lock_and_release() {
+        let t = OrecTable::new(4);
+        let idx = 3;
+        let before = t.load(idx);
+        assert!(t.try_update(idx, before, locked_by(9)));
+        assert!(!t.try_update(idx, before, locked_by(10)), "stale CAS must fail");
+        assert_eq!(owner_of(t.load(idx)), 9);
+        t.release(idx, unlocked_at(5));
+        assert_eq!(version_of(t.load(idx)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_log_size_rejected() {
+        let _ = OrecTable::new(0);
+    }
+}

@@ -1,0 +1,450 @@
+//! The [`TmRuntime`]: algorithm × contention manager × serial-lock mode.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::algo::{Algorithm, Engine};
+use crate::clock::{GlobalClock, SeqLock};
+use crate::cm::{exponential_backoff, ContentionManager, Hourglass};
+use crate::cell::TCell;
+use crate::error::{Abort, Cancelled};
+use crate::orec::OrecTable;
+use crate::serial::{SerialLock, SerialLockMode};
+use crate::stats::{self, StatsSnapshot, TmStats};
+use crate::txn::{AtomicTx, RelaxedPlan, RelaxedTx, Transaction, TxInner};
+
+/// Shared state of one runtime. Engines and transactions hold `&RtInner`.
+pub(crate) struct RtInner {
+    pub(crate) algorithm: Algorithm,
+    pub(crate) cm: ContentionManager,
+    pub(crate) serial_mode: SerialLockMode,
+    pub(crate) orecs: OrecTable,
+    pub(crate) clock: GlobalClock,
+    pub(crate) seqlock: SeqLock,
+    pub(crate) serial: SerialLock,
+    pub(crate) hourglass: Hourglass,
+    pub(crate) stats: TmStats,
+    next_tx_id: AtomicU64,
+}
+
+/// A transactional memory runtime in the image of GCC's libitm.
+///
+/// Cheap to clone (the clone shares all state). Transactions of different
+/// runtimes are invisible to each other — like processes linked against
+/// separate TM libraries — so a program should funnel all accesses to a
+/// given set of [`crate::TCell`]s through one runtime.
+///
+/// # Examples
+///
+/// ```
+/// use tm::{Algorithm, ContentionManager, SerialLockMode, TCell, TmRuntime, Transaction};
+///
+/// // The configuration the paper calls "GCC-NoCM" (§4, Figure 11):
+/// let rt = TmRuntime::builder()
+///     .algorithm(Algorithm::Eager)
+///     .contention_manager(ContentionManager::None)
+///     .serial_lock(SerialLockMode::None)
+///     .build();
+/// let c = TCell::new(1u64);
+/// rt.atomic(|tx| tx.fetch_add(&c, 41));
+/// assert_eq!(c.load_direct(), 42);
+/// ```
+#[derive(Clone)]
+pub struct TmRuntime {
+    inner: Arc<RtInner>,
+}
+
+impl std::fmt::Debug for TmRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmRuntime")
+            .field("algorithm", &self.inner.algorithm)
+            .field("cm", &self.inner.cm)
+            .field("serial_mode", &self.inner.serial_mode)
+            .finish()
+    }
+}
+
+/// Configures and builds a [`TmRuntime`].
+#[derive(Clone, Debug)]
+pub struct TmRuntimeBuilder {
+    algorithm: Algorithm,
+    cm: ContentionManager,
+    serial_mode: SerialLockMode,
+    orec_log_size: u32,
+}
+
+impl Default for TmRuntimeBuilder {
+    fn default() -> Self {
+        TmRuntimeBuilder {
+            algorithm: Algorithm::Eager,
+            cm: ContentionManager::GCC_DEFAULT,
+            serial_mode: SerialLockMode::ReaderWriter,
+            orec_log_size: OrecTable::DEFAULT_LOG_SIZE,
+        }
+    }
+}
+
+impl TmRuntimeBuilder {
+    /// Selects the STM algorithm (default: [`Algorithm::Eager`], GCC's).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Selects the contention manager (default: serialize after 100
+    /// consecutive aborts, GCC's policy).
+    pub fn contention_manager(mut self, cm: ContentionManager) -> Self {
+        self.cm = cm;
+        self
+    }
+
+    /// Keeps or removes the global readers/writer serial lock (default:
+    /// kept, GCC's configuration; [`SerialLockMode::None`] reproduces the
+    /// paper's "NoLock" runtime).
+    pub fn serial_lock(mut self, m: SerialLockMode) -> Self {
+        self.serial_mode = m;
+        self
+    }
+
+    /// Sets log2 of the ownership-record table size.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the value is outside `1..=28`.
+    pub fn orec_log_size(mut self, log: u32) -> Self {
+        self.orec_log_size = log;
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration: a serializing contention
+    /// manager ([`ContentionManager::SerializeAfter`]) cannot be combined
+    /// with [`SerialLockMode::None`].
+    pub fn build(self) -> TmRuntime {
+        if matches!(self.cm, ContentionManager::SerializeAfter(_))
+            && self.serial_mode == SerialLockMode::None
+        {
+            panic!(
+                "ContentionManager::SerializeAfter requires the serial lock; \
+                 use ContentionManager::None / Backoff / Hourglass with \
+                 SerialLockMode::None"
+            );
+        }
+        TmRuntime {
+            inner: Arc::new(RtInner {
+                algorithm: self.algorithm,
+                cm: self.cm,
+                serial_mode: self.serial_mode,
+                orecs: OrecTable::new(self.orec_log_size),
+                clock: GlobalClock::new(),
+                seqlock: SeqLock::new(),
+                serial: SerialLock::new(),
+                hourglass: Hourglass::new(),
+                stats: TmStats::default(),
+                next_tx_id: AtomicU64::new(1),
+            }),
+        }
+    }
+}
+
+impl Default for TmRuntime {
+    fn default() -> Self {
+        TmRuntimeBuilder::default().build()
+    }
+}
+
+/// Outcome of one attempt, for the retry loop.
+enum AttemptOutcome<R> {
+    Committed(R),
+    Aborted,
+    Cancelled,
+}
+
+impl TmRuntime {
+    /// Starts configuring a runtime.
+    pub fn builder() -> TmRuntimeBuilder {
+        TmRuntimeBuilder::default()
+    }
+
+    /// The GCC-default configuration: eager algorithm, serialize-after-100
+    /// contention policy, readers/writer serial lock.
+    pub fn default_runtime() -> Self {
+        TmRuntime::default()
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.inner.algorithm
+    }
+
+    /// The configured contention manager.
+    pub fn contention_manager(&self) -> ContentionManager {
+        self.inner.cm
+    }
+
+    /// The configured serial-lock mode.
+    pub fn serial_lock_mode(&self) -> SerialLockMode {
+        self.inner.serial_mode
+    }
+
+    /// A snapshot of the runtime's statistics counters (the raw material of
+    /// the paper's Tables 1–4).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Runs `f` as a `__transaction_atomic` block, retrying on conflict
+    /// until it commits, and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` cancels (use [`TmRuntime::try_atomic`] for
+    /// cancellable transactions).
+    pub fn atomic<'env, R, F>(&'env self, f: F) -> R
+    where
+        F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
+    {
+        match self.try_atomic(f) {
+            Ok(r) => r,
+            Err(Cancelled) => {
+                panic!("transaction cancelled inside TmRuntime::atomic; use try_atomic")
+            }
+        }
+    }
+
+    /// Runs `f` as a cancellable `__transaction_atomic` block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if `f` returned [`crate::cancel`]; all the
+    /// transaction's effects have been rolled back.
+    pub fn try_atomic<'env, R, F>(&'env self, mut f: F) -> Result<R, Cancelled>
+    where
+        F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
+    {
+        self.run_loop(RelaxedPlan::new(), move |inner| {
+            let mut tx = AtomicTx(inner);
+            let r = f(&mut tx);
+            (tx.0, r)
+        })
+    }
+
+    /// A *transaction expression* (Draft C++ TM Specification §2): reads
+    /// one cell in its own atomic transaction. The paper used these to
+    /// replace `volatile` reads without changing line counts (§3.3), and
+    /// notes that "GCC currently does not optimize single-location
+    /// transactions" — neither does this runtime, so the cost is a full
+    /// begin/commit (measurable with the `stm_primitives` bench).
+    ///
+    /// The result carries at least the ordering guarantees of a
+    /// `memory_order_seq_cst` atomic load, as the specification requires.
+    pub fn expr_read<T: crate::Word>(&self, cell: &TCell<T>) -> T {
+        self.atomic(|tx| tx.read(cell))
+    }
+
+    /// A transaction expression that writes one cell; see
+    /// [`TmRuntime::expr_read`].
+    pub fn expr_write<T: crate::Word>(&self, cell: &TCell<T>, v: T) {
+        self.atomic(|tx| tx.write(cell, v));
+    }
+
+    /// A transaction expression for a single read-modify-write (the shape
+    /// the paper gave memcached's reference counts in §3.3).
+    pub fn expr_modify<T: crate::Word>(&self, cell: &TCell<T>, f: impl Fn(T) -> T) -> T {
+        self.atomic(|tx| tx.modify(cell, &f))
+    }
+
+    /// Runs `f` as a `__transaction_relaxed` block. `plan` records whether
+    /// the transaction must begin serially (every path unsafe / callees
+    /// not annotated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` cancels: the Draft C++ TM Specification forbids
+    /// relaxed transactions from cancelling (they may be irrevocable).
+    pub fn relaxed<'env, R, F>(&'env self, plan: RelaxedPlan, mut f: F) -> R
+    where
+        F: FnMut(&mut RelaxedTx<'env>) -> Result<R, Abort>,
+    {
+        let res = self.run_loop(plan, move |inner| {
+            let mut tx = RelaxedTx(inner);
+            let r = f(&mut tx);
+            (tx.0, r)
+        });
+        match res {
+            Ok(r) => r,
+            Err(Cancelled) => panic!(
+                "relaxed transactions cannot cancel (Draft C++ TM Specification)"
+            ),
+        }
+    }
+
+    /// The retry loop shared by atomic and relaxed transactions. `body`
+    /// consumes a fresh `TxInner` per attempt and returns it with the
+    /// closure's verdict.
+    fn run_loop<'env, R, B>(&'env self, plan: RelaxedPlan, mut body: B) -> Result<R, Cancelled>
+    where
+        B: FnMut(TxInner<'env>) -> (TxInner<'env>, Result<R, Abort>),
+    {
+        let rt: &'env RtInner = &self.inner;
+        let id = rt.next_tx_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut consecutive_aborts: u32 = 0;
+        loop {
+            if let ContentionManager::Hourglass(_) = rt.cm {
+                rt.hourglass.wait_at_begin(id);
+            }
+            let inner = self.begin_attempt(rt, id, plan, consecutive_aborts);
+            let (mut inner, verdict) = body(inner);
+            let outcome = match verdict {
+                Ok(r) => match self.finish_commit(&mut inner) {
+                    Ok(()) => AttemptOutcome::Committed(r),
+                    Err(_) => AttemptOutcome::Aborted,
+                },
+                Err(Abort::Conflict) => {
+                    self.finish_abort(&mut inner);
+                    AttemptOutcome::Aborted
+                }
+                Err(Abort::Cancelled) => {
+                    self.finish_cancel(&mut inner);
+                    AttemptOutcome::Cancelled
+                }
+            };
+            match outcome {
+                AttemptOutcome::Committed(r) => {
+                    rt.hourglass.open_if_held(id);
+                    return Ok(r);
+                }
+                AttemptOutcome::Cancelled => {
+                    rt.hourglass.open_if_held(id);
+                    return Err(Cancelled);
+                }
+                AttemptOutcome::Aborted => {
+                    consecutive_aborts += 1;
+                    match rt.cm {
+                        ContentionManager::Backoff { max_shift } => {
+                            exponential_backoff(consecutive_aborts, max_shift, id);
+                        }
+                        ContentionManager::Hourglass(limit) => {
+                            if consecutive_aborts >= limit {
+                                rt.hourglass.try_close(id);
+                            }
+                        }
+                        ContentionManager::None | ContentionManager::SerializeAfter(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn begin_attempt<'env>(
+        &'env self,
+        rt: &'env RtInner,
+        id: u64,
+        plan: RelaxedPlan,
+        consecutive_aborts: u32,
+    ) -> TxInner<'env> {
+        rt.stats.bump(&rt.stats.begins);
+        let serialize_by_cm = matches!(rt.cm, ContentionManager::SerializeAfter(n) if consecutive_aborts >= n);
+        let serialize = plan.start_serial || serialize_by_cm;
+        if serialize {
+            match rt.serial_mode {
+                SerialLockMode::ReaderWriter => {}
+                SerialLockMode::None => panic!(
+                    "a transaction must begin serially but the serial lock was \
+                     removed (SerialLockMode::None)"
+                ),
+            }
+            rt.serial.write_acquire();
+            if plan.start_serial {
+                rt.stats.bump(&rt.stats.start_serial);
+            } else {
+                rt.stats.bump(&rt.stats.abort_serial);
+            }
+            TxInner {
+                rt,
+                id,
+                engine: Engine::Serial,
+                irrevocable: true,
+                holds_read: false,
+                holds_write: true,
+                commit_handlers: Vec::new(),
+                abort_handlers: Vec::new(),
+            }
+        } else {
+            let holds_read = match rt.serial_mode {
+                SerialLockMode::ReaderWriter => {
+                    rt.serial.read_acquire();
+                    true
+                }
+                SerialLockMode::None => false,
+            };
+            TxInner {
+                rt,
+                id,
+                engine: Engine::begin(rt, id),
+                irrevocable: false,
+                holds_read,
+                holds_write: false,
+                commit_handlers: Vec::new(),
+                abort_handlers: Vec::new(),
+            }
+        }
+    }
+
+    /// Commits an attempt. On `Err` the attempt has been fully aborted.
+    fn finish_commit(&self, inner: &mut TxInner<'_>) -> Result<(), Abort> {
+        let rt = inner.rt;
+        let read_only = inner.engine.is_read_only() && !inner.irrevocable;
+        if let Err(e) = inner.engine.commit(rt) {
+            // Engine rolled itself back; finish the bookkeeping.
+            self.finish_abort(inner);
+            return Err(e);
+        }
+        inner.release_serial();
+        rt.stats.bump(&rt.stats.commits);
+        if read_only {
+            rt.stats.bump(&rt.stats.read_only_commits);
+        }
+        if inner.irrevocable {
+            rt.stats.bump(&rt.stats.irrevocable_commits);
+        }
+        stats::tally_commit();
+        let handlers = std::mem::take(&mut inner.commit_handlers);
+        rt.stats.add(&rt.stats.commit_handlers_run, handlers.len() as u64);
+        inner.abort_handlers.clear();
+        for h in handlers {
+            h();
+        }
+        Ok(())
+    }
+
+    fn finish_abort(&self, inner: &mut TxInner<'_>) {
+        let rt = inner.rt;
+        inner.engine.rollback(rt);
+        inner.release_serial();
+        rt.stats.bump(&rt.stats.aborts);
+        stats::tally_abort();
+        let handlers = std::mem::take(&mut inner.abort_handlers);
+        rt.stats.add(&rt.stats.abort_handlers_run, handlers.len() as u64);
+        inner.commit_handlers.clear();
+        for h in handlers {
+            h();
+        }
+    }
+
+    fn finish_cancel(&self, inner: &mut TxInner<'_>) {
+        let rt = inner.rt;
+        inner.engine.rollback(rt);
+        inner.release_serial();
+        rt.stats.bump(&rt.stats.cancels);
+        let handlers = std::mem::take(&mut inner.abort_handlers);
+        rt.stats.add(&rt.stats.abort_handlers_run, handlers.len() as u64);
+        inner.commit_handlers.clear();
+        for h in handlers {
+            h();
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Runtime statistics: the counters behind the paper's Tables 1–4.
+//!
+//! The paper reports, per branch, the total number of transactions and how
+//! many serialized — split by cause: **In-Flight Switch** (a relaxed
+//! transaction hit an unsafe operation mid-execution), **Start Serial**
+//! (every path through the transaction is unsafe, so it began irrevocably),
+//! and **Abort Serial** (the contention policy serialized it after too many
+//! consecutive aborts).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// Live atomic counters owned by a [`crate::TmRuntime`].
+        #[derive(Default)]
+        pub struct TmStats {
+            $($(#[$doc])* pub(crate) $name: AtomicU64,)*
+        }
+
+        /// A point-in-time copy of the runtime counters, suitable for diffing.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+        }
+
+        impl TmStats {
+            /// Copies every counter.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)*
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Counter-wise `self - earlier`; saturates at zero so a reset
+            /// between snapshots cannot underflow.
+            pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)*
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Transactions started (each retry of the same source transaction
+    /// counts once, matching the paper's "Transactions" column which counts
+    /// *committed* attempts — see [`StatsSnapshot::transactions`]).
+    begins,
+    /// Transactions committed.
+    commits,
+    /// Aborts (conflict or failed commit-time validation).
+    aborts,
+    /// Commits that wrote nothing (read-only fast path).
+    read_only_commits,
+    /// Relaxed transactions that hit an unsafe operation mid-flight and
+    /// upgraded to serial-irrevocable mode.
+    in_flight_switch,
+    /// Relaxed transactions that began in serial mode because every code
+    /// path performs an unsafe operation.
+    start_serial,
+    /// Transactions serialized by the contention policy after too many
+    /// consecutive aborts.
+    abort_serial,
+    /// Commits completed while irrevocable (any cause).
+    irrevocable_commits,
+    /// In-flight switches that failed validation and fell back to an abort.
+    failed_switches,
+    /// `onCommit` handlers executed.
+    commit_handlers_run,
+    /// `onAbort` handlers executed.
+    abort_handlers_run,
+    /// Explicit cancellations (`transaction_cancel`).
+    cancels,
+}
+
+impl TmStats {
+    #[inline]
+    pub(crate) fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, c: &AtomicU64, n: u64) {
+        if n != 0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for TmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TmStats{:?}", self.snapshot())
+    }
+}
+
+impl StatsSnapshot {
+    /// The paper's "Transactions" column: completed transactions
+    /// (commits + cancels), not counting aborted attempts separately.
+    pub fn transactions(&self) -> u64 {
+        self.commits + self.cancels
+    }
+
+    /// Aborts per commit — the ratio the paper quotes when comparing
+    /// algorithms in §4 ("NOrec worker threads aborted once per 5 commits,
+    /// Lazy ... 14 times per 1 commit").
+    pub fn aborts_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of transactions that serialized for any reason.
+    pub fn serialization_rate(&self) -> f64 {
+        let t = self.transactions();
+        if t == 0 {
+            0.0
+        } else {
+            (self.in_flight_switch + self.start_serial + self.abort_serial) as f64 / t as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    /// One row in the format of the paper's Tables 1–4.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.transactions().max(1) as f64;
+        write!(
+            f,
+            "txns={} in-flight={} ({:.1}%) start-serial={} ({:.1}%) abort-serial={}",
+            self.transactions(),
+            self.in_flight_switch,
+            100.0 * self.in_flight_switch as f64 / t,
+            self.start_serial,
+            100.0 * self.start_serial as f64 / t,
+            self.abort_serial,
+        )
+    }
+}
+
+thread_local! {
+    static THREAD_TALLY: std::cell::Cell<ThreadTally> = const { std::cell::Cell::new(ThreadTally { commits: 0, aborts: 0 }) };
+}
+
+/// Per-thread commit/abort tallies, used by the Figure 11 harness to report
+/// the cross-thread abort-rate variance the paper discusses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadTally {
+    /// Commits by this thread since the last [`take_thread_tally`].
+    pub commits: u64,
+    /// Aborts by this thread since the last [`take_thread_tally`].
+    pub aborts: u64,
+}
+
+pub(crate) fn tally_commit() {
+    THREAD_TALLY.with(|t| {
+        let mut v = t.get();
+        v.commits += 1;
+        t.set(v);
+    });
+}
+
+pub(crate) fn tally_abort() {
+    THREAD_TALLY.with(|t| {
+        let mut v = t.get();
+        v.aborts += 1;
+        t.set(v);
+    });
+}
+
+/// Returns and resets the calling thread's commit/abort tally.
+pub fn take_thread_tally() -> ThreadTally {
+    THREAD_TALLY.with(|t| t.replace(ThreadTally::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let s = TmStats::default();
+        s.bump(&s.commits);
+        s.bump(&s.commits);
+        s.bump(&s.aborts);
+        let a = s.snapshot();
+        s.bump(&s.commits);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts, 0);
+    }
+
+    #[test]
+    fn diff_saturates() {
+        let a = StatsSnapshot {
+            commits: 5,
+            ..Default::default()
+        };
+        let b = StatsSnapshot::default();
+        assert_eq!(b.since(&a).commits, 0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let s = StatsSnapshot {
+            commits: 10,
+            aborts: 5,
+            in_flight_switch: 1,
+            start_serial: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.transactions(), 10);
+        assert!((s.aborts_per_commit() - 0.5).abs() < 1e-12);
+        assert!((s.serialization_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_are_zero_when_empty() {
+        let s = StatsSnapshot::default();
+        assert_eq!(s.aborts_per_commit(), 0.0);
+        assert_eq!(s.serialization_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_matches_table_format() {
+        let s = StatsSnapshot {
+            commits: 100,
+            in_flight_switch: 10,
+            start_serial: 5,
+            abort_serial: 1,
+            ..Default::default()
+        };
+        let row = s.to_string();
+        assert!(row.contains("in-flight=10 (10.0%)"), "{row}");
+        assert!(row.contains("start-serial=5 (5.0%)"), "{row}");
+        assert!(row.contains("abort-serial=1"), "{row}");
+    }
+
+    #[test]
+    fn thread_tally_take_resets() {
+        tally_commit();
+        tally_abort();
+        tally_abort();
+        let t = take_thread_tally();
+        assert_eq!(t, ThreadTally { commits: 1, aborts: 2 });
+        assert_eq!(take_thread_tally(), ThreadTally::default());
+    }
+}

@@ -1,0 +1,167 @@
+//! The [`Word`] trait: types that fit in one transactional machine word.
+//!
+//! The runtime is *word-based*, like GCC's libitm: every transactional load
+//! and store moves one 64-bit word, and conflict detection happens at word
+//! granularity through the ownership-record table. Any type that can be
+//! losslessly packed into a `u64` can live in a [`crate::TCell`].
+
+/// A value that can be packed into a single 64-bit transactional word.
+///
+/// Implementations must round-trip: `T::from_word(v.to_word()) == v` for
+/// every valid `v`. The runtime relies on this to reproduce exactly the
+/// value that was stored.
+///
+/// # Examples
+///
+/// ```
+/// use tm::Word;
+///
+/// assert_eq!(u32::from_word(7u32.to_word()), 7);
+/// assert_eq!(bool::from_word(true.to_word()), true);
+/// assert_eq!(i64::from_word((-3i64).to_word()), -3);
+/// ```
+pub trait Word: Copy + 'static {
+    /// Packs `self` into a `u64` word.
+    fn to_word(self) -> u64;
+    /// Unpacks a value previously produced by [`Word::to_word`].
+    fn from_word(w: u64) -> Self;
+}
+
+macro_rules! impl_word_uint {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            #[inline]
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_word_int {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            #[inline]
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+        }
+    )*};
+}
+
+impl_word_uint!(u8, u16, u32, u64, usize);
+impl_word_int!(i8, i16, i32, i64, isize);
+
+impl Word for bool {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
+
+impl Word for () {
+    #[inline]
+    fn to_word(self) -> u64 {
+        0
+    }
+    #[inline]
+    fn from_word(_: u64) -> Self {}
+}
+
+impl Word for char {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        char::from_u32(w as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+impl<T: Word> Word for Option<T> {
+    /// Packs `None` as `u64::MAX` — usable for word types that never
+    /// occupy the full 64-bit range (handles, small integers). For full
+    /// range `u64`/`i64` payloads prefer an explicit sentinel of your own.
+    #[inline]
+    fn to_word(self) -> u64 {
+        match self {
+            None => u64::MAX,
+            Some(v) => v.to_word(),
+        }
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        if w == u64::MAX {
+            None
+        } else {
+            Some(T::from_word(w))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_roundtrip() {
+        assert_eq!(u8::from_word(255u8.to_word()), 255u8);
+        assert_eq!(u16::from_word(65535u16.to_word()), 65535u16);
+        assert_eq!(u32::from_word(u32::MAX.to_word()), u32::MAX);
+        assert_eq!(u64::from_word(u64::MAX.to_word()), u64::MAX);
+        assert_eq!(usize::from_word(usize::MAX.to_word()), usize::MAX);
+    }
+
+    #[test]
+    fn int_roundtrip_preserves_sign() {
+        assert_eq!(i8::from_word((-1i8).to_word()), -1i8);
+        assert_eq!(i16::from_word(i16::MIN.to_word()), i16::MIN);
+        assert_eq!(i32::from_word(i32::MIN.to_word()), i32::MIN);
+        assert_eq!(i64::from_word(i64::MIN.to_word()), i64::MIN);
+        assert_eq!(isize::from_word((-77isize).to_word()), -77isize);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert!(bool::from_word(true.to_word()));
+        assert!(!bool::from_word(false.to_word()));
+        // Any nonzero word decodes as true.
+        assert!(bool::from_word(42));
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for c in ['a', 'é', '\u{1F600}', '\0'] {
+            assert_eq!(char::from_word(c.to_word()), c);
+        }
+    }
+
+    #[test]
+    fn char_invalid_decodes_to_replacement() {
+        assert_eq!(char::from_word(0xD800), '\u{FFFD}');
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Option::<u32>::from_word(None::<u32>.to_word()), None);
+        assert_eq!(Option::<u32>::from_word(Some(9u32).to_word()), Some(9));
+    }
+
+    #[test]
+    fn unit_roundtrip() {
+        <() as Word>::from_word(().to_word());
+    }
+}

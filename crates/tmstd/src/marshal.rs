@@ -1,0 +1,344 @@
+//! Safety via marshaling (paper §3.4, Figure 7).
+//!
+//! Functions that were not worth reimplementing transactionally —
+//! `isspace`, `strtol`, `strtoull`, `atoi`, `snprintf`, `htons` — were made
+//! callable from transactions by *marshaling*: copy the shared-memory
+//! arguments onto the stack with instrumented reads, invoke a
+//! `transaction_pure` wrapper around the library function on the private
+//! copy, and marshal any output back with instrumented writes.
+//!
+//! The pure computations here are honest reimplementations (no libc), but
+//! the structure is the paper's: [`pure`] marks the uninstrumented call,
+//! and every entry point performs explicit marshal-in / marshal-out around
+//! it. Variable-argument `snprintf` is handled the way the paper did —
+//! "manually clone and replace every variable-argument function with a
+//! unique version for every combination of parameters that appeared in the
+//! program": see [`snprintf_item_suffix`] and [`snprintf_u64_crlf`].
+
+use tm::{Abort, TBytes};
+
+use crate::access::ByteAccess;
+
+/// The size used when a marshaling buffer's bound could not be inferred —
+/// the paper "used a generous 4KB buffer for the input".
+pub const GENEROUS_INPUT_BUF: usize = 4096;
+
+/// ... and 8KB for the output.
+pub const GENEROUS_OUTPUT_BUF: usize = 8192;
+
+/// Marks an uninstrumented call from transactional context — the
+/// `[[transaction_pure]]` extension. The closure must be genuinely pure
+/// with respect to shared memory: it may only touch the thread-local data
+/// marshaled for it.
+///
+/// # Examples
+///
+/// ```
+/// let n = tmstd::pure(|| b"123".iter().filter(|b| b.is_ascii_digit()).count());
+/// assert_eq!(n, 3);
+/// ```
+#[inline]
+pub fn pure<R>(f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+/// `isspace` from `<ctype.h>` (C locale). Pure: a byte predicate needs no
+/// marshaling at all.
+#[inline]
+pub fn isspace(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c)
+}
+
+/// `isdigit` from `<ctype.h>` (C locale).
+#[inline]
+pub fn isdigit(b: u8) -> bool {
+    b.is_ascii_digit()
+}
+
+/// `htons`: host to network (big-endian) short. "Did not require any
+/// marshaling, since its input and return values are both integers."
+#[inline]
+pub fn htons(v: u16) -> u16 {
+    v.to_be()
+}
+
+/// `htonl`: host to network (big-endian) long.
+#[inline]
+pub fn htonl(v: u32) -> u32 {
+    v.to_be()
+}
+
+/// The pure core of `strtoull` (base 10): parses leading whitespace then
+/// digits from a private byte slice. Returns `(value, bytes_consumed)`, or
+/// `None` if no digits were found. Saturates on overflow (memcached's
+/// `incr` wraps separately; saturation keeps the parse total).
+pub fn parse_u64(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut i = 0;
+    while i < buf.len() && isspace(buf[i]) {
+        i += 1;
+    }
+    let start = i;
+    let mut v: u64 = 0;
+    while i < buf.len() && isdigit(buf[i]) {
+        v = v
+            .saturating_mul(10)
+            .saturating_add((buf[i] - b'0') as u64);
+        i += 1;
+    }
+    if i == start {
+        None
+    } else {
+        Some((v, i))
+    }
+}
+
+/// The pure core of `strtol` (base 10) with an optional sign.
+pub fn parse_i64(buf: &[u8]) -> Option<(i64, usize)> {
+    let mut i = 0;
+    while i < buf.len() && isspace(buf[i]) {
+        i += 1;
+    }
+    let mut neg = false;
+    if i < buf.len() && (buf[i] == b'-' || buf[i] == b'+') {
+        neg = buf[i] == b'-';
+        i += 1;
+    }
+    let start = i;
+    let mut v: i64 = 0;
+    while i < buf.len() && isdigit(buf[i]) {
+        v = v
+            .saturating_mul(10)
+            .saturating_add((buf[i] - b'0') as i64);
+        i += 1;
+    }
+    if i == start {
+        None
+    } else {
+        Some((if neg { -v } else { v }, i))
+    }
+}
+
+/// `strtoull(s + off, ..., 10)` via marshaling: copies at most `maxlen`
+/// bytes of the shared string onto the stack, then calls the pure parser.
+/// The scalar result "needs no further marshaling".
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn strtoull<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    s: &'e TBytes,
+    off: usize,
+    maxlen: usize,
+) -> Result<Option<(u64, usize)>, Abort> {
+    let n = maxlen.min(s.len().saturating_sub(off)).min(40);
+    let mut stack = [0u8; 40];
+    a.get_range(s, off, &mut stack[..n])?; // marshal in
+    Ok(pure(|| parse_u64(&stack[..n])))
+}
+
+/// `strtol(s + off, ..., 10)` via marshaling.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn strtol<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    s: &'e TBytes,
+    off: usize,
+    maxlen: usize,
+) -> Result<Option<(i64, usize)>, Abort> {
+    let n = maxlen.min(s.len().saturating_sub(off)).min(41);
+    let mut stack = [0u8; 41];
+    a.get_range(s, off, &mut stack[..n])?;
+    Ok(pure(|| parse_i64(&stack[..n])))
+}
+
+/// `atoi(s + off)` via marshaling (0 when no digits are found, as in C).
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn atoi<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    s: &'e TBytes,
+    off: usize,
+) -> Result<i64, Abort> {
+    Ok(strtol(a, s, off, 41)?.map_or(0, |(v, _)| v))
+}
+
+/// Writes `text` (formatted privately) into shared memory with C
+/// `snprintf` truncation semantics: at most `cap - 1` bytes plus a NUL.
+/// Returns the untruncated length, like C.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+///
+/// # Panics
+///
+/// Panics if `doff + min(cap, text-len + 1)` exceeds the buffer, or if
+/// `cap == 0` range writes exceed bounds (a zero `cap` writes nothing).
+fn snprintf_out<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    dst: &'e TBytes,
+    doff: usize,
+    cap: usize,
+    text: &[u8],
+) -> Result<usize, Abort> {
+    if cap == 0 {
+        return Ok(text.len());
+    }
+    let n = text.len().min(cap - 1);
+    a.put_range(dst, doff, &text[..n])?; // marshal out
+    a.put(dst, doff + n, 0)?;
+    Ok(text.len())
+}
+
+/// `snprintf(dst, cap, "%s", s)` — the string-argument clone.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn snprintf_str<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    dst: &'e TBytes,
+    doff: usize,
+    cap: usize,
+    s: &str,
+) -> Result<usize, Abort> {
+    let text = pure(|| s.as_bytes().to_vec());
+    snprintf_out(a, dst, doff, cap, &text)
+}
+
+/// `snprintf(dst, cap, " %u %u\r\n", flags, nbytes)` — the clone memcached
+/// uses to build each item's cached response suffix at store time.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn snprintf_item_suffix<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    dst: &'e TBytes,
+    doff: usize,
+    cap: usize,
+    flags: u32,
+    nbytes: u32,
+) -> Result<usize, Abort> {
+    let text = pure(|| format!(" {flags} {nbytes}\r\n").into_bytes());
+    snprintf_out(a, dst, doff, cap, &text)
+}
+
+/// `snprintf(dst, cap, "%llu\r\n", v)` — the clone memcached uses to write
+/// `incr`/`decr` results back into the item.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn snprintf_u64_crlf<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    dst: &'e TBytes,
+    doff: usize,
+    cap: usize,
+    v: u64,
+) -> Result<usize, Abort> {
+    let text = pure(|| format!("{v}\r\n").into_bytes());
+    snprintf_out(a, dst, doff, cap, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::DirectAccess;
+
+    #[test]
+    fn ctype_predicates() {
+        assert!(isspace(b' ') && isspace(b'\t') && isspace(b'\n'));
+        assert!(!isspace(b'a') && !isspace(b'0'));
+        assert!(isdigit(b'0') && isdigit(b'9'));
+        assert!(!isdigit(b'a'));
+    }
+
+    #[test]
+    fn network_byte_order() {
+        assert_eq!(htons(0x1234), u16::from_be_bytes([0x12, 0x34]).to_be());
+        assert_eq!(htons(11211).to_le_bytes(), 11211u16.to_be_bytes());
+        assert_eq!(htonl(0x0102_0304).to_le_bytes(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parse_u64_cases() {
+        assert_eq!(parse_u64(b"123"), Some((123, 3)));
+        assert_eq!(parse_u64(b"  42xyz"), Some((42, 4)));
+        assert_eq!(parse_u64(b"xyz"), None);
+        assert_eq!(parse_u64(b""), None);
+        assert_eq!(
+            parse_u64(b"99999999999999999999999999"),
+            Some((u64::MAX, 26)),
+            "saturating overflow"
+        );
+    }
+
+    #[test]
+    fn parse_i64_signs() {
+        assert_eq!(parse_i64(b"-17 "), Some((-17, 3)));
+        assert_eq!(parse_i64(b"+8"), Some((8, 2)));
+        assert_eq!(parse_i64(b"-"), None);
+    }
+
+    #[test]
+    fn strtoull_from_shared_memory() {
+        let s = TBytes::from_slice(b"  10055\r\n");
+        let mut a = DirectAccess;
+        assert_eq!(strtoull(&mut a, &s, 0, 9).unwrap(), Some((10055, 7)));
+        assert_eq!(strtoull(&mut a, &s, 7, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn atoi_defaults_to_zero() {
+        let s = TBytes::from_slice(b"nope");
+        let mut a = DirectAccess;
+        assert_eq!(atoi(&mut a, &s, 0).unwrap(), 0);
+        let t = TBytes::from_slice(b"-5");
+        assert_eq!(atoi(&mut a, &t, 0).unwrap(), -5);
+    }
+
+    #[test]
+    fn snprintf_truncates_like_c() {
+        let d = TBytes::zeroed(8);
+        let mut a = DirectAccess;
+        let full = snprintf_str(&mut a, &d, 0, 5, "hello world").unwrap();
+        assert_eq!(full, 11, "returns untruncated length");
+        assert_eq!(&d.to_vec_direct()[..5], b"hell\0");
+    }
+
+    #[test]
+    fn snprintf_zero_cap_writes_nothing() {
+        let d = TBytes::from_slice(&[9; 4]);
+        let mut a = DirectAccess;
+        assert_eq!(snprintf_str(&mut a, &d, 0, 0, "xy").unwrap(), 2);
+        assert_eq!(d.to_vec_direct(), vec![9; 4]);
+    }
+
+    #[test]
+    fn item_suffix_clone() {
+        let d = TBytes::zeroed(32);
+        let mut a = DirectAccess;
+        let n = snprintf_item_suffix(&mut a, &d, 0, 32, 7, 1024).unwrap();
+        assert_eq!(&d.to_vec_direct()[..n], b" 7 1024\r\n");
+    }
+
+    #[test]
+    fn u64_crlf_clone() {
+        let d = TBytes::zeroed(32);
+        let mut a = DirectAccess;
+        let n = snprintf_u64_crlf(&mut a, &d, 0, 32, 10056).unwrap();
+        assert_eq!(&d.to_vec_direct()[..n], b"10056\r\n");
+    }
+
+    #[test]
+    fn generous_buffer_constants() {
+        assert_eq!(GENEROUS_INPUT_BUF, 4096);
+        assert_eq!(GENEROUS_OUTPUT_BUF, 8192);
+    }
+}

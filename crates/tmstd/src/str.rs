@@ -1,0 +1,195 @@
+//! Transaction-safe reimplementations of the basic string functions the
+//! paper lists in §3.4: `strlen`, `strncmp`, `strncpy`, `strchr` (plus
+//! `strnlen` as the bounded form every real use in memcached wants).
+
+use tm::{Abort, TBytes};
+
+use crate::access::ByteAccess;
+
+/// `strlen(s + off)`: bytes before the first NUL.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+///
+/// Returns `Err`? No — a string with no NUL inside the buffer is a caller
+/// bug in C; here the scan safely stops at the buffer end and the result is
+/// `s.len() - off` (the bounded behavior of `strnlen`).
+pub fn strlen<'e, A: ByteAccess<'e>>(a: &mut A, s: &'e TBytes, off: usize) -> Result<usize, Abort> {
+    strnlen(a, s, off, s.len().saturating_sub(off))
+}
+
+/// `strnlen(s + off, maxlen)`.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn strnlen<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    s: &'e TBytes,
+    off: usize,
+    maxlen: usize,
+) -> Result<usize, Abort> {
+    let limit = maxlen.min(s.len().saturating_sub(off));
+    for k in 0..limit {
+        if a.get(s, off + k)? == 0 {
+            return Ok(k);
+        }
+    }
+    Ok(limit)
+}
+
+/// `strncmp(s + off, t, n)` against a thread-local second operand, with C
+/// semantics: comparison stops at a NUL in either string.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn strncmp<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    s: &'e TBytes,
+    off: usize,
+    t: &[u8],
+    n: usize,
+) -> Result<i32, Abort> {
+    for k in 0..n {
+        let sb = if off + k < s.len() { a.get(s, off + k)? } else { 0 };
+        let tb = t.get(k).copied().unwrap_or(0);
+        if sb != tb {
+            return Ok(sb as i32 - tb as i32);
+        }
+        if sb == 0 {
+            return Ok(0);
+        }
+    }
+    Ok(0)
+}
+
+/// `strncpy(dst + doff, src, n)` with C semantics: copies at most `n`
+/// bytes, stopping after a NUL and padding the remainder with NULs.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+///
+/// # Panics
+///
+/// Panics if `doff + n` exceeds the destination buffer.
+pub fn strncpy<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    dst: &'e TBytes,
+    doff: usize,
+    src: &[u8],
+    n: usize,
+) -> Result<(), Abort> {
+    let mut hit_nul = false;
+    for k in 0..n {
+        let b = if hit_nul {
+            0
+        } else {
+            let b = src.get(k).copied().unwrap_or(0);
+            if b == 0 {
+                hit_nul = true;
+            }
+            b
+        };
+        a.put(dst, doff + k, b)?;
+    }
+    Ok(())
+}
+
+/// `strchr(s + off, c)` bounded by the buffer (and by a NUL, as in C):
+/// index of the first occurrence of `c`, relative to `off`.
+///
+/// # Errors
+///
+/// [`Abort::Conflict`] under transactional access.
+pub fn strchr<'e, A: ByteAccess<'e>>(
+    a: &mut A,
+    s: &'e TBytes,
+    off: usize,
+    c: u8,
+) -> Result<Option<usize>, Abort> {
+    for k in 0..s.len().saturating_sub(off) {
+        let b = a.get(s, off + k)?;
+        if b == c {
+            return Ok(Some(k));
+        }
+        if b == 0 {
+            // NUL terminates the search; NUL itself is findable (C allows
+            // strchr(s, '\0')).
+            return Ok(if c == 0 { Some(k) } else { None });
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{DirectAccess, TxAccess};
+    use tm::TmRuntime;
+
+    #[test]
+    fn strlen_stops_at_nul() {
+        let s = TBytes::from_slice(b"hello\0world");
+        let mut a = DirectAccess;
+        assert_eq!(strlen(&mut a, &s, 0).unwrap(), 5);
+        assert_eq!(strlen(&mut a, &s, 6).unwrap(), 5);
+    }
+
+    #[test]
+    fn strlen_without_nul_is_bounded() {
+        let s = TBytes::from_slice(b"abc");
+        let mut a = DirectAccess;
+        assert_eq!(strlen(&mut a, &s, 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn strnlen_bounds() {
+        let s = TBytes::from_slice(b"abcdef");
+        let mut a = DirectAccess;
+        assert_eq!(strnlen(&mut a, &s, 0, 4).unwrap(), 4);
+        assert_eq!(strnlen(&mut a, &s, 4, 100).unwrap(), 2);
+    }
+
+    #[test]
+    fn strncmp_c_semantics() {
+        let s = TBytes::from_slice(b"get \0junk");
+        let mut a = DirectAccess;
+        assert_eq!(strncmp(&mut a, &s, 0, b"get ", 4).unwrap(), 0);
+        assert!(strncmp(&mut a, &s, 0, b"gex ", 4).unwrap() < 0);
+        // NUL stops comparison even when n is larger.
+        assert_eq!(strncmp(&mut a, &s, 0, b"get \0zzz", 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn strncpy_pads_with_nuls() {
+        let d = TBytes::from_slice(&[0xFF; 8]);
+        let mut a = DirectAccess;
+        strncpy(&mut a, &d, 0, b"ab\0cd", 6).unwrap();
+        assert_eq!(d.to_vec_direct(), vec![b'a', b'b', 0, 0, 0, 0, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn strchr_finds_and_respects_nul() {
+        let s = TBytes::from_slice(b"key=value\0garbage=");
+        let mut a = DirectAccess;
+        assert_eq!(strchr(&mut a, &s, 0, b'=').unwrap(), Some(3));
+        assert_eq!(strchr(&mut a, &s, 4, b'=').unwrap(), None, "second '=' is past the NUL");
+        assert_eq!(strchr(&mut a, &s, 0, 0).unwrap(), Some(9));
+        assert_eq!(strchr(&mut a, &s, 0, b'!').unwrap(), None);
+    }
+
+    #[test]
+    fn transactional_clone_agrees_with_direct() {
+        let rt = TmRuntime::default_runtime();
+        let s = TBytes::from_slice(b"stats items\0");
+        let tx_len = rt.atomic(|tx| {
+            let mut a = TxAccess::new(tx);
+            strlen(&mut a, &s, 0)
+        });
+        let mut d = DirectAccess;
+        assert_eq!(tx_len, strlen(&mut d, &s, 0).unwrap());
+    }
+}

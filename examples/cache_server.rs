@@ -1,0 +1,108 @@
+//! A miniature memcached session: drive the cache through the ASCII and
+//! binary protocols on the paper's final branch, then print the `stats`
+//! output and the TM runtime's serialization report.
+//!
+//! Run with `cargo run --example cache_server -- [branch]` where branch is
+//! one of: baseline, semaphore, ip, it, ip-max, it-max, ip-lib, it-lib,
+//! ip-oncommit, it-oncommit, ip-nolock, it-nolock (default: ip-nolock).
+
+use tm_memcached::mcache::proto::{binary, execute_ascii};
+use tm_memcached::mcache::{Branch, McCache, McConfig, Stage};
+
+fn parse_branch(name: &str) -> Branch {
+    match name {
+        "baseline" => Branch::Baseline,
+        "semaphore" => Branch::Semaphore,
+        "ip" => Branch::Ip(Stage::Plain),
+        "it" => Branch::It(Stage::Plain),
+        "ip-callable" => Branch::Ip(Stage::Callable),
+        "it-callable" => Branch::It(Stage::Callable),
+        "ip-max" => Branch::Ip(Stage::Max),
+        "it-max" => Branch::It(Stage::Max),
+        "ip-lib" => Branch::Ip(Stage::Lib),
+        "it-lib" => Branch::It(Stage::Lib),
+        "ip-oncommit" => Branch::Ip(Stage::OnCommit),
+        "it-oncommit" => Branch::It(Stage::OnCommit),
+        "ip-nolock" => Branch::IpNoLock,
+        "it-nolock" => Branch::ItNoLock,
+        other => {
+            eprintln!("unknown branch {other:?}, using ip-nolock");
+            Branch::IpNoLock
+        }
+    }
+}
+
+fn main() {
+    let branch = std::env::args()
+        .nth(1)
+        .map(|s| parse_branch(&s))
+        .unwrap_or(Branch::IpNoLock);
+    let cache = McCache::start(McConfig {
+        branch,
+        workers: 2,
+        ..Default::default()
+    });
+    println!("== serving on branch {branch} ==\n");
+
+    // An ASCII session, printed like a telnet transcript.
+    let session: &[&[u8]] = &[
+        b"version\r\n",
+        b"set greeting 0 0 13\r\nhello, world!\r\n",
+        b"get greeting\r\n",
+        b"set counter 0 0 2\r\n41\r\n",
+        b"incr counter 1\r\n",
+        b"gets counter\r\n",
+        b"append greeting 0 0 2\r\n!!\r\n",
+        b"get greeting\r\n",
+        b"delete counter\r\n",
+        b"get counter greeting\r\n",
+        b"stats\r\n",
+    ];
+    for req in session {
+        print!("> {}", String::from_utf8_lossy(req).replace("\r\n", "\\r\\n "));
+        println!();
+        let resp = execute_ascii(&cache, 0, req);
+        for line in String::from_utf8_lossy(&resp).split("\r\n") {
+            if !line.is_empty() {
+                println!("< {line}");
+            }
+        }
+    }
+
+    // The same cache through the binary protocol (memslap --binary).
+    println!("\n== binary protocol ==");
+    let set = binary::Request {
+        opcode: binary::Opcode::Set,
+        opaque: 1,
+        cas: 0,
+        key: b"bin-key".to_vec(),
+        value: b"bin-value".to_vec(),
+        extra: 0,
+    };
+    let wire = set.encode();
+    println!("encoded set request: {} bytes (24-byte header + body)", wire.len());
+    let decoded = binary::Request::decode(&wire).expect("round trip");
+    let resp = binary::execute(&cache, 1, &decoded);
+    println!("set -> {:?}", resp.status);
+    let get = binary::Request {
+        opcode: binary::Opcode::Get,
+        opaque: 2,
+        cas: 0,
+        key: b"bin-key".to_vec(),
+        value: vec![],
+        extra: 0,
+    };
+    let resp = binary::execute(&cache, 1, &get);
+    println!(
+        "get -> {:?} value={:?} cas={}",
+        resp.status,
+        String::from_utf8_lossy(&resp.value),
+        resp.cas
+    );
+
+    // What did it cost in TM terms?
+    let tm = cache.tm_stats();
+    println!("\n== TM runtime report ==");
+    println!("{tm}");
+    println!("commits={} aborts={}", tm.commits, tm.aborts);
+}

@@ -1,0 +1,100 @@
+//! The paper's experiment in miniature: run the memslap-style workload
+//! against two branches (lock-based baseline vs the final transactional
+//! branch) and compare run time and serialization behaviour.
+//!
+//! Run with `cargo run --release --example memslap -- [threads] [ops]`
+//! (defaults: 4 threads, 5000 ops/thread — the paper used 625000).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tm_memcached::mcache::{Branch, McCache, McConfig, Stage};
+use tm_memcached::workload::{Op, Workload};
+
+fn run(branch: Branch, threads: usize, ops: usize) {
+    let wl = Arc::new(
+        Workload::builder()
+            .concurrency(threads)
+            .execute_number(ops)
+            .key_count(2000)
+            .value_size(256)
+            .binary(true)
+            .build(),
+    );
+    let handle = McCache::start(McConfig {
+        branch,
+        workers: threads,
+        ..Default::default()
+    });
+    let cache = handle.cache().clone();
+    // Warm the cache so gets hit, like memslap's initial set window.
+    for i in 0..wl.key_count() {
+        cache.set(0, wl.key(i), &wl.value(i), 0, 0);
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let cache = cache.clone();
+            let wl = wl.clone();
+            s.spawn(move || {
+                for op in wl.stream(w) {
+                    match op {
+                        Op::Get(k) => {
+                            if let Some(v) = cache.get(w, wl.key(k)) {
+                                // Verify payload integrity end-to-end.
+                                assert!(
+                                    wl.verify_value(k, &v.data),
+                                    "corrupt value for key {k} on {branch}"
+                                );
+                            }
+                        }
+                        Op::Set(k) => {
+                            cache.set(w, wl.key(k), &wl.value(k), 0, 0);
+                        }
+                        Op::Delete(k) => {
+                            cache.delete(w, wl.key(k));
+                        }
+                        Op::Incr(k, d) => {
+                            cache.arith(w, wl.key(k), d, true);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let stats = cache.stats();
+    let tm = cache.tm_stats();
+    println!("-- {branch} --");
+    println!(
+        "  {threads} threads x {ops} ops: {secs:.3}s ({:.0} ops/s)",
+        (threads * ops) as f64 / secs
+    );
+    println!(
+        "  hits={} misses={} evictions={} expansions={}",
+        stats.threads.get_hits,
+        stats.threads.get_misses,
+        stats.global.evictions,
+        stats.global.expansions
+    );
+    println!("  tm: {tm}");
+    println!();
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let ops: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5000);
+    println!(
+        "memslap-style run: --concurrency={threads} --execute-number={ops} --binary\n"
+    );
+    for branch in [
+        Branch::Baseline,
+        Branch::It(Stage::Plain),
+        Branch::Ip(Stage::OnCommit),
+        Branch::IpNoLock,
+    ] {
+        run(branch, threads, ops);
+    }
+}

@@ -1,0 +1,95 @@
+//! Quickstart: the STM runtime on its own — atomic transactions, relaxed
+//! transactions with unsafe operations, onCommit handlers, and the
+//! serialization accounting behind the paper's tables.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use tm_memcached::tm::{
+    Algorithm, ContentionManager, RelaxedPlan, SerialLockMode, TCell, TmRuntime, Transaction,
+};
+
+fn main() {
+    // 1. The GCC-default runtime: eager STM, serialize-after-100
+    //    contention policy, global serial readers/writer lock.
+    let rt = TmRuntime::default_runtime();
+
+    // A classic invariant: money moves between accounts, the total is
+    // conserved, concurrently from several threads.
+    let accounts: Vec<TCell<u64>> = (0..8).map(|_| TCell::new(1000)).collect();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let accounts = &accounts;
+            let rt = &rt;
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    let from = ((t + i) % 8) as usize;
+                    let to = ((t + i * 3 + 1) % 8) as usize;
+                    if from == to {
+                        continue;
+                    }
+                    rt.atomic(|tx| {
+                        let balance = tx.read(&accounts[from])?;
+                        let amount = (i % 10).min(balance);
+                        tx.modify(&accounts[from], |v| v - amount)?;
+                        tx.modify(&accounts[to], |v| v + amount)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    let total: u64 = accounts.iter().map(|a| a.load_direct()).sum();
+    println!("total after 8000 concurrent transfers: {total} (expected 8000)");
+    assert_eq!(total, 8000);
+
+    // 2. Relaxed transactions: I/O inside a transaction forces the
+    //    in-flight switch to serial-irrevocable mode.
+    let log = TCell::new(0u64);
+    rt.relaxed(RelaxedPlan::new(), |tx| {
+        tx.fetch_add(&log, 1)?;
+        tx.unsafe_op(|| println!("this print ran serially & irrevocably"))?;
+        Ok(())
+    });
+
+    // 3. onCommit handlers run after commit, after all runtime locks are
+    //    released — the §3.5 mechanism that removed the last relaxed
+    //    transactions from memcached.
+    rt.atomic(|tx| {
+        tx.fetch_add(&log, 1)?;
+        tx.on_commit(|| println!("deferred to onCommit: no serialization needed"));
+        Ok(())
+    });
+
+    let s = rt.stats();
+    println!(
+        "runtime stats: commits={} aborts={} in-flight={} start-serial={} abort-serial={}",
+        s.commits, s.aborts, s.in_flight_switch, s.start_serial, s.abort_serial
+    );
+    assert_eq!(s.in_flight_switch, 1);
+
+    // 4. The paper's §4 runtime: serial lock removed, pick your algorithm
+    //    and contention manager.
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        let rt = TmRuntime::builder()
+            .algorithm(algo)
+            .contention_manager(ContentionManager::None)
+            .serial_lock(SerialLockMode::None)
+            .build();
+        let c = TCell::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        rt.atomic(|tx| tx.fetch_add(&c, 1));
+                    }
+                });
+            }
+        });
+        println!(
+            "{algo}: counter={} aborts/commit={:.3}",
+            c.load_direct(),
+            rt.stats().aborts_per_commit()
+        );
+        assert_eq!(c.load_direct(), 4000);
+    }
+}

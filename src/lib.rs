@@ -1,0 +1,46 @@
+//! # tm-memcached
+//!
+//! A Rust reproduction of *"Transactionalizing Legacy Code: an Experience
+//! Report Using GCC and Memcached"* (Ruan, Vyas, Liu & Spear, ASPLOS
+//! 2014) — the STM runtime, the cache, the transactionalization history,
+//! and the paper's full evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`tm`] — the STM runtime in the image of GCC libitm (atomic/relaxed
+//!   transactions, the global serial readers/writer lock, eager/lazy/NOrec
+//!   algorithms, contention managers, onCommit handlers, serialization
+//!   accounting).
+//! * [`tmstd`] — transaction-safe standard-library replacements and the
+//!   marshal-to-stack `transaction_pure` wrappers of §3.4.
+//! * [`mcache`] — the memcached-1.4.15-like cache with every paper branch.
+//! * [`workload`] — the memslap-style load generator.
+//! * [`lockprof`] — the mutrace-style lock contention profiler of §3.1.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tm_memcached::mcache::{Branch, McCache, McConfig, Stage};
+//!
+//! // Run the paper's final serialization-free branch:
+//! let cache = McCache::start(McConfig {
+//!     branch: Branch::IpNoLock,
+//!     workers: 2,
+//!     ..Default::default()
+//! });
+//! cache.set(0, b"key", b"value", 0, 0);
+//! assert_eq!(cache.get(1, b"key").unwrap().data, b"value");
+//! assert_eq!(cache.tm_stats().serialization_rate(), 0.0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios, `crates/bench` for the
+//! figure/table reproductions, and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! system inventory and measured results.
+
+#![warn(missing_docs)]
+
+pub use lockprof;
+pub use mcache;
+pub use tm;
+pub use tmstd;
+pub use workload;

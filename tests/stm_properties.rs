@@ -1,0 +1,240 @@
+//! Property-based tests of the STM runtime: random transactional programs
+//! against a sequential model, for every algorithm and serial-lock mode.
+
+use proptest::prelude::*;
+use tm::{Algorithm, ContentionManager, SerialLockMode, TBytes, TCell, TmRuntime, Transaction};
+
+fn runtimes() -> Vec<TmRuntime> {
+    let mut v = Vec::new();
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        v.push(
+            TmRuntime::builder()
+                .algorithm(algo)
+                .contention_manager(ContentionManager::GCC_DEFAULT)
+                .serial_lock(SerialLockMode::ReaderWriter)
+                .build(),
+        );
+        v.push(
+            TmRuntime::builder()
+                .algorithm(algo)
+                .contention_manager(ContentionManager::None)
+                .serial_lock(SerialLockMode::None)
+                .build(),
+        );
+    }
+    v
+}
+
+/// One step of a random transactional program.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Read(u8),
+    Write(u8, u64),
+    Add(u8, u64),
+    CopyCell(u8, u8),
+}
+
+fn step_strategy(cells: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..cells).prop_map(Step::Read),
+        (0..cells, any::<u64>()).prop_map(|(i, v)| Step::Write(i, v)),
+        (0..cells, 0u64..1000).prop_map(|(i, v)| Step::Add(i, v)),
+        (0..cells, 0..cells).prop_map(|(a, b)| Step::CopyCell(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A committed transaction leaves exactly the state a sequential
+    /// interpreter produces, for every algorithm.
+    #[test]
+    fn committed_txn_matches_sequential_model(
+        init in proptest::collection::vec(any::<u64>(), 6),
+        steps in proptest::collection::vec(step_strategy(6), 1..24),
+    ) {
+        for rt in runtimes() {
+            let cells: Vec<TCell<u64>> = init.iter().copied().map(TCell::new).collect();
+            let mut model = init.clone();
+            for &s in &steps {
+                match s {
+                    Step::Read(_) => {}
+                    Step::Write(i, v) => model[i as usize] = v,
+                    Step::Add(i, v) => {
+                        model[i as usize] = model[i as usize].wrapping_add(v)
+                    }
+                    Step::CopyCell(a, b) => model[b as usize] = model[a as usize],
+                }
+            }
+            rt.atomic(|tx| {
+                for &s in &steps {
+                    match s {
+                        Step::Read(i) => {
+                            tx.read(&cells[i as usize])?;
+                        }
+                        Step::Write(i, v) => tx.write(&cells[i as usize], v)?,
+                        Step::Add(i, v) => {
+                            tx.modify(&cells[i as usize], |x| x.wrapping_add(v))?;
+                        }
+                        Step::CopyCell(a, b) => {
+                            let v = tx.read(&cells[a as usize])?;
+                            tx.write(&cells[b as usize], v)?;
+                        }
+                    }
+                }
+                Ok(())
+            });
+            let actual: Vec<u64> = cells.iter().map(|c| c.load_direct()).collect();
+            prop_assert_eq!(&actual, &model, "algorithm {:?}", rt.algorithm());
+        }
+    }
+
+    /// A cancelled transaction leaves no trace, for every algorithm.
+    #[test]
+    fn cancelled_txn_has_no_effect(
+        init in proptest::collection::vec(any::<u64>(), 4),
+        steps in proptest::collection::vec(step_strategy(4), 1..16),
+    ) {
+        for rt in runtimes() {
+            let cells: Vec<TCell<u64>> = init.iter().copied().map(TCell::new).collect();
+            let r: Result<(), _> = rt.try_atomic(|tx| {
+                for &s in &steps {
+                    match s {
+                        Step::Read(i) => {
+                            tx.read(&cells[i as usize])?;
+                        }
+                        Step::Write(i, v) => tx.write(&cells[i as usize], v)?,
+                        Step::Add(i, v) => {
+                            tx.modify(&cells[i as usize], |x| x.wrapping_add(v))?;
+                        }
+                        Step::CopyCell(a, b) => {
+                            let v = tx.read(&cells[a as usize])?;
+                            tx.write(&cells[b as usize], v)?;
+                        }
+                    }
+                }
+                tm::cancel()
+            });
+            prop_assert!(r.is_err());
+            let actual: Vec<u64> = cells.iter().map(|c| c.load_direct()).collect();
+            prop_assert_eq!(&actual, &init, "algorithm {:?}", rt.algorithm());
+        }
+    }
+
+    /// Transactional byte-buffer windows behave like `Vec<u8>` splices.
+    #[test]
+    fn tbytes_window_ops_match_vec_model(
+        len in 1usize..96,
+        writes in proptest::collection::vec(
+            (any::<prop::sample::Index>(), proptest::collection::vec(any::<u8>(), 1..24)),
+            1..12,
+        ),
+    ) {
+        for rt in runtimes() {
+            let buf = TBytes::zeroed(len);
+            let mut model = vec![0u8; len];
+            rt.atomic(|tx| {
+                for (at, data) in &writes {
+                    let off = at.index(len);
+                    let n = data.len().min(len - off);
+                    tx.write_bytes(&buf, off, &data[..n])?;
+                }
+                Ok(())
+            });
+            for (at, data) in &writes {
+                let off = at.index(len);
+                let n = data.len().min(len - off);
+                model[off..off + n].copy_from_slice(&data[..n]);
+            }
+            prop_assert_eq!(buf.to_vec_direct(), model, "algorithm {:?}", rt.algorithm());
+        }
+    }
+
+    /// Reads inside the writing transaction observe the transaction's own
+    /// writes (read-own-writes), for every algorithm.
+    #[test]
+    fn read_own_writes(vals in proptest::collection::vec(any::<u64>(), 1..8)) {
+        for rt in runtimes() {
+            let c = TCell::new(0u64);
+            rt.atomic(|tx| {
+                for &v in &vals {
+                    tx.write(&c, v)?;
+                    assert_eq!(tx.read(&c)?, v, "read-own-writes violated");
+                }
+                Ok(())
+            });
+            prop_assert_eq!(c.load_direct(), *vals.last().unwrap());
+        }
+    }
+}
+
+/// Concurrency stress: disjoint invariants under every algorithm (not a
+/// proptest — deterministic thread count, random interleavings supplied by
+/// the scheduler).
+#[test]
+fn concurrent_invariant_bank_transfer() {
+    for rt in runtimes() {
+        let rt = std::sync::Arc::new(rt);
+        let accounts: std::sync::Arc<Vec<TCell<u64>>> =
+            std::sync::Arc::new((0..6).map(|_| TCell::new(500)).collect());
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let rt = rt.clone();
+            let accounts = accounts.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..400u64 {
+                    let from = ((t + i) % 6) as usize;
+                    let to = ((t * 3 + i * 5 + 1) % 6) as usize;
+                    if from == to {
+                        continue;
+                    }
+                    rt.atomic(|tx| {
+                        let f = tx.read(&accounts[from])?;
+                        let amount = (i % 7).min(f);
+                        tx.write(&accounts[from], f - amount)?;
+                        tx.modify(&accounts[to], |v| v + amount)?;
+                        // Invariant visible inside the transaction.
+                        let sum: u64 = {
+                            let mut s = 0;
+                            for a in accounts.iter() {
+                                s += tx.read(a)?;
+                            }
+                            s
+                        };
+                        assert_eq!(sum, 3000, "intra-txn invariant broken");
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = accounts.iter().map(|a| a.load_direct()).sum();
+        assert_eq!(total, 3000, "algorithm {:?}", rt.algorithm());
+    }
+}
+
+/// The eager algorithm's write-through doom-window must never leak
+/// intermediate values into *committed* state.
+#[test]
+fn no_lost_updates_under_heavy_conflict() {
+    for rt in runtimes() {
+        let rt = std::sync::Arc::new(rt);
+        let hot = std::sync::Arc::new(TCell::new(0u64));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let rt = rt.clone();
+            let hot = hot.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..800 {
+                    rt.atomic(|tx| tx.fetch_add(&hot, 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hot.load_direct(), 3200, "algorithm {:?}", rt.algorithm());
+    }
+}
