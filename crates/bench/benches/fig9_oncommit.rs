@@ -1,6 +1,7 @@
-//! Criterion bench for the paper's fig9: each branch runs the scaled
+//! Timed bench for the paper's fig9: each branch runs the scaled
 //! memslap workload at 2 worker threads (scale via MC_OPS / MC_KEYS).
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Criterion;
+use testkit::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {

@@ -1,9 +1,10 @@
-//! Criterion micro-benches of the STM primitives underneath every figure:
+//! Micro-benches of the STM primitives underneath every figure:
 //! per-transaction cost of reads/writes for each algorithm, with and
 //! without the global serial readers/writer lock, plus the serialization
 //! paths (start-serial and in-flight switch).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Criterion;
+use testkit::{criterion_group, criterion_main};
 use tm::{
     Algorithm, ContentionManager, RelaxedPlan, SerialLockMode, TBytes, TCell, TmRuntime,
     Transaction,

@@ -1,11 +1,12 @@
-//! Criterion bench for the paper's table2: the 4-thread serialization
+//! Timed bench for the paper's table2: the 4-thread serialization
 //! measurement. Prints the table once, then times each branch's run.
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Criterion;
+use testkit::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let scale = bench::Scale::tiny();
-    bench::print_table("table2 (criterion preview)", &bench::figures::table2(), &scale);
+    bench::print_table("table2 (bench preview)", &bench::figures::table2(), &scale);
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
     for cfg in bench::figures::table2() {

@@ -28,7 +28,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
+pub mod sync;
+
+use sync::{Condvar, Mutex, MutexGuard};
 
 /// Counters for one named lock.
 #[derive(Debug, Default)]

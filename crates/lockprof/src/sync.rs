@@ -1,0 +1,204 @@
+//! Thin, dependency-free synchronization primitives.
+//!
+//! The crate used to pull in `parking_lot` for its non-poisoning mutex and
+//! its `Condvar::wait(&mut guard)` signature. The build environment is
+//! hermetic (path-only dependencies), so this module wraps `std::sync`
+//! behind the same API shape instead:
+//!
+//! * [`Mutex::lock`] returns the guard directly — a poisoned mutex is
+//!   recovered rather than propagated, matching `parking_lot` semantics
+//!   (panicking while holding a lock does not brick unrelated threads).
+//! * [`Mutex::try_lock`] returns `Option`, not `Result`.
+//! * [`Condvar::wait`] takes `&mut MutexGuard` and re-fills it, so callers
+//!   can wait in a loop without ceding guard ownership.
+
+use std::fmt;
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A non-poisoning mutual-exclusion lock over `std::sync::Mutex`.
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Blocking acquisition. Recovers (rather than propagates) poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Non-blocking acquisition; `None` if the lock is held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]. The inner `Option` exists only so
+/// [`Condvar::wait`] can temporarily take ownership (the `std` wait API
+/// consumes the guard); it is `Some` at every API boundary.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Whether a timed wait returned because the timeout elapsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified,
+    /// then re-acquires it. Spurious wakeups are possible, as with every
+    /// condition variable — wait in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard taken during wait");
+        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `dur`.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, dur: Duration) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard taken during wait");
+        let (g, r) = match self.inner.wait_timeout(g, dur) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: r.timed_out(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_and_try_lock() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn poison_is_recovered() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "lock after poison must still work");
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let waiter = {
+            let (m, cv) = (m.clone(), cv.clone());
+            thread::spawn(move || {
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+            })
+        };
+        thread::sleep(Duration::from_millis(5));
+        *m.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn timed_wait_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(2)).timed_out());
+    }
+}

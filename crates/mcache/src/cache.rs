@@ -11,7 +11,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lockprof::{ProfiledMutex, Profiler};
-use parking_lot::Condvar;
+use lockprof::sync::Condvar;
 use tm::{Abort, Algorithm, ContentionManager, RelaxedPlan, SerialLockMode, StatsSnapshot, TmRuntime, Transaction};
 use tmstd::ByteAccess;
 

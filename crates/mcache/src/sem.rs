@@ -6,7 +6,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use lockprof::sync::{Condvar, Mutex};
 
 /// A counting semaphore with `post` / `wait` / `wait_timeout`.
 #[derive(Default)]

@@ -5,7 +5,9 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use testkit::prop::{gen, CaseResult};
+use testkit::rng::{Rng, SmallRng};
+use testkit::{no_shrink, prop_assert, prop_assert_eq, proptest};
 
 use mcache::{ArithStatus, Branch, McCache, McConfig, SlabConfig, Stage, StoreStatus};
 
@@ -23,29 +25,31 @@ enum Cmd {
     CasStale(u8, Vec<u8>),
 }
 
-fn cmd_strategy() -> impl Strategy<Value = Cmd> {
-    let key = 0u8..24;
-    let val = proptest::collection::vec(any::<u8>(), 0..48);
-    prop_oneof![
-        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::Set(k, v)),
-        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::Add(k, v)),
-        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::Replace(k, v)),
-        key.clone().prop_map(Cmd::Get),
-        key.clone().prop_map(Cmd::Delete),
-        (key.clone(), any::<u16>()).prop_map(|(k, d)| Cmd::Incr(k, d)),
-        (key.clone(), any::<u32>()).prop_map(|(k, v)| Cmd::SetNumeric(k, v)),
-        (key.clone(), proptest::collection::vec(any::<u8>(), 1..16))
-            .prop_map(|(k, v)| Cmd::Append(k, v)),
-        (key.clone(), val.clone()).prop_map(|(k, v)| Cmd::CasFresh(k, v)),
-        (key, val).prop_map(|(k, v)| Cmd::CasStale(k, v)),
-    ]
+no_shrink!(Cmd);
+
+fn cmd_gen() -> impl Fn(&mut SmallRng) -> Cmd + Clone {
+    |rng: &mut SmallRng| {
+        let k = rng.gen_range(0u8..24);
+        match rng.gen_range(0u32..10) {
+            0 => Cmd::Set(k, gen::bytes(0..48)(rng)),
+            1 => Cmd::Add(k, gen::bytes(0..48)(rng)),
+            2 => Cmd::Replace(k, gen::bytes(0..48)(rng)),
+            3 => Cmd::Get(k),
+            4 => Cmd::Delete(k),
+            5 => Cmd::Incr(k, rng.next_u64() as u16),
+            6 => Cmd::SetNumeric(k, rng.next_u64() as u32),
+            7 => Cmd::Append(k, gen::bytes(1..16)(rng)),
+            8 => Cmd::CasFresh(k, gen::bytes(0..48)(rng)),
+            _ => Cmd::CasStale(k, gen::bytes(0..48)(rng)),
+        }
+    }
 }
 
 fn key_name(k: u8) -> Vec<u8> {
     format!("model-key-{k:03}").into_bytes()
 }
 
-fn check_branch(branch: Branch, cmds: &[Cmd]) -> Result<(), TestCaseError> {
+fn check_branch(branch: Branch, cmds: &[Cmd]) -> CaseResult {
     let cache = McCache::start(McConfig {
         branch,
         workers: 1,
@@ -175,75 +179,77 @@ fn check_branch(branch: Branch, cmds: &[Cmd]) -> Result<(), TestCaseError> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![cases(24)]
 
     #[test]
-    fn baseline_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+    fn baseline_matches_model(cmds in gen::vec(cmd_gen(), 1..60)) {
         check_branch(Branch::Baseline, &cmds)?;
     }
 
     #[test]
-    fn ip_plain_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+    fn ip_plain_matches_model(cmds in gen::vec(cmd_gen(), 1..60)) {
         check_branch(Branch::Ip(Stage::Plain), &cmds)?;
     }
 
     #[test]
-    fn it_plain_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+    fn it_plain_matches_model(cmds in gen::vec(cmd_gen(), 1..60)) {
         check_branch(Branch::It(Stage::Plain), &cmds)?;
     }
 
     #[test]
-    fn ip_max_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+    fn ip_max_matches_model(cmds in gen::vec(cmd_gen(), 1..60)) {
         check_branch(Branch::Ip(Stage::Max), &cmds)?;
     }
 
     #[test]
-    fn it_lib_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+    fn it_lib_matches_model(cmds in gen::vec(cmd_gen(), 1..60)) {
         check_branch(Branch::It(Stage::Lib), &cmds)?;
     }
 
     #[test]
-    fn ip_oncommit_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+    fn ip_oncommit_matches_model(cmds in gen::vec(cmd_gen(), 1..60)) {
         check_branch(Branch::Ip(Stage::OnCommit), &cmds)?;
     }
 
     #[test]
-    fn it_nolock_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+    fn it_nolock_matches_model(cmds in gen::vec(cmd_gen(), 1..60)) {
         check_branch(Branch::ItNoLock, &cmds)?;
     }
 }
 
 mod binary_wire {
     use mcache::proto::binary::{Opcode, Request};
-    use proptest::prelude::*;
+    use testkit::prop::gen;
+    use testkit::{prop_assert, prop_assert_eq, proptest};
 
-    fn opcode_strategy() -> impl Strategy<Value = Opcode> {
-        prop_oneof![
-            Just(Opcode::Get),
-            Just(Opcode::Set),
-            Just(Opcode::Add),
-            Just(Opcode::Replace),
-            Just(Opcode::Delete),
-            Just(Opcode::Increment),
-            Just(Opcode::Decrement),
-            Just(Opcode::Noop),
-            Just(Opcode::Version),
-        ]
-    }
+    // `Opcode` is foreign to this crate, so it cannot implement testkit's
+    // `Shrink`; generate an index and map it at use time instead.
+    const OPCODES: [Opcode; 9] = [
+        Opcode::Get,
+        Opcode::Set,
+        Opcode::Add,
+        Opcode::Replace,
+        Opcode::Delete,
+        Opcode::Increment,
+        Opcode::Decrement,
+        Opcode::Noop,
+        Opcode::Version,
+    ];
 
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
+        #![cases(128)]
 
         /// decode(encode(req)) == req for arbitrary well-formed requests.
         #[test]
         fn wire_roundtrip(
-            opcode in opcode_strategy(),
-            opaque in any::<u32>(),
-            cas in any::<u64>(),
-            key in proptest::collection::vec(any::<u8>(), 0..64),
-            value in proptest::collection::vec(any::<u8>(), 0..128),
-            extra in any::<u64>(),
+            op_idx in gen::range(0usize..9),
+            opaque in gen::any_u32(),
+            cas in gen::any_u64(),
+            key in gen::bytes(0..64),
+            value in gen::bytes(0..128),
+            extra in gen::any_u64(),
         ) {
+            let opcode = OPCODES[op_idx];
             let req = Request { opcode, opaque, cas, key, value, extra };
             let wire = req.encode();
             let back = Request::decode(&wire).expect("self-encoded frame must decode");
@@ -265,8 +271,8 @@ mod binary_wire {
         /// Truncated frames never decode (no panics, no partial reads).
         #[test]
         fn truncated_frames_rejected(
-            key in proptest::collection::vec(any::<u8>(), 1..32),
-            cut in any::<prop::sample::Index>(),
+            key in gen::bytes(1..32),
+            cut in gen::index(),
         ) {
             let req = Request {
                 opcode: Opcode::Set,

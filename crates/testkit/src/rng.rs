@@ -1,0 +1,244 @@
+//! Seeded, dependency-free pseudo-random number generation.
+//!
+//! Two classic generators, both tiny and fully deterministic:
+//!
+//! * [`SplitMix64`] — Steele/Lea/Flood's 64-bit mixer. One u64 of state,
+//!   passes BigCrush, and is the canonical way to expand a small seed into
+//!   the larger state of another generator.
+//! * [`Xoshiro256pp`] — Blackman/Vigna's xoshiro256++, the general-purpose
+//!   workhorse (also what `rand`'s `SmallRng` used on 64-bit targets, which
+//!   is why [`SmallRng`] aliases it: call sites migrated from `rand` keep
+//!   both their spelling and their statistical quality).
+//!
+//! The [`Rng`] trait mirrors the parts of `rand::Rng` this workspace uses —
+//! `gen_range`, `gen_bool`, `fill_bytes` — so replacing the external crate
+//! was an import swap, not a rewrite.
+//!
+//! ```
+//! use testkit::rng::{Rng, SmallRng};
+//!
+//! let mut a = SmallRng::seed_from_u64(42);
+//! let mut b = SmallRng::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.gen_range(10..20u64);
+//! assert!((10..20).contains(&x));
+//! ```
+
+/// The sampling surface shared by every generator in this module, shaped
+/// after `rand::Rng`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Rng::next_u64`],
+    /// the better-mixed bits for both generators here).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform sample from `range` (half-open, like `rand`'s
+    /// `gen_range(a..b)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 random bits -> uniform in [0, 1), exactly like rand's Bernoulli.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Uniform sampling from a half-open range, implemented for the integer
+/// types the workspace draws.
+pub trait SampleUniform: Copy {
+    /// Draws one sample from `range` using `rng`.
+    fn sample<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Lemire's widening-multiply bounded sampler, with the
+                // cheap no-rejection variant: a 64-bit draw mapped through
+                // a 128-bit multiply. The modulo bias is < 2^-64 * span,
+                // irrelevant for test workloads and fully deterministic.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + hi) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// SplitMix64: one u64 of state, one multiply-xor-shift chain per output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub const fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands `seed` through SplitMix64 into the 256-bit state, exactly
+    /// as the xoshiro reference code recommends (and `rand` does), so the
+    /// all-zero state is unreachable.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::seed_from_u64(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace's default small generator (migration alias for call sites
+/// that used `rand::rngs::SmallRng`).
+pub type SmallRng = Xoshiro256pp;
+
+/// Mixes a base seed with a stream index into an uncorrelated child seed —
+/// the standard way to give thread `i` / case `i` its own stream.
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut sm = SplitMix64::seed_from_u64(seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F));
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 0 from the public-domain splitmix64.c.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+        assert_eq!(r.gen_range(3u8..4), 3, "singleton range");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut r2 = SmallRng::seed_from_u64(3);
+        let mut buf2 = [0u8; 37];
+        r2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn mixed_seeds_decorrelate_streams() {
+        let s0 = mix_seed(42, 0);
+        let s1 = mix_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_ne!(mix_seed(43, 0), s0);
+    }
+}

@@ -54,17 +54,22 @@ pub use str::{strchr, strlen, strncmp, strncpy, strnlen};
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use testkit::prop::gen;
+    use testkit::rng::{Rng, SmallRng};
+    use testkit::{prop_assert_eq, prop_assume, proptest};
     use tm::{TBytes, TmRuntime};
 
+    fn nonzero_byte() -> impl Fn(&mut SmallRng) -> u8 + Clone {
+        |rng| rng.gen_range(1u32..256) as u8
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+        #![cases(64)]
 
         /// The two clones of each reimplemented function agree on arbitrary
         /// inputs — the property the single-source requirement exists for.
         #[test]
-        fn clones_agree_memcmp(x in proptest::collection::vec(any::<u8>(), 1..64),
-                               y in proptest::collection::vec(any::<u8>(), 1..64)) {
+        fn clones_agree_memcmp(x in gen::bytes(1..64), y in gen::bytes(1..64)) {
             let n = x.len().min(y.len());
             let xb = TBytes::from_slice(&x);
             let yb = TBytes::from_slice(&y);
@@ -76,8 +81,7 @@ mod proptests {
         }
 
         #[test]
-        fn clones_agree_strlen(mut s in proptest::collection::vec(any::<u8>(), 1..64),
-                               nul_at in any::<prop::sample::Index>()) {
+        fn clones_agree_strlen(s in gen::bytes(1..64), nul_at in gen::index()) {
             let pos = nul_at.index(s.len());
             s[pos] = 0;
             let b = TBytes::from_slice(&s);
@@ -88,8 +92,7 @@ mod proptests {
         }
 
         #[test]
-        fn memcpy_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256),
-                            pad in 0usize..16) {
+        fn memcpy_roundtrip(data in gen::bytes(0..256), pad in gen::range(0usize..16)) {
             let src = TBytes::from_slice(&data);
             let dst = TBytes::zeroed(data.len() + pad);
             let rt = TmRuntime::default_runtime();
@@ -98,14 +101,14 @@ mod proptests {
         }
 
         #[test]
-        fn parse_u64_matches_std(v in any::<u64>(), ws in 0usize..4) {
+        fn parse_u64_matches_std(v in gen::any_u64(), ws in gen::range(0usize..4)) {
             let s = format!("{}{}", " ".repeat(ws), v);
             let parsed = parse_u64(s.as_bytes());
             prop_assert_eq!(parsed, Some((v, s.len())));
         }
 
         #[test]
-        fn parse_i64_matches_std(v in any::<i64>()) {
+        fn parse_i64_matches_std(v in gen::any_i64()) {
             // i64::MIN saturates (parser is magnitude-then-negate).
             prop_assume!(v != i64::MIN);
             let s = v.to_string();
@@ -113,8 +116,8 @@ mod proptests {
         }
 
         #[test]
-        fn strncpy_matches_c_model(src in proptest::collection::vec(1u8..=255, 0..16),
-                                   n in 0usize..24) {
+        fn strncpy_matches_c_model(src in gen::vec(nonzero_byte(), 0..16),
+                                   n in gen::range(0usize..24)) {
             let dst = TBytes::from_slice(&[0xEE; 24]);
             strncpy(&mut DirectAccess, &dst, 0, &src, n).unwrap();
             let out = dst.to_vec_direct();

@@ -32,8 +32,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use testkit::rng::{Rng, SmallRng};
 
 /// One client operation, naming a key by index into the shared keyspace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

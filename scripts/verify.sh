@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: release build, workspace tests,
+# and a short deterministic stress sweep of the STM runtime.
+#
+# Usage: scripts/verify.sh [stress-seconds]   (default 10)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STRESS_SECONDS="${1:-10}"
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "==> stress smoke (${STRESS_SECONDS}s, every algorithm/lock/CM combo)"
+cargo run --release --offline -p testkit --bin stress -- --seconds "$STRESS_SECONDS"
+
+echo "==> verify OK"

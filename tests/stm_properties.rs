@@ -1,7 +1,9 @@
 //! Property-based tests of the STM runtime: random transactional programs
 //! against a sequential model, for every algorithm and serial-lock mode.
 
-use proptest::prelude::*;
+use testkit::prop::gen;
+use testkit::rng::{Rng, SmallRng};
+use testkit::{no_shrink, prop_assert, prop_assert_eq, proptest};
 use tm::{Algorithm, ContentionManager, SerialLockMode, TBytes, TCell, TmRuntime, Transaction};
 
 fn runtimes() -> Vec<TmRuntime> {
@@ -34,24 +36,26 @@ enum Step {
     CopyCell(u8, u8),
 }
 
-fn step_strategy(cells: u8) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..cells).prop_map(Step::Read),
-        (0..cells, any::<u64>()).prop_map(|(i, v)| Step::Write(i, v)),
-        (0..cells, 0u64..1000).prop_map(|(i, v)| Step::Add(i, v)),
-        (0..cells, 0..cells).prop_map(|(a, b)| Step::CopyCell(a, b)),
-    ]
+no_shrink!(Step);
+
+fn step_gen(cells: u8) -> impl Fn(&mut SmallRng) -> Step + Clone {
+    move |rng: &mut SmallRng| match rng.gen_range(0u32..4) {
+        0 => Step::Read(rng.gen_range(0..cells)),
+        1 => Step::Write(rng.gen_range(0..cells), rng.next_u64()),
+        2 => Step::Add(rng.gen_range(0..cells), rng.gen_range(0u64..1000)),
+        _ => Step::CopyCell(rng.gen_range(0..cells), rng.gen_range(0..cells)),
+    }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![cases(48)]
 
     /// A committed transaction leaves exactly the state a sequential
     /// interpreter produces, for every algorithm.
     #[test]
     fn committed_txn_matches_sequential_model(
-        init in proptest::collection::vec(any::<u64>(), 6),
-        steps in proptest::collection::vec(step_strategy(6), 1..24),
+        init in gen::vec(gen::any_u64(), 6..7),
+        steps in gen::vec(step_gen(6), 1..24),
     ) {
         for rt in runtimes() {
             let cells: Vec<TCell<u64>> = init.iter().copied().map(TCell::new).collect();
@@ -92,8 +96,8 @@ proptest! {
     /// A cancelled transaction leaves no trace, for every algorithm.
     #[test]
     fn cancelled_txn_has_no_effect(
-        init in proptest::collection::vec(any::<u64>(), 4),
-        steps in proptest::collection::vec(step_strategy(4), 1..16),
+        init in gen::vec(gen::any_u64(), 4..5),
+        steps in gen::vec(step_gen(4), 1..16),
     ) {
         for rt in runtimes() {
             let cells: Vec<TCell<u64>> = init.iter().copied().map(TCell::new).collect();
@@ -124,9 +128,9 @@ proptest! {
     /// Transactional byte-buffer windows behave like `Vec<u8>` splices.
     #[test]
     fn tbytes_window_ops_match_vec_model(
-        len in 1usize..96,
-        writes in proptest::collection::vec(
-            (any::<prop::sample::Index>(), proptest::collection::vec(any::<u8>(), 1..24)),
+        len in gen::range(1usize..96),
+        writes in gen::vec(
+            |rng: &mut SmallRng| (gen::index()(rng), gen::bytes(1..24)(rng)),
             1..12,
         ),
     ) {
@@ -153,7 +157,7 @@ proptest! {
     /// Reads inside the writing transaction observe the transaction's own
     /// writes (read-own-writes), for every algorithm.
     #[test]
-    fn read_own_writes(vals in proptest::collection::vec(any::<u64>(), 1..8)) {
+    fn read_own_writes(vals in gen::vec(gen::any_u64(), 1..8)) {
         for rt in runtimes() {
             let c = TCell::new(0u64);
             rt.atomic(|tx| {
