@@ -10,6 +10,7 @@
 //! | [`prop`] | `proptest` | generators, a seeded case runner, greedy shrinking, and a [`proptest!`](crate::proptest) macro |
 //! | [`bench`] | `criterion` | warmup + fixed-iteration timing, median/p95 reports, `BENCH_<group>.json` output |
 //! | [`stress`] | — | deterministic, seed-replayable concurrency schedules for the `tm` runtime |
+//! | [`alloc`] | `dhat`-style counting | a counting global allocator for zero-allocation assertions |
 //!
 //! Everything is deterministic by default: property tests run from a fixed
 //! base seed (override with `TESTKIT_SEED`, replay one case with
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

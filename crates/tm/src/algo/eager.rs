@@ -6,23 +6,29 @@
 //! had the lowest latency and the best scalability" on memcached — at the
 //! price of expensive aborts, since undone writes must be rolled back in
 //! place and the touched orecs' versions bumped.
+//!
+//! Log storage lives in the caller-provided [`LogBufs`] arena (cleared,
+//! never freed, between attempts): `reads`/`locks` hold
+//! `(orec index, observed unlocked value)` pairs and `undo` holds
+//! `(word address, previous value)`.
 
 use super::tword_at;
+use crate::arena::LogBufs;
 use crate::error::Abort;
 use crate::orec::{self, OrecValue};
 use crate::runtime::RtInner;
 
-/// Per-attempt state for the eager engine.
+/// Per-attempt state for the eager engine. The logs themselves live in the
+/// thread's arena ([`LogBufs`]), passed into every operation.
 #[derive(Debug)]
 pub(crate) struct EagerTx {
     tx_id: u64,
     start_time: u64,
-    /// (orec index, observed unlocked value) — invisible-read log.
-    reads: Vec<(usize, OrecValue)>,
-    /// (orec index, pre-lock unlocked value) — locks we hold.
-    locks: Vec<(usize, OrecValue)>,
-    /// (word address, previous value) — undo log, applied in reverse.
-    undo: Vec<(usize, u64)>,
+}
+
+/// Did this transaction lock `idx`, and if so with what pre-lock value?
+fn lock_prev(locks: &[(usize, OrecValue)], idx: usize) -> Option<OrecValue> {
+    locks.iter().rev().find(|(i, _)| *i == idx).map(|(_, p)| *p)
 }
 
 impl EagerTx {
@@ -30,29 +36,17 @@ impl EagerTx {
         EagerTx {
             tx_id,
             start_time: rt.clock.now(),
-            reads: Vec::with_capacity(16),
-            locks: Vec::with_capacity(8),
-            undo: Vec::with_capacity(8),
         }
     }
 
-    pub(crate) fn is_read_only(&self) -> bool {
-        self.locks.is_empty()
-    }
-
-    /// Did this transaction lock `idx`, and if so with what pre-lock value?
-    fn lock_prev(&self, idx: usize) -> Option<OrecValue> {
-        self.locks
-            .iter()
-            .rev()
-            .find(|(i, _)| *i == idx)
-            .map(|(_, p)| *p)
+    pub(crate) fn is_read_only(&self, bufs: &LogBufs) -> bool {
+        bufs.locks.is_empty()
     }
 
     /// Revalidates the read set; on success the snapshot may be extended to
     /// `new_time` by the caller.
-    fn validate(&self, rt: &RtInner) -> Result<(), Abort> {
-        for &(idx, observed) in &self.reads {
+    fn validate(&self, rt: &RtInner, bufs: &LogBufs) -> Result<(), Abort> {
+        for &(idx, observed) in &bufs.reads {
             let cur = rt.orecs.load(idx);
             if cur == observed {
                 continue;
@@ -61,7 +55,7 @@ impl EagerTx {
                 // We locked this orec after reading it; the read is stale
                 // only if someone committed in between (pre-lock value
                 // differs from what we read past).
-                if self.lock_prev(idx) == Some(observed) {
+                if lock_prev(&bufs.locks, idx) == Some(observed) {
                     continue;
                 }
             }
@@ -72,14 +66,19 @@ impl EagerTx {
 
     /// TinySTM-style timestamp extension: revalidate, then move the
     /// snapshot forward.
-    fn extend(&mut self, rt: &RtInner) -> Result<(), Abort> {
+    fn extend(&mut self, rt: &RtInner, bufs: &LogBufs) -> Result<(), Abort> {
         let now = rt.clock.now();
-        self.validate(rt)?;
+        self.validate(rt, bufs)?;
         self.start_time = now;
         Ok(())
     }
 
-    pub(crate) fn read_word(&mut self, rt: &RtInner, addr: usize) -> Result<u64, Abort> {
+    pub(crate) fn read_word(
+        &mut self,
+        rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+    ) -> Result<u64, Abort> {
         let idx = rt.orecs.index_of(addr);
         loop {
             let o1 = rt.orecs.load(idx);
@@ -96,34 +95,40 @@ impl EagerTx {
                 continue; // changed under us; re-sample
             }
             if orec::version_of(o1) <= self.start_time {
-                self.reads.push((idx, o1));
+                bufs.reads.push((idx, o1));
                 return Ok(v);
             }
-            self.extend(rt)?;
+            self.extend(rt, bufs)?;
         }
     }
 
-    pub(crate) fn write_word(&mut self, rt: &RtInner, addr: usize, v: u64) -> Result<(), Abort> {
+    pub(crate) fn write_word(
+        &mut self,
+        rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+        v: u64,
+    ) -> Result<(), Abort> {
         let idx = rt.orecs.index_of(addr);
         loop {
             let o = rt.orecs.load(idx);
             if orec::is_locked(o) {
                 if orec::owner_of(o) == self.tx_id {
                     let w = tword_at(addr);
-                    self.undo.push((addr, w.load_direct()));
+                    bufs.undo.push((addr, w.load_direct()));
                     w.store_direct(v);
                     return Ok(());
                 }
                 return Err(Abort::Conflict);
             }
             if orec::version_of(o) > self.start_time {
-                self.extend(rt)?;
+                self.extend(rt, bufs)?;
                 continue;
             }
             if rt.orecs.try_update(idx, o, orec::locked_by(self.tx_id)) {
-                self.locks.push((idx, o));
+                bufs.locks.push((idx, o));
                 let w = tword_at(addr);
-                self.undo.push((addr, w.load_direct()));
+                bufs.undo.push((addr, w.load_direct()));
                 w.store_direct(v);
                 return Ok(());
             }
@@ -131,61 +136,60 @@ impl EagerTx {
         }
     }
 
-    pub(crate) fn commit(&mut self, rt: &RtInner) -> Result<(), Abort> {
-        if self.locks.is_empty() {
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        if bufs.locks.is_empty() {
             // Invisible reads were validated at read/extend time against a
             // snapshot; a read-only transaction is serializable at its
             // snapshot and commits without touching the clock.
+            bufs.clear();
             return Ok(());
         }
         let end = rt.clock.tick();
         if end > self.start_time + 1 {
             // Someone committed since our snapshot: full validation.
-            if self.validate(rt).is_err() {
-                self.rollback(rt);
+            if self.validate(rt, bufs).is_err() {
+                self.rollback(rt, bufs);
                 return Err(Abort::Conflict);
             }
         }
-        for (idx, _) in self.locks.drain(..) {
+        for &(idx, _) in &bufs.locks {
             rt.orecs.release(idx, orec::unlocked_at(end));
         }
-        self.undo.clear();
-        self.reads.clear();
+        bufs.clear();
         Ok(())
     }
 
-    pub(crate) fn rollback(&mut self, rt: &RtInner) {
+    pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {
         // Undo in reverse so overlapping writes restore the oldest value.
-        for (addr, old) in self.undo.drain(..).rev() {
+        for &(addr, old) in bufs.undo.iter().rev() {
             tword_at(addr).store_direct(old);
         }
-        if !self.locks.is_empty() {
+        if !bufs.locks.is_empty() {
             // Bump versions: concurrent readers may have seen our
             // intermediate values and must fail validation.
             let t = rt.clock.tick();
-            for (idx, _) in self.locks.drain(..) {
+            for &(idx, _) in &bufs.locks {
                 rt.orecs.release(idx, orec::unlocked_at(t));
             }
         }
-        self.reads.clear();
+        bufs.clear();
     }
 
     /// Caller holds the serial lock exclusively. Validate, then publish:
     /// writes are already in place, so releasing our orecs at a fresh
     /// timestamp completes the transition to uninstrumented execution.
-    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner) -> Result<(), Abort> {
-        if self.validate(rt).is_err() {
-            self.rollback(rt);
+    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        if self.validate(rt, bufs).is_err() {
+            self.rollback(rt, bufs);
             return Err(Abort::Conflict);
         }
-        if !self.locks.is_empty() {
+        if !bufs.locks.is_empty() {
             let end = rt.clock.tick();
-            for (idx, _) in self.locks.drain(..) {
+            for &(idx, _) in &bufs.locks {
                 rt.orecs.release(idx, orec::unlocked_at(end));
             }
         }
-        self.undo.clear();
-        self.reads.clear();
+        bufs.clear();
         Ok(())
     }
 }

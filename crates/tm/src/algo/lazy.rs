@@ -5,26 +5,54 @@
 //! The paper found this algorithm abort-prone on memcached (14 aborts per
 //! commit at 12 threads) and penalized by its redo log: `memcpy`-style
 //! byte stores must be buffered and then found again by later word reads.
-
-use std::collections::HashMap;
+//! That redo lookup used to be a `HashMap<usize, usize>` allocated per
+//! attempt; it is now the arena's open-addressed
+//! [`WriteMap`](crate::arena::WriteMap) with an inline small-write scan
+//! (see [`LogBufs::redo_lookup`]), so a steady-state attempt allocates
+//! nothing.
+//!
+//! Buffer roles in [`LogBufs`]: `reads` holds `(orec index, observed
+//! unlocked value)`, `writes` the redo log (one entry per distinct word
+//! address), `wmap` the redo index past the inline window, and `locks` the
+//! commit-time held-lock scratch list.
 
 use super::tword_at;
+use crate::arena::LogBufs;
 use crate::error::Abort;
 use crate::orec::{self, OrecValue};
 use crate::runtime::RtInner;
 
-/// Per-attempt state for the lazy engine.
+/// Per-attempt state for the lazy engine; logs live in the arena.
 #[derive(Debug)]
 pub(crate) struct LazyTx {
     tx_id: u64,
     start_time: u64,
-    /// (orec index, observed unlocked value).
-    reads: Vec<(usize, OrecValue)>,
-    /// Redo log in program order: (word address, value).
-    writes: Vec<(usize, u64)>,
-    /// address -> index into `writes` (the redo-lookup cost the paper
-    /// highlights for byte-wise stores).
-    wmap: HashMap<usize, usize>,
+}
+
+/// Revalidates the read set against the orec table. `held` is the
+/// commit-time lock list: an orec we locked ourselves is valid iff its
+/// pre-lock value is what the read observed.
+fn validate(
+    rt: &RtInner,
+    tx_id: u64,
+    reads: &[(usize, OrecValue)],
+    held: &[(usize, OrecValue)],
+) -> Result<(), Abort> {
+    for &(idx, observed) in reads {
+        let cur = rt.orecs.load(idx);
+        if cur == observed {
+            continue;
+        }
+        if orec::is_locked(cur) && orec::owner_of(cur) == tx_id {
+            // Locked by us during this commit; valid iff the pre-lock
+            // value is what we observed when reading.
+            if held.iter().any(|&(i, prev)| i == idx && prev == observed) {
+                continue;
+            }
+        }
+        return Err(Abort::Conflict);
+    }
+    Ok(())
 }
 
 impl LazyTx {
@@ -32,47 +60,28 @@ impl LazyTx {
         LazyTx {
             tx_id,
             start_time: rt.clock.now(),
-            reads: Vec::with_capacity(16),
-            writes: Vec::with_capacity(8),
-            wmap: HashMap::new(),
         }
     }
 
-    pub(crate) fn is_read_only(&self) -> bool {
-        self.writes.is_empty()
+    pub(crate) fn is_read_only(&self, bufs: &LogBufs) -> bool {
+        bufs.writes.is_empty()
     }
 
-    fn validate(&self, rt: &RtInner, held: &[(usize, OrecValue)]) -> Result<(), Abort> {
-        for &(idx, observed) in &self.reads {
-            let cur = rt.orecs.load(idx);
-            if cur == observed {
-                continue;
-            }
-            if orec::is_locked(cur) && orec::owner_of(cur) == self.tx_id {
-                // Locked by us during this commit; valid iff the pre-lock
-                // value is what we observed when reading.
-                if held
-                    .iter()
-                    .any(|&(i, prev)| i == idx && prev == observed)
-                {
-                    continue;
-                }
-            }
-            return Err(Abort::Conflict);
-        }
-        Ok(())
-    }
-
-    fn extend(&mut self, rt: &RtInner) -> Result<(), Abort> {
+    fn extend(&mut self, rt: &RtInner, bufs: &LogBufs) -> Result<(), Abort> {
         let now = rt.clock.now();
-        self.validate(rt, &[])?;
+        validate(rt, self.tx_id, &bufs.reads, &[])?;
         self.start_time = now;
         Ok(())
     }
 
-    pub(crate) fn read_word(&mut self, rt: &RtInner, addr: usize) -> Result<u64, Abort> {
-        if let Some(&i) = self.wmap.get(&addr) {
-            return Ok(self.writes[i].1);
+    pub(crate) fn read_word(
+        &mut self,
+        rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+    ) -> Result<u64, Abort> {
+        if let Some(v) = bufs.redo_lookup(addr) {
+            return Ok(v);
         }
         let idx = rt.orecs.index_of(addr);
         loop {
@@ -88,36 +97,45 @@ impl LazyTx {
                 continue;
             }
             if orec::version_of(o1) <= self.start_time {
-                self.reads.push((idx, o1));
+                bufs.reads.push((idx, o1));
                 return Ok(v);
             }
-            self.extend(rt)?;
+            self.extend(rt, bufs)?;
         }
     }
 
-    pub(crate) fn write_word(&mut self, _rt: &RtInner, addr: usize, v: u64) -> Result<(), Abort> {
-        match self.wmap.entry(addr) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                self.writes[*e.get()].1 = v;
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(self.writes.len());
-                self.writes.push((addr, v));
-            }
-        }
+    pub(crate) fn write_word(
+        &mut self,
+        _rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+        v: u64,
+    ) -> Result<(), Abort> {
+        bufs.redo_record(addr, v);
         Ok(())
     }
 
-    pub(crate) fn commit(&mut self, rt: &RtInner) -> Result<(), Abort> {
-        if self.writes.is_empty() {
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        let LogBufs {
+            reads,
+            writes,
+            locks: held,
+            ..
+        } = bufs;
+        if writes.is_empty() {
+            bufs.clear();
             return Ok(());
         }
-        // Acquire every distinct orec covering the write set.
-        let mut held: Vec<(usize, OrecValue)> = Vec::with_capacity(self.writes.len());
-        for &(addr, _) in &self.writes {
+        // Acquire every distinct orec covering the write set. The redo log
+        // holds one entry per word address (redo_record deduplicates), so
+        // `writes.len()` is the deduplicated upper bound on held locks;
+        // steady-state this reserve is a no-op against arena capacity.
+        debug_assert!(held.is_empty());
+        held.reserve(writes.len());
+        for &(addr, _) in writes.iter() {
             let idx = rt.orecs.index_of(addr);
             if held.iter().any(|&(i, _)| i == idx) {
-                continue;
+                continue; // hash collision onto an orec we already hold
             }
             loop {
                 let o = rt.orecs.load(idx);
@@ -125,8 +143,8 @@ impl LazyTx {
                     if orec::owner_of(o) == self.tx_id {
                         break; // hash collision onto an orec we already hold
                     }
-                    self.release_held(rt, &held, None);
-                    self.reset();
+                    release_held(rt, held, None);
+                    bufs.clear();
                     return Err(Abort::Conflict);
                 }
                 if rt.orecs.try_update(idx, o, orec::locked_by(self.tx_id)) {
@@ -136,49 +154,43 @@ impl LazyTx {
             }
         }
         let end = rt.clock.tick();
-        if end > self.start_time + 1 && self.validate(rt, &held).is_err() {
-            self.release_held(rt, &held, None);
-            self.reset();
+        if end > self.start_time + 1 && validate(rt, self.tx_id, reads, held).is_err() {
+            release_held(rt, held, None);
+            bufs.clear();
             return Err(Abort::Conflict);
         }
-        for &(addr, v) in &self.writes {
+        for &(addr, v) in writes.iter() {
             tword_at(addr).store_direct(v);
         }
-        self.release_held(rt, &held, Some(end));
-        self.reset();
+        release_held(rt, held, Some(end));
+        bufs.clear();
         Ok(())
     }
 
-    /// Releases held orecs — to their pre-lock values on failure (`None`),
-    /// or to the commit timestamp on success.
-    fn release_held(&self, rt: &RtInner, held: &[(usize, OrecValue)], end: Option<u64>) {
-        for &(idx, prev) in held {
-            rt.orecs.release(idx, end.map_or(prev, orec::unlocked_at));
-        }
-    }
-
-    fn reset(&mut self) {
-        self.reads.clear();
-        self.writes.clear();
-        self.wmap.clear();
-    }
-
-    pub(crate) fn rollback(&mut self) {
+    pub(crate) fn rollback(&mut self, bufs: &mut LogBufs) {
         // Nothing published; just drop the logs.
-        self.reset();
+        bufs.clear();
     }
 
     /// Caller holds the serial lock exclusively: validate, then publish the
     /// redo log directly.
-    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner) -> Result<(), Abort> {
-        if self.validate(rt, &[]).is_err() {
-            self.reset();
+    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        if validate(rt, self.tx_id, &bufs.reads, &[]).is_err() {
+            bufs.clear();
             return Err(Abort::Conflict);
         }
-        for &(addr, v) in &self.writes {
+        for &(addr, v) in &bufs.writes {
             tword_at(addr).store_direct(v);
         }
-        self.reset();
+        bufs.clear();
         Ok(())
+    }
+}
+
+/// Releases held orecs — to their pre-lock values on failure (`None`),
+/// or to the commit timestamp on success.
+fn release_held(rt: &RtInner, held: &[(usize, OrecValue)], end: Option<u64>) {
+    for &(idx, prev) in held {
+        rt.orecs.release(idx, end.map_or(prev, orec::unlocked_at));
     }
 }

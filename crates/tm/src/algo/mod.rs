@@ -16,6 +16,7 @@ pub mod eager;
 pub mod lazy;
 pub mod norec;
 
+use crate::arena::LogBufs;
 use crate::cell::TWord;
 use crate::error::Abort;
 use crate::runtime::RtInner;
@@ -70,21 +71,32 @@ impl Engine {
     }
 
     #[inline]
-    pub(crate) fn read_word(&mut self, rt: &RtInner, addr: usize) -> Result<u64, Abort> {
+    pub(crate) fn read_word(
+        &mut self,
+        rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+    ) -> Result<u64, Abort> {
         match self {
-            Engine::Eager(e) => e.read_word(rt, addr),
-            Engine::Lazy(e) => e.read_word(rt, addr),
-            Engine::Norec(e) => e.read_word(rt, addr),
+            Engine::Eager(e) => e.read_word(rt, bufs, addr),
+            Engine::Lazy(e) => e.read_word(rt, bufs, addr),
+            Engine::Norec(e) => e.read_word(rt, bufs, addr),
             Engine::Serial => Ok(tword_at(addr).load_direct()),
         }
     }
 
     #[inline]
-    pub(crate) fn write_word(&mut self, rt: &RtInner, addr: usize, v: u64) -> Result<(), Abort> {
+    pub(crate) fn write_word(
+        &mut self,
+        rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+        v: u64,
+    ) -> Result<(), Abort> {
         match self {
-            Engine::Eager(e) => e.write_word(rt, addr, v),
-            Engine::Lazy(e) => e.write_word(rt, addr, v),
-            Engine::Norec(e) => e.write_word(rt, addr, v),
+            Engine::Eager(e) => e.write_word(rt, bufs, addr, v),
+            Engine::Lazy(e) => e.write_word(rt, bufs, addr, v),
+            Engine::Norec(e) => e.write_word(rt, bufs, addr, v),
             Engine::Serial => {
                 tword_at(addr).store_direct(v);
                 Ok(())
@@ -93,31 +105,31 @@ impl Engine {
     }
 
     /// True if this attempt has written nothing (read-only commit path).
-    pub(crate) fn is_read_only(&self) -> bool {
+    pub(crate) fn is_read_only(&self, bufs: &LogBufs) -> bool {
         match self {
-            Engine::Eager(e) => e.is_read_only(),
-            Engine::Lazy(e) => e.is_read_only(),
-            Engine::Norec(e) => e.is_read_only(),
+            Engine::Eager(e) => e.is_read_only(bufs),
+            Engine::Lazy(e) => e.is_read_only(bufs),
+            Engine::Norec(e) => e.is_read_only(bufs),
             Engine::Serial => false,
         }
     }
 
     /// Attempts to commit. On `Err` the engine has already rolled back.
-    pub(crate) fn commit(&mut self, rt: &RtInner) -> Result<(), Abort> {
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
         match self {
-            Engine::Eager(e) => e.commit(rt),
-            Engine::Lazy(e) => e.commit(rt),
-            Engine::Norec(e) => e.commit(rt),
+            Engine::Eager(e) => e.commit(rt, bufs),
+            Engine::Lazy(e) => e.commit(rt, bufs),
+            Engine::Norec(e) => e.commit(rt, bufs),
             Engine::Serial => Ok(()),
         }
     }
 
     /// Rolls back an attempt that will not commit.
-    pub(crate) fn rollback(&mut self, rt: &RtInner) {
+    pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {
         match self {
-            Engine::Eager(e) => e.rollback(rt),
-            Engine::Lazy(e) => e.rollback(),
-            Engine::Norec(e) => e.rollback(),
+            Engine::Eager(e) => e.rollback(rt, bufs),
+            Engine::Lazy(e) => e.rollback(bufs),
+            Engine::Norec(e) => e.rollback(bufs),
             Engine::Serial => {}
         }
     }
@@ -126,11 +138,11 @@ impl Engine {
     /// serial lock exclusively (all other transactions drained). On success
     /// the engine has published every buffered effect and `self` becomes
     /// [`Engine::Serial`]; on failure the attempt must be aborted.
-    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner) -> Result<(), Abort> {
+    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
         match self {
-            Engine::Eager(e) => e.make_irrevocable(rt)?,
-            Engine::Lazy(e) => e.make_irrevocable(rt)?,
-            Engine::Norec(e) => e.make_irrevocable(rt)?,
+            Engine::Eager(e) => e.make_irrevocable(rt, bufs)?,
+            Engine::Lazy(e) => e.make_irrevocable(rt, bufs)?,
+            Engine::Norec(e) => e.make_irrevocable(rt, bufs)?,
             Engine::Serial => return Ok(()),
         }
         *self = Engine::Serial;

@@ -5,45 +5,40 @@
 //! transactions induced a bottleneck on internal NOrec metadata" — i.e. on
 //! exactly the [`crate::clock::SeqLock`] this module serializes commits
 //! through.
-
-use std::collections::HashMap;
+//!
+//! Buffer roles in [`LogBufs`]: `reads` is the value-based read log
+//! `(word address, value read)`, `writes` the redo log, `wmap` the redo
+//! index past the inline small-write window.
 
 use super::tword_at;
+use crate::arena::LogBufs;
 use crate::error::Abort;
 use crate::runtime::RtInner;
 
-/// Per-attempt state for the NOrec engine.
+/// Per-attempt state for the NOrec engine; logs live in the arena.
 #[derive(Debug)]
 pub(crate) struct NorecTx {
     /// Value of the global sequence lock this attempt is consistent with.
     snapshot: u64,
-    /// Value-based read log: (word address, value read).
-    reads: Vec<(usize, u64)>,
-    /// Redo log in program order.
-    writes: Vec<(usize, u64)>,
-    wmap: HashMap<usize, usize>,
 }
 
 impl NorecTx {
     pub(crate) fn begin(rt: &RtInner) -> Self {
         NorecTx {
             snapshot: rt.seqlock.wait_even(),
-            reads: Vec::with_capacity(16),
-            writes: Vec::with_capacity(8),
-            wmap: HashMap::new(),
         }
     }
 
-    pub(crate) fn is_read_only(&self) -> bool {
-        self.writes.is_empty()
+    pub(crate) fn is_read_only(&self, bufs: &LogBufs) -> bool {
+        bufs.writes.is_empty()
     }
 
     /// Value-based validation: re-read every logged location and compare.
     /// On success the snapshot advances to the current sequence value.
-    fn validate(&mut self, rt: &RtInner) -> Result<(), Abort> {
+    fn validate(&mut self, rt: &RtInner, reads: &[(usize, u64)]) -> Result<(), Abort> {
         loop {
             let t = rt.seqlock.wait_even();
-            for &(addr, v) in &self.reads {
+            for &(addr, v) in reads {
                 if tword_at(addr).load_direct() != v {
                     return Err(Abort::Conflict);
                 }
@@ -56,81 +51,78 @@ impl NorecTx {
         }
     }
 
-    pub(crate) fn read_word(&mut self, rt: &RtInner, addr: usize) -> Result<u64, Abort> {
-        if let Some(&i) = self.wmap.get(&addr) {
-            return Ok(self.writes[i].1);
+    pub(crate) fn read_word(
+        &mut self,
+        rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+    ) -> Result<u64, Abort> {
+        if let Some(v) = bufs.redo_lookup(addr) {
+            return Ok(v);
         }
         loop {
             let v = tword_at(addr).load_direct();
             let t = rt.seqlock.load();
             if t == self.snapshot {
-                self.reads.push((addr, v));
+                bufs.reads.push((addr, v));
                 return Ok(v);
             }
             // Sequence moved since our snapshot: revalidate (which also
             // advances the snapshot), then re-read.
-            self.validate(rt)?;
+            self.validate(rt, &bufs.reads)?;
         }
     }
 
-    pub(crate) fn write_word(&mut self, _rt: &RtInner, addr: usize, v: u64) -> Result<(), Abort> {
-        match self.wmap.entry(addr) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                self.writes[*e.get()].1 = v;
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(self.writes.len());
-                self.writes.push((addr, v));
-            }
-        }
+    pub(crate) fn write_word(
+        &mut self,
+        _rt: &RtInner,
+        bufs: &mut LogBufs,
+        addr: usize,
+        v: u64,
+    ) -> Result<(), Abort> {
+        bufs.redo_record(addr, v);
         Ok(())
     }
 
-    pub(crate) fn commit(&mut self, rt: &RtInner) -> Result<(), Abort> {
-        if self.writes.is_empty() {
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        if bufs.writes.is_empty() {
             // Read-only: already consistent at `snapshot`.
-            self.reset();
+            bufs.clear();
             return Ok(());
         }
         while !rt.seqlock.try_begin_commit(self.snapshot) {
-            if self.validate(rt).is_err() {
-                self.reset();
+            if self.validate(rt, &bufs.reads).is_err() {
+                bufs.clear();
                 return Err(Abort::Conflict);
             }
         }
-        for &(addr, v) in &self.writes {
+        for &(addr, v) in &bufs.writes {
             tword_at(addr).store_direct(v);
         }
         rt.seqlock.end_commit(self.snapshot);
-        self.reset();
+        bufs.clear();
         Ok(())
     }
 
-    fn reset(&mut self) {
-        self.reads.clear();
-        self.writes.clear();
-        self.wmap.clear();
-    }
-
-    pub(crate) fn rollback(&mut self) {
-        self.reset();
+    pub(crate) fn rollback(&mut self, bufs: &mut LogBufs) {
+        bufs.clear();
     }
 
     /// Caller holds the serial lock exclusively, so no other transaction is
     /// running; still take the sequence lock for the write-back so the
     /// global time base reflects the update.
-    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner) -> Result<(), Abort> {
+    pub(crate) fn make_irrevocable(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
         while !rt.seqlock.try_begin_commit(self.snapshot) {
-            if self.validate(rt).is_err() {
-                self.reset();
+            if self.validate(rt, &bufs.reads).is_err() {
+                bufs.clear();
                 return Err(Abort::Conflict);
             }
         }
-        for &(addr, v) in &self.writes {
+        for &(addr, v) in &bufs.writes {
             tword_at(addr).store_direct(v);
         }
         rt.seqlock.end_commit(self.snapshot);
-        self.reset();
+        bufs.clear();
         Ok(())
     }
 }

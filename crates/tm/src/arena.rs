@@ -1,0 +1,456 @@
+//! Per-thread, retry-reusable log arenas.
+//!
+//! Before this module existed, every transaction *attempt* allocated fresh
+//! `Vec` read/write logs plus a `std::collections::HashMap` write-map, and
+//! dropped them on commit or abort — so the hot path paid the allocator and
+//! SipHash on every attempt, drowning the algorithmic differences the
+//! paper's §4 measures (the redo-log tax of Lazy/NOrec on `memcpy`-heavy
+//! transactions) in constant-factor noise.
+//!
+//! The arena fixes the constant factor without touching semantics:
+//!
+//! * [`LogBufs`] owns every per-attempt log (read set, redo log, held-lock
+//!   list, undo log) plus the [`WriteMap`]. Buffers are **cleared, never
+//!   freed** between attempts, and returned to a thread-local slot between
+//!   transactions, so a steady-state transaction performs zero heap
+//!   allocations.
+//! * [`WriteMap`] replaces the `HashMap<usize, usize>` redo-log index: an
+//!   open-addressed, linear-probing table over a power-of-two slab, with
+//!   generation-stamped slots (clearing is a counter bump, not a memset).
+//!   Transactions with at most [`SMALL_WRITES`] distinct writes — the tiny
+//!   IP lock-acquire transactions that dominate the paper's Table 1 — never
+//!   touch the table at all: the redo log itself is scanned inline.
+//! * `onCommit`/`onAbort` handler vectors keep their backing storage across
+//!   retries *and* across transactions (the `'env`-erased allocation is
+//!   cached while empty; see [`Arena::take_handler_vec`]).
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Write-set size up to which the redo log is scanned inline instead of
+/// consulting the [`WriteMap`]. Eight entries cover the paper's small
+/// transactions (item-lock acquire/release touches 1–2 words) while a
+/// linear scan still fits in a couple of cache lines.
+pub(crate) const SMALL_WRITES: usize = 8;
+
+/// One slot of the open-addressed write-map. `gen` stamps liveness: a slot
+/// whose generation differs from the table's is vacant, which makes
+/// clearing O(1).
+#[derive(Clone, Copy, Default)]
+struct Slot {
+    gen: u32,
+    idx: u32,
+    addr: usize,
+}
+
+/// Open-addressed `word address -> redo-log index` map: linear probing over
+/// a power-of-two slab, generation-stamped clearing, grow-on-spill.
+pub(crate) struct WriteMap {
+    slots: Box<[Slot]>,
+    mask: usize,
+    len: usize,
+    gen: u32,
+}
+
+impl Default for WriteMap {
+    fn default() -> Self {
+        WriteMap::new()
+    }
+}
+
+impl WriteMap {
+    const INITIAL_SLOTS: usize = 64;
+
+    pub(crate) fn new() -> Self {
+        WriteMap {
+            slots: Box::default(),
+            mask: 0,
+            len: 0,
+            gen: 1,
+        }
+    }
+
+    /// Same address hash the orec table uses (Fibonacci over the
+    /// word-aligned address); high bits folded into the probe start.
+    #[inline]
+    fn probe_start(&self, addr: usize) -> usize {
+        let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 24) & self.mask
+    }
+
+    /// Looks up the redo-log index recorded for `addr`.
+    #[inline]
+    pub(crate) fn get(&self, addr: usize) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut i = self.probe_start(addr);
+        loop {
+            let s = self.slots[i];
+            if s.gen != self.gen {
+                return None;
+            }
+            if s.addr == addr {
+                return Some(s.idx as usize);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Records `addr -> idx`. The caller must have checked `addr` is absent
+    /// (the redo log keeps one entry per address).
+    pub(crate) fn insert(&mut self, addr: usize, idx: usize) {
+        if self.len + 1 > self.slots.len() / 4 * 3 {
+            self.grow();
+        }
+        let mut i = self.probe_start(addr);
+        loop {
+            let s = &mut self.slots[i];
+            if s.gen != self.gen {
+                *s = Slot {
+                    gen: self.gen,
+                    idx: idx as u32,
+                    addr,
+                };
+                self.len += 1;
+                return;
+            }
+            debug_assert_ne!(s.addr, addr, "WriteMap::insert of a present address");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Populates the table from a deduplicated redo log (the spill path
+    /// when a transaction outgrows the inline small-write scan).
+    pub(crate) fn rebuild(&mut self, writes: &[(usize, u64)]) {
+        self.clear();
+        for (idx, &(addr, _)) in writes.iter().enumerate() {
+            self.insert(addr, idx);
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(Self::INITIAL_SLOTS);
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![Slot::default(); new_cap].into_boxed_slice(),
+        );
+        let old_gen = self.gen;
+        self.mask = new_cap - 1;
+        self.gen = 1;
+        self.len = 0;
+        for s in old.iter().filter(|s| s.gen == old_gen) {
+            self.insert(s.addr, s.idx as usize);
+        }
+    }
+
+    /// Empties the table in O(1) by bumping the generation stamp.
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
+        if self.gen == u32::MAX {
+            self.slots.iter_mut().for_each(|s| *s = Slot::default());
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Number of live entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl fmt::Debug for WriteMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteMap")
+            .field("len", &self.len)
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+/// The per-attempt log buffers, shared by all three engines. Which fields
+/// an engine uses (and what the `u64` payload means) differs per
+/// algorithm; the arena only cares that all of them are `(usize, u64)`
+/// pairs whose storage is worth keeping.
+#[derive(Debug, Default)]
+pub(crate) struct LogBufs {
+    /// Read set: eager/lazy record `(orec index, observed OrecValue)`,
+    /// NOrec records `(word address, value read)`.
+    pub(crate) reads: Vec<(usize, u64)>,
+    /// Redo log in program order, one entry per distinct address:
+    /// `(word address, buffered value)`. Unused by eager.
+    pub(crate) writes: Vec<(usize, u64)>,
+    /// Eager: orec locks held `(orec index, pre-lock value)`. Lazy: the
+    /// commit-time held-lock scratch list. Unused by NOrec.
+    pub(crate) locks: Vec<(usize, u64)>,
+    /// Eager's undo log `(word address, previous value)`. Unused by the
+    /// buffered engines.
+    pub(crate) undo: Vec<(usize, u64)>,
+    /// Redo-log index for [`LogBufs::writes`] past the inline window.
+    pub(crate) wmap: WriteMap,
+}
+
+impl LogBufs {
+    /// Clears every log, keeping all backing storage.
+    pub(crate) fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.locks.clear();
+        self.undo.clear();
+        self.wmap.clear();
+    }
+
+    /// Looks up the buffered value for `addr` in the redo log.
+    ///
+    /// Small-write fast path: transactions with at most [`SMALL_WRITES`]
+    /// distinct writes scan the log inline and never build the map.
+    #[inline]
+    pub(crate) fn redo_lookup(&self, addr: usize) -> Option<u64> {
+        if self.writes.len() <= SMALL_WRITES {
+            self.writes
+                .iter()
+                .find(|&&(a, _)| a == addr)
+                .map(|&(_, v)| v)
+        } else {
+            self.wmap.get(addr).map(|i| self.writes[i].1)
+        }
+    }
+
+    /// Buffers `addr -> v`, overwriting an existing entry for the same
+    /// address (the redo log holds one entry per address, so `writes.len()`
+    /// *is* the deduplicated write-set size).
+    #[inline]
+    pub(crate) fn redo_record(&mut self, addr: usize, v: u64) {
+        if self.writes.len() <= SMALL_WRITES {
+            if let Some(e) = self.writes.iter_mut().find(|e| e.0 == addr) {
+                e.1 = v;
+                return;
+            }
+            self.writes.push((addr, v));
+            if self.writes.len() == SMALL_WRITES + 1 {
+                // Spilled past the inline window: index everything so far.
+                self.wmap.rebuild(&self.writes);
+            }
+        } else {
+            match self.wmap.get(addr) {
+                Some(i) => self.writes[i].1 = v,
+                None => {
+                    self.wmap.insert(addr, self.writes.len());
+                    self.writes.push((addr, v));
+                }
+            }
+        }
+    }
+}
+
+/// A type-erased (empty) handler vector: only the allocation is reused,
+/// never any `'env` contents.
+type HandlerVec = Vec<Box<dyn FnOnce()>>;
+
+/// The per-thread transaction arena: log buffers plus the cached backing
+/// storage of the `onCommit`/`onAbort` handler vectors.
+pub(crate) struct Arena {
+    pub(crate) logs: LogBufs,
+    commit_handlers: HandlerVec,
+    abort_handlers: HandlerVec,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena {
+            logs: LogBufs::default(),
+            commit_handlers: Vec::new(),
+            abort_handlers: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena").field("logs", &self.logs).finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    /// One cached arena per thread. `Cell<Option<..>>` rather than
+    /// `RefCell` so a transaction started from inside an `onCommit`
+    /// handler (or any other reentrancy) simply sees an empty slot and
+    /// allocates fresh buffers instead of panicking.
+    static ARENA: Cell<Option<Box<Arena>>> = const { Cell::new(None) };
+}
+
+/// Re-lifetimes an empty handler vector. Sound because the vector holds no
+/// elements: only the raw allocation (pointer + capacity) is carried
+/// across, and `Box<dyn FnOnce() + 'a>` has the same layout for every
+/// `'a`.
+fn relifetime<'from, 'to>(mut v: Vec<Box<dyn FnOnce() + 'from>>) -> Vec<Box<dyn FnOnce() + 'to>> {
+    v.clear();
+    let cap = v.capacity();
+    let ptr = v.as_mut_ptr();
+    std::mem::forget(v);
+    // SAFETY: len is 0, so no element is ever read at the new lifetime;
+    // ptr/cap describe the same allocation with an identical element
+    // layout (lifetimes do not affect layout).
+    unsafe { Vec::from_raw_parts(ptr.cast::<Box<dyn FnOnce() + 'to>>(), 0, cap) }
+}
+
+impl Arena {
+    /// Takes this thread's cached arena, or a fresh one if none is cached
+    /// (first transaction on the thread, or a reentrant transaction).
+    pub(crate) fn take() -> Box<Arena> {
+        ARENA.with(|slot| slot.take()).unwrap_or_default()
+    }
+
+    /// Borrows the cached `onCommit` handler storage at the transaction's
+    /// environment lifetime. Must be paired with [`Arena::release`].
+    pub(crate) fn take_handler_vecs<'env>(
+        &mut self,
+    ) -> (
+        Vec<Box<dyn FnOnce() + 'env>>,
+        Vec<Box<dyn FnOnce() + 'env>>,
+    ) {
+        (
+            relifetime(std::mem::take(&mut self.commit_handlers)),
+            relifetime(std::mem::take(&mut self.abort_handlers)),
+        )
+    }
+
+    /// Returns an arena (plus the handler vectors borrowed from it) to the
+    /// thread-local cache, clearing everything but keeping all storage.
+    /// The handler vectors must already be empty (drained by commit or
+    /// abort); any stragglers are dropped here before the lifetime is
+    /// erased.
+    pub(crate) fn release<'env>(
+        mut self: Box<Self>,
+        commit_handlers: Vec<Box<dyn FnOnce() + 'env>>,
+        abort_handlers: Vec<Box<dyn FnOnce() + 'env>>,
+    ) {
+        debug_assert!(commit_handlers.is_empty() && abort_handlers.is_empty());
+        self.commit_handlers = relifetime(commit_handlers);
+        self.abort_handlers = relifetime(abort_handlers);
+        self.logs.clear();
+        ARENA.with(|slot| {
+            // Keep at most one cached arena per thread; if a reentrant
+            // transaction already refilled the slot, drop this one.
+            if slot.take().is_none() {
+                slot.set(Some(self));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writemap_insert_get_roundtrip() {
+        let mut m = WriteMap::new();
+        for i in 0..200usize {
+            m.insert(0x1000 + i * 8, i);
+        }
+        assert_eq!(m.len(), 200);
+        for i in 0..200usize {
+            assert_eq!(m.get(0x1000 + i * 8), Some(i));
+        }
+        assert_eq!(m.get(0x1000 + 200 * 8), None);
+    }
+
+    #[test]
+    fn writemap_clear_is_generation_bump() {
+        let mut m = WriteMap::new();
+        m.insert(0x2000, 0);
+        let slots_before = m.slots.len();
+        m.clear();
+        assert_eq!(m.get(0x2000), None);
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.slots.len(), slots_before, "clear must not free the slab");
+        m.insert(0x2000, 7);
+        assert_eq!(m.get(0x2000), Some(7));
+    }
+
+    #[test]
+    fn writemap_survives_generation_wraparound() {
+        let mut m = WriteMap::new();
+        m.insert(0x3000, 1);
+        m.gen = u32::MAX - 1;
+        m.clear(); // -> MAX
+        m.insert(0x3000, 2);
+        assert_eq!(m.get(0x3000), Some(2));
+        m.clear(); // wraps: full rezero
+        assert_eq!(m.gen, 1);
+        assert_eq!(m.get(0x3000), None);
+        m.insert(0x3000, 3);
+        assert_eq!(m.get(0x3000), Some(3));
+    }
+
+    #[test]
+    fn redo_log_stays_deduplicated_across_the_spill() {
+        let mut b = LogBufs::default();
+        // Fill the inline window, overwriting one address repeatedly.
+        for i in 0..SMALL_WRITES {
+            b.redo_record(0x4000 + i * 8, i as u64);
+            b.redo_record(0x4000, 100 + i as u64);
+        }
+        assert_eq!(b.writes.len(), SMALL_WRITES, "overwrites must not grow the log");
+        // Spill well past the window.
+        for i in SMALL_WRITES..100 {
+            b.redo_record(0x4000 + i * 8, i as u64);
+        }
+        assert_eq!(b.writes.len(), 100);
+        assert_eq!(b.wmap.len(), 100, "wmap and writes must agree after the spill");
+        // Every address maps to its (unique) log entry, via both paths.
+        for i in 0..100usize {
+            let expect = if i == 0 {
+                100 + SMALL_WRITES as u64 - 1
+            } else {
+                i as u64
+            };
+            assert_eq!(b.redo_lookup(0x4000 + i * 8), Some(expect), "addr {i}");
+        }
+        // Overwrite through the map path; the log must not grow.
+        b.redo_record(0x4000 + 50 * 8, 999);
+        assert_eq!(b.writes.len(), 100);
+        assert_eq!(b.redo_lookup(0x4000 + 50 * 8), Some(999));
+        b.clear();
+        assert!(b.writes.is_empty());
+        assert_eq!(b.redo_lookup(0x4000), None);
+    }
+
+    #[test]
+    fn arena_take_release_reuses_capacity() {
+        // Prime the thread-local arena with grown buffers.
+        let mut a = Arena::take();
+        a.logs.reads.reserve(1024);
+        let cap = a.logs.reads.capacity();
+        let (ch, ah) = a.take_handler_vecs();
+        a.release(ch, ah);
+        // The next take on this thread sees the same storage.
+        let a2 = Arena::take();
+        assert!(a2.logs.reads.capacity() >= cap, "capacity must survive release/take");
+        let (ch, ah) = {
+            let mut a2 = a2;
+            let v = a2.take_handler_vecs();
+            a2.release(v.0, v.1);
+            Arena::take().take_handler_vecs()
+        };
+        assert!(ch.is_empty() && ah.is_empty());
+    }
+
+    #[test]
+    fn handler_storage_survives_relifetime() {
+        let mut a = Arena::take();
+        let (mut ch, ah) = a.take_handler_vecs();
+        ch.reserve(32);
+        let cap = ch.capacity();
+        ch.push(Box::new(|| {}));
+        ch.clear();
+        a.release(ch, ah);
+        let mut a = Arena::take();
+        let (ch, _ah) = a.take_handler_vecs();
+        assert!(ch.capacity() >= cap, "handler allocation must be reused");
+    }
+}

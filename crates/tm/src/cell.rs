@@ -223,6 +223,29 @@ impl TBytes {
         (i / 8, (i % 8) as u32 * 8)
     }
 
+    /// Non-transactional load of the backing word at `wi` (8 bytes,
+    /// little-endian; padding bytes past `len()` are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi >= self.word_count()`.
+    #[inline]
+    pub fn load_word_direct(&self, wi: usize) -> u64 {
+        self.words[wi].load_direct()
+    }
+
+    /// Non-transactional store of the backing word at `wi`. The caller
+    /// owns every byte of the word, including padding past `len()` (which
+    /// must be stored as zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi >= self.word_count()`.
+    #[inline]
+    pub fn store_word_direct(&self, wi: usize, v: u64) {
+        self.words[wi].store_direct(v);
+    }
+
     /// Non-transactional byte load.
     ///
     /// # Panics
@@ -272,8 +295,16 @@ impl TBytes {
             offset + dst.len(),
             self.len
         );
-        for (k, d) in dst.iter_mut().enumerate() {
-            *d = self.load_byte_direct(offset + k);
+        // Word-granular: one atomic load per 8 bytes, byte extraction at
+        // the unaligned head/tail.
+        let mut i = 0;
+        while i < dst.len() {
+            let (wi, sh) = Self::locate(offset + i);
+            let first = (sh / 8) as usize;
+            let n = (8 - first).min(dst.len() - i);
+            let bytes = self.words[wi].load_direct().to_le_bytes();
+            dst[i..i + n].copy_from_slice(&bytes[first..first + n]);
+            i += n;
         }
     }
 
@@ -289,8 +320,24 @@ impl TBytes {
             offset + src.len(),
             self.len
         );
-        for (k, &b) in src.iter().enumerate() {
-            self.store_byte_direct(offset + k, b);
+        // Whole covered words are stored blind (the caller owns every byte
+        // of them); partial head/tail words go through the byte-merging
+        // CAS path so neighboring bytes outside the range are preserved.
+        let mut i = 0;
+        while i < src.len() {
+            let (wi, sh) = Self::locate(offset + i);
+            let first = (sh / 8) as usize;
+            let n = (8 - first).min(src.len() - i);
+            if n == 8 {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&src[i..i + 8]);
+                self.words[wi].store_direct(u64::from_le_bytes(bytes));
+            } else {
+                for k in 0..n {
+                    self.store_byte_direct(offset + i + k, src[i + k]);
+                }
+            }
+            i += n;
         }
     }
 

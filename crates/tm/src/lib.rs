@@ -67,6 +67,7 @@
 #![warn(missing_debug_implementations)]
 
 mod algo;
+mod arena;
 mod cell;
 mod clock;
 mod cm;

@@ -50,13 +50,26 @@ pub fn unlocked_at(version: u64) -> OrecValue {
     version << 1
 }
 
+/// One orec, padded to a full cache line. Orecs are the hottest shared
+/// words in the orec-based algorithms (every read samples one, every
+/// commit CASes several); without padding, eight orecs share a 64-byte
+/// line and a committer locking one orec invalidates the line under
+/// readers of seven unrelated ones — false sharing that Fibonacci hashing
+/// makes *more* likely by design, since it scatters adjacent addresses
+/// across the whole table.
+#[derive(Default)]
+#[repr(align(64))]
+struct PaddedOrec(AtomicU64);
+
 /// The table of ownership records shared by all transactions of one
 /// [`crate::TmRuntime`].
 ///
 /// The table size trades false conflicts for memory; the default of 2^16
 /// entries matches the scale of the memcached reproduction's working set.
+/// Entries are cache-line-padded ([`PaddedOrec`]), so a table costs
+/// 64 bytes per orec.
 pub struct OrecTable {
-    orecs: Box<[AtomicU64]>,
+    orecs: Box<[PaddedOrec]>,
     mask: usize,
 }
 
@@ -75,7 +88,7 @@ impl OrecTable {
             "orec table log_size {log_size} out of range 1..=28"
         );
         let n = 1usize << log_size;
-        let orecs = (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let orecs = (0..n).map(|_| PaddedOrec::default()).collect::<Vec<_>>();
         OrecTable {
             orecs: orecs.into_boxed_slice(),
             mask: n - 1,
@@ -107,13 +120,14 @@ impl OrecTable {
     /// Loads the orec at `idx`.
     #[inline]
     pub fn load(&self, idx: usize) -> OrecValue {
-        self.orecs[idx].load(Ordering::Acquire)
+        self.orecs[idx].0.load(Ordering::Acquire)
     }
 
     /// Attempts to CAS the orec at `idx` from `current` to `new`.
     #[inline]
     pub fn try_update(&self, idx: usize, current: OrecValue, new: OrecValue) -> bool {
         self.orecs[idx]
+            .0
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
@@ -122,7 +136,7 @@ impl OrecTable {
     /// this (release paths).
     #[inline]
     pub fn release(&self, idx: usize, new: OrecValue) {
-        self.orecs[idx].store(new, Ordering::Release);
+        self.orecs[idx].0.store(new, Ordering::Release);
     }
 }
 

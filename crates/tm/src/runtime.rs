@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::algo::{Algorithm, Engine};
+use crate::arena::Arena;
 use crate::clock::{GlobalClock, SeqLock};
 use crate::cm::{exponential_backoff, ContentionManager, Hourglass};
 use crate::cell::TCell;
@@ -292,11 +293,26 @@ impl TmRuntime {
         let rt: &'env RtInner = &self.inner;
         let id = rt.next_tx_id.fetch_add(1, Ordering::Relaxed) + 1;
         let mut consecutive_aborts: u32 = 0;
+        // This thread's log arena: cleared — not freed — between attempts,
+        // and returned to the thread-local cache at the end, so retries and
+        // successive transactions on one thread reuse all log storage (and
+        // the handler vectors' backing allocation, lifetime-erased while
+        // empty).
+        let mut arena = Arena::take();
+        let (mut commit_handlers, mut abort_handlers) = arena.take_handler_vecs();
         loop {
             if let ContentionManager::Hourglass(_) = rt.cm {
                 rt.hourglass.wait_at_begin(id);
             }
-            let inner = self.begin_attempt(rt, id, plan, consecutive_aborts);
+            let inner = self.begin_attempt(
+                rt,
+                id,
+                plan,
+                consecutive_aborts,
+                arena,
+                commit_handlers,
+                abort_handlers,
+            );
             let (mut inner, verdict) = body(inner);
             let outcome = match verdict {
                 Ok(r) => match self.finish_commit(&mut inner) {
@@ -312,13 +328,20 @@ impl TmRuntime {
                     AttemptOutcome::Cancelled
                 }
             };
+            // Recover the reusable storage from the finished attempt (the
+            // handler vectors were drained in place, keeping capacity).
+            commit_handlers = std::mem::take(&mut inner.commit_handlers);
+            abort_handlers = std::mem::take(&mut inner.abort_handlers);
+            arena = inner.arena;
             match outcome {
                 AttemptOutcome::Committed(r) => {
                     rt.hourglass.open_if_held(id);
+                    arena.release(commit_handlers, abort_handlers);
                     return Ok(r);
                 }
                 AttemptOutcome::Cancelled => {
                     rt.hourglass.open_if_held(id);
+                    arena.release(commit_handlers, abort_handlers);
                     return Err(Cancelled);
                 }
                 AttemptOutcome::Aborted => {
@@ -339,13 +362,18 @@ impl TmRuntime {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn begin_attempt<'env>(
         &'env self,
         rt: &'env RtInner,
         id: u64,
         plan: RelaxedPlan,
         consecutive_aborts: u32,
+        arena: Box<Arena>,
+        commit_handlers: Vec<Box<dyn FnOnce() + 'env>>,
+        abort_handlers: Vec<Box<dyn FnOnce() + 'env>>,
     ) -> TxInner<'env> {
+        debug_assert!(arena.logs.writes.is_empty() && arena.logs.reads.is_empty());
         rt.stats.bump(&rt.stats.begins);
         let serialize_by_cm = matches!(rt.cm, ContentionManager::SerializeAfter(n) if consecutive_aborts >= n);
         let serialize = plan.start_serial || serialize_by_cm;
@@ -367,11 +395,12 @@ impl TmRuntime {
                 rt,
                 id,
                 engine: Engine::Serial,
+                arena,
                 irrevocable: true,
                 holds_read: false,
                 holds_write: true,
-                commit_handlers: Vec::new(),
-                abort_handlers: Vec::new(),
+                commit_handlers,
+                abort_handlers,
             }
         } else {
             let holds_read = match rt.serial_mode {
@@ -385,20 +414,24 @@ impl TmRuntime {
                 rt,
                 id,
                 engine: Engine::begin(rt, id),
+                arena,
                 irrevocable: false,
                 holds_read,
                 holds_write: false,
-                commit_handlers: Vec::new(),
-                abort_handlers: Vec::new(),
+                commit_handlers,
+                abort_handlers,
             }
         }
     }
 
     /// Commits an attempt. On `Err` the attempt has been fully aborted.
+    ///
+    /// Handler vectors are drained in place (not `mem::take`n) so their
+    /// backing storage survives into the next attempt / transaction.
     fn finish_commit(&self, inner: &mut TxInner<'_>) -> Result<(), Abort> {
         let rt = inner.rt;
-        let read_only = inner.engine.is_read_only() && !inner.irrevocable;
-        if let Err(e) = inner.engine.commit(rt) {
+        let read_only = inner.engine.is_read_only(&inner.arena.logs) && !inner.irrevocable;
+        if let Err(e) = inner.engine.commit(rt, &mut inner.arena.logs) {
             // Engine rolled itself back; finish the bookkeeping.
             self.finish_abort(inner);
             return Err(e);
@@ -412,10 +445,10 @@ impl TmRuntime {
             rt.stats.bump(&rt.stats.irrevocable_commits);
         }
         stats::tally_commit();
-        let handlers = std::mem::take(&mut inner.commit_handlers);
-        rt.stats.add(&rt.stats.commit_handlers_run, handlers.len() as u64);
+        rt.stats
+            .add(&rt.stats.commit_handlers_run, inner.commit_handlers.len() as u64);
         inner.abort_handlers.clear();
-        for h in handlers {
+        for h in inner.commit_handlers.drain(..) {
             h();
         }
         Ok(())
@@ -423,27 +456,27 @@ impl TmRuntime {
 
     fn finish_abort(&self, inner: &mut TxInner<'_>) {
         let rt = inner.rt;
-        inner.engine.rollback(rt);
+        inner.engine.rollback(rt, &mut inner.arena.logs);
         inner.release_serial();
         rt.stats.bump(&rt.stats.aborts);
         stats::tally_abort();
-        let handlers = std::mem::take(&mut inner.abort_handlers);
-        rt.stats.add(&rt.stats.abort_handlers_run, handlers.len() as u64);
+        rt.stats
+            .add(&rt.stats.abort_handlers_run, inner.abort_handlers.len() as u64);
         inner.commit_handlers.clear();
-        for h in handlers {
+        for h in inner.abort_handlers.drain(..) {
             h();
         }
     }
 
     fn finish_cancel(&self, inner: &mut TxInner<'_>) {
         let rt = inner.rt;
-        inner.engine.rollback(rt);
+        inner.engine.rollback(rt, &mut inner.arena.logs);
         inner.release_serial();
         rt.stats.bump(&rt.stats.cancels);
-        let handlers = std::mem::take(&mut inner.abort_handlers);
-        rt.stats.add(&rt.stats.abort_handlers_run, handlers.len() as u64);
+        rt.stats
+            .add(&rt.stats.abort_handlers_run, inner.abort_handlers.len() as u64);
         inner.commit_handlers.clear();
-        for h in handlers {
+        for h in inner.abort_handlers.drain(..) {
             h();
         }
     }

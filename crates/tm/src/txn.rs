@@ -20,6 +20,7 @@
 //! either kind of transaction and cannot perform unsafe operations.
 
 use crate::algo::Engine;
+use crate::arena::Arena;
 use crate::cell::{TBytes, TCell, TWord};
 use crate::error::Abort;
 use crate::runtime::RtInner;
@@ -291,6 +292,82 @@ pub trait Transaction<'env>: sealed::Sealed {
         Ok(())
     }
 
+    /// Transactionally reads whole backing words of a [`TBytes`] —
+    /// one orec/log entry per 8 bytes. This is the bulk primitive
+    /// `tmstd`'s word-granular `memcpy`/`strlen`/`memcmp` rewrites sit on;
+    /// padding bytes of the final word (past `len()`) read as zero.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] on conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi + dst.len() > b.word_count()`.
+    fn read_words(&mut self, b: &'env TBytes, wi: usize, dst: &mut [u64]) -> Result<(), Abort>
+    where
+        Self: Sized,
+    {
+        assert!(
+            wi.checked_add(dst.len()).is_some_and(|e| e <= b.word_count()),
+            "TBytes word range {wi}..{} out of bounds ({} words)",
+            wi + dst.len(),
+            b.word_count()
+        );
+        for (k, d) in dst.iter_mut().enumerate() {
+            *d = self.read_word(b.word(wi + k))?;
+        }
+        Ok(())
+    }
+
+    /// Transactionally writes whole backing words of a [`TBytes`] — one
+    /// orec/log entry per 8 bytes, no read-merge. The caller owns every
+    /// byte of the covered words, including any padding past `len()`
+    /// (which must be written as zero to preserve the invariant that
+    /// padding reads as zero).
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] on conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi + src.len() > b.word_count()`.
+    fn write_words(&mut self, b: &'env TBytes, wi: usize, src: &[u64]) -> Result<(), Abort>
+    where
+        Self: Sized,
+    {
+        assert!(
+            wi.checked_add(src.len()).is_some_and(|e| e <= b.word_count()),
+            "TBytes word range {wi}..{} out of bounds ({} words)",
+            wi + src.len(),
+            b.word_count()
+        );
+        for (k, &v) in src.iter().enumerate() {
+            self.write_word(b.word(wi + k), v)?;
+        }
+        Ok(())
+    }
+
+    /// Transactional bulk copy of `src` into a [`TBytes`] window: the
+    /// word-granular counterpart of a `memcpy` from private memory. Whole
+    /// covered words cost one log entry each (written blind); the partial
+    /// head/tail words, if any, are read-merged at byte granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] on conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > b.len()`.
+    fn copy_from_slice(&mut self, b: &'env TBytes, offset: usize, src: &[u8]) -> Result<(), Abort>
+    where
+        Self: Sized,
+    {
+        self.write_bytes(b, offset, src)
+    }
+
     /// Reads an entire [`TBytes`] buffer into a fresh `Vec`.
     ///
     /// # Errors
@@ -322,11 +399,15 @@ pub trait Transaction<'env>: sealed::Sealed {
     }
 }
 
-/// Shared state of one transaction attempt.
+/// Shared state of one transaction attempt. The log buffers (and the
+/// backing storage of the handler vectors) live in `arena`, the thread's
+/// reusable allocation pool; `run_loop` threads it through every attempt
+/// and returns it to the thread-local cache when the transaction finishes.
 pub(crate) struct TxInner<'env> {
     pub(crate) rt: &'env RtInner,
     pub(crate) id: u64,
     pub(crate) engine: Engine,
+    pub(crate) arena: Box<Arena>,
     pub(crate) irrevocable: bool,
     pub(crate) holds_read: bool,
     pub(crate) holds_write: bool,
@@ -337,12 +418,12 @@ pub(crate) struct TxInner<'env> {
 impl<'env> TxInner<'env> {
     #[inline]
     pub(crate) fn read_word(&mut self, w: &'env TWord) -> Result<u64, Abort> {
-        self.engine.read_word(self.rt, w.addr())
+        self.engine.read_word(self.rt, &mut self.arena.logs, w.addr())
     }
 
     #[inline]
     pub(crate) fn write_word(&mut self, w: &'env TWord, v: u64) -> Result<(), Abort> {
-        self.engine.write_word(self.rt, w.addr(), v)
+        self.engine.write_word(self.rt, &mut self.arena.logs, w.addr(), v)
     }
 
     /// GCC's in-flight switch to serial-irrevocable mode.
@@ -373,7 +454,7 @@ impl<'env> TxInner<'env> {
                     self.holds_read = false;
                 }
                 self.rt.serial.write_acquire();
-                match self.engine.make_irrevocable(self.rt) {
+                match self.engine.make_irrevocable(self.rt, &mut self.arena.logs) {
                     Ok(()) => {
                         self.holds_write = true;
                         self.irrevocable = true;

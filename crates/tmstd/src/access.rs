@@ -60,6 +60,68 @@ pub trait ByteAccess<'env> {
         Ok(())
     }
 
+    /// Reads whole backing words of a [`TBytes`], starting at word index
+    /// `wi` — the bulk primitive behind the word-granular
+    /// `strlen`/`memcmp` clones (one orec/log entry per 8 bytes under
+    /// transactional access). Padding bytes past `b.len()` read as zero.
+    ///
+    /// The default reconstructs words from byte reads; both built-in
+    /// implementations override it.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] under transactional access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi + dst.len() > b.word_count()`.
+    fn get_words(&mut self, b: &'env TBytes, wi: usize, dst: &mut [u64]) -> Result<(), Abort> {
+        assert!(
+            wi.checked_add(dst.len()).is_some_and(|e| e <= b.word_count()),
+            "TBytes word range {wi}..{} out of bounds ({} words)",
+            wi + dst.len(),
+            b.word_count()
+        );
+        for (j, d) in dst.iter_mut().enumerate() {
+            let base = (wi + j) * 8;
+            let mut w = 0u64;
+            for bi in 0..8usize.min(b.len().saturating_sub(base)) {
+                w |= u64::from(self.get(b, base + bi)?) << (bi * 8);
+            }
+            *d = w;
+        }
+        Ok(())
+    }
+
+    /// Writes whole backing words of a [`TBytes`] starting at word index
+    /// `wi`. The caller owns every byte of the covered words; padding
+    /// bytes past `b.len()` must be written as zero.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] under transactional access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi + src.len() > b.word_count()`.
+    fn put_words(&mut self, b: &'env TBytes, wi: usize, src: &[u64]) -> Result<(), Abort> {
+        assert!(
+            wi.checked_add(src.len()).is_some_and(|e| e <= b.word_count()),
+            "TBytes word range {wi}..{} out of bounds ({} words)",
+            wi + src.len(),
+            b.word_count()
+        );
+        for (j, &w) in src.iter().enumerate() {
+            let base = (wi + j) * 8;
+            let bytes = w.to_le_bytes();
+            let n = 8usize.min(b.len().saturating_sub(base));
+            for bi in 0..n {
+                self.put(b, base + bi, bytes[bi])?;
+            }
+        }
+        Ok(())
+    }
+
     /// Reads one whole [`TWord`] (header fields, pointers, counters).
     ///
     /// # Errors
@@ -111,6 +173,14 @@ impl<'env, T: Transaction<'env>> ByteAccess<'env> for TxAccess<'_, 'env, T> {
         self.tx.write_bytes(b, off, src)
     }
 
+    fn get_words(&mut self, b: &'env TBytes, wi: usize, dst: &mut [u64]) -> Result<(), Abort> {
+        self.tx.read_words(b, wi, dst)
+    }
+
+    fn put_words(&mut self, b: &'env TBytes, wi: usize, src: &[u64]) -> Result<(), Abort> {
+        self.tx.write_words(b, wi, src)
+    }
+
     fn get_word(&mut self, w: &'env TWord) -> Result<u64, Abort> {
         self.tx.read_word(w)
     }
@@ -144,6 +214,20 @@ impl<'env> ByteAccess<'env> for DirectAccess {
 
     fn put_range(&mut self, b: &'env TBytes, off: usize, src: &[u8]) -> Result<(), Abort> {
         b.store_slice_direct(off, src);
+        Ok(())
+    }
+
+    fn get_words(&mut self, b: &'env TBytes, wi: usize, dst: &mut [u64]) -> Result<(), Abort> {
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = b.load_word_direct(wi + j);
+        }
+        Ok(())
+    }
+
+    fn put_words(&mut self, b: &'env TBytes, wi: usize, src: &[u64]) -> Result<(), Abort> {
+        for (j, &w) in src.iter().enumerate() {
+            b.store_word_direct(wi + j, w);
+        }
         Ok(())
     }
 

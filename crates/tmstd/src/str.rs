@@ -1,10 +1,32 @@
 //! Transaction-safe reimplementations of the basic string functions the
 //! paper lists in §3.4: `strlen`, `strncmp`, `strncpy`, `strchr` (plus
 //! `strnlen` as the bounded form every real use in memcached wants).
+//!
+//! The scanning functions are word-granular: one transactional access per
+//! 8 bytes via [`ByteAccess::get_words`], with SWAR zero-byte detection on
+//! the loaded words and byte-granularity handling of the unaligned head
+//! and the sub-word tail. This is the half of the paper's `memcpy`-tax
+//! argument that applies to *reads*: under the buffered-update algorithms
+//! every byte access used to cost a redo-map probe plus a full word log
+//! entry, eight times over per word of string.
 
 use tm::{Abort, TBytes};
 
 use crate::access::ByteAccess;
+
+/// Position (0..8, little-endian byte order) of the first zero byte in
+/// `w`, if any. The classic SWAR trick: `(w - 0x01..01) & !w & 0x80..80`
+/// has the high bit set exactly at zero bytes at or below the first
+/// borrow, and no false positive can precede the first true zero byte.
+#[inline]
+fn zero_byte_pos(w: u64) -> Option<usize> {
+    let m = w.wrapping_sub(0x0101_0101_0101_0101) & !w & 0x8080_8080_8080_8080;
+    if m == 0 {
+        None
+    } else {
+        Some(m.trailing_zeros() as usize / 8)
+    }
+}
 
 /// `strlen(s + off)`: bytes before the first NUL.
 ///
@@ -31,10 +53,29 @@ pub fn strnlen<'e, A: ByteAccess<'e>>(
     maxlen: usize,
 ) -> Result<usize, Abort> {
     let limit = maxlen.min(s.len().saturating_sub(off));
-    for k in 0..limit {
+    let mut k = 0;
+    // Byte-granularity head up to word alignment.
+    while k < limit && (off + k) % 8 != 0 {
         if a.get(s, off + k)? == 0 {
             return Ok(k);
         }
+        k += 1;
+    }
+    // Word-granular SWAR scan over the aligned middle.
+    while limit - k >= 8 {
+        let mut w = [0u64; 1];
+        a.get_words(s, (off + k) / 8, &mut w)?;
+        if let Some(p) = zero_byte_pos(w[0]) {
+            return Ok(k + p);
+        }
+        k += 8;
+    }
+    // Byte-granularity tail.
+    while k < limit {
+        if a.get(s, off + k)? == 0 {
+            return Ok(k);
+        }
+        k += 1;
     }
     Ok(limit)
 }
@@ -52,15 +93,30 @@ pub fn strncmp<'e, A: ByteAccess<'e>>(
     t: &[u8],
     n: usize,
 ) -> Result<i32, Abort> {
-    for k in 0..n {
-        let sb = if off + k < s.len() { a.get(s, off + k)? } else { 0 };
-        let tb = t.get(k).copied().unwrap_or(0);
-        if sb != tb {
-            return Ok(sb as i32 - tb as i32);
+    // Chunked word-granular reads of `s` (get_range handles unaligned
+    // head/tail at byte granularity); the compare itself stays byte-wise
+    // for the NUL-stop semantics.
+    let mut buf = [0u8; 32];
+    let mut k = 0;
+    while k < n {
+        let m = (n - k).min(buf.len()).min(s.len().saturating_sub(off + k));
+        if m == 0 {
+            // Past the buffer end `s` reads as NUL, which ends the
+            // comparison either way.
+            return Ok(-i32::from(t.get(k).copied().unwrap_or(0)));
         }
-        if sb == 0 {
-            return Ok(0);
+        a.get_range(s, off + k, &mut buf[..m])?;
+        for j in 0..m {
+            let sb = buf[j];
+            let tb = t.get(k + j).copied().unwrap_or(0);
+            if sb != tb {
+                return Ok(i32::from(sb) - i32::from(tb));
+            }
+            if sb == 0 {
+                return Ok(0);
+            }
         }
+        k += m;
     }
     Ok(0)
 }
@@ -82,18 +138,20 @@ pub fn strncpy<'e, A: ByteAccess<'e>>(
     src: &[u8],
     n: usize,
 ) -> Result<(), Abort> {
-    let mut hit_nul = false;
-    for k in 0..n {
-        let b = if hit_nul {
-            0
-        } else {
-            let b = src.get(k).copied().unwrap_or(0);
-            if b == 0 {
-                hit_nul = true;
-            }
-            b
-        };
-        a.put(dst, doff + k, b)?;
+    // Bulk-copy up to the source NUL, then bulk-pad with NULs — both
+    // word-granular through put_range instead of one put per byte.
+    let copy = src
+        .iter()
+        .position(|&b| b == 0)
+        .unwrap_or(src.len())
+        .min(n);
+    a.put_range(dst, doff, &src[..copy])?;
+    let zeros = [0u8; 64];
+    let mut k = copy;
+    while k < n {
+        let m = (n - k).min(zeros.len());
+        a.put_range(dst, doff + k, &zeros[..m])?;
+        k += m;
     }
     Ok(())
 }
@@ -110,7 +168,10 @@ pub fn strchr<'e, A: ByteAccess<'e>>(
     off: usize,
     c: u8,
 ) -> Result<Option<usize>, Abort> {
-    for k in 0..s.len().saturating_sub(off) {
+    let limit = s.len().saturating_sub(off);
+    let mut k = 0;
+    // Byte-granularity head up to word alignment.
+    while k < limit && (off + k) % 8 != 0 {
         let b = a.get(s, off + k)?;
         if b == c {
             return Ok(Some(k));
@@ -120,6 +181,36 @@ pub fn strchr<'e, A: ByteAccess<'e>>(
             // strchr(s, '\0')).
             return Ok(if c == 0 { Some(k) } else { None });
         }
+        k += 1;
+    }
+    // Word-granular middle: SWAR-search each word for both `c` (xor with
+    // the broadcast byte turns matches into zero bytes) and NUL.
+    let broadcast = u64::from(c) * 0x0101_0101_0101_0101;
+    while limit - k >= 8 {
+        let mut w = [0u64; 1];
+        a.get_words(s, (off + k) / 8, &mut w)?;
+        let cpos = zero_byte_pos(w[0] ^ broadcast);
+        let zpos = zero_byte_pos(w[0]);
+        if let Some(cp) = cpos {
+            if zpos.map_or(true, |z| cp <= z) {
+                return Ok(Some(k + cp));
+            }
+        }
+        if zpos.is_some() {
+            return Ok(None); // NUL before any match (c == 0 hits cpos first)
+        }
+        k += 8;
+    }
+    // Byte-granularity tail.
+    while k < limit {
+        let b = a.get(s, off + k)?;
+        if b == c {
+            return Ok(Some(k));
+        }
+        if b == 0 {
+            return Ok(if c == 0 { Some(k) } else { None });
+        }
+        k += 1;
     }
     Ok(None)
 }

@@ -18,4 +18,10 @@ cargo test -q --workspace --offline
 echo "==> stress smoke (${STRESS_SECONDS}s, every algorithm/lock/CM combo)"
 cargo run --release --offline -p testkit --bin stress -- --seconds "$STRESS_SECONDS"
 
+echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc counts)"
+TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
+    TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
+    cargo bench --offline -p bench --bench stm_fastpath
+cp target/testkit-bench/BENCH_fastpath_*.json .
+
 echo "==> verify OK"
