@@ -162,6 +162,15 @@ pub struct McCache {
     workers: Vec<WorkerSlot>,
     log_lines: AtomicU64,
     shutdown: AtomicBool,
+    // Robustness telemetry: panics caught at the two supervision
+    // boundaries (per-request guards in `proto`, maintenance respawn).
+    request_panics: AtomicU64,
+    maintenance_panics: AtomicU64,
+    // Test-only traps that make the next request / maintenance wakeup
+    // panic deliberately (see the `trip_*` methods).
+    request_panic_trap: AtomicBool,
+    assoc_panic_trap: AtomicBool,
+    slab_panic_trap: AtomicBool,
 }
 
 impl std::fmt::Debug for McCache {
@@ -212,6 +221,10 @@ pub struct CacheStats {
     pub threads: ThreadSnapshot,
     /// Verbose log lines emitted.
     pub log_lines: u64,
+    /// Request panics converted to error responses.
+    pub request_panics: u64,
+    /// Maintenance-thread panics recovered by respawn.
+    pub maintenance_panics: u64,
 }
 
 impl McCache {
@@ -268,18 +281,42 @@ impl McCache {
             workers,
             log_lines: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            request_panics: AtomicU64::new(0),
+            maintenance_panics: AtomicU64::new(0),
+            request_panic_trap: AtomicBool::new(false),
+            assoc_panic_trap: AtomicBool::new(false),
+            slab_panic_trap: AtomicBool::new(false),
             start_time: Instant::now(),
             profiler,
             cfg,
         });
         let mut threads = Vec::new();
         if cache.cfg.maintenance {
-            let c = cache.clone();
-            threads.push(std::thread::spawn(move || c.assoc_maintenance_loop()));
-            let c = cache.clone();
-            threads.push(std::thread::spawn(move || c.slab_rebalance_loop()));
+            threads.push(Self::supervised(&cache, McCache::assoc_maintenance_loop));
+            threads.push(Self::supervised(&cache, McCache::slab_rebalance_loop));
         }
         McHandle { cache, threads }
+    }
+
+    /// Spawns a maintenance loop under a supervisor: a panic unwinding out
+    /// of the loop is counted and the loop re-entered, so one bad wakeup
+    /// (e.g. an assertion tripped mid-migration) degrades to a lost batch
+    /// instead of silently killing hash expansion or slab rebalancing for
+    /// the rest of the process's life.
+    fn supervised(cache: &Arc<McCache>, body: fn(&McCache)) -> JoinHandle<()> {
+        let c = cache.clone();
+        std::thread::spawn(move || loop {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&c)));
+            if r.is_ok() {
+                // The loop only returns on shutdown.
+                return;
+            }
+            c.maintenance_panics.fetch_add(1, Ordering::Relaxed);
+            if c.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Respawn: re-enter the loop body after the panic.
+        })
     }
 
     /// Stops the maintenance threads (idempotent).
@@ -321,6 +358,8 @@ impl McCache {
             global: self.core.global.snapshot_direct(),
             threads,
             log_lines: self.log_lines.load(Ordering::Relaxed),
+            request_panics: self.request_panics(),
+            maintenance_panics: self.maintenance_panics(),
         }
     }
 
@@ -328,6 +367,48 @@ impl McCache {
     /// so that time 0/1 never collide with "immediately".
     pub fn rel_time(&self) -> u32 {
         self.start_time.elapsed().as_secs() as u32 + 2
+    }
+
+    /// Requests whose handler panicked and was converted to a
+    /// `SERVER_ERROR` / binary internal-error response by the per-request
+    /// guard in [`crate::proto`].
+    pub fn request_panics(&self) -> u64 {
+        self.request_panics.load(Ordering::Relaxed)
+    }
+
+    /// Panics caught by the maintenance-thread supervisor (each one means
+    /// a loop was re-entered rather than left dead).
+    pub fn maintenance_panics(&self) -> u64 {
+        self.maintenance_panics.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_request_panic(&self) {
+        self.request_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn take_request_panic_trap(&self) -> bool {
+        self.request_panic_trap.swap(false, Ordering::SeqCst)
+    }
+
+    /// Makes the next protocol request panic inside its handler (tests the
+    /// per-request guard).
+    #[doc(hidden)]
+    pub fn trip_request_panic(&self) {
+        self.request_panic_trap.store(true, Ordering::SeqCst);
+    }
+
+    /// Makes the assoc maintenance thread panic at its next wakeup (tests
+    /// the supervisor's respawn).
+    #[doc(hidden)]
+    pub fn trip_assoc_panic(&self) {
+        self.assoc_panic_trap.store(true, Ordering::SeqCst);
+    }
+
+    /// Makes the slab rebalance thread panic at its next wakeup (tests the
+    /// supervisor's respawn).
+    #[doc(hidden)]
+    pub fn trip_slab_panic(&self) {
+        self.slab_panic_trap.store(true, Ordering::SeqCst);
     }
 
     // ------------------------------------------------------------------
@@ -1153,6 +1234,9 @@ impl McCache {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
+            if self.assoc_panic_trap.swap(false, Ordering::SeqCst) {
+                panic!("test trap: assoc maintenance panic");
+            }
             // Migrate in bounded batches until the expansion completes.
             // (idle, completed): idle ends the inner loop; completed means
             // this call finished a migration and the stat should bump.
@@ -1219,6 +1303,9 @@ impl McCache {
             }
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
+            }
+            if self.slab_panic_trap.swap(false, Ordering::SeqCst) {
+                panic!("test trap: slab rebalance panic");
             }
             // Acquire the rebalance lock: a trylock spin on the mutex in
             // the lock branches; the transactional boolean (§3.1) after.

@@ -7,10 +7,17 @@
 //! their uninstrumented clones, keeping the single-source property
 //! end-to-end.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use tm::TBytes;
 use tmstd::DirectAccess;
 
 use crate::cache::{ArithStatus, McCache, StoreStatus};
+
+/// The response a worker sends when a request handler panics: memcached's
+/// catch-all `SERVER_ERROR`, so one poisoned request costs one connection
+/// one error line instead of the whole process.
+pub const SERVER_ERROR_PANIC: &[u8] = b"SERVER_ERROR internal error for this request\r\n";
 
 /// Executes one complete ASCII request (command line and, for storage
 /// commands, the data block) against `cache` as worker `w`, returning the
@@ -19,7 +26,26 @@ use crate::cache::{ArithStatus, McCache, StoreStatus};
 /// Supported: `get`/`gets` (multi-key), `set`, `add`, `replace`,
 /// `append`, `prepend`, `cas`, `delete`, `incr`, `decr`, `touch`,
 /// `flush_all`, `stats`, `version`.
+///
+/// A panic unwinding out of the handler (a cache invariant tripped, an
+/// injected fault, ...) is caught here, counted in
+/// [`McCache::request_panics`], and answered with
+/// [`SERVER_ERROR_PANIC`] — the worker thread survives to serve the next
+/// request.
 pub fn execute_ascii(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
+    match catch_unwind(AssertUnwindSafe(|| execute_ascii_inner(cache, w, request))) {
+        Ok(resp) => resp,
+        Err(_panic) => {
+            cache.note_request_panic();
+            SERVER_ERROR_PANIC.to_vec()
+        }
+    }
+}
+
+fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
+    if cache.take_request_panic_trap() {
+        panic!("test trap: request panic");
+    }
     let buf = TBytes::from_slice(request);
     let mut a = DirectAccess;
     let line_end = match tmstd::strchr(&mut a, &buf, 0, b'\r').expect("direct") {
@@ -133,6 +159,8 @@ pub fn execute_ascii(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
                 ("evictions", s.global.evictions),
                 ("hash_expansions", s.global.expansions),
                 ("slab_reassigns", s.global.rebalances),
+                ("request_panics", s.request_panics),
+                ("maintenance_panics", s.maintenance_panics),
             ] {
                 out.push_str(&format!("STAT {k} {v}\r\n"));
             }
@@ -231,6 +259,9 @@ pub mod binary {
         NonNumeric = 0x0006,
         OutOfMemory = 0x0082,
         UnknownCommand = 0x0081,
+        /// 0x0084: the handler panicked and was recovered by the
+        /// per-request guard.
+        InternalError = 0x0084,
     }
 
     /// A decoded binary request.
@@ -336,7 +367,28 @@ pub mod binary {
     }
 
     /// Dispatches one binary request.
+    ///
+    /// Like [`super::execute_ascii`], a panicking handler is caught,
+    /// counted, and turned into a [`Status::InternalError`] response.
     pub fn execute(cache: &McCache, w: usize, req: &Request) -> Response {
+        match catch_unwind(AssertUnwindSafe(|| execute_inner(cache, w, req))) {
+            Ok(resp) => resp,
+            Err(_panic) => {
+                cache.note_request_panic();
+                Response {
+                    status: Status::InternalError,
+                    opaque: req.opaque,
+                    cas: 0,
+                    value: Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn execute_inner(cache: &McCache, w: usize, req: &Request) -> Response {
+        if cache.take_request_panic_trap() {
+            panic!("test trap: request panic");
+        }
         let mut resp = Response {
             status: Status::Ok,
             opaque: req.opaque,
@@ -468,6 +520,42 @@ mod tests {
         assert_eq!(execute_ascii(&c, 0, b"touch n 100\r\n"), b"TOUCHED\r\n");
         assert_eq!(execute_ascii(&c, 0, b"delete n\r\n"), b"DELETED\r\n");
         assert_eq!(execute_ascii(&c, 0, b"delete n\r\n"), b"NOT_FOUND\r\n");
+    }
+
+    #[test]
+    fn ascii_request_panic_becomes_server_error() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set k 0 0 1\r\nA\r\n");
+        c.trip_request_panic();
+        let r = execute_ascii(&c, 0, b"get k\r\n");
+        assert_eq!(r, SERVER_ERROR_PANIC);
+        assert_eq!(c.request_panics(), 1);
+        // The worker survives: the very next request succeeds.
+        let r = execute_ascii(&c, 0, b"get k\r\n");
+        assert_eq!(r, b"VALUE k 0 1\r\nA\r\nEND\r\n");
+        let stats = String::from_utf8(execute_ascii(&c, 0, b"stats\r\n")).unwrap();
+        assert!(stats.contains("STAT request_panics 1"), "{stats}");
+    }
+
+    #[test]
+    fn binary_request_panic_becomes_internal_error() {
+        let c = cache();
+        let get = binary::Request {
+            opcode: binary::Opcode::Get,
+            opaque: 0xDEAD_BEEF,
+            cas: 0,
+            key: b"k".to_vec(),
+            value: Vec::new(),
+            extra: 0,
+        };
+        c.trip_request_panic();
+        let resp = binary::execute(&c, 0, &get);
+        assert_eq!(resp.status, binary::Status::InternalError);
+        assert_eq!(resp.opaque, 0xDEAD_BEEF, "opaque still echoed");
+        assert_eq!(c.request_panics(), 1);
+        // Recovered: a normal miss afterwards.
+        let resp = binary::execute(&c, 0, &get);
+        assert_eq!(resp.status, binary::Status::KeyNotFound);
     }
 
     #[test]

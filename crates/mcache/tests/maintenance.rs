@@ -164,6 +164,51 @@ fn maintenance_threads_shut_down_cleanly() {
     );
 }
 
+/// A panic inside either maintenance loop must not leave the cache without
+/// its maintenance thread: the supervisor counts the panic and re-enters
+/// the loop, and a hash expansion driven afterwards still completes.
+#[test]
+fn maintenance_threads_respawn_after_panic() {
+    let handle = small(Branch::Semaphore, 5, 9, 8 << 20);
+    let c = handle.cache().clone();
+    assert_eq!(c.maintenance_panics(), 0);
+    // Trip both loops; they wake on their poll timeouts (20/25 ms) even
+    // without a signal, hit the trap, and get respawned.
+    c.trip_assoc_panic();
+    c.trip_slab_panic();
+    assert!(
+        wait_until(Duration::from_secs(5), || c.maintenance_panics() >= 2),
+        "supervisor caught {} panics, expected 2",
+        c.maintenance_panics()
+    );
+    // The respawned assoc thread still drives a real expansion to
+    // completion under load.
+    std::thread::scope(|s| {
+        for w in 0..4usize {
+            let c = c.clone();
+            s.spawn(move || {
+                for i in 0..150 {
+                    let key = format!("respawn-{w}-{i}");
+                    assert_eq!(
+                        c.set(w, key.as_bytes(), b"payload-bytes", 0, 0),
+                        mcache::StoreStatus::Stored
+                    );
+                }
+            });
+        }
+    });
+    assert!(
+        wait_until(Duration::from_secs(5), || c.stats().global.expansions >= 1),
+        "expansion never completed after respawn: {:?}",
+        c.stats().global
+    );
+    assert!(
+        c.get(0, b"respawn-0-0").is_some(),
+        "data lost across the panicked maintenance wakeups"
+    );
+    assert_eq!(c.stats().maintenance_panics, 2);
+}
+
 #[test]
 fn concurrent_expansion_and_deletes() {
     // Deleting while migrating must neither lose unrelated keys nor leave

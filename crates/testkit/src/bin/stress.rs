@@ -5,11 +5,15 @@
 //! cargo run --release -p testkit --bin stress -- --seconds 10
 //! cargo run --release -p testkit --bin stress -- --seed 0x5eed
 //! cargo run --release -p testkit --bin stress -- --seconds 5 --inject-bug
+//! cargo run --release -p testkit --features chaos --bin stress -- --chaos --seconds 5
 //! ```
 //!
 //! Exits non-zero on divergence, printing the failing seed and the replay
 //! command. `--inject-bug` corrupts the oracle on purpose, to demonstrate
-//! that detection and seed replay work.
+//! that detection and seed replay work. `--chaos` (requires the `chaos`
+//! feature) arms `tm::fault` on every worker thread: spurious aborts,
+//! bounded delays, and injected panics rain on all 21 combos while the
+//! ticket oracle stays on.
 
 use std::time::{Duration, Instant};
 
@@ -23,6 +27,7 @@ struct Args {
     cells: usize,
     ops: usize,
     inject_bug: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +39,7 @@ fn parse_args() -> Args {
         cells: 8,
         ops: 6,
         inject_bug: false,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -55,10 +61,11 @@ fn parse_args() -> Args {
             "--cells" => args.cells = num("--cells") as usize,
             "--ops" => args.ops = num("--ops") as usize,
             "--inject-bug" => args.inject_bug = true,
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
                 println!(
                     "usage: stress [--seconds N | --seed S] [--threads N] [--txns N] \
-                     [--cells N] [--ops N] [--inject-bug]"
+                     [--cells N] [--ops N] [--inject-bug] [--chaos]"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +80,67 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Chaos sweep: same seed/combo loop as the plain mode, but through
+/// [`testkit::stress::chaos::run_schedule_chaos`] with the default plan.
+#[cfg(feature = "chaos")]
+fn run_chaos(args: &Args, base: &StressConfig) -> ! {
+    use testkit::stress::chaos;
+    let combos = testkit::stress::combos();
+    let plan = chaos::default_plan();
+    let budget = Duration::from_secs(args.seconds.unwrap_or(10));
+    let start = Instant::now();
+    let (mut schedules, mut commits, mut aborts) = (0u64, 0u64, 0u64);
+    let (mut injected, mut panic_aborts) = (0u64, 0u64);
+    let mut seed = args.seed.unwrap_or(1);
+    loop {
+        for &(algorithm, serial_lock, contention) in &combos {
+            let cfg = StressConfig {
+                algorithm,
+                serial_lock,
+                contention,
+                ..base.clone()
+            };
+            match chaos::run_schedule_chaos(seed, &cfg, plan) {
+                Ok(r) => {
+                    schedules += 1;
+                    commits += r.report.commits;
+                    aborts += r.report.aborts;
+                    injected += r.injected;
+                    panic_aborts += r.panic_aborts;
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if args.seed.is_some() || start.elapsed() >= budget {
+            break;
+        }
+        seed += 1;
+    }
+    println!(
+        "stress: CHAOS OK — {} schedules over {} runtime combos, {} commits, {} aborts, \
+         {} faults injected ({} panic teardowns), {:.2}s",
+        schedules,
+        combos.len(),
+        commits,
+        aborts,
+        injected,
+        panic_aborts,
+        start.elapsed().as_secs_f64()
+    );
+    std::process::exit(0);
+}
+
+#[cfg(not(feature = "chaos"))]
+fn run_chaos(_args: &Args, _base: &StressConfig) -> ! {
+    die(
+        "chaos mode needs the `chaos` feature: \
+         cargo run --release -p testkit --features chaos --bin stress -- --chaos",
+    );
+}
+
 fn main() {
     let args = parse_args();
     let base = StressConfig {
@@ -82,6 +150,9 @@ fn main() {
         max_ops_per_txn: args.ops,
         ..StressConfig::smoke()
     };
+    if args.chaos {
+        run_chaos(&args, &base);
+    }
     let run = if args.inject_bug {
         run_schedule_sabotaged
     } else {

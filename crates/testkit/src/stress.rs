@@ -325,6 +325,273 @@ fn run_schedule_impl(
     })
 }
 
+/// Chaos mode: the same programs and the same ticket oracle as
+/// [`run_schedule`], but every worker thread arms `tm::fault` with a
+/// seed-derived stream, so the runtime is bombarded with spurious aborts,
+/// bounded delays, and injected panics at its five fault sites while the
+/// serializability check stays on.
+///
+/// Compiled only with the `chaos` feature (which turns on `tm/fault`).
+#[cfg(feature = "chaos")]
+pub mod chaos {
+    use super::*;
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use tm::fault::{self, FaultPlan};
+
+    /// One passed chaos schedule: the ordinary report plus how hard the
+    /// fault layer actually hit the runtime.
+    #[derive(Clone, Debug)]
+    pub struct ChaosReport {
+        /// The ordinary schedule measurements.
+        pub report: StressReport,
+        /// Fault actions (aborts + delays + panics) injected across all
+        /// worker threads.
+        pub injected: u64,
+        /// Attempts torn down by a panic unwinding through the runtime.
+        pub panic_aborts: u64,
+    }
+
+    /// The plan the stress binary's `--chaos` mode uses: every site armed,
+    /// with per-site-visit rates of ~1.6% spurious abort, ~3% bounded
+    /// delay, and ~0.4% panic. A transaction visits a dozen-odd sites per
+    /// attempt, so most transactions see at least one fault while every
+    /// retry loop still terminates quickly.
+    pub const fn default_plan() -> FaultPlan {
+        FaultPlan::all_sites(1024, 2048, 256)
+    }
+
+    /// Injected panics unwind through `catch_unwind` thousands of times
+    /// per schedule; the default panic hook would print a backtrace header
+    /// for each. Install (once) a hook that swallows exactly the fault
+    /// layer's own payloads and forwards everything else.
+    fn silence_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("tm::fault injected panic"));
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Runs one barrier-stepped schedule with every worker thread armed
+    /// for fault injection, then checks the ticket oracle and the
+    /// sequential model exactly as [`run_schedule`] does.
+    ///
+    /// Injected panics are caught per transaction and classified with the
+    /// thread's commit tally: a panic whose attempt never committed
+    /// (body/validation/commit-path injection) retries the same program;
+    /// a panic *after* the commit point (an injected handler panic) keeps
+    /// its ticket — the data is committed and must appear in the serial
+    /// order exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Divergence`] when the committed state disagrees with the
+    /// model — under chaos that means a fault unwound the runtime into an
+    /// inconsistent state (leaked orec, half-applied undo, ...).
+    pub fn run_schedule_chaos(
+        seed: u64,
+        cfg: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<ChaosReport, Divergence> {
+        assert!(cfg.threads > 0 && cfg.cells > 0 && cfg.txns_per_thread > 0);
+        silence_injected_panics();
+        let rt = TmRuntime::builder()
+            .algorithm(cfg.algorithm)
+            .serial_lock(cfg.serial_lock)
+            .contention_manager(cfg.contention)
+            .build();
+        let init = initial_values(seed, cfg.cells);
+        let cells: Vec<TCell<u64>> = init.iter().copied().map(TCell::new).collect();
+        let ticket = TCell::new(0u64);
+
+        let mut round_rng = SplitMix64::seed_from_u64(mix_seed(seed, 0x0107));
+        let per_round = round_rng.gen_range(1usize..5);
+        let rounds = cfg.txns_per_thread.div_ceil(per_round);
+        let barrier = Barrier::new(cfg.threads);
+
+        let before = rt.stats();
+        let mut order: Vec<(u64, usize, usize)> =
+            Vec::with_capacity(cfg.threads * cfg.txns_per_thread);
+        let mut injected = 0u64;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..cfg.threads {
+                let rt = &rt;
+                let cells = &cells;
+                let ticket = &ticket;
+                let barrier = &barrier;
+                handles.push(s.spawn(move || {
+                    fault::arm_thread(mix_seed(seed, 0xFA07 + t as u64), plan);
+                    let mut mine = Vec::with_capacity(cfg.txns_per_thread);
+                    let mut stagger =
+                        SplitMix64::seed_from_u64(mix_seed(seed, 0x57A6 + t as u64));
+                    // Ticket captured by the attempt that ends up
+                    // committing, read back when a post-commit handler
+                    // panic carries the ticket away from `rt.atomic`.
+                    let tk_cell = Cell::new(u64::MAX);
+                    for r in 0..rounds {
+                        barrier.wait();
+                        for _ in 0..stagger.gen_range(0u32..64) {
+                            std::hint::spin_loop();
+                        }
+                        let lo = r * per_round;
+                        let hi = ((r + 1) * per_round).min(cfg.txns_per_thread);
+                        for j in lo..hi {
+                            let ops = txn_program(seed, t, j, cfg);
+                            // A seed-derived quarter of the transactions
+                            // register no-op handlers so the Handler fault
+                            // site (handler panics after the commit point)
+                            // gets exercised too.
+                            let with_handlers =
+                                mix_seed(mix_seed(seed, 0x4A0D + t as u64), j as u64) & 3 == 0;
+                            let tk = loop {
+                                // Reset the tally so the commit/abort
+                                // delta below covers exactly this call.
+                                let _ = tm::take_thread_tally();
+                                tk_cell.set(u64::MAX);
+                                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                    rt.atomic(|tx| {
+                                        let tk = tx.fetch_add(ticket, 1)?;
+                                        tk_cell.set(tk);
+                                        if with_handlers {
+                                            tx.on_commit(|| {});
+                                            tx.on_abort(|| {});
+                                        }
+                                        for &op in &ops {
+                                            match op {
+                                                StressOp::Write(i, v) => tx.write(&cells[i], v)?,
+                                                StressOp::Add(i, d) => {
+                                                    tx.modify(&cells[i], |x| x.wrapping_add(d))?;
+                                                }
+                                                StressOp::Copy(a, b) => {
+                                                    let v = tx.read(&cells[a])?;
+                                                    tx.write(&cells[b], v)?;
+                                                }
+                                                StressOp::Mix(a, b) => {
+                                                    let va = tx.read(&cells[a])?;
+                                                    let vb = tx.read(&cells[b])?;
+                                                    tx.write(&cells[b], mix_values(va, vb))?;
+                                                }
+                                            }
+                                        }
+                                        Ok(tk)
+                                    })
+                                }));
+                                match attempt {
+                                    Ok(tk) => break tk,
+                                    Err(_injected_panic) => {
+                                        if tm::take_thread_tally().commits > 0 {
+                                            // The attempt committed before
+                                            // the (handler) panic: its
+                                            // effects are durable, so its
+                                            // ticket must be recorded.
+                                            break tk_cell.get();
+                                        }
+                                        // Pre-commit panic: fully rolled
+                                        // back, retry the same program.
+                                    }
+                                }
+                            };
+                            mine.push((tk, t, j));
+                        }
+                    }
+                    let hits = fault::injected_count();
+                    fault::disarm_thread();
+                    (mine, hits)
+                }));
+            }
+            for h in handles {
+                let (mine, hits) = h.join().expect("chaos worker escaped its catch_unwind");
+                order.extend(mine);
+                injected += hits;
+            }
+        });
+        let stats = rt.stats().since(&before);
+
+        let diverge = |detail: String| Divergence {
+            seed,
+            combo: cfg.combo(),
+            detail,
+        };
+
+        let total = cfg.threads * cfg.txns_per_thread;
+        order.sort_unstable();
+        for (expect, &(tk, t, j)) in order.iter().enumerate() {
+            if tk != expect as u64 {
+                return Err(diverge(format!(
+                    "[chaos] ticket sequence broken at position {expect}: got ticket {tk} \
+                     (thread {t}, txn {j}) — lost or duplicated ticket update"
+                )));
+            }
+        }
+        if ticket.load_direct() != total as u64 {
+            return Err(diverge(format!(
+                "[chaos] ticket cell ended at {} after {} transactions",
+                ticket.load_direct(),
+                total
+            )));
+        }
+
+        let mut model = init;
+        for &(_tk, t, j) in &order {
+            for op in txn_program(seed, t, j, cfg) {
+                apply_model(&mut model, op);
+            }
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            let actual = cell.load_direct();
+            if actual != model[i] {
+                return Err(diverge(format!(
+                    "[chaos] cell {i}: concurrent result {actual:#x} != sequential model {:#x}",
+                    model[i]
+                )));
+            }
+        }
+        Ok(ChaosReport {
+            report: StressReport {
+                combo: cfg.combo(),
+                commits: stats.commits,
+                aborts: stats.aborts,
+            },
+            injected,
+            panic_aborts: stats.panic_aborts,
+        })
+    }
+
+    /// [`run_schedule_chaos`] across every [`combos`] combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Divergence`].
+    pub fn run_matrix_chaos(
+        seed: u64,
+        base: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<Vec<ChaosReport>, Divergence> {
+        let mut reports = Vec::new();
+        for (algorithm, serial_lock, contention) in combos() {
+            let cfg = StressConfig {
+                algorithm,
+                serial_lock,
+                contention,
+                ..base.clone()
+            };
+            reports.push(run_schedule_chaos(seed, &cfg, plan)?);
+        }
+        Ok(reports)
+    }
+}
+
 /// Every runtime combination the stress harness exercises.
 /// `SerializeAfter` requires the serial lock, so it is only paired with
 /// [`SerialLockMode::ReaderWriter`]; the other managers run under both
@@ -441,6 +708,50 @@ mod tests {
         assert!(replay.detail.starts_with("cell 0:"), "{replay}");
         // And the clean harness passes the very same schedule.
         run_schedule(seed, &cfg).unwrap_or_else(|d| panic!("{d}"));
+    }
+
+    /// The chaos acceptance check: with panics, spurious aborts, and
+    /// delays injected at every fault site, all 21 combos still pass the
+    /// ticket oracle and the sequential model — and the faults really
+    /// fired.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_matrix_passes_ticket_oracle() {
+        let base = StressConfig {
+            threads: 3,
+            cells: 6,
+            txns_per_thread: 20,
+            max_ops_per_txn: 5,
+            ..StressConfig::smoke()
+        };
+        let reports = chaos::run_matrix_chaos(0xC4A05, &base, chaos::default_plan())
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(reports.len(), combos().len());
+        let injected: u64 = reports.iter().map(|r| r.injected).sum();
+        let panic_aborts: u64 = reports.iter().map(|r| r.panic_aborts).sum();
+        assert!(injected > 0, "chaos schedule injected no faults at all");
+        assert!(
+            panic_aborts > 0,
+            "chaos schedule never exercised the unwind path \
+             ({injected} faults injected, none were panics)"
+        );
+    }
+
+    /// A disabled plan makes chaos mode equivalent to the plain schedule:
+    /// zero injections, full commits.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_with_disabled_plan_injects_nothing() {
+        let cfg = StressConfig {
+            threads: 2,
+            txns_per_thread: 15,
+            ..StressConfig::smoke()
+        };
+        let r = chaos::run_schedule_chaos(0xD15A, &cfg, tm::fault::FaultPlan::disabled())
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(r.injected, 0);
+        assert_eq!(r.panic_aborts, 0);
+        assert_eq!(r.report.commits, 2 * 15);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! The fault layer's quiescent paths must not allocate.
+//!
+//! The root workspace's `zero_alloc` test proves steady-state transactions
+//! allocate nothing with the `fault` feature compiled **out**. This guard
+//! proves the other half of the bargain: with the feature compiled **in**
+//! (via testkit's `chaos` feature) the hooks still add zero steady-state
+//! allocations — both on a thread that never armed, and on a thread armed
+//! with a plan that never fires. The thread-local draw is a const-init
+//! `Cell`, so even the armed check is allocation-free.
+
+#![cfg(feature = "chaos")]
+
+use tm::{Algorithm, ContentionManager, SerialLockMode, TCell, TmRuntime, Transaction};
+
+#[global_allocator]
+static COUNTING_ALLOC: testkit::alloc::Counting = testkit::alloc::Counting;
+
+fn runtime(algo: Algorithm) -> TmRuntime {
+    TmRuntime::builder()
+        .algorithm(algo)
+        .contention_manager(ContentionManager::None)
+        .serial_lock(SerialLockMode::None)
+        .build()
+}
+
+/// Allocations per transaction over `n` runs of `txn`, after `warmup`
+/// runs that are allowed to grow buffers.
+fn allocs_per_txn(warmup: u32, n: u64, mut txn: impl FnMut()) -> u64 {
+    for _ in 0..warmup {
+        txn();
+    }
+    let before = testkit::alloc::thread_allocs();
+    for _ in 0..n {
+        txn();
+    }
+    testkit::alloc::thread_allocs() - before
+}
+
+fn assert_quiescent_fault_layer_is_zero_alloc(algo: Algorithm) {
+    let rt = runtime(algo);
+    let cells: Vec<TCell<u64>> = (0..4).map(TCell::new).collect();
+    let txn = || {
+        rt.atomic(|tx| {
+            for c in &cells {
+                let v = tx.read(c)?;
+                tx.write(c, v + 1)?;
+            }
+            Ok(())
+        });
+    };
+
+    // Never armed: the hooks read one thread-local Cell and bail.
+    let unarmed = allocs_per_txn(50, 200, txn);
+    assert_eq!(unarmed, 0, "{algo:?}: unarmed fault hooks allocated");
+
+    // Armed with a plan that never fires: same obligation.
+    tm::fault::arm_thread(0xD15A, tm::fault::FaultPlan::disabled());
+    let disabled = allocs_per_txn(50, 200, txn);
+    tm::fault::disarm_thread();
+    assert_eq!(disabled, 0, "{algo:?}: disabled-plan fault hooks allocated");
+}
+
+#[test]
+fn eager_quiescent_fault_layer_is_zero_alloc() {
+    assert_quiescent_fault_layer_is_zero_alloc(Algorithm::Eager);
+}
+
+#[test]
+fn lazy_quiescent_fault_layer_is_zero_alloc() {
+    assert_quiescent_fault_layer_is_zero_alloc(Algorithm::Lazy);
+}
+
+#[test]
+fn norec_quiescent_fault_layer_is_zero_alloc() {
+    assert_quiescent_fault_layer_is_zero_alloc(Algorithm::Norec);
+}
+
+/// Even a firing plan stays zero-alloc on its *action* paths that don't
+/// panic: spurious aborts and delays reuse the retry arena.
+#[test]
+fn injected_aborts_and_delays_do_not_allocate() {
+    let rt = runtime(Algorithm::Eager);
+    let c = TCell::new(0u64);
+    tm::fault::arm_thread(
+        42,
+        tm::fault::FaultPlan::all_sites(8192, 8192, 0), // aborts + delays, no panics
+    );
+    let allocs = allocs_per_txn(100, 300, || {
+        rt.atomic(|tx| tx.fetch_add(&c, 1));
+    });
+    let injected = tm::fault::injected_count();
+    tm::fault::disarm_thread();
+    assert!(injected > 0, "plan at 1/8 + 1/8 rate never fired");
+    assert_eq!(allocs, 0, "injected abort/delay path allocated");
+}

@@ -15,6 +15,7 @@
 use super::tword_at;
 use crate::arena::LogBufs;
 use crate::error::Abort;
+use crate::fault::{self, FaultSite};
 use crate::orec::{self, OrecValue};
 use crate::runtime::RtInner;
 
@@ -46,6 +47,10 @@ impl EagerTx {
     /// Revalidates the read set; on success the snapshot may be extended to
     /// `new_time` by the caller.
     fn validate(&self, rt: &RtInner, bufs: &LogBufs) -> Result<(), Abort> {
+        // Fault site: callers treat a validation Err exactly like a real
+        // conflict, and a panic here finds the undo log and lock set
+        // intact for replay.
+        fault::inject(FaultSite::Validate)?;
         for &(idx, observed) in &bufs.reads {
             let cur = rt.orecs.load(idx);
             if cur == observed {
@@ -109,6 +114,9 @@ impl EagerTx {
         addr: usize,
         v: u64,
     ) -> Result<(), Abort> {
+        // Fault site: before any state for this word is touched, so an
+        // injected abort/panic leaves the undo log consistent.
+        fault::inject(FaultSite::OrecAcquire)?;
         let idx = rt.orecs.index_of(addr);
         loop {
             let o = rt.orecs.load(idx);
@@ -137,12 +145,23 @@ impl EagerTx {
     }
 
     pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        // Fault site: commit entry. Locks and undo are intact, so both the
+        // Err path (rollback below) and a panic are fully recoverable.
+        if let Err(e) = fault::inject(FaultSite::CommitLock) {
+            self.rollback(rt, bufs);
+            return Err(e);
+        }
         if bufs.locks.is_empty() {
             // Invisible reads were validated at read/extend time against a
             // snapshot; a read-only transaction is serializable at its
             // snapshot and commits without touching the clock.
             bufs.clear();
             return Ok(());
+        }
+        // Fault site: clock advance. Nothing published yet.
+        if let Err(e) = fault::inject(FaultSite::ClockTick) {
+            self.rollback(rt, bufs);
+            return Err(e);
         }
         let end = rt.clock.tick();
         if end > self.start_time + 1 {

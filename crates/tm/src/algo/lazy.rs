@@ -19,6 +19,7 @@
 use super::tword_at;
 use crate::arena::LogBufs;
 use crate::error::Abort;
+use crate::fault::{self, FaultSite};
 use crate::orec::{self, OrecValue};
 use crate::runtime::RtInner;
 
@@ -38,6 +39,10 @@ fn validate(
     reads: &[(usize, OrecValue)],
     held: &[(usize, OrecValue)],
 ) -> Result<(), Abort> {
+    // Fault site: every caller treats a validation Err like a real
+    // conflict and releases any held orecs; a panic here is recovered by
+    // LazyTx::rollback, which releases `bufs.locks` to pre-lock values.
+    fault::inject(FaultSite::Validate)?;
     for &(idx, observed) in reads {
         let cur = rt.orecs.load(idx);
         if cur == observed {
@@ -116,6 +121,11 @@ impl LazyTx {
     }
 
     pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        // Fault site: commit entry, before any orec is taken.
+        if let Err(e) = fault::inject(FaultSite::CommitLock) {
+            bufs.clear();
+            return Err(e);
+        }
         let LogBufs {
             reads,
             writes,
@@ -133,6 +143,15 @@ impl LazyTx {
         debug_assert!(held.is_empty());
         held.reserve(writes.len());
         for &(addr, _) in writes.iter() {
+            // Fault site: commit-time orec acquisition. Held orecs so far
+            // are in `held` (== bufs.locks), so the Err path below and a
+            // panic (recovered by rollback) both release them to their
+            // pre-lock values.
+            if let Err(e) = fault::inject(FaultSite::OrecAcquire) {
+                release_held(rt, held, None);
+                bufs.clear();
+                return Err(e);
+            }
             let idx = rt.orecs.index_of(addr);
             if held.iter().any(|&(i, _)| i == idx) {
                 continue; // hash collision onto an orec we already hold
@@ -153,6 +172,13 @@ impl LazyTx {
                 }
             }
         }
+        // Fault site: clock advance. Whole write set locked, nothing
+        // published; releasing to pre-lock values undoes everything.
+        if let Err(e) = fault::inject(FaultSite::ClockTick) {
+            release_held(rt, held, None);
+            bufs.clear();
+            return Err(e);
+        }
         let end = rt.clock.tick();
         if end > self.start_time + 1 && validate(rt, self.tx_id, reads, held).is_err() {
             release_held(rt, held, None);
@@ -167,8 +193,13 @@ impl LazyTx {
         Ok(())
     }
 
-    pub(crate) fn rollback(&mut self, bufs: &mut LogBufs) {
-        // Nothing published; just drop the logs.
+    pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {
+        // Normally nothing is held here — commit releases its own locks on
+        // every failure path — but a panic that unwinds out of the
+        // commit-time acquisition loop (e.g. an injected fault) leaves its
+        // partial lock set in `bufs.locks`; restore those orecs to their
+        // pre-lock values so other threads are never blocked.
+        release_held(rt, &bufs.locks, None);
         bufs.clear();
     }
 

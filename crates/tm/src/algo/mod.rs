@@ -124,12 +124,17 @@ impl Engine {
         }
     }
 
-    /// Rolls back an attempt that will not commit.
+    /// Rolls back an attempt that will not commit. Must leave no lock
+    /// held: this is also the panic-recovery path, invoked while an
+    /// unwind is in flight.
     pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {
         match self {
             Engine::Eager(e) => e.rollback(rt, bufs),
-            Engine::Lazy(e) => e.rollback(bufs),
-            Engine::Norec(e) => e.rollback(bufs),
+            Engine::Lazy(e) => e.rollback(rt, bufs),
+            Engine::Norec(e) => e.rollback(rt, bufs),
+            // Serial-irrevocable effects are uninstrumented direct writes;
+            // there is nothing to undo (documented: like a panic inside a
+            // lock-based critical section).
             Engine::Serial => {}
         }
     }

@@ -13,6 +13,7 @@
 use super::tword_at;
 use crate::arena::LogBufs;
 use crate::error::Abort;
+use crate::fault::{self, FaultSite};
 use crate::runtime::RtInner;
 
 /// Per-attempt state for the NOrec engine; logs live in the arena.
@@ -20,12 +21,19 @@ use crate::runtime::RtInner;
 pub(crate) struct NorecTx {
     /// Value of the global sequence lock this attempt is consistent with.
     snapshot: u64,
+    /// True while this attempt holds the sequence lock (between a
+    /// successful `try_begin_commit` and `end_commit`). Rollback uses it
+    /// to release the lock if a panic ever unwinds out of that window —
+    /// no fault is injected there, but user-visible liveness must not
+    /// depend on that placement staying true forever.
+    committing: bool,
 }
 
 impl NorecTx {
     pub(crate) fn begin(rt: &RtInner) -> Self {
         NorecTx {
             snapshot: rt.seqlock.wait_even(),
+            committing: false,
         }
     }
 
@@ -36,6 +44,10 @@ impl NorecTx {
     /// Value-based validation: re-read every logged location and compare.
     /// On success the snapshot advances to the current sequence value.
     fn validate(&mut self, rt: &RtInner, reads: &[(usize, u64)]) -> Result<(), Abort> {
+        // Fault site: the sequence lock is never held here (commit only
+        // validates after a failed try_begin_commit), so an injected
+        // abort/panic is recovered by a plain log clear.
+        fault::inject(FaultSite::Validate)?;
         loop {
             let t = rt.seqlock.wait_even();
             for &(addr, v) in reads {
@@ -85,6 +97,11 @@ impl NorecTx {
     }
 
     pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+        // Fault site: commit entry, before the sequence lock is contended.
+        if let Err(e) = fault::inject(FaultSite::CommitLock) {
+            bufs.clear();
+            return Err(e);
+        }
         if bufs.writes.is_empty() {
             // Read-only: already consistent at `snapshot`.
             bufs.clear();
@@ -96,15 +113,25 @@ impl NorecTx {
                 return Err(Abort::Conflict);
             }
         }
+        self.committing = true;
         for &(addr, v) in &bufs.writes {
             tword_at(addr).store_direct(v);
         }
         rt.seqlock.end_commit(self.snapshot);
+        self.committing = false;
         bufs.clear();
         Ok(())
     }
 
-    pub(crate) fn rollback(&mut self, bufs: &mut LogBufs) {
+    pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {
+        if self.committing {
+            // Defensive: a panic unwound while we held the sequence lock.
+            // Release it so the runtime stays live; the partially
+            // published write-back is covered by the sequence bump, which
+            // forces every concurrent reader to revalidate.
+            rt.seqlock.end_commit(self.snapshot);
+            self.committing = false;
+        }
         bufs.clear();
     }
 
@@ -118,10 +145,12 @@ impl NorecTx {
                 return Err(Abort::Conflict);
             }
         }
+        self.committing = true;
         for &(addr, v) in &bufs.writes {
             tword_at(addr).store_direct(v);
         }
         rt.seqlock.end_commit(self.snapshot);
+        self.committing = false;
         bufs.clear();
         Ok(())
     }

@@ -72,6 +72,7 @@ mod cell;
 mod clock;
 mod cm;
 mod error;
+pub mod fault;
 mod orec;
 mod runtime;
 mod serial;
@@ -82,10 +83,10 @@ mod word;
 pub use algo::Algorithm;
 pub use cell::{TBytes, TCell, TWord};
 pub use cm::ContentionManager;
-pub use error::{cancel, Abort, Cancelled};
-pub use runtime::{TmRuntime, TmRuntimeBuilder};
+pub use error::{cancel, Abort, Cancelled, TxError};
+pub use runtime::{TmRuntime, TmRuntimeBuilder, TxOptions};
 pub use serial::SerialLockMode;
-pub use stats::{take_thread_tally, StatsSnapshot, ThreadTally};
+pub use stats::{take_thread_tally, LivenessSnapshot, StatsSnapshot, ThreadTally};
 pub use txn::{AtomicTx, RelaxedPlan, RelaxedTx, Transaction};
 pub use word::Word;
 

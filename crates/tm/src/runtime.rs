@@ -1,18 +1,75 @@
 //! The [`TmRuntime`]: algorithm × contention manager × serial-lock mode.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::algo::{Algorithm, Engine};
 use crate::arena::Arena;
 use crate::clock::{GlobalClock, SeqLock};
 use crate::cm::{exponential_backoff, ContentionManager, Hourglass};
 use crate::cell::TCell;
-use crate::error::{Abort, Cancelled};
+use crate::error::{Abort, Cancelled, TxError};
+use crate::fault::{self, FaultSite};
 use crate::orec::OrecTable;
 use crate::serial::{SerialLock, SerialLockMode};
-use crate::stats::{self, StatsSnapshot, TmStats};
+use crate::stats::{self, LivenessSnapshot, StatsSnapshot, TmStats};
 use crate::txn::{AtomicTx, RelaxedPlan, RelaxedTx, Transaction, TxInner};
+
+/// Bounds on a transaction's retry loop, for the `_with` entry points
+/// ([`TmRuntime::atomic_with`], [`TmRuntime::relaxed_with`]).
+///
+/// The default is unbounded — identical to [`TmRuntime::atomic`] — which
+/// mirrors GCC's libitm: a transaction retries until it commits. Bounds
+/// turn pathological contention into a recoverable [`TxError`] instead of
+/// an indefinite spin, the graceful-degradation path production OCC
+/// systems rely on.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use tm::TxOptions;
+///
+/// let opts = TxOptions::new()
+///     .max_retries(64)
+///     .deadline(Duration::from_millis(50));
+/// assert_eq!(opts.max_retries, Some(64));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxOptions {
+    /// Retry budget: the first attempt is free, then at most this many
+    /// retries before [`TxError::RetryLimit`]. `None` = unbounded.
+    pub max_retries: Option<u32>,
+    /// Wall-clock budget measured from transaction entry; checked between
+    /// attempts and inside contention-manager waits (the first attempt
+    /// always runs). `None` = unbounded.
+    pub deadline: Option<Duration>,
+}
+
+impl TxOptions {
+    /// Unbounded options (retry forever, like [`TmRuntime::atomic`]).
+    pub const fn new() -> Self {
+        TxOptions {
+            max_retries: None,
+            deadline: None,
+        }
+    }
+
+    /// Caps consecutive retries of one transaction.
+    pub const fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Caps the transaction's total wall-clock time.
+    pub const fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
 
 /// Shared state of one runtime. Engines and transactions hold `&RtInner`.
 pub(crate) struct RtInner {
@@ -226,10 +283,35 @@ impl TmRuntime {
     where
         F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
     {
-        self.run_loop(RelaxedPlan::new(), move |inner| {
-            let mut tx = AtomicTx(inner);
-            let r = f(&mut tx);
-            (tx.0, r)
+        let res = self.run_loop(RelaxedPlan::new(), TxOptions::new(), move |inner| {
+            f(AtomicTx::wrap_mut(inner))
+        });
+        match res {
+            Ok(r) => Ok(r),
+            Err(TxError::Cancelled) => Err(Cancelled),
+            // INVARIANT: unbounded TxOptions can never produce a
+            // retry-limit or timeout error.
+            Err(e) => unreachable!("unbounded transaction returned {e:?}"),
+        }
+    }
+
+    /// Runs `f` as a *bounded* `__transaction_atomic` block: like
+    /// [`TmRuntime::atomic`], but `opts` can cap retries and impose a
+    /// wall-clock deadline so pathological contention degrades into a
+    /// recoverable [`TxError`] instead of spinning forever.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::Cancelled`] if `f` cancelled, [`TxError::RetryLimit`] /
+    /// [`TxError::Timeout`] when the corresponding bound was exceeded. In
+    /// every error case the transaction's effects are fully rolled back
+    /// and all runtime locks released.
+    pub fn atomic_with<'env, R, F>(&'env self, opts: TxOptions, mut f: F) -> Result<R, TxError>
+    where
+        F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
+    {
+        self.run_loop(RelaxedPlan::new(), opts, move |inner| {
+            f(AtomicTx::wrap_mut(inner))
         })
     }
 
@@ -270,28 +352,86 @@ impl TmRuntime {
     where
         F: FnMut(&mut RelaxedTx<'env>) -> Result<R, Abort>,
     {
-        let res = self.run_loop(plan, move |inner| {
-            let mut tx = RelaxedTx(inner);
-            let r = f(&mut tx);
-            (tx.0, r)
+        let res = self.run_loop(plan, TxOptions::new(), move |inner| {
+            f(RelaxedTx::wrap_mut(inner))
         });
         match res {
             Ok(r) => r,
-            Err(Cancelled) => panic!(
+            Err(TxError::Cancelled) => panic!(
                 "relaxed transactions cannot cancel (Draft C++ TM Specification)"
             ),
+            // INVARIANT: unbounded TxOptions can never produce a
+            // retry-limit or timeout error.
+            Err(e) => unreachable!("unbounded transaction returned {e:?}"),
         }
     }
 
-    /// The retry loop shared by atomic and relaxed transactions. `body`
-    /// consumes a fresh `TxInner` per attempt and returns it with the
-    /// closure's verdict.
-    fn run_loop<'env, R, B>(&'env self, plan: RelaxedPlan, mut body: B) -> Result<R, Cancelled>
+    /// Runs `f` as a *bounded* `__transaction_relaxed` block; see
+    /// [`TmRuntime::atomic_with`] for the bound semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::RetryLimit`] / [`TxError::Timeout`] when the
+    /// corresponding [`TxOptions`] bound was exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` cancels: the Draft C++ TM Specification forbids
+    /// relaxed transactions from cancelling (they may be irrevocable).
+    pub fn relaxed_with<'env, R, F>(
+        &'env self,
+        plan: RelaxedPlan,
+        opts: TxOptions,
+        mut f: F,
+    ) -> Result<R, TxError>
     where
-        B: FnMut(TxInner<'env>) -> (TxInner<'env>, Result<R, Abort>),
+        F: FnMut(&mut RelaxedTx<'env>) -> Result<R, Abort>,
+    {
+        let res = self.run_loop(plan, opts, move |inner| f(RelaxedTx::wrap_mut(inner)));
+        match res {
+            Err(TxError::Cancelled) => panic!(
+                "relaxed transactions cannot cancel (Draft C++ TM Specification)"
+            ),
+            other => other,
+        }
+    }
+
+    /// A cheap progress probe for an external watchdog: pair two of these
+    /// some interval apart and use [`LivenessSnapshot::stalled_since`] /
+    /// [`LivenessSnapshot::abort_storm_since`] to detect a livelocked or
+    /// storming runtime. Costs a handful of relaxed atomic loads.
+    pub fn liveness(&self) -> LivenessSnapshot {
+        let rt = &*self.inner;
+        LivenessSnapshot {
+            commits: rt.stats.commits.load(Ordering::Relaxed),
+            aborts: rt.stats.aborts.load(Ordering::Relaxed),
+            panic_aborts: rt.stats.panic_aborts.load(Ordering::Relaxed),
+            clock: rt.clock.now(),
+            seq: rt.seqlock.load(),
+            hourglass_holder: rt.hourglass.holder(),
+            serial_writer_pending: rt.serial.writer_pending(),
+        }
+    }
+
+    /// The retry loop shared by all entry points. `run_loop` owns the
+    /// `TxInner` and lends it to `body` each attempt (the entry points
+    /// reinterpret the `&mut TxInner` as the `repr(transparent)` facade
+    /// types), so that when a panic unwinds out of `body` or the engine's
+    /// commit path, the loop still holds the transaction state and can
+    /// tear it down — replay undo, release orecs and the serial lock,
+    /// reopen the hourglass — before resuming the unwind.
+    fn run_loop<'env, R, B>(
+        &'env self,
+        plan: RelaxedPlan,
+        opts: TxOptions,
+        mut body: B,
+    ) -> Result<R, TxError>
+    where
+        B: FnMut(&mut TxInner<'env>) -> Result<R, Abort>,
     {
         let rt: &'env RtInner = &self.inner;
         let id = rt.next_tx_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
         let mut consecutive_aborts: u32 = 0;
         // This thread's log arena: cleared — not freed — between attempts,
         // and returned to the thread-local cache at the end, so retries and
@@ -302,9 +442,13 @@ impl TmRuntime {
         let (mut commit_handlers, mut abort_handlers) = arena.take_handler_vecs();
         loop {
             if let ContentionManager::Hourglass(_) = rt.cm {
-                rt.hourglass.wait_at_begin(id);
+                if !rt.hourglass.wait_at_begin_until(id, deadline) {
+                    rt.stats.bump(&rt.stats.timeouts);
+                    arena.release(commit_handlers, abort_handlers);
+                    return Err(TxError::Timeout);
+                }
             }
-            let inner = self.begin_attempt(
+            let mut inner = self.begin_attempt(
                 rt,
                 id,
                 plan,
@@ -313,19 +457,51 @@ impl TmRuntime {
                 commit_handlers,
                 abort_handlers,
             );
-            let (mut inner, verdict) = body(inner);
-            let outcome = match verdict {
-                Ok(r) => match self.finish_commit(&mut inner) {
-                    Ok(()) => AttemptOutcome::Committed(r),
-                    Err(_) => AttemptOutcome::Aborted,
-                },
-                Err(Abort::Conflict) => {
-                    self.finish_abort(&mut inner);
-                    AttemptOutcome::Aborted
+            // Body and commit point run under one catch_unwind: a panic
+            // anywhere before the commit point completes — user code, an
+            // engine read/write, commit-time validation, an injected fault
+            // — is recoverable because nothing has been published yet.
+            let attempt: Result<AttemptOutcome<R>, Box<dyn Any + Send>> =
+                catch_unwind(AssertUnwindSafe(|| match body(&mut inner) {
+                    Ok(r) => match self.commit_point(&mut inner) {
+                        Ok(()) => AttemptOutcome::Committed(r),
+                        Err(_) => AttemptOutcome::Aborted,
+                    },
+                    Err(Abort::Conflict) => {
+                        self.abort_point(&mut inner);
+                        AttemptOutcome::Aborted
+                    }
+                    Err(Abort::Cancelled) => {
+                        self.cancel_point(&mut inner);
+                        AttemptOutcome::Cancelled
+                    }
+                }));
+            let outcome = match attempt {
+                Ok(o) => o,
+                Err(payload) => {
+                    // Panic unwinding out of the attempt: replay the undo
+                    // log / drop buffered writes, release every orec and
+                    // the serial lock, run onAbort handlers, reopen the
+                    // hourglass, then resume the unwind with the runtime
+                    // fully usable by other threads.
+                    self.panic_point(&mut inner);
+                    let _ = self.run_abort_handlers(&mut inner);
+                    rt.hourglass.open_if_held(id);
+                    let ch = std::mem::take(&mut inner.commit_handlers);
+                    let ah = std::mem::take(&mut inner.abort_handlers);
+                    inner.arena.release(ch, ah);
+                    resume_unwind(payload);
                 }
-                Err(Abort::Cancelled) => {
-                    self.finish_cancel(&mut inner);
-                    AttemptOutcome::Cancelled
+            };
+            // Handlers run outside the attempt's catch_unwind: by now the
+            // outcome is sealed, so a panicking onCommit handler must not
+            // (and cannot) roll back committed data. Each handler is
+            // caught individually; the first payload is re-thrown below
+            // after cleanup.
+            let handler_panic = match &outcome {
+                AttemptOutcome::Committed(_) => self.run_commit_handlers(&mut inner),
+                AttemptOutcome::Aborted | AttemptOutcome::Cancelled => {
+                    self.run_abort_handlers(&mut inner)
                 }
             };
             // Recover the reusable storage from the finished attempt (the
@@ -333,6 +509,11 @@ impl TmRuntime {
             commit_handlers = std::mem::take(&mut inner.commit_handlers);
             abort_handlers = std::mem::take(&mut inner.abort_handlers);
             arena = inner.arena;
+            if let Some(payload) = handler_panic {
+                rt.hourglass.open_if_held(id);
+                arena.release(commit_handlers, abort_handlers);
+                resume_unwind(payload);
+            }
             match outcome {
                 AttemptOutcome::Committed(r) => {
                     rt.hourglass.open_if_held(id);
@@ -342,13 +523,29 @@ impl TmRuntime {
                 AttemptOutcome::Cancelled => {
                     rt.hourglass.open_if_held(id);
                     arena.release(commit_handlers, abort_handlers);
-                    return Err(Cancelled);
+                    return Err(TxError::Cancelled);
                 }
                 AttemptOutcome::Aborted => {
                     consecutive_aborts += 1;
+                    if let Some(max) = opts.max_retries {
+                        if consecutive_aborts > max {
+                            rt.stats.bump(&rt.stats.retry_limits);
+                            rt.hourglass.open_if_held(id);
+                            arena.release(commit_handlers, abort_handlers);
+                            return Err(TxError::RetryLimit { retries: max });
+                        }
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            rt.stats.bump(&rt.stats.timeouts);
+                            rt.hourglass.open_if_held(id);
+                            arena.release(commit_handlers, abort_handlers);
+                            return Err(TxError::Timeout);
+                        }
+                    }
                     match rt.cm {
                         ContentionManager::Backoff { max_shift } => {
-                            exponential_backoff(consecutive_aborts, max_shift, id);
+                            exponential_backoff(consecutive_aborts, max_shift, id, deadline);
                         }
                         ContentionManager::Hourglass(limit) => {
                             if consecutive_aborts >= limit {
@@ -380,6 +577,9 @@ impl TmRuntime {
         if serialize {
             match rt.serial_mode {
                 SerialLockMode::ReaderWriter => {}
+                // INVARIANT: builder rejects SerializeAfter+None, and a
+                // start-serial plan on a NoLock runtime is a branch-policy
+                // configuration error, not a recoverable runtime state.
                 SerialLockMode::None => panic!(
                     "a transaction must begin serially but the serial lock was \
                      removed (SerialLockMode::None)"
@@ -424,16 +624,16 @@ impl TmRuntime {
         }
     }
 
-    /// Commits an attempt. On `Err` the attempt has been fully aborted.
-    ///
-    /// Handler vectors are drained in place (not `mem::take`n) so their
-    /// backing storage survives into the next attempt / transaction.
-    fn finish_commit(&self, inner: &mut TxInner<'_>) -> Result<(), Abort> {
+    /// The commit point: engine commit, serial-lock release, stats. On
+    /// `Err` the attempt has been fully aborted (engine contract: a failed
+    /// `commit` has already rolled back). Handlers run later, outside the
+    /// attempt's `catch_unwind`.
+    fn commit_point(&self, inner: &mut TxInner<'_>) -> Result<(), Abort> {
         let rt = inner.rt;
         let read_only = inner.engine.is_read_only(&inner.arena.logs) && !inner.irrevocable;
         if let Err(e) = inner.engine.commit(rt, &mut inner.arena.logs) {
             // Engine rolled itself back; finish the bookkeeping.
-            self.finish_abort(inner);
+            self.abort_point(inner);
             return Err(e);
         }
         inner.release_serial();
@@ -445,39 +645,90 @@ impl TmRuntime {
             rt.stats.bump(&rt.stats.irrevocable_commits);
         }
         stats::tally_commit();
-        rt.stats
-            .add(&rt.stats.commit_handlers_run, inner.commit_handlers.len() as u64);
-        inner.abort_handlers.clear();
-        for h in inner.commit_handlers.drain(..) {
-            h();
-        }
         Ok(())
     }
 
-    fn finish_abort(&self, inner: &mut TxInner<'_>) {
+    fn abort_point(&self, inner: &mut TxInner<'_>) {
         let rt = inner.rt;
         inner.engine.rollback(rt, &mut inner.arena.logs);
         inner.release_serial();
         rt.stats.bump(&rt.stats.aborts);
         stats::tally_abort();
-        rt.stats
-            .add(&rt.stats.abort_handlers_run, inner.abort_handlers.len() as u64);
-        inner.commit_handlers.clear();
-        for h in inner.abort_handlers.drain(..) {
-            h();
-        }
     }
 
-    fn finish_cancel(&self, inner: &mut TxInner<'_>) {
+    fn cancel_point(&self, inner: &mut TxInner<'_>) {
         let rt = inner.rt;
         inner.engine.rollback(rt, &mut inner.arena.logs);
         inner.release_serial();
         rt.stats.bump(&rt.stats.cancels);
+    }
+
+    /// Tears down an attempt that a panic is unwinding out of: replay the
+    /// undo log / drop buffered writes and release every orec (engine
+    /// rollback), release the serial lock, count a `panic_abort`.
+    ///
+    /// For a serial-irrevocable attempt the engine rollback is a no-op —
+    /// uninstrumented direct writes cannot be undone, exactly like a panic
+    /// inside a lock-based critical section — but the serial lock is
+    /// released so every other thread keeps running.
+    fn panic_point(&self, inner: &mut TxInner<'_>) {
+        let rt = inner.rt;
+        inner.engine.rollback(rt, &mut inner.arena.logs);
+        inner.release_serial();
+        rt.stats.bump(&rt.stats.panic_aborts);
+        stats::tally_abort();
+    }
+
+    /// Runs (drains) the `onCommit` handlers. Each handler is caught
+    /// individually: a panicking handler is counted in `handler_panics`,
+    /// the remaining handlers still run, and the *first* payload is
+    /// returned for the caller to re-throw after cleanup — a handler panic
+    /// never rolls back the already-committed transaction.
+    ///
+    /// Handler vectors are drained in place (not `mem::take`n) so their
+    /// backing storage survives into the next attempt / transaction.
+    fn run_commit_handlers(&self, inner: &mut TxInner<'_>) -> Option<Box<dyn Any + Send>> {
+        let rt = inner.rt;
+        rt.stats
+            .add(&rt.stats.commit_handlers_run, inner.commit_handlers.len() as u64);
+        inner.abort_handlers.clear();
+        let mut first_panic = None;
+        for h in inner.commit_handlers.drain(..) {
+            run_handler(rt, h, &mut first_panic);
+        }
+        first_panic
+    }
+
+    /// Runs (drains) the `onAbort` handlers; same panic semantics as
+    /// [`TmRuntime::run_commit_handlers`].
+    fn run_abort_handlers(&self, inner: &mut TxInner<'_>) -> Option<Box<dyn Any + Send>> {
+        let rt = inner.rt;
         rt.stats
             .add(&rt.stats.abort_handlers_run, inner.abort_handlers.len() as u64);
         inner.commit_handlers.clear();
+        let mut first_panic = None;
         for h in inner.abort_handlers.drain(..) {
-            h();
+            run_handler(rt, h, &mut first_panic);
+        }
+        first_panic
+    }
+}
+
+fn run_handler<'e>(
+    rt: &RtInner,
+    h: Box<dyn FnOnce() + 'e>,
+    first_panic: &mut Option<Box<dyn Any + Send>>,
+) {
+    let r = catch_unwind(AssertUnwindSafe(move || {
+        // Spurious-abort draws are meaningless once the outcome is sealed;
+        // only the delay/panic actions of the fault plan matter here.
+        let _ = fault::inject(FaultSite::Handler);
+        h();
+    }));
+    if let Err(p) = r {
+        rt.stats.bump(&rt.stats.handler_panics);
+        if first_panic.is_none() {
+            *first_panic = Some(p);
         }
     }
 }

@@ -75,6 +75,18 @@ counters! {
     abort_handlers_run,
     /// Explicit cancellations (`transaction_cancel`).
     cancels,
+    /// Attempts torn down because a panic unwound out of the transaction
+    /// body or the engine's commit path (undo replayed, locks released,
+    /// then the unwind resumed).
+    panic_aborts,
+    /// `onCommit`/`onAbort` handlers that panicked. A handler panic never
+    /// rolls back an already-committed transaction; the first payload is
+    /// re-thrown after all remaining handlers have run.
+    handler_panics,
+    /// Bounded transactions that exhausted `TxOptions::max_retries`.
+    retry_limits,
+    /// Bounded transactions whose `TxOptions::deadline` expired.
+    timeouts,
 }
 
 impl TmStats {
@@ -140,6 +152,56 @@ impl fmt::Display for StatsSnapshot {
             100.0 * self.start_serial as f64 / t,
             self.abort_serial,
         )
+    }
+}
+
+/// A cheap progress probe for the livelock watchdog: pair two snapshots
+/// taken some interval apart and ask whether the runtime made progress.
+///
+/// Everything here is a relaxed atomic load — taking a snapshot costs a
+/// handful of reads and never blocks, so an external watchdog thread can
+/// poll at any frequency. See [`crate::TmRuntime::liveness`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LivenessSnapshot {
+    /// Committed transactions so far.
+    pub commits: u64,
+    /// Aborted attempts so far.
+    pub aborts: u64,
+    /// Panic-torn-down attempts so far.
+    pub panic_aborts: u64,
+    /// Global commit-clock value (eager/lazy timestamp clock).
+    pub clock: u64,
+    /// NOrec global sequence-lock value.
+    pub seq: u64,
+    /// Transaction id currently holding the hourglass gate closed
+    /// (0 = open).
+    pub hourglass_holder: u64,
+    /// Whether a serial-irrevocable writer is pending or active on the
+    /// serial lock.
+    pub serial_writer_pending: bool,
+}
+
+impl LivenessSnapshot {
+    /// True if the runtime churned without progressing since `earlier`:
+    /// aborts grew but no transaction committed and neither global clock
+    /// advanced. A sustained `true` across several polls means the system
+    /// is livelocked (abort storm, stuck hourglass holder, or a wedged
+    /// serial writer — the other fields say which).
+    pub fn stalled_since(&self, earlier: &LivenessSnapshot) -> bool {
+        self.aborts > earlier.aborts
+            && self.commits == earlier.commits
+            && self.clock == earlier.clock
+            && self.seq == earlier.seq
+    }
+
+    /// True if the window since `earlier` saw at least `threshold` aborts
+    /// per commit (and at least `threshold` aborts in absolute terms, so a
+    /// tiny window cannot trip the detector). Commits of zero count as one
+    /// to keep the ratio finite.
+    pub fn abort_storm_since(&self, earlier: &LivenessSnapshot, threshold: u64) -> bool {
+        let da = self.aborts.saturating_sub(earlier.aborts);
+        let dc = self.commits.saturating_sub(earlier.commits);
+        da >= threshold && da >= threshold.saturating_mul(dc.max(1))
     }
 }
 
@@ -240,6 +302,47 @@ mod tests {
         assert!(row.contains("in-flight=10 (10.0%)"), "{row}");
         assert!(row.contains("start-serial=5 (5.0%)"), "{row}");
         assert!(row.contains("abort-serial=1"), "{row}");
+    }
+
+    #[test]
+    fn stalled_detector() {
+        let a = LivenessSnapshot {
+            commits: 10,
+            aborts: 50,
+            clock: 7,
+            ..Default::default()
+        };
+        let churning = LivenessSnapshot { aborts: 80, ..a };
+        assert!(churning.stalled_since(&a));
+        let progressed = LivenessSnapshot {
+            aborts: 80,
+            commits: 11,
+            ..a
+        };
+        assert!(!progressed.stalled_since(&a));
+        let ticked = LivenessSnapshot { aborts: 80, clock: 8, ..a };
+        assert!(!ticked.stalled_since(&a));
+        assert!(!a.stalled_since(&a), "no aborts means no stall signal");
+    }
+
+    #[test]
+    fn abort_storm_detector() {
+        let a = LivenessSnapshot::default();
+        let storm = LivenessSnapshot {
+            aborts: 1000,
+            commits: 10,
+            ..Default::default()
+        };
+        assert!(storm.abort_storm_since(&a, 50));
+        assert!(!storm.abort_storm_since(&a, 200));
+        let tiny = LivenessSnapshot {
+            aborts: 3,
+            ..Default::default()
+        };
+        assert!(
+            !tiny.abort_storm_since(&a, 50),
+            "small windows must not trip the detector"
+        );
     }
 
     #[test]

@@ -516,17 +516,45 @@ macro_rules! impl_transaction {
 /// A `__transaction_atomic` body: statically unable to perform unsafe
 /// operations, and therefore guaranteed never to force serialization
 /// (beyond the contention policy) — the paper's "performance model".
+// INVARIANT: repr(transparent) over TxInner — the attempt loop in
+// runtime.rs reinterprets &mut TxInner as &mut AtomicTx (wrap_mut) so it
+// keeps ownership of the transaction state across catch_unwind and can
+// tear it down after a panic.
 #[derive(Debug)]
+#[repr(transparent)]
 pub struct AtomicTx<'env>(pub(crate) TxInner<'env>);
 
 /// A `__transaction_relaxed` body: may call [`RelaxedTx::unsafe_op`], which
 /// serializes the transaction (GCC's in-flight switch) before running
 /// arbitrary code.
+// INVARIANT: repr(transparent) over TxInner — see AtomicTx.
 #[derive(Debug)]
+#[repr(transparent)]
 pub struct RelaxedTx<'env>(pub(crate) TxInner<'env>);
 
 impl_transaction!(AtomicTx);
 impl_transaction!(RelaxedTx);
+
+impl<'env> AtomicTx<'env> {
+    /// Reinterprets a `&mut TxInner` as a `&mut AtomicTx` for the body
+    /// closure while `run_loop` retains ownership of the `TxInner`.
+    #[inline]
+    pub(crate) fn wrap_mut<'a>(inner: &'a mut TxInner<'env>) -> &'a mut AtomicTx<'env> {
+        // SAFETY: AtomicTx is repr(transparent) over TxInner, so the
+        // layouts are identical and the lifetimes are carried unchanged.
+        unsafe { &mut *(inner as *mut TxInner<'env> as *mut AtomicTx<'env>) }
+    }
+}
+
+impl<'env> RelaxedTx<'env> {
+    /// Reinterprets a `&mut TxInner` as a `&mut RelaxedTx`; see
+    /// [`AtomicTx::wrap_mut`].
+    #[inline]
+    pub(crate) fn wrap_mut<'a>(inner: &'a mut TxInner<'env>) -> &'a mut RelaxedTx<'env> {
+        // SAFETY: RelaxedTx is repr(transparent) over TxInner.
+        unsafe { &mut *(inner as *mut TxInner<'env> as *mut RelaxedTx<'env>) }
+    }
+}
 
 impl<'env> RelaxedTx<'env> {
     /// Performs an *unsafe operation* — I/O, a volatile/atomic access, a

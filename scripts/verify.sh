@@ -18,6 +18,17 @@ cargo test -q --workspace --offline
 echo "==> stress smoke (${STRESS_SECONDS}s, every algorithm/lock/CM combo)"
 cargo run --release --offline -p testkit --bin stress -- --seconds "$STRESS_SECONDS"
 
+# Chaos tier: the same 21-combo matrix with tm's deterministic fault
+# injection armed (spurious aborts, delays, panics) and the ticket oracle
+# still on. Separate cargo invocations so the `chaos`/`fault` features
+# never unify into the plain build or the bench binaries.
+echo "==> chaos tests (tm fault layer + chaos schedules + fault-path zero-alloc guard)"
+cargo test -q --offline -p tm --features fault
+cargo test -q --offline -p testkit --features chaos
+
+echo "==> chaos stress (5s, every combo, deterministic fault plan)"
+cargo run --release --offline -p testkit --features chaos --bin stress -- --chaos --seconds 5
+
 echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc counts)"
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
