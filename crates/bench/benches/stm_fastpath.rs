@@ -76,6 +76,12 @@ fn bench_smalltx(c: &mut Criterion) {
     // words and touches a counter — few enough writes that the redo lookup
     // must stay on the inline scan of the write vector.
     let mut g = c.benchmark_group("fastpath_smalltx");
+    // Small transactions are the noisiest group (the whole payload is a
+    // few hundred ns, so scheduler hiccups dominate): take more samples
+    // than the default so the median is taken over a stable population.
+    // Calibration itself is pinned by the harness's min-of-warmup-passes
+    // rule (see testkit::bench).
+    g.sample_size(40);
     for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
         let rt = runtime(algo);
         let cells: Vec<TCell<u64>> = (0..4).map(TCell::new).collect();

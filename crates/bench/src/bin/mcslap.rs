@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use mcache::proto::binary::{self, Opcode, Request};
 use mcache::{Branch, McCache, McConfig, Stage};
-use workload::{Op, Workload};
+use workload::{Op, OpMix, Workload};
 
 struct Args {
     concurrency: usize,
@@ -21,6 +21,12 @@ struct Args {
     branch: Branch,
     value_size: usize,
     keys: usize,
+    /// Percent of operations that are GETs (the rest are SETs).
+    read_ratio: usize,
+    /// Batch consecutive GETs n-at-a-time through the multiget path
+    /// (ASCII-style `get k1 .. kn` via the API, pipelined quiet GETKQ
+    /// frames under `--binary`). 1 = no batching.
+    multiget: usize,
 }
 
 fn parse_branch(name: &str) -> Option<Branch> {
@@ -49,6 +55,8 @@ fn parse_args() -> Args {
         branch: Branch::IpNoLock,
         value_size: 256,
         keys: 2000,
+        read_ratio: 90,
+        multiget: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +82,16 @@ fn parse_args() -> Args {
             "--keys" => {
                 if let Some(v) = num(&mut it) {
                     args.keys = v.max(1);
+                }
+            }
+            "--read-ratio" => {
+                if let Some(v) = num(&mut it) {
+                    args.read_ratio = v.min(100);
+                }
+            }
+            "--multiget" => {
+                if let Some(v) = num(&mut it) {
+                    args.multiget = v.max(1);
                 }
             }
             "--binary" => args.binary = true,
@@ -103,6 +121,12 @@ fn main() {
             .key_count(args.keys)
             .value_size(args.value_size)
             .binary(args.binary)
+            .mix(OpMix {
+                get: args.read_ratio as u32,
+                set: 100 - args.read_ratio as u32,
+                delete: 0,
+                incr: 0,
+            })
             .build(),
     );
     let handle = McCache::start(McConfig {
@@ -121,8 +145,56 @@ fn main() {
             let cache = cache.clone();
             let wl = wl.clone();
             let binary = args.binary;
+            let multiget = args.multiget;
             s.spawn(move || {
+                // --multiget batching: consecutive GETs accumulate here and
+                // flush n-at-a-time through the single-transaction multiget
+                // path; any interleaved write flushes the partial batch
+                // first, preserving per-thread order.
+                let mut batch: Vec<usize> = Vec::new();
+                let flush = |batch: &mut Vec<usize>| {
+                    if batch.is_empty() {
+                        return;
+                    }
+                    if binary {
+                        // Full wire path for the whole pipeline: encode and
+                        // decode every quiet-get frame, then dispatch the
+                        // run as one batch.
+                        let decoded: Vec<Request> = batch
+                            .iter()
+                            .map(|&k| {
+                                let req = Request {
+                                    opcode: Opcode::GetKQ,
+                                    opaque: w as u32,
+                                    cas: 0,
+                                    key: wl.key(k).to_vec(),
+                                    value: vec![],
+                                    extra: 0,
+                                };
+                                Request::decode(&req.encode()).expect("self-encoded frame")
+                            })
+                            .collect();
+                        for resp in binary::execute_pipeline(&cache, w, &decoded) {
+                            assert_eq!(resp.opaque, w as u32);
+                        }
+                    } else {
+                        let keys: Vec<&[u8]> =
+                            batch.iter().map(|&k| wl.key(k).as_ref()).collect();
+                        cache.get_multi(w, &keys);
+                    }
+                    batch.clear();
+                };
                 for op in wl.stream(w) {
+                    if multiget > 1 {
+                        if let Op::Get(k) = op {
+                            batch.push(k);
+                            if batch.len() == multiget {
+                                flush(&mut batch);
+                            }
+                            continue;
+                        }
+                        flush(&mut batch);
+                    }
                     if binary {
                         // Full wire path: encode, decode, dispatch.
                         let req = match op {
@@ -180,6 +252,7 @@ fn main() {
                         }
                     }
                 }
+                flush(&mut batch);
             });
         }
     });
@@ -188,13 +261,15 @@ fn main() {
     let stats = cache.stats();
     let tm = cache.tm_stats();
     println!(
-        "{} ops in {:.3}s = {:.0} ops/s  ({} threads, {} branch, {})",
+        "{} ops in {:.3}s = {:.0} ops/s  ({} threads, {} branch, {}, {}% reads, multiget {})",
         total_ops,
         secs,
         total_ops as f64 / secs,
         args.concurrency,
         args.branch,
         if args.binary { "binary" } else { "api" },
+        args.read_ratio,
+        args.multiget,
     );
     println!(
         "hits={} misses={} evictions={} expansions={} rebalances={}",

@@ -354,8 +354,14 @@ impl McCache {
         for w in &self.workers {
             threads = threads + w.stats.snapshot_direct();
         }
+        let mut global = self.core.global.snapshot_direct();
+        // The trimmed read path counts its commands in per-worker shards
+        // (see `get_stats_privatized`) instead of touching the shared
+        // `cmd_total` cell; fold the shards back in so `cmd_total` keeps
+        // meaning "every command ever processed".
+        global.cmd_total += threads.cmd_shard;
         CacheStats {
-            global: self.core.global.snapshot_direct(),
+            global,
             threads,
             log_lines: self.log_lines.load(Ordering::Relaxed),
             request_panics: self.request_panics(),
@@ -431,6 +437,31 @@ impl McCache {
             SectionKind::Relaxed => self
                 .rt
                 .relaxed(RelaxedPlan::new(), |tx| f(&mut Ctx::Relaxed(tx))),
+            SectionKind::RelaxedSerial => self
+                .rt
+                .relaxed(RelaxedPlan::serial(), |tx| f(&mut Ctx::Relaxed(tx))),
+        }
+    }
+
+    /// [`Self::tx_section`] for sections that expect to stay read-only:
+    /// enters through the runtime's read-only fast lane (`atomic_ro` /
+    /// `relaxed_ro`), so a GET that never writes commits without ever
+    /// touching an orec or a log. A write mid-section (cold ITEM_FETCHED,
+    /// refcounting without elision, LRU timestamp) promotes the attempt in
+    /// flight — same semantics, just without the fast-lane discount.
+    /// Sections whose policy forces serial mode take the ordinary serial
+    /// path; the hint is meaningless there.
+    fn tx_section_ro<'e, R>(
+        &'e self,
+        entry: &[Category],
+        mid: &[Category],
+        mut f: impl FnMut(&mut Ctx<'_, 'e>) -> Result<R, Abort>,
+    ) -> R {
+        match self.policy.section_kind(entry, mid) {
+            SectionKind::Atomic => self.rt.atomic_ro(|tx| f(&mut Ctx::Atomic(tx))),
+            SectionKind::Relaxed => self
+                .rt
+                .relaxed_ro(RelaxedPlan::new(), |tx| f(&mut Ctx::Relaxed(tx))),
             SectionKind::RelaxedSerial => self
                 .rt
                 .relaxed(RelaxedPlan::serial(), |tx| f(&mut Ctx::Relaxed(tx))),
@@ -582,6 +613,31 @@ impl McCache {
         ctx.put_word(g.cmd_total.word(), v + 1)
     }
 
+    /// GET-path stats by privatization: the per-thread block is only ever
+    /// written by its owning worker, so — by the same argument IP makes for
+    /// privatized item data (§3.3) — the trimmed read path updates it
+    /// directly, outside the transaction, after the section ends. The
+    /// global command counter becomes a per-worker shard (`cmd_shard`)
+    /// folded back together at snapshot time, which keeps both the §3.1
+    /// `stats_lock` hot spot and any shared stats word out of the
+    /// read-only fast lane entirely.
+    fn get_stats_privatized(&self, w: usize, hits: u64, misses: u64) {
+        let slot = &self.workers[w];
+        let _g = slot.lock.lock();
+        let mut ctx = Ctx::Direct;
+        for (cell, n) in [
+            (&slot.stats.get_cmds, hits + misses),
+            (&slot.stats.get_hits, hits),
+            (&slot.stats.get_misses, misses),
+            (&slot.stats.cmd_shard, hits + misses),
+        ] {
+            if n != 0 {
+                let v = ctx.get_word(cell.word()).expect("direct");
+                ctx.put_word(cell.word(), v + n).expect("direct");
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Client operations
     // ------------------------------------------------------------------
@@ -636,19 +692,19 @@ impl McCache {
                 hit
             }
             ItemMode::Transactional => {
-                let tstats = &self.workers[w].stats;
+                // The trimmed GET of the read-path overdrive: the
+                // transaction carries only what the paper's IP shape needs
+                // atomically — hash walk, key memcmp, refcount bump — and
+                // enters through the read-only fast lane. Stats moved out
+                // (see `get_stats_privatized`); with refcount elision a
+                // warm hit therefore never writes and commits fast-lane.
                 let elide = self.cfg.refcount_elision;
-                let hit = self.tx_section(
+                let hit = self.tx_section_ro(
                     &[Category::VolatileFlag],
                     &[Category::Libc, Category::RefcountRmw, Category::LogIo, Category::AssertAbort],
                     |ctx| {
                         let h = core.item_get(ctx, &policy, key, hv, now, bump_hint, elide)?;
                         self.maybe_log(ctx, "get")?;
-                        self.stats_inline(
-                            ctx,
-                            &tstats.get_cmds,
-                            Some(if h.is_some() { &tstats.get_hits } else { &tstats.get_misses }),
-                        )?;
                         Ok(h)
                     },
                 );
@@ -657,6 +713,7 @@ impl McCache {
                         self.update_section(key, hv, h.handle, now);
                     }
                 }
+                self.get_stats_privatized(w, hit.is_some() as u64, hit.is_none() as u64);
                 hit
             }
         };
@@ -675,6 +732,75 @@ impl McCache {
             flags: h.flags,
             cas: h.cas,
         })
+    }
+
+    /// Multiget: `get k1 k2 ... kn` as ONE critical section. On the
+    /// transactional branches the whole batch runs as a single read-only
+    /// fast-lane transaction — one begin, one snapshot to extend, one
+    /// commit fence for n lookups — which is where batching pays: the
+    /// per-transaction overhead the paper measures on the GET path is
+    /// amortized across the batch. Lock branches fall back to per-key
+    /// [`Self::get`]: their striped item locks cannot be held jointly
+    /// without ordering, and memcached's real multiget re-acquires per key
+    /// anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a valid worker slot or any key exceeds
+    /// [`KEY_MAX`].
+    pub fn get_multi(&self, w: usize, keys: &[&[u8]]) -> Vec<Option<GetValue>> {
+        if self.policy.item_mode != ItemMode::Transactional || keys.len() < 2 {
+            return keys.iter().map(|k| self.get(w, k)).collect();
+        }
+        for key in keys {
+            assert!(key.len() <= KEY_MAX && !key.is_empty(), "bad key length");
+        }
+        let now = self.rel_time();
+        let core = &self.core;
+        let policy = self.policy;
+        let elide = self.cfg.refcount_elision;
+        // Hash + LRU-bump decisions are per-key and side-effecting
+        // (op_count advances), so take them once, outside the retry loop.
+        let meta: Vec<(u32, bool)> = keys
+            .iter()
+            .map(|key| {
+                let hv = jenkins_hash(key, 0);
+                let ops = self.workers[w].op_count.fetch_add(1, Ordering::Relaxed);
+                let bump =
+                    self.cfg.lru_bump_every != 0 && ops.is_multiple_of(self.cfg.lru_bump_every);
+                (hv, bump)
+            })
+            .collect();
+        let hits: Vec<Option<GetHit>> = self.tx_section_ro(
+            &[Category::VolatileFlag],
+            &[Category::Libc, Category::RefcountRmw, Category::LogIo, Category::AssertAbort],
+            |ctx| {
+                let mut out = Vec::with_capacity(keys.len());
+                for (key, &(hv, bump)) in keys.iter().zip(&meta) {
+                    out.push(core.item_get(ctx, &policy, key, hv, now, bump, elide)?);
+                }
+                self.maybe_log(ctx, "get_multi")?;
+                Ok(out)
+            },
+        );
+        for (key, (hit, &(hv, _))) in keys.iter().zip(hits.iter().zip(&meta)) {
+            if let Some(h) = hit {
+                if h.needs_bump {
+                    self.update_section(key, hv, h.handle, now);
+                }
+            }
+        }
+        let n_hits = hits.iter().flatten().count() as u64;
+        self.get_stats_privatized(w, n_hits, keys.len() as u64 - n_hits);
+        hits.into_iter()
+            .map(|o| {
+                o.map(|h| GetValue {
+                    data: h.value,
+                    flags: h.flags,
+                    cas: h.cas,
+                })
+            })
+            .collect()
     }
 
     /// The `item_update` critical section (cache-lock category): re-finds

@@ -265,7 +265,12 @@ impl CacheCore {
             let rc = it.ref_incr(ctx, policy)?;
             ctx.assert_that(policy, rc >= 1, "get raised refcount from garbage")?;
         }
-        it.update_flags(ctx, ITEM_FETCHED, 0)?;
+        // Set-if-unset: a steady-state hit has ITEM_FETCHED already, and
+        // skipping the redundant store keeps a refcount-elided GET free of
+        // writes — i.e. on the read-only fast lane end to end.
+        if it.flags(ctx)? & ITEM_FETCHED == 0 {
+            it.update_flags(ctx, ITEM_FETCHED, 0)?;
+        }
         let sizes = it.sizes(ctx)?;
         let value = it.read_value(ctx, policy, sizes)?;
         let flags = it.client_flags(ctx)?;

@@ -213,6 +213,111 @@ mod tests {
     }
 
     #[test]
+    fn multiget_all_branches_matches_per_key_gets() {
+        for branch in Branch::all() {
+            let c = McCache::start(small_config(branch));
+            c.set(0, b"a", b"va", 1, 0);
+            c.set(0, b"b", b"vb", 2, 0);
+            let vals = c.get_multi(0, &[b"a", b"missing", b"b", b"a"]);
+            assert_eq!(vals.len(), 4, "{branch}");
+            assert_eq!(vals[0].as_ref().unwrap().data, b"va", "{branch}");
+            assert!(vals[1].is_none(), "{branch}");
+            assert_eq!(vals[2].as_ref().unwrap().data, b"vb", "{branch}");
+            assert_eq!(vals[3].as_ref().unwrap().data, b"va", "{branch}");
+            let s = c.stats();
+            assert_eq!(s.threads.get_cmds, 4, "{branch}");
+            assert_eq!(s.threads.get_hits, 3, "{branch}");
+            assert_eq!(s.threads.get_misses, 1, "{branch}");
+            assert_eq!(
+                s.global.cmd_total,
+                s.threads.total_cmds(),
+                "{branch}: shards must fold into cmd_total"
+            );
+        }
+    }
+
+    #[test]
+    fn transactional_get_path_rides_the_fast_lane() {
+        // IT-onCommit with refcount elision: a warm GET hit writes nothing,
+        // so every one must commit on the runtime's read-only fast lane.
+        let mut cfg = small_config(Branch::It(Stage::OnCommit));
+        cfg.refcount_elision = true;
+        cfg.lru_bump_every = 0; // no LRU-bump writes on this profile
+        let c = McCache::start(cfg);
+        c.set(0, b"k", b"v", 0, 0);
+        c.get(0, b"k"); // first fetch sets ITEM_FETCHED (a promotion)
+        let before = c.tm_stats();
+        for _ in 0..50 {
+            assert!(c.get(0, b"k").is_some());
+        }
+        let after = c.tm_stats();
+        assert!(
+            after.ro_fast_commits >= before.ro_fast_commits + 50,
+            "warm elided GETs must all commit fast-lane: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn elided_readers_survive_concurrent_frees() {
+        // Privatization safety at the cache level: with refcount elision a
+        // fast-lane GET holds no reference, so a concurrent delete+reset
+        // (the paper's item_free hazard) must be fenced by the STM alone.
+        // Values are uniform byte-runs — any torn read would mix rounds.
+        let mut cfg = small_config(Branch::It(Stage::OnCommit));
+        cfg.refcount_elision = true;
+        cfg.lru_bump_every = 0;
+        let handle = McCache::start(cfg);
+        let c = handle.cache().clone();
+        let keys: Vec<Vec<u8>> = (0..4).map(|i| format!("rk{i}").into_bytes()).collect();
+
+        std::thread::scope(|s| {
+            {
+                let (c, keys) = (Arc::clone(&c), keys.clone());
+                s.spawn(move || {
+                    for round in 0..400u32 {
+                        let k = &keys[round as usize % keys.len()];
+                        if round % 5 == 4 {
+                            c.delete(0, k);
+                        } else {
+                            let fill = vec![b'a' + (round % 23) as u8; 64];
+                            c.set(0, k, &fill, 0, 0);
+                        }
+                    }
+                });
+            }
+            for w in 1..3usize {
+                let (c, keys) = (Arc::clone(&c), keys.clone());
+                s.spawn(move || {
+                    for i in 0..400usize {
+                        let check = |v: &crate::GetValue| {
+                            assert_eq!(v.data.len(), 64, "torn length");
+                            assert!(
+                                v.data.iter().all(|&b| b == v.data[0]),
+                                "torn value: a reader mixed two rounds: {:?}",
+                                &v.data[..8]
+                            );
+                        };
+                        if i % 3 == 0 {
+                            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                            for v in c.get_multi(w, &refs).iter().flatten() {
+                                check(v);
+                            }
+                        } else if let Some(v) = c.get(w, &keys[i % keys.len()]) {
+                            check(&v);
+                        }
+                    }
+                });
+            }
+        });
+        let s = handle.stats();
+        assert_eq!(
+            s.global.cmd_total,
+            s.threads.total_cmds(),
+            "shards must fold exactly even under concurrency"
+        );
+    }
+
+    #[test]
     fn serialization_stats_shape_follows_stages() {
         // The qualitative content of Tables 1-4: serialization causes
         // shrink monotonically as the stages progress, and vanish at

@@ -60,9 +60,14 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
     match cmd {
         b"get" | b"gets" => {
             let with_cas = cmd == b"gets";
+            // One request line, one batch: on transactional branches the
+            // whole multiget runs as a single read-only fast-lane
+            // transaction (see `McCache::get_multi`).
+            let keys: Vec<&[u8]> = parts.collect();
+            let vals = cache.get_multi(w, &keys);
             let mut out = Vec::new();
-            for key in parts {
-                if let Some(v) = cache.get(w, key) {
+            for (key, v) in keys.iter().zip(vals) {
+                if let Some(v) = v {
                     out.extend_from_slice(b"VALUE ");
                     out.extend_from_slice(key);
                     if with_cas {
@@ -244,6 +249,12 @@ pub mod binary {
         Decrement = 0x06,
         Noop = 0x0a,
         Version = 0x0b,
+        /// GET returning the key in the response body.
+        GetK = 0x0c,
+        /// Quiet GETK: misses send no response, so a client can pipeline
+        /// `GETKQ k1 .. GETKQ kn, Noop` as one multiget
+        /// (see [`execute_pipeline`]).
+        GetKQ = 0x0d,
     }
 
     /// Binary status codes.
@@ -290,6 +301,8 @@ pub mod binary {
         pub opaque: u32,
         /// Stored item's CAS (stores/gets).
         pub cas: u64,
+        /// Key echo (GETK/GETKQ hits; empty otherwise).
+        pub key: Vec<u8>,
         /// Value (gets, arithmetic results, version).
         pub value: Vec<u8>,
     }
@@ -338,6 +351,8 @@ pub mod binary {
                 0x06 => Opcode::Decrement,
                 0x0a => Opcode::Noop,
                 0x0b => Opcode::Version,
+                0x0c => Opcode::GetK,
+                0x0d => Opcode::GetKQ,
                 _ => return None,
             };
             let keylen = u16::from_be_bytes([buf[2], buf[3]]) as usize;
@@ -379,10 +394,74 @@ pub mod binary {
                     status: Status::InternalError,
                     opaque: req.opaque,
                     cas: 0,
+                    key: Vec::new(),
                     value: Vec::new(),
                 }
             }
         }
+    }
+
+    /// Dispatches a pipelined batch of binary requests.
+    ///
+    /// Runs of consecutive quiet gets ([`Opcode::GetKQ`]) — the binary
+    /// protocol's multiget idiom — execute as ONE read-only fast-lane
+    /// transaction via [`McCache::get_multi`], and, per the quiet
+    /// semantics, misses produce no response at all. Every other opcode
+    /// (including the terminating `Noop`) dispatches one-by-one through
+    /// [`execute`]. A panic inside a batch is caught here and answered
+    /// with one [`Status::InternalError`] per batched request.
+    pub fn execute_pipeline(cache: &McCache, w: usize, reqs: &[Request]) -> Vec<Response> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < reqs.len() {
+            if reqs[i].opcode != Opcode::GetKQ {
+                out.push(execute(cache, w, &reqs[i]));
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < reqs.len() && reqs[j].opcode == Opcode::GetKQ {
+                j += 1;
+            }
+            let batch = &reqs[i..j];
+            let vals = catch_unwind(AssertUnwindSafe(|| {
+                if cache.take_request_panic_trap() {
+                    panic!("test trap: request panic");
+                }
+                let keys: Vec<&[u8]> = batch.iter().map(|r| r.key.as_slice()).collect();
+                cache.get_multi(w, &keys)
+            }));
+            match vals {
+                Ok(vals) => {
+                    for (r, v) in batch.iter().zip(vals) {
+                        // Quiet get: a miss sends nothing.
+                        if let Some(v) = v {
+                            out.push(Response {
+                                status: Status::Ok,
+                                opaque: r.opaque,
+                                cas: v.cas,
+                                key: r.key.clone(),
+                                value: v.data,
+                            });
+                        }
+                    }
+                }
+                Err(_panic) => {
+                    cache.note_request_panic();
+                    for r in batch {
+                        out.push(Response {
+                            status: Status::InternalError,
+                            opaque: r.opaque,
+                            cas: 0,
+                            key: Vec::new(),
+                            value: Vec::new(),
+                        });
+                    }
+                }
+            }
+            i = j;
+        }
+        out
     }
 
     fn execute_inner(cache: &McCache, w: usize, req: &Request) -> Response {
@@ -393,13 +472,17 @@ pub mod binary {
             status: Status::Ok,
             opaque: req.opaque,
             cas: 0,
+            key: Vec::new(),
             value: Vec::new(),
         };
         match req.opcode {
-            Opcode::Get => match cache.get(w, &req.key) {
+            Opcode::Get | Opcode::GetK | Opcode::GetKQ => match cache.get(w, &req.key) {
                 Some(v) => {
                     resp.cas = v.cas;
                     resp.value = v.data;
+                    if req.opcode != Opcode::Get {
+                        resp.key = req.key.clone();
+                    }
                 }
                 None => resp.status = Status::KeyNotFound,
             },
@@ -638,6 +721,82 @@ mod tests {
         let resp = binary::execute(&c, 0, &incr);
         assert_eq!(resp.status, binary::Status::Ok);
         assert_eq!(u64::from_be_bytes(resp.value.try_into().unwrap()), 15);
+    }
+
+    #[test]
+    fn binary_getk_echoes_key() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set k 0 0 1\r\nA\r\n");
+        let getk = binary::Request {
+            opcode: binary::Opcode::GetK,
+            opaque: 3,
+            cas: 0,
+            key: b"k".to_vec(),
+            value: vec![],
+            extra: 0,
+        };
+        let decoded = binary::Request::decode(&getk.encode()).unwrap();
+        assert_eq!(decoded, getk);
+        let resp = binary::execute(&c, 0, &decoded);
+        assert_eq!(resp.status, binary::Status::Ok);
+        assert_eq!(resp.key, b"k");
+        assert_eq!(resp.value, b"A");
+    }
+
+    #[test]
+    fn binary_quiet_multiget_pipeline() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set a 0 0 1\r\nA\r\n");
+        execute_ascii(&c, 0, b"set b 0 0 1\r\nB\r\n");
+        let q = |key: &[u8], opaque| binary::Request {
+            opcode: binary::Opcode::GetKQ,
+            opaque,
+            cas: 0,
+            key: key.to_vec(),
+            value: vec![],
+            extra: 0,
+        };
+        let noop = binary::Request {
+            opcode: binary::Opcode::Noop,
+            opaque: 99,
+            cas: 0,
+            key: vec![],
+            value: vec![],
+            extra: 0,
+        };
+        let reqs = [q(b"a", 1), q(b"missing", 2), q(b"b", 3), noop];
+        let resps = binary::execute_pipeline(&c, 0, &reqs);
+        // The miss is silent; only two hits plus the Noop answer.
+        assert_eq!(resps.len(), 3);
+        assert_eq!((resps[0].opaque, resps[0].key.as_slice()), (1, &b"a"[..]));
+        assert_eq!(resps[0].value, b"A");
+        assert_eq!((resps[1].opaque, resps[1].key.as_slice()), (3, &b"b"[..]));
+        assert_eq!(resps[1].value, b"B");
+        assert_eq!(resps[2].opaque, 99);
+        // Three gets went through, batched or not.
+        let s = c.stats();
+        assert_eq!(s.threads.get_cmds, 3);
+        assert_eq!(s.threads.get_hits, 2);
+        assert_eq!(s.threads.get_misses, 1);
+        assert_eq!(s.global.cmd_total, s.threads.total_cmds(), "shards folded in");
+    }
+
+    #[test]
+    fn binary_pipeline_panic_answers_whole_batch() {
+        let c = cache();
+        let q = |key: &[u8], opaque| binary::Request {
+            opcode: binary::Opcode::GetKQ,
+            opaque,
+            cas: 0,
+            key: key.to_vec(),
+            value: vec![],
+            extra: 0,
+        };
+        c.trip_request_panic();
+        let resps = binary::execute_pipeline(&c, 0, &[q(b"a", 1), q(b"b", 2)]);
+        assert_eq!(resps.len(), 2);
+        assert!(resps.iter().all(|r| r.status == binary::Status::InternalError));
+        assert_eq!(c.request_panics(), 1);
     }
 
     #[test]

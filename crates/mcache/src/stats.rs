@@ -86,6 +86,11 @@ cells! {
         arith_cmds,
         /// `touch` commands.
         touch_cmds,
+        /// This worker's shard of the global `cmd_total`: the trimmed read
+        /// path counts its commands here — privately, outside any
+        /// transaction — and the shards are folded back into
+        /// `GlobalSnapshot::cmd_total` at snapshot time.
+        cmd_shard,
     } snapshot ThreadSnapshot
 }
 

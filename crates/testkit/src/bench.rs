@@ -134,23 +134,33 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark. `f` receives a [`Bencher`] and must call
-    /// [`Bencher::iter`] or [`Bencher::iter_custom`].
-    pub fn bench_function(&mut self, id: impl ToString, mut f: impl FnMut(&mut Bencher)) {
-        let id = id.to_string();
-        let samples = std::env::var("TESTKIT_BENCH_SAMPLES")
+    fn sample_count(&self) -> usize {
+        std::env::var("TESTKIT_BENCH_SAMPLES")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
                 self.sample_size
                     .unwrap_or(self.criterion.default_sample_size)
             })
-            .max(2);
+            .max(2)
+    }
 
-        // Warmup + calibration pass.
+    /// Warmup + calibration: returns the iteration count per sample.
+    ///
+    /// Calibrating off a single pass (this loop used to keep only the LAST
+    /// warmup measurement) let one descheduled pass pick a wildly wrong
+    /// iteration count, which is exactly how `norec/w4`-style small-tx
+    /// benches went noisy run-to-run. Keep the MINIMUM per-iteration time
+    /// across all warmup passes — the best observation is the least
+    /// contaminated estimate of the payload's true cost — and always take
+    /// a few passes even once the time budget is spent (long payloads bail
+    /// out via the 4× budget cap instead).
+    fn calibrate(&self, f: &mut impl FnMut(&mut Bencher)) -> u64 {
+        const MIN_WARMUP_PASSES: u32 = 3;
         let warmup_budget = Duration::from_millis(self.criterion.warmup_ms);
         let mut iters = 1u64;
-        let mut one;
+        let mut one = Duration::MAX;
+        let mut passes = 0u32;
         let warmup_start = Instant::now();
         loop {
             let mut b = Bencher {
@@ -158,8 +168,12 @@ impl BenchmarkGroup<'_> {
                 elapsed: Duration::ZERO,
             };
             f(&mut b);
-            one = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
-            if warmup_start.elapsed() >= warmup_budget {
+            one = one.min(b.elapsed.max(Duration::from_nanos(1)) / iters as u32);
+            passes += 1;
+            let spent = warmup_start.elapsed();
+            if spent >= warmup_budget
+                && (passes >= MIN_WARMUP_PASSES || spent >= warmup_budget * 4)
+            {
                 break;
             }
         }
@@ -168,17 +182,20 @@ impl BenchmarkGroup<'_> {
         if one < target {
             iters = (target.as_nanos() / one.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
         }
+        iters
+    }
 
-        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
-        for _ in 0..samples {
-            let mut b = Bencher {
-                iters,
-                elapsed: Duration::ZERO,
-            };
-            f(&mut b);
-            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
-        }
-        let stats = BenchStats::from_samples(id, iters, &mut per_iter_ns);
+    fn one_sample(f: &mut impl FnMut(&mut Bencher), iters: u64) -> f64 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.elapsed.as_nanos() as f64 / iters as f64
+    }
+
+    fn record(&mut self, id: String, iters: u64, per_iter_ns: &mut [f64]) {
+        let stats = BenchStats::from_samples(id, iters, per_iter_ns);
         println!(
             "{:<40} median {:>12} p95 {:>12}  ({} samples × {} iters)",
             format!("{}/{}", self.name, stats.name),
@@ -190,8 +207,54 @@ impl BenchmarkGroup<'_> {
         self.results.push(stats);
     }
 
-    /// Finishes the group: writes `BENCH_<group>.json`.
-    pub fn finish(&mut self) {
+    /// Runs one benchmark. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_custom`].
+    pub fn bench_function(&mut self, id: impl ToString, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.to_string();
+        let samples = self.sample_count();
+        let iters = self.calibrate(&mut f);
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            per_iter_ns.push(Self::one_sample(&mut f, iters));
+        }
+        self.record(id, iters, &mut per_iter_ns);
+    }
+
+    /// Runs two benchmarks with their timed samples **interleaved** in
+    /// time: a1 b1 a2 b2 … instead of a1..aN b1..bN.
+    ///
+    /// Use this when the two benchmarks will be compared against each
+    /// other (a before/after or slow-path/fast-path pair). Host noise on
+    /// shared machines drifts in epochs that last seconds — long enough
+    /// that two back-to-back benchmark runs can land in different noise
+    /// regimes, skewing their ratio by 50% or more run-to-run. Alternating
+    /// samples makes both arms see the same epochs, so their medians stay
+    /// comparable even when the absolute numbers wander.
+    pub fn bench_pair(
+        &mut self,
+        id_a: impl ToString,
+        mut f_a: impl FnMut(&mut Bencher),
+        id_b: impl ToString,
+        mut f_b: impl FnMut(&mut Bencher),
+    ) {
+        let samples = self.sample_count();
+        let iters_a = self.calibrate(&mut f_a);
+        let iters_b = self.calibrate(&mut f_b);
+        let mut ns_a: Vec<f64> = Vec::with_capacity(samples);
+        let mut ns_b: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            ns_a.push(Self::one_sample(&mut f_a, iters_a));
+            ns_b.push(Self::one_sample(&mut f_b, iters_b));
+        }
+        self.record(id_a.to_string(), iters_a, &mut ns_a);
+        self.record(id_b.to_string(), iters_b, &mut ns_b);
+    }
+
+    /// Finishes the group: writes `BENCH_<group>.json` and returns the
+    /// collected stats so callers can assert intra-run invariants (e.g.
+    /// a fast-path/slow-path ratio floor) that stay meaningful even when
+    /// host noise moves every absolute number together.
+    pub fn finish(&mut self) -> Vec<BenchStats> {
         let dir = std::env::var("TESTKIT_BENCH_DIR")
             .unwrap_or_else(|_| "target/testkit-bench".to_owned());
         let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
@@ -202,6 +265,7 @@ impl BenchmarkGroup<'_> {
         } else {
             println!("[testkit] wrote {}", path.display());
         }
+        std::mem::take(&mut self.results)
     }
 
     /// The group's results as a JSON document.
@@ -227,6 +291,137 @@ impl BenchmarkGroup<'_> {
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+// ---------------------------------------------------------------------
+// Report comparison (the offline regression gate)
+// ---------------------------------------------------------------------
+
+/// One benchmark's statistics extracted from a `BENCH_<group>.json` report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportEntry {
+    /// Benchmark name within its group.
+    pub name: String,
+    /// Median per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration nanoseconds (the low-noise cost estimator).
+    pub min_ns: f64,
+}
+
+/// Parses the `benchmarks` array of a report produced by
+/// [`BenchmarkGroup::finish`]. Only `name`, `median_ns`, and `min_ns` are
+/// extracted; the parser is deliberately matched to our own writer, not a
+/// general JSON reader.
+pub fn parse_report(json: &str) -> Vec<ReportEntry> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    // Skip the group header so its "name"-less prefix can't confuse us.
+    if let Some(i) = rest.find("\"benchmarks\"") {
+        rest = &rest[i..];
+    }
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + "\"name\": \"".len()..];
+        let mut name = String::new();
+        let mut chars = rest.char_indices();
+        let mut consumed = rest.len();
+        while let Some((j, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, esc)) = chars.next() {
+                        name.push(match esc {
+                            'n' => '\n',
+                            other => other,
+                        });
+                    }
+                }
+                '"' => {
+                    consumed = j + 1;
+                    break;
+                }
+                c => name.push(c),
+            }
+        }
+        rest = &rest[consumed..];
+        let field = |rest: &str, key: &str| -> Option<(f64, usize)> {
+            let k = rest.find(key)?;
+            let num = &rest[k + key.len()..];
+            let end = num
+                .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                .unwrap_or(num.len());
+            num[..end].parse::<f64>().ok().map(|v| (v, k + key.len() + end))
+        };
+        let Some((median, _)) = field(rest, "\"median_ns\": ") else {
+            break;
+        };
+        // min_ns sits after median_ns in the writer's field order.
+        let Some((min, consumed)) = field(rest, "\"min_ns\": ") else {
+            break;
+        };
+        out.push(ReportEntry {
+            name,
+            median_ns: median,
+            min_ns: min,
+        });
+        rest = &rest[consumed..];
+    }
+    out
+}
+
+/// The verdict for one benchmark present in both reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median (ns).
+    pub base_ns: f64,
+    /// Fresh minimum (ns) — already the optimistic estimate, yet still
+    /// above the gate.
+    pub fresh_ns: f64,
+}
+
+/// Compares a fresh report against a committed baseline.
+///
+/// The gate compares the **fresh minimum** against the **baseline
+/// median**: host noise (frequency scaling, co-tenants) only ever adds
+/// time, so a fresh run's min is a stable cost estimator, while the
+/// baseline's median sits a noise-margin above its own floor. A real
+/// regression shifts the whole distribution — min included — past the
+/// baseline median; a noisy run does not. (Median-vs-median flapped by
+/// ±60% between consecutive runs on the reference host.)
+///
+/// A benchmark **regresses** when `fresh.min_ns` exceeds
+/// `base.median_ns` by more than `threshold` (a fraction: 0.15 = 15%)
+/// AND by more than an absolute 5ns floor (sub-nanosecond medians — e.g.
+/// the alloc-count pseudo-benches scaled ×1000 — would otherwise flap on
+/// noise). A zero baseline is a hard promise: any nonzero fresh value
+/// fails regardless of the threshold (that is how "zero allocations per
+/// commit" stays pinned). Benchmarks missing from either side are
+/// ignored — renames are not regressions.
+pub fn compare_reports(
+    baseline: &[ReportEntry],
+    fresh: &[ReportEntry],
+    threshold: f64,
+) -> Vec<Regression> {
+    let mut bad = Vec::new();
+    for b in baseline {
+        let Some(f) = fresh.iter().find(|f| f.name == b.name) else {
+            continue;
+        };
+        let regressed = if b.median_ns == 0.0 {
+            f.min_ns > 0.0
+        } else {
+            let delta = f.min_ns - b.median_ns;
+            delta > b.median_ns * threshold && delta > 5.0
+        };
+        if regressed {
+            bad.push(Regression {
+                name: b.name.clone(),
+                base_ns: b.median_ns,
+                fresh_ns: f.min_ns,
+            });
+        }
+    }
+    bad
 }
 
 fn json_str(s: &str) -> String {
@@ -341,6 +536,34 @@ mod tests {
     }
 
     #[test]
+    fn calibration_ignores_outlier_warmup_pass() {
+        let mut c = Criterion {
+            warmup_ms: 1,
+            default_sample_size: 2,
+        };
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(2);
+        let mut calls = 0u32;
+        // The first warmup pass claims to be absurdly slow (a descheduled
+        // pass); calibration must use the minimum across passes, not the
+        // last/only observation, or iters_per_sample collapses to 1.
+        g.bench_function("outlier", |b| {
+            calls += 1;
+            let slow = calls == 1;
+            b.iter_custom(move |iters| {
+                if slow {
+                    Duration::from_millis(50) * iters as u32
+                } else {
+                    Duration::from_micros(10) * iters as u32
+                }
+            });
+        });
+        let s = &g.results[0];
+        assert!(s.iters_per_sample >= 50, "min-of-warmup calibration: {s:?}");
+        assert!((s.median_ns - 10_000.0).abs() < 1.0, "{s:?}");
+    }
+
+    #[test]
     fn json_shape_is_stable() {
         let mut c = Criterion {
             warmup_ms: 0,
@@ -361,5 +584,75 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 1.0), 4.0);
         assert_eq!(percentile(&v, 0.5), 2.5);
+    }
+
+    #[test]
+    fn parse_report_roundtrips_writer_output() {
+        let mut c = Criterion {
+            warmup_ms: 0,
+            default_sample_size: 2,
+        };
+        let mut g = c.benchmark_group("gate");
+        g.sample_size(2);
+        g.bench_function("eager/w4", |b| {
+            b.iter_custom(|i| Duration::from_nanos(100) * i as u32)
+        });
+        g.bench_function("norec/\"quoted\"", |b| {
+            b.iter_custom(|i| Duration::from_nanos(200) * i as u32)
+        });
+        let entries = parse_report(&g.to_json());
+        assert_eq!(entries.len(), 2, "{entries:?}");
+        assert_eq!(entries[0].name, "eager/w4");
+        assert!((entries[0].median_ns - 100.0).abs() < 1.0, "{entries:?}");
+        assert!((entries[0].min_ns - 100.0).abs() < 1.0, "{entries:?}");
+        assert_eq!(entries[1].name, "norec/\"quoted\"");
+        assert!((entries[1].median_ns - 200.0).abs() < 1.0, "{entries:?}");
+        assert!((entries[1].min_ns - 200.0).abs() < 1.0, "{entries:?}");
+    }
+
+    #[test]
+    fn compare_flags_only_true_regressions() {
+        // In these fixtures the fresh run's min sits 20% under its median
+        // — the noise margin the min-vs-baseline-median gate exists for.
+        let e = |name: &str, median_ns: f64| ReportEntry {
+            name: name.into(),
+            median_ns,
+            min_ns: median_ns * 0.8,
+        };
+        let baseline = [
+            e("a", 100.0),
+            e("b", 100.0),
+            e("tiny", 2.0),
+            e("zero", 0.0),
+            e("gone", 50.0),
+        ];
+        let fresh = [
+            e("a", 143.0),  // min 114.4 — within threshold of base median
+            e("b", 150.0),  // min 120.0 — regression (+20% past the gate)
+            e("tiny", 4.0), // +100% but under the 5ns floor
+            e("zero", 0.0), // pinned at zero, still zero
+            e("new", 9.0),  // not in baseline — ignored
+        ];
+        let bad = compare_reports(&baseline, &fresh, 0.15);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].name, "b");
+        assert_eq!(bad[0].base_ns, 100.0);
+        assert_eq!(bad[0].fresh_ns, 120.0);
+
+        // A zero baseline is a hard promise: any nonzero fresh fails.
+        let bad = compare_reports(&[e("zero", 0.0)], &[e("zero", 1.0)], 0.15);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+
+        // A noisy-but-honest run never fails: median drifted +60% while
+        // the floor stayed put.
+        let noisy = [ReportEntry {
+            name: "a".into(),
+            median_ns: 160.0,
+            min_ns: 98.0,
+        }];
+        assert!(compare_reports(&[e("a", 100.0)], &noisy, 0.15).is_empty());
+
+        // Improvements never fail, however large.
+        assert!(compare_reports(&[e("a", 100.0)], &[e("a", 10.0)], 0.15).is_empty());
     }
 }

@@ -14,10 +14,15 @@
 //! feature) arms `tm::fault` on every worker thread: spurious aborts,
 //! bounded delays, and injected panics rain on all 21 combos while the
 //! ticket oracle stays on.
+//!
+//! Every combo runs **two** schedules per seed: the write-heavy ticket
+//! schedule and the read-mostly fast-lane schedule (transactions start
+//! read-only, a quarter promote mid-flight; reader snapshots are
+//! position-checked against the ticket-ordered serial prefix).
 
 use std::time::{Duration, Instant};
 
-use testkit::stress::{run_schedule, run_schedule_sabotaged, StressConfig};
+use testkit::stress::{run_schedule, run_schedule_ro, run_schedule_sabotaged, StressConfig};
 
 struct Args {
     seconds: Option<u64>,
@@ -91,6 +96,7 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
     let start = Instant::now();
     let (mut schedules, mut commits, mut aborts) = (0u64, 0u64, 0u64);
     let (mut injected, mut panic_aborts) = (0u64, 0u64);
+    let (mut promotions, mut ro_commits, mut snaps_checked) = (0u64, 0u64, 0u64);
     let mut seed = args.seed.unwrap_or(1);
     loop {
         for &(algorithm, serial_lock, contention) in &combos {
@@ -113,6 +119,22 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
                     std::process::exit(1);
                 }
             }
+            match chaos::run_schedule_ro_chaos(seed, &cfg, plan) {
+                Ok(r) => {
+                    schedules += 1;
+                    commits += r.report.report.commits;
+                    aborts += r.report.report.aborts;
+                    injected += r.injected;
+                    panic_aborts += r.panic_aborts;
+                    promotions += r.report.ro_promotions;
+                    ro_commits += r.report.ro_fast_commits;
+                    snaps_checked += r.report.snapshots_checked;
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
         }
         if args.seed.is_some() || start.elapsed() >= budget {
             break;
@@ -121,13 +143,17 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
     }
     println!(
         "stress: CHAOS OK — {} schedules over {} runtime combos, {} commits, {} aborts, \
-         {} faults injected ({} panic teardowns), {:.2}s",
+         {} faults injected ({} panic teardowns), {} fast-lane commits, {} promotions, \
+         {} reader snapshots checked, {:.2}s",
         schedules,
         combos.len(),
         commits,
         aborts,
         injected,
         panic_aborts,
+        ro_commits,
+        promotions,
+        snaps_checked,
         start.elapsed().as_secs_f64()
     );
     std::process::exit(0);
@@ -164,6 +190,7 @@ fn main() {
     let mut schedules = 0u64;
     let mut commits = 0u64;
     let mut aborts = 0u64;
+    let (mut promotions, mut ro_commits, mut snaps_checked) = (0u64, 0u64, 0u64);
     let mut seed = args.seed.unwrap_or(1);
     loop {
         for &(algorithm, serial_lock, contention) in &combos {
@@ -184,6 +211,20 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            match run_schedule_ro(seed, &cfg) {
+                Ok(r) => {
+                    schedules += 1;
+                    commits += r.report.commits;
+                    aborts += r.report.aborts;
+                    promotions += r.ro_promotions;
+                    ro_commits += r.ro_fast_commits;
+                    snaps_checked += r.snapshots_checked;
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
         }
         // A single --seed run sweeps the matrix exactly once.
         if args.seed.is_some() || start.elapsed() >= budget {
@@ -192,11 +233,15 @@ fn main() {
         seed += 1;
     }
     println!(
-        "stress: OK — {} schedules over {} runtime combos, {} commits, {} aborts, {:.2}s",
+        "stress: OK — {} schedules over {} runtime combos, {} commits, {} aborts, \
+         {} fast-lane commits, {} promotions, {} reader snapshots checked, {:.2}s",
         schedules,
         combos.len(),
         commits,
         aborts,
+        ro_commits,
+        promotions,
+        snaps_checked,
         start.elapsed().as_secs_f64()
     );
 }

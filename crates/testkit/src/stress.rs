@@ -29,7 +29,7 @@
 use std::fmt;
 use std::sync::Barrier;
 
-use tm::{Algorithm, ContentionManager, SerialLockMode, TCell, TmRuntime, Transaction};
+use tm::{Abort, Algorithm, ContentionManager, SerialLockMode, TCell, TmRuntime, Transaction};
 
 use crate::rng::{mix_seed, Rng, SmallRng, SplitMix64};
 
@@ -166,6 +166,28 @@ fn apply_model(model: &mut [u64], op: StressOp) {
     }
 }
 
+/// Applies one op transactionally — the concurrent counterpart of
+/// [`apply_model`], shared by every schedule flavor.
+fn apply_tx<'env, Tx: Transaction<'env>>(
+    tx: &mut Tx,
+    cells: &'env [TCell<u64>],
+    op: StressOp,
+) -> Result<(), Abort> {
+    match op {
+        StressOp::Write(i, v) => tx.write(&cells[i], v),
+        StressOp::Add(i, d) => tx.modify(&cells[i], |x| x.wrapping_add(d)).map(|_| ()),
+        StressOp::Copy(a, b) => {
+            let v = tx.read(&cells[a])?;
+            tx.write(&cells[b], v)
+        }
+        StressOp::Mix(a, b) => {
+            let va = tx.read(&cells[a])?;
+            let vb = tx.read(&cells[b])?;
+            tx.write(&cells[b], mix_values(va, vb))
+        }
+    }
+}
+
 fn initial_values(seed: u64, cells: usize) -> Vec<u64> {
     let mut rng = SplitMix64::seed_from_u64(mix_seed(seed, 0xCE11));
     (0..cells).map(|_| rng.next_u64()).collect()
@@ -243,21 +265,7 @@ fn run_schedule_impl(
                         let tk = rt.atomic(|tx| {
                             let tk = tx.fetch_add(ticket, 1)?;
                             for &op in &ops {
-                                match op {
-                                    StressOp::Write(i, v) => tx.write(&cells[i], v)?,
-                                    StressOp::Add(i, d) => {
-                                        tx.modify(&cells[i], |x| x.wrapping_add(d))?;
-                                    }
-                                    StressOp::Copy(a, b) => {
-                                        let v = tx.read(&cells[a])?;
-                                        tx.write(&cells[b], v)?;
-                                    }
-                                    StressOp::Mix(a, b) => {
-                                        let va = tx.read(&cells[a])?;
-                                        let vb = tx.read(&cells[b])?;
-                                        tx.write(&cells[b], mix_values(va, vb))?;
-                                    }
-                                }
+                                apply_tx(tx, cells, op)?;
                             }
                             Ok(tk)
                         });
@@ -468,21 +476,7 @@ pub mod chaos {
                                             tx.on_abort(|| {});
                                         }
                                         for &op in &ops {
-                                            match op {
-                                                StressOp::Write(i, v) => tx.write(&cells[i], v)?,
-                                                StressOp::Add(i, d) => {
-                                                    tx.modify(&cells[i], |x| x.wrapping_add(d))?;
-                                                }
-                                                StressOp::Copy(a, b) => {
-                                                    let v = tx.read(&cells[a])?;
-                                                    tx.write(&cells[b], v)?;
-                                                }
-                                                StressOp::Mix(a, b) => {
-                                                    let va = tx.read(&cells[a])?;
-                                                    let vb = tx.read(&cells[b])?;
-                                                    tx.write(&cells[b], mix_values(va, vb))?;
-                                                }
-                                            }
+                                            apply_tx(tx, cells, op)?;
                                         }
                                         Ok(tk)
                                     })
@@ -590,6 +584,219 @@ pub mod chaos {
         }
         Ok(reports)
     }
+
+    /// One passed read-mostly chaos schedule.
+    #[derive(Clone, Debug)]
+    pub struct RoChaosReport {
+        /// The read-mostly measurements.
+        pub report: RoStressReport,
+        /// Fault actions injected across all worker threads.
+        pub injected: u64,
+        /// Attempts torn down by a panic unwinding through the runtime.
+        pub panic_aborts: u64,
+    }
+
+    /// [`run_schedule_ro`] under fault injection: the same promotion
+    /// programs and both read-mostly oracles, with every worker thread
+    /// armed. Injected panics are classified exactly as in
+    /// [`run_schedule_chaos`]; a reader whose attempt committed but whose
+    /// snapshot was carried away by a post-commit panic just loses its
+    /// sample (readers register no handlers, so this is a defensive path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Divergence`] when either oracle disagrees — under chaos
+    /// that means a fault unwound the fast lane or the promotion path into
+    /// an inconsistent state.
+    pub fn run_schedule_ro_chaos(
+        seed: u64,
+        cfg: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<RoChaosReport, Divergence> {
+        assert!(cfg.threads > 0 && cfg.cells > 0 && cfg.txns_per_thread > 0);
+        silence_injected_panics();
+        let rt = TmRuntime::builder()
+            .algorithm(cfg.algorithm)
+            .serial_lock(cfg.serial_lock)
+            .contention_manager(cfg.contention)
+            .build();
+        let init = initial_values(seed, cfg.cells);
+        let cells: Vec<TCell<u64>> = init.iter().copied().map(TCell::new).collect();
+        let ticket = TCell::new(0u64);
+
+        let mut round_rng = SplitMix64::seed_from_u64(mix_seed(seed, 0x0107));
+        let per_round = round_rng.gen_range(1usize..5);
+        let rounds = cfg.txns_per_thread.div_ceil(per_round);
+        let barrier = Barrier::new(cfg.threads);
+
+        let before = rt.stats();
+        let mut writes: Vec<(u64, usize, usize)> = Vec::new();
+        let mut snaps: Vec<(u64, Vec<u64>)> = Vec::new();
+        let mut injected = 0u64;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..cfg.threads {
+                let rt = &rt;
+                let cells = &cells;
+                let ticket = &ticket;
+                let barrier = &barrier;
+                handles.push(s.spawn(move || {
+                    fault::arm_thread(mix_seed(seed, 0xFA07 + t as u64), plan);
+                    let mut my_writes = Vec::new();
+                    let mut my_snaps = Vec::new();
+                    let mut stagger =
+                        SplitMix64::seed_from_u64(mix_seed(seed, 0x57A6 + t as u64));
+                    let tk_cell = Cell::new(u64::MAX);
+                    for r in 0..rounds {
+                        barrier.wait();
+                        for _ in 0..stagger.gen_range(0u32..64) {
+                            std::hint::spin_loop();
+                        }
+                        let lo = r * per_round;
+                        let hi = ((r + 1) * per_round).min(cfg.txns_per_thread);
+                        for j in lo..hi {
+                            if ro_txn_promotes(seed, t, j) {
+                                let pre = ro_pre_reads(seed, t, j, cfg);
+                                let ops = txn_program(seed, t, j, cfg);
+                                let with_handlers =
+                                    mix_seed(mix_seed(seed, 0x4A0D + t as u64), j as u64) & 3
+                                        == 0;
+                                let tk = loop {
+                                    let _ = tm::take_thread_tally();
+                                    tk_cell.set(u64::MAX);
+                                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                        rt.atomic_ro(|tx| {
+                                            let mut sink = 0u64;
+                                            for &i in &pre {
+                                                sink = sink.wrapping_add(tx.read(&cells[i])?);
+                                            }
+                                            std::hint::black_box(sink);
+                                            let tk = tx.fetch_add(ticket, 1)?;
+                                            tk_cell.set(tk);
+                                            if with_handlers {
+                                                tx.on_commit(|| {});
+                                                tx.on_abort(|| {});
+                                            }
+                                            for &op in &ops {
+                                                apply_tx(tx, cells, op)?;
+                                            }
+                                            Ok(tk)
+                                        })
+                                    }));
+                                    match attempt {
+                                        Ok(tk) => break tk,
+                                        Err(_injected_panic) => {
+                                            if tm::take_thread_tally().commits > 0 {
+                                                break tk_cell.get();
+                                            }
+                                        }
+                                    }
+                                };
+                                my_writes.push((tk, t, j));
+                            } else {
+                                let obs = loop {
+                                    let _ = tm::take_thread_tally();
+                                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                        rt.atomic_ro(|tx| {
+                                            let tk = tx.read(ticket)?;
+                                            let mut snap = Vec::with_capacity(cells.len());
+                                            for c in cells.iter() {
+                                                snap.push(tx.read(c)?);
+                                            }
+                                            Ok((tk, snap))
+                                        })
+                                    }));
+                                    match attempt {
+                                        Ok(o) => break Some(o),
+                                        Err(_injected_panic) => {
+                                            if tm::take_thread_tally().commits > 0 {
+                                                break None;
+                                            }
+                                        }
+                                    }
+                                };
+                                if let Some(o) = obs {
+                                    my_snaps.push(o);
+                                }
+                            }
+                        }
+                    }
+                    let hits = fault::injected_count();
+                    fault::disarm_thread();
+                    (my_writes, my_snaps, hits)
+                }));
+            }
+            for h in handles {
+                let (w, sn, hits) =
+                    h.join().expect("read-mostly chaos worker escaped its catch_unwind");
+                writes.extend(w);
+                snaps.extend(sn);
+                injected += hits;
+            }
+        });
+        let stats = rt.stats().since(&before);
+
+        let checked = check_ro_oracle(
+            seed,
+            cfg,
+            init,
+            &cells,
+            &ticket,
+            writes,
+            snaps,
+            false,
+            "[ro-chaos] ",
+        )?;
+        if stats.ro_fast_commits == 0 || stats.ro_promotions == 0 {
+            return Err(Divergence {
+                seed,
+                combo: cfg.combo(),
+                detail: format!(
+                    "[ro-chaos] schedule failed to exercise the fast lane: \
+                     {} fast commits, {} promotions",
+                    stats.ro_fast_commits, stats.ro_promotions
+                ),
+            });
+        }
+        Ok(RoChaosReport {
+            report: RoStressReport {
+                report: StressReport {
+                    combo: cfg.combo(),
+                    commits: stats.commits,
+                    aborts: stats.aborts,
+                },
+                ro_fast_commits: stats.ro_fast_commits,
+                ro_promotions: stats.ro_promotions,
+                snapshot_extensions: stats.snapshot_extensions,
+                snapshots_checked: checked,
+            },
+            injected,
+            panic_aborts: stats.panic_aborts,
+        })
+    }
+
+    /// [`run_schedule_ro_chaos`] across every [`combos`] combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Divergence`].
+    pub fn run_matrix_ro_chaos(
+        seed: u64,
+        base: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<Vec<RoChaosReport>, Divergence> {
+        let mut reports = Vec::new();
+        for (algorithm, serial_lock, contention) in combos() {
+            let cfg = StressConfig {
+                algorithm,
+                serial_lock,
+                contention,
+                ..base.clone()
+            };
+            reports.push(run_schedule_ro_chaos(seed, &cfg, plan)?);
+        }
+        Ok(reports)
+    }
 }
 
 /// Every runtime combination the stress harness exercises.
@@ -634,6 +841,312 @@ pub fn run_matrix(seed: u64, base: &StressConfig) -> Result<Vec<StressReport>, D
             ..base.clone()
         };
         reports.push(run_schedule(seed, &cfg)?);
+    }
+    Ok(reports)
+}
+
+// ---------------------------------------------------------------------------
+// Read-mostly schedules: promotion coverage for the read-only fast lane.
+// ---------------------------------------------------------------------------
+
+/// Whether transaction `txn` of thread `thread` in the read-mostly schedule
+/// writes. A seed-derived quarter do — they enter through `atomic_ro` like
+/// everyone else and promote mid-flight at their first write; the other
+/// three quarters stay pure fast-lane readers end to end.
+pub fn ro_txn_promotes(seed: u64, thread: usize, txn: usize) -> bool {
+    mix_seed(mix_seed(seed, 0x6904 + thread as u64), txn as u64) & 3 == 0
+}
+
+/// The cells a promoter reads *before* its promoting write. These populate
+/// the read log while the attempt is still on the fast lane, so the
+/// promoted commit must carry them over and revalidate them like any other
+/// read.
+pub fn ro_pre_reads(seed: u64, thread: usize, txn: usize, cfg: &StressConfig) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(mix_seed(
+        mix_seed(seed, 0x9E4D + thread as u64),
+        txn as u64 + 1,
+    ));
+    let n = rng.gen_range(1usize..4);
+    (0..n).map(|_| rng.gen_range(0..cfg.cells)).collect()
+}
+
+/// A passed read-mostly schedule's measurements.
+#[derive(Clone, Debug)]
+pub struct RoStressReport {
+    /// The ordinary measurements; `commits` covers readers and promoters.
+    pub report: StressReport,
+    /// Committed transactions that held the read-only fast lane to the end.
+    pub ro_fast_commits: u64,
+    /// Attempts that entered read-only and promoted at their first write.
+    pub ro_promotions: u64,
+    /// Snapshot extensions the runtime performed during the schedule.
+    pub snapshot_extensions: u64,
+    /// Reader snapshots validated against the ticket-ordered model prefix.
+    pub snapshots_checked: u64,
+}
+
+/// Runs one barrier-stepped **read-mostly** schedule: every transaction
+/// begins on the read-only fast lane (`atomic_ro`); a seed-derived quarter
+/// promote mid-flight by taking a ticket and writing, the rest snapshot the
+/// ticket cell plus the whole heap without ever leaving the fast lane.
+///
+/// Two oracles run:
+///
+/// * **Promoters** — the usual ticket oracle: committed tickets must be
+///   exactly `0..n`, and replaying the promoted programs in ticket order
+///   must land on the final heap. This proves reads accumulated *before*
+///   the promotion are still validated by the full commit.
+/// * **Readers** — snapshot position: a fast-lane reader that observed
+///   ticket value `t` serialized after exactly the promoters holding
+///   tickets `0..t`, so its snapshot must equal the model replayed through
+///   that prefix. A stale snapshot extension, a torn read, or a write
+///   leaking from an uncommitted promoter all break the equality.
+///
+/// # Errors
+///
+/// Returns [`Divergence`] — carrying the replay seed — when either oracle
+/// disagrees, or when the schedule failed to exercise the fast lane at all
+/// (zero fast commits / zero promotions).
+pub fn run_schedule_ro(seed: u64, cfg: &StressConfig) -> Result<RoStressReport, Divergence> {
+    run_schedule_ro_impl(seed, cfg, false)
+}
+
+/// [`run_schedule_ro`] with the same deliberate bug as
+/// [`run_schedule_sabotaged`]: one update to cell 0 is dropped from the
+/// model, so the schedule must diverge — proof the read-mostly oracle has
+/// teeth and replays from its printed seed.
+#[doc(hidden)]
+pub fn run_schedule_ro_sabotaged(
+    seed: u64,
+    cfg: &StressConfig,
+) -> Result<RoStressReport, Divergence> {
+    run_schedule_ro_impl(seed, cfg, true)
+}
+
+fn run_schedule_ro_impl(
+    seed: u64,
+    cfg: &StressConfig,
+    sabotage: bool,
+) -> Result<RoStressReport, Divergence> {
+    assert!(cfg.threads > 0 && cfg.cells > 0 && cfg.txns_per_thread > 0);
+    let rt = TmRuntime::builder()
+        .algorithm(cfg.algorithm)
+        .serial_lock(cfg.serial_lock)
+        .contention_manager(cfg.contention)
+        .build();
+    let init = initial_values(seed, cfg.cells);
+    let cells: Vec<TCell<u64>> = init.iter().copied().map(TCell::new).collect();
+    let ticket = TCell::new(0u64);
+
+    let mut round_rng = SplitMix64::seed_from_u64(mix_seed(seed, 0x0107));
+    let per_round = round_rng.gen_range(1usize..5);
+    let rounds = cfg.txns_per_thread.div_ceil(per_round);
+    let barrier = Barrier::new(cfg.threads);
+
+    let before = rt.stats();
+    let mut writes: Vec<(u64, usize, usize)> = Vec::new();
+    let mut snaps: Vec<(u64, Vec<u64>)> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let rt = &rt;
+            let cells = &cells;
+            let ticket = &ticket;
+            let barrier = &barrier;
+            handles.push(s.spawn(move || {
+                let mut my_writes = Vec::new();
+                let mut my_snaps = Vec::new();
+                let mut stagger = SplitMix64::seed_from_u64(mix_seed(seed, 0x57A6 + t as u64));
+                for r in 0..rounds {
+                    barrier.wait();
+                    for _ in 0..stagger.gen_range(0u32..64) {
+                        std::hint::spin_loop();
+                    }
+                    let lo = r * per_round;
+                    let hi = ((r + 1) * per_round).min(cfg.txns_per_thread);
+                    for j in lo..hi {
+                        if ro_txn_promotes(seed, t, j) {
+                            let pre = ro_pre_reads(seed, t, j, cfg);
+                            let ops = txn_program(seed, t, j, cfg);
+                            let tk = rt.atomic_ro(|tx| {
+                                // Fast-lane reads first: they must survive
+                                // the promotion and be revalidated.
+                                let mut sink = 0u64;
+                                for &i in &pre {
+                                    sink = sink.wrapping_add(tx.read(&cells[i])?);
+                                }
+                                std::hint::black_box(sink);
+                                // First write of the attempt: promotes.
+                                let tk = tx.fetch_add(ticket, 1)?;
+                                for &op in &ops {
+                                    apply_tx(tx, cells, op)?;
+                                }
+                                Ok(tk)
+                            });
+                            my_writes.push((tk, t, j));
+                        } else {
+                            my_snaps.push(rt.atomic_ro(|tx| {
+                                let tk = tx.read(ticket)?;
+                                let mut snap = Vec::with_capacity(cells.len());
+                                for c in cells.iter() {
+                                    snap.push(tx.read(c)?);
+                                }
+                                Ok((tk, snap))
+                            }));
+                        }
+                    }
+                }
+                (my_writes, my_snaps)
+            }));
+        }
+        for h in handles {
+            let (w, sn) = h.join().expect("read-mostly stress worker panicked");
+            writes.extend(w);
+            snaps.extend(sn);
+        }
+    });
+    let stats = rt.stats().since(&before);
+
+    let checked =
+        check_ro_oracle(seed, cfg, init, &cells, &ticket, writes, snaps, sabotage, "[ro] ")?;
+    if stats.ro_fast_commits == 0 || stats.ro_promotions == 0 {
+        return Err(Divergence {
+            seed,
+            combo: cfg.combo(),
+            detail: format!(
+                "read-mostly schedule failed to exercise the fast lane: \
+                 {} fast commits, {} promotions",
+                stats.ro_fast_commits, stats.ro_promotions
+            ),
+        });
+    }
+    Ok(RoStressReport {
+        report: StressReport {
+            combo: cfg.combo(),
+            commits: stats.commits,
+            aborts: stats.aborts,
+        },
+        ro_fast_commits: stats.ro_fast_commits,
+        ro_promotions: stats.ro_promotions,
+        snapshot_extensions: stats.snapshot_extensions,
+        snapshots_checked: checked,
+    })
+}
+
+/// The read-mostly oracle, shared by the plain and chaos variants: ticket
+/// contiguity for promoters, prefix-equality for reader snapshots, final
+/// heap vs sequential model. Returns how many reader snapshots were
+/// checked.
+#[allow(clippy::too_many_arguments)]
+fn check_ro_oracle(
+    seed: u64,
+    cfg: &StressConfig,
+    init: Vec<u64>,
+    cells: &[TCell<u64>],
+    ticket: &TCell<u64>,
+    mut writes: Vec<(u64, usize, usize)>,
+    mut snaps: Vec<(u64, Vec<u64>)>,
+    sabotage: bool,
+    tag: &str,
+) -> Result<u64, Divergence> {
+    let diverge = |detail: String| Divergence {
+        seed,
+        combo: cfg.combo(),
+        detail,
+    };
+
+    let total = writes.len();
+    writes.sort_unstable();
+    for (expect, &(tk, t, j)) in writes.iter().enumerate() {
+        if tk != expect as u64 {
+            return Err(diverge(format!(
+                "{tag}ticket sequence broken at position {expect}: got ticket {tk} \
+                 (thread {t}, txn {j}) — lost or duplicated promoted write"
+            )));
+        }
+    }
+    if ticket.load_direct() != total as u64 {
+        return Err(diverge(format!(
+            "{tag}ticket cell ended at {} after {} promoted transactions",
+            ticket.load_direct(),
+            total
+        )));
+    }
+
+    // Replay promoters in ticket order; each reader snapshot must equal
+    // the model exactly at its observed prefix.
+    let check_at = |model: &[u64], tk: u64, snap: &[u64]| -> Result<(), Divergence> {
+        for (i, (&got, &want)) in snap.iter().zip(model).enumerate() {
+            if got != want {
+                return Err(Divergence {
+                    seed,
+                    combo: cfg.combo(),
+                    detail: format!(
+                        "{tag}fast-lane reader at ticket {tk}: cell {i} read {got:#x} \
+                         but the serial prefix says {want:#x} — stale or torn snapshot"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    };
+    snaps.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut model = init;
+    let mut ri = 0usize;
+    let mut checked = 0u64;
+    for (k, &(_tk, t, j)) in writes.iter().enumerate() {
+        while ri < snaps.len() && snaps[ri].0 <= k as u64 {
+            check_at(&model, snaps[ri].0, &snaps[ri].1)?;
+            checked += 1;
+            ri += 1;
+        }
+        for op in txn_program(seed, t, j, cfg) {
+            apply_model(&mut model, op);
+        }
+    }
+    while ri < snaps.len() {
+        let tk = snaps[ri].0;
+        if tk > total as u64 {
+            return Err(diverge(format!(
+                "{tag}fast-lane reader observed ticket {tk} but only {total} were issued"
+            )));
+        }
+        check_at(&model, tk, &snaps[ri].1)?;
+        checked += 1;
+        ri += 1;
+    }
+
+    if sabotage {
+        model[0] = model[0].wrapping_add(1);
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let actual = cell.load_direct();
+        if actual != model[i] {
+            return Err(diverge(format!(
+                "{tag}cell {i}: concurrent result {actual:#x} != sequential model {:#x}",
+                model[i]
+            )));
+        }
+    }
+    Ok(checked)
+}
+
+/// Runs [`run_schedule_ro`] for `seed` across every [`combos`] combination,
+/// stopping at the first divergence.
+///
+/// # Errors
+///
+/// Propagates the first [`Divergence`].
+pub fn run_matrix_ro(seed: u64, base: &StressConfig) -> Result<Vec<RoStressReport>, Divergence> {
+    let mut reports = Vec::new();
+    for (algorithm, serial_lock, contention) in combos() {
+        let cfg = StressConfig {
+            algorithm,
+            serial_lock,
+            contention,
+            ..base.clone()
+        };
+        reports.push(run_schedule_ro(seed, &cfg)?);
     }
     Ok(reports)
 }
@@ -752,6 +1265,67 @@ mod tests {
         assert_eq!(r.injected, 0);
         assert_eq!(r.panic_aborts, 0);
         assert_eq!(r.report.commits, 2 * 15);
+    }
+
+    /// The read-mostly matrix: all 21 combos pass both oracles, every
+    /// combo really commits on the fast lane, really promotes, and really
+    /// position-checks reader snapshots.
+    #[test]
+    fn read_mostly_matrix_promotes_on_every_combo() {
+        let base = StressConfig {
+            threads: 3,
+            cells: 6,
+            txns_per_thread: 25,
+            max_ops_per_txn: 5,
+            ..StressConfig::smoke()
+        };
+        let reports = run_matrix_ro(0xB0B0, &base).unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(reports.len(), combos().len());
+        for r in &reports {
+            assert_eq!(r.report.commits, 3 * 25, "{}", r.report.combo);
+            assert!(r.ro_fast_commits > 0, "{}", r.report.combo);
+            assert!(r.ro_promotions > 0, "{}", r.report.combo);
+            assert!(r.snapshots_checked > 0, "{}", r.report.combo);
+        }
+    }
+
+    /// The read-mostly oracle has teeth: a lost update to cell 0 diverges,
+    /// replays from its printed seed, and the clean harness passes the
+    /// identical schedule.
+    #[test]
+    fn read_mostly_injected_bug_reproduces_from_its_seed() {
+        let cfg = StressConfig::smoke();
+        let seed = 0x0D0;
+        let first = run_schedule_ro_sabotaged(seed, &cfg)
+            .expect_err("sabotaged read-mostly model must diverge");
+        assert_eq!(first.seed, seed);
+        assert!(first.detail.contains("cell 0"), "{first}");
+        let replay = run_schedule_ro_sabotaged(first.seed, &cfg)
+            .expect_err("replaying the printed seed must diverge again");
+        assert_eq!(replay.combo, first.combo);
+        run_schedule_ro(seed, &cfg).unwrap_or_else(|d| panic!("{d}"));
+    }
+
+    /// Promotion under fire: all 21 combos pass both read-mostly oracles
+    /// while faults rain on the fast lane and the promotion path.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_read_mostly_matrix_passes_both_oracles() {
+        let base = StressConfig {
+            threads: 3,
+            cells: 6,
+            txns_per_thread: 20,
+            max_ops_per_txn: 5,
+            ..StressConfig::smoke()
+        };
+        let reports = chaos::run_matrix_ro_chaos(0x2EAD, &base, chaos::default_plan())
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(reports.len(), combos().len());
+        let injected: u64 = reports.iter().map(|r| r.injected).sum();
+        assert!(injected > 0, "chaos read-mostly schedule injected no faults");
+        let promotions: u64 = reports.iter().map(|r| r.report.ro_promotions).sum();
+        let checked: u64 = reports.iter().map(|r| r.report.snapshots_checked).sum();
+        assert!(promotions > 0 && checked > 0);
     }
 
     #[test]

@@ -71,10 +71,11 @@ impl EagerTx {
 
     /// TinySTM-style timestamp extension: revalidate, then move the
     /// snapshot forward.
-    fn extend(&mut self, rt: &RtInner, bufs: &LogBufs) -> Result<(), Abort> {
+    fn extend(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
         let now = rt.clock.now();
         self.validate(rt, bufs)?;
         self.start_time = now;
+        bufs.extensions += 1;
         Ok(())
     }
 
@@ -100,7 +101,14 @@ impl EagerTx {
                 continue; // changed under us; re-sample
             }
             if orec::version_of(o1) <= self.start_time {
-                bufs.reads.push((idx, o1));
+                // A duplicate entry would only make validation longer:
+                // keep the latest consistent observation (it can differ
+                // from the logged one only after an extension refreshed
+                // the whole read set).
+                if let Some(slot) = bufs.read_slot_or_append(idx, o1) {
+                    bufs.reads[slot].1 = o1;
+                    bufs.dedup_hits += 1;
+                }
                 return Ok(v);
             }
             self.extend(rt, bufs)?;

@@ -72,10 +72,11 @@ impl LazyTx {
         bufs.writes.is_empty()
     }
 
-    fn extend(&mut self, rt: &RtInner, bufs: &LogBufs) -> Result<(), Abort> {
+    fn extend(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
         let now = rt.clock.now();
         validate(rt, self.tx_id, &bufs.reads, &[])?;
         self.start_time = now;
+        bufs.extensions += 1;
         Ok(())
     }
 
@@ -102,7 +103,12 @@ impl LazyTx {
                 continue;
             }
             if orec::version_of(o1) <= self.start_time {
-                bufs.reads.push((idx, o1));
+                // Already logged: keep the latest consistent observation
+                // instead of appending a duplicate.
+                if let Some(slot) = bufs.read_slot_or_append(idx, o1) {
+                    bufs.reads[slot].1 = o1;
+                    bufs.dedup_hits += 1;
+                }
                 return Ok(v);
             }
             self.extend(rt, bufs)?;

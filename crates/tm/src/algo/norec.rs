@@ -42,20 +42,24 @@ impl NorecTx {
     }
 
     /// Value-based validation: re-read every logged location and compare.
-    /// On success the snapshot advances to the current sequence value.
-    fn validate(&mut self, rt: &RtInner, reads: &[(usize, u64)]) -> Result<(), Abort> {
+    /// On success the snapshot advances to the current sequence value —
+    /// NOrec's flavor of snapshot extension.
+    fn validate(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
         // Fault site: the sequence lock is never held here (commit only
         // validates after a failed try_begin_commit), so an injected
         // abort/panic is recovered by a plain log clear.
         fault::inject(FaultSite::Validate)?;
         loop {
             let t = rt.seqlock.wait_even();
-            for &(addr, v) in reads {
+            for &(addr, v) in &bufs.reads {
                 if tword_at(addr).load_direct() != v {
                     return Err(Abort::Conflict);
                 }
             }
             if rt.seqlock.load() == t {
+                if t != self.snapshot {
+                    bufs.extensions += 1;
+                }
                 self.snapshot = t;
                 return Ok(());
             }
@@ -76,12 +80,18 @@ impl NorecTx {
             let v = tword_at(addr).load_direct();
             let t = rt.seqlock.load();
             if t == self.snapshot {
-                bufs.reads.push((addr, v));
+                // Already logged: refresh the observed value (both
+                // observations are consistent at `snapshot`) instead of
+                // appending a duplicate for validation to re-read.
+                if let Some(slot) = bufs.read_slot_or_append(addr, v) {
+                    bufs.reads[slot].1 = v;
+                    bufs.dedup_hits += 1;
+                }
                 return Ok(v);
             }
             // Sequence moved since our snapshot: revalidate (which also
             // advances the snapshot), then re-read.
-            self.validate(rt, &bufs.reads)?;
+            self.validate(rt, bufs)?;
         }
     }
 
@@ -108,7 +118,7 @@ impl NorecTx {
             return Ok(());
         }
         while !rt.seqlock.try_begin_commit(self.snapshot) {
-            if self.validate(rt, &bufs.reads).is_err() {
+            if self.validate(rt, bufs).is_err() {
                 bufs.clear();
                 return Err(Abort::Conflict);
             }
@@ -140,7 +150,7 @@ impl NorecTx {
     /// global time base reflects the update.
     pub(crate) fn make_irrevocable(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
         while !rt.seqlock.try_begin_commit(self.snapshot) {
-            if self.validate(rt, &bufs.reads).is_err() {
+            if self.validate(rt, bufs).is_err() {
                 bufs.clear();
                 return Err(Abort::Conflict);
             }

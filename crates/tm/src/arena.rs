@@ -33,6 +33,10 @@ use std::fmt;
 /// linear scan still fits in a couple of cache lines.
 pub(crate) const SMALL_WRITES: usize = 8;
 
+/// Read-set size up to which the read log is scanned inline for the
+/// duplicate-read check, mirroring [`SMALL_WRITES`].
+pub(crate) const SMALL_READS: usize = 8;
+
 /// One slot of the open-addressed write-map. `gen` stamps liveness: a slot
 /// whose generation differs from the table's is vacant, which makes
 /// clearing O(1).
@@ -70,11 +74,15 @@ impl WriteMap {
         }
     }
 
-    /// Same address hash the orec table uses (Fibonacci over the
-    /// word-aligned address); high bits folded into the probe start.
+    /// Fibonacci hash over the raw key, high bits folded into the probe
+    /// start. The key is a word address for the write map and NOrec's read
+    /// map but an **orec index** for eager/lazy read maps — so no
+    /// alignment pre-shift here: stripping low bits would collapse eight
+    /// consecutive orec indices into one probe cluster, and the multiply
+    /// mixes zeroed alignment bits fine on its own.
     #[inline]
     fn probe_start(&self, addr: usize) -> usize {
-        let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         (h >> 24) & self.mask
     }
 
@@ -116,6 +124,35 @@ impl WriteMap {
                 return;
             }
             debug_assert_ne!(s.addr, addr, "WriteMap::insert of a present address");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Single-probe lookup-or-insert: returns the index already recorded
+    /// for `addr`, or records `addr -> idx` in the vacant slot the probe
+    /// ended on and returns `None`. One probe sequence where a
+    /// [`WriteMap::get`] miss followed by [`WriteMap::insert`] would pay
+    /// two — the spilled read path does this once per read.
+    #[inline]
+    pub(crate) fn get_or_insert(&mut self, addr: usize, idx: usize) -> Option<usize> {
+        if self.len + 1 > self.slots.len() / 4 * 3 {
+            self.grow();
+        }
+        let mut i = self.probe_start(addr);
+        loop {
+            let s = &mut self.slots[i];
+            if s.gen != self.gen {
+                *s = Slot {
+                    gen: self.gen,
+                    idx: idx as u32,
+                    addr,
+                };
+                self.len += 1;
+                return None;
+            }
+            if s.addr == addr {
+                return Some(s.idx as usize);
+            }
             i = (i + 1) & self.mask;
         }
     }
@@ -191,16 +228,68 @@ pub(crate) struct LogBufs {
     pub(crate) undo: Vec<(usize, u64)>,
     /// Redo-log index for [`LogBufs::writes`] past the inline window.
     pub(crate) wmap: WriteMap,
+    /// Read-set index for [`LogBufs::reads`] past the inline window, keyed
+    /// the same way as the read log (orec index or word address).
+    pub(crate) rmap: WriteMap,
+    /// Duplicate reads absorbed by the read-set index this attempt; flushed
+    /// into `TmStats::read_log_dedup_hits` when the attempt ends.
+    pub(crate) dedup_hits: u64,
+    /// Successful snapshot extensions this attempt; flushed into
+    /// `TmStats::snapshot_extensions` when the attempt ends.
+    pub(crate) extensions: u64,
 }
 
 impl LogBufs {
-    /// Clears every log, keeping all backing storage.
+    /// Clears every log, keeping all backing storage. The per-attempt stat
+    /// tallies survive (they are flushed by the runtime, which needs them
+    /// *after* the engine's commit/rollback has cleared the logs).
     pub(crate) fn clear(&mut self) {
         self.reads.clear();
         self.writes.clear();
         self.locks.clear();
         self.undo.clear();
         self.wmap.clear();
+        self.rmap.clear();
+    }
+
+    /// Takes and resets the per-attempt stat tallies.
+    #[inline]
+    pub(crate) fn take_op_tallies(&mut self) -> (u64, u64) {
+        let t = (self.dedup_hits, self.extensions);
+        self.dedup_hits = 0;
+        self.extensions = 0;
+        t
+    }
+
+    /// Duplicate-check-and-append in one pass: returns `Some(slot)` when
+    /// the read log already holds `key` (orec index for eager/lazy, word
+    /// address for NOrec — the caller refreshes the logged observation),
+    /// otherwise appends `key -> v` and returns `None`. Reads at most
+    /// [`SMALL_READS`] scan the log inline and never build the index; past
+    /// the window the index is probed exactly once per read, where a
+    /// lookup-miss-then-insert pair would pay two probe walks.
+    #[inline]
+    pub(crate) fn read_slot_or_append(&mut self, key: usize, v: u64) -> Option<usize> {
+        if self.reads.len() <= SMALL_READS {
+            if let Some(slot) = self.reads.iter().position(|&(k, _)| k == key) {
+                return Some(slot);
+            }
+            if self.reads.len() == SMALL_READS {
+                // Spilling past the inline window: index everything so far.
+                self.rmap.rebuild(&self.reads);
+                self.rmap.insert(key, self.reads.len());
+            }
+            self.reads.push((key, v));
+            None
+        } else {
+            match self.rmap.get_or_insert(key, self.reads.len()) {
+                Some(slot) => Some(slot),
+                None => {
+                    self.reads.push((key, v));
+                    None
+                }
+            }
+        }
     }
 
     /// Looks up the buffered value for `addr` in the redo log.
@@ -418,6 +507,50 @@ mod tests {
         b.clear();
         assert!(b.writes.is_empty());
         assert_eq!(b.redo_lookup(0x4000), None);
+    }
+
+    #[test]
+    fn writemap_get_or_insert_is_single_probe_equivalent() {
+        let mut m = WriteMap::new();
+        // Miss inserts and reports None; hit returns the recorded index
+        // without disturbing it. Orec-index-shaped keys (small, dense)
+        // must spread, not cluster.
+        for i in 0..100usize {
+            assert_eq!(m.get_or_insert(i, i * 3), None, "first probe of {i}");
+        }
+        for i in 0..100usize {
+            assert_eq!(m.get_or_insert(i, 777), Some(i * 3), "key {i}");
+            assert_eq!(m.get(i), Some(i * 3), "get after hit {i}");
+        }
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn read_log_stays_deduplicated_across_the_spill() {
+        let mut b = LogBufs::default();
+        // Inline window: duplicates refresh in place, no index is built.
+        for i in 0..SMALL_READS {
+            assert_eq!(b.read_slot_or_append(i, i as u64), None);
+            assert_eq!(b.read_slot_or_append(i, 0), Some(i));
+        }
+        assert_eq!(b.reads.len(), SMALL_READS);
+        assert_eq!(b.rmap.len(), 0, "inline window must not touch the index");
+        // A duplicate at exactly the window edge still resolves inline.
+        assert_eq!(b.read_slot_or_append(0, 0), Some(0));
+        assert_eq!(b.rmap.len(), 0);
+        // Spill well past the window; dedup must keep working via the map.
+        for i in SMALL_READS..100 {
+            assert_eq!(b.read_slot_or_append(i, i as u64), None, "fresh key {i}");
+        }
+        assert_eq!(b.reads.len(), 100);
+        assert_eq!(b.rmap.len(), 100, "rmap and reads must agree after the spill");
+        for i in 0..100usize {
+            assert_eq!(b.read_slot_or_append(i, 0), Some(i), "spilled dup {i}");
+        }
+        assert_eq!(b.reads.len(), 100, "duplicates must not grow the log");
+        b.clear();
+        assert!(b.reads.is_empty());
+        assert_eq!(b.read_slot_or_append(5, 1), None, "fresh after clear");
     }
 
     #[test]

@@ -283,7 +283,56 @@ impl TmRuntime {
     where
         F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
     {
-        let res = self.run_loop(RelaxedPlan::new(), TxOptions::new(), move |inner| {
+        let res = self.run_loop(RelaxedPlan::new(), TxOptions::new(), false, move |inner| {
+            f(AtomicTx::wrap_mut(inner))
+        });
+        match res {
+            Ok(r) => Ok(r),
+            Err(TxError::Cancelled) => Err(Cancelled),
+            // INVARIANT: unbounded TxOptions can never produce a
+            // retry-limit or timeout error.
+            Err(e) => unreachable!("unbounded transaction returned {e:?}"),
+        }
+    }
+
+    /// Runs `f` as a `__transaction_atomic` block *expected* to be
+    /// read-only: the attempt takes the read-only fast lane — no orec is
+    /// acquired, no undo/redo log entry is written, validation prefers
+    /// timestamp-snapshot extension, and commit is a single fence (the
+    /// engines' read-only commit path) counted in
+    /// [`crate::StatsSnapshot::ro_fast_commits`].
+    ///
+    /// The hint is *safe*: if `f` writes after all, the attempt silently
+    /// promotes to a full read-write transaction at the first write
+    /// (counted in [`crate::StatsSnapshot::ro_promotions`]) and commits
+    /// with identical semantics to [`TmRuntime::atomic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` cancels (use [`TmRuntime::try_atomic_ro`]).
+    pub fn atomic_ro<'env, R, F>(&'env self, f: F) -> R
+    where
+        F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
+    {
+        match self.try_atomic_ro(f) {
+            Ok(r) => r,
+            Err(Cancelled) => {
+                panic!("transaction cancelled inside TmRuntime::atomic_ro; use try_atomic_ro")
+            }
+        }
+    }
+
+    /// Cancellable variant of [`TmRuntime::atomic_ro`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if `f` returned [`crate::cancel`]; all the
+    /// transaction's effects have been rolled back.
+    pub fn try_atomic_ro<'env, R, F>(&'env self, mut f: F) -> Result<R, Cancelled>
+    where
+        F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
+    {
+        let res = self.run_loop(RelaxedPlan::new(), TxOptions::new(), true, move |inner| {
             f(AtomicTx::wrap_mut(inner))
         });
         match res {
@@ -310,7 +359,7 @@ impl TmRuntime {
     where
         F: FnMut(&mut AtomicTx<'env>) -> Result<R, Abort>,
     {
-        self.run_loop(RelaxedPlan::new(), opts, move |inner| {
+        self.run_loop(RelaxedPlan::new(), opts, false, move |inner| {
             f(AtomicTx::wrap_mut(inner))
         })
     }
@@ -352,7 +401,36 @@ impl TmRuntime {
     where
         F: FnMut(&mut RelaxedTx<'env>) -> Result<R, Abort>,
     {
-        let res = self.run_loop(plan, TxOptions::new(), move |inner| {
+        let res = self.run_loop(plan, TxOptions::new(), false, move |inner| {
+            f(RelaxedTx::wrap_mut(inner))
+        });
+        match res {
+            Ok(r) => r,
+            Err(TxError::Cancelled) => panic!(
+                "relaxed transactions cannot cancel (Draft C++ TM Specification)"
+            ),
+            // INVARIANT: unbounded TxOptions can never produce a
+            // retry-limit or timeout error.
+            Err(e) => unreachable!("unbounded transaction returned {e:?}"),
+        }
+    }
+
+    /// Runs `f` as a `__transaction_relaxed` block expected to be
+    /// read-only; see [`TmRuntime::atomic_ro`] for the fast-lane and
+    /// promotion semantics. A write promotes to a full transaction; an
+    /// unsafe operation ([`RelaxedTx::unsafe_op`]) leaves the lane via the
+    /// usual in-flight switch. A `plan` with `start_serial` set ignores
+    /// the hint entirely — a serial attempt is never in the fast lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` cancels: the Draft C++ TM Specification forbids
+    /// relaxed transactions from cancelling (they may be irrevocable).
+    pub fn relaxed_ro<'env, R, F>(&'env self, plan: RelaxedPlan, mut f: F) -> R
+    where
+        F: FnMut(&mut RelaxedTx<'env>) -> Result<R, Abort>,
+    {
+        let res = self.run_loop(plan, TxOptions::new(), true, move |inner| {
             f(RelaxedTx::wrap_mut(inner))
         });
         match res {
@@ -387,7 +465,7 @@ impl TmRuntime {
     where
         F: FnMut(&mut RelaxedTx<'env>) -> Result<R, Abort>,
     {
-        let res = self.run_loop(plan, opts, move |inner| f(RelaxedTx::wrap_mut(inner)));
+        let res = self.run_loop(plan, opts, false, move |inner| f(RelaxedTx::wrap_mut(inner)));
         match res {
             Err(TxError::Cancelled) => panic!(
                 "relaxed transactions cannot cancel (Draft C++ TM Specification)"
@@ -424,6 +502,7 @@ impl TmRuntime {
         &'env self,
         plan: RelaxedPlan,
         opts: TxOptions,
+        ro: bool,
         mut body: B,
     ) -> Result<R, TxError>
     where
@@ -452,6 +531,7 @@ impl TmRuntime {
                 rt,
                 id,
                 plan,
+                ro,
                 consecutive_aborts,
                 arena,
                 commit_handlers,
@@ -565,6 +645,7 @@ impl TmRuntime {
         rt: &'env RtInner,
         id: u64,
         plan: RelaxedPlan,
+        ro: bool,
         consecutive_aborts: u32,
         arena: Box<Arena>,
         commit_handlers: Vec<Box<dyn FnOnce() + 'env>>,
@@ -597,6 +678,9 @@ impl TmRuntime {
                 engine: Engine::Serial,
                 arena,
                 irrevocable: true,
+                // A serial attempt runs uninstrumented; the RO hint is
+                // meaningless there and must not suppress bookkeeping.
+                ro: false,
                 holds_read: false,
                 holds_write: true,
                 commit_handlers,
@@ -616,6 +700,9 @@ impl TmRuntime {
                 engine: Engine::begin(rt, id),
                 arena,
                 irrevocable: false,
+                // Every retry re-enters the fast lane: a promotion is
+                // per-attempt, and a fresh attempt has written nothing.
+                ro,
                 holds_read,
                 holds_write: false,
                 commit_handlers,
@@ -640,10 +727,17 @@ impl TmRuntime {
         rt.stats.bump(&rt.stats.commits);
         if read_only {
             rt.stats.bump(&rt.stats.read_only_commits);
+            if inner.ro {
+                // Fast lane held to the end: never acquired an orec, never
+                // logged an undo/redo entry, committed on the engines'
+                // single-fence read-only path.
+                rt.stats.bump(&rt.stats.ro_fast_commits);
+            }
         }
         if inner.irrevocable {
             rt.stats.bump(&rt.stats.irrevocable_commits);
         }
+        flush_op_tallies(inner);
         stats::tally_commit();
         Ok(())
     }
@@ -653,6 +747,7 @@ impl TmRuntime {
         inner.engine.rollback(rt, &mut inner.arena.logs);
         inner.release_serial();
         rt.stats.bump(&rt.stats.aborts);
+        flush_op_tallies(inner);
         stats::tally_abort();
     }
 
@@ -661,6 +756,7 @@ impl TmRuntime {
         inner.engine.rollback(rt, &mut inner.arena.logs);
         inner.release_serial();
         rt.stats.bump(&rt.stats.cancels);
+        flush_op_tallies(inner);
     }
 
     /// Tears down an attempt that a panic is unwinding out of: replay the
@@ -676,6 +772,7 @@ impl TmRuntime {
         inner.engine.rollback(rt, &mut inner.arena.logs);
         inner.release_serial();
         rt.stats.bump(&rt.stats.panic_aborts);
+        flush_op_tallies(inner);
         stats::tally_abort();
     }
 
@@ -714,6 +811,22 @@ impl TmRuntime {
     }
 }
 
+/// Drains the attempt's per-operation tallies (read-log dedup hits,
+/// snapshot extensions) into the shared counters. Accumulating in the
+/// arena and flushing once per attempt keeps shared-atomic traffic off the
+/// read hot path; the tallies survive the engine's `bufs.clear()` exactly
+/// so this can run after commit/rollback.
+fn flush_op_tallies(inner: &mut TxInner<'_>) {
+    let rt = inner.rt;
+    let (dedup, ext) = inner.arena.logs.take_op_tallies();
+    if dedup != 0 {
+        rt.stats.add(&rt.stats.read_log_dedup_hits, dedup);
+    }
+    if ext != 0 {
+        rt.stats.add(&rt.stats.snapshot_extensions, ext);
+    }
+}
+
 fn run_handler<'e>(
     rt: &RtInner,
     h: Box<dyn FnOnce() + 'e>,
@@ -729,6 +842,126 @@ fn run_handler<'e>(
         rt.stats.bump(&rt.stats.handler_panics);
         if first_panic.is_none() {
             *first_panic = Some(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{orec, Algorithm, TCell, Transaction};
+
+    fn small_rt(algo: Algorithm) -> TmRuntime {
+        TmRuntime::builder()
+            .algorithm(algo)
+            .contention_manager(ContentionManager::None)
+            .serial_lock(SerialLockMode::None)
+            .orec_log_size(4)
+            .build()
+    }
+
+    fn orec_snapshot(rt: &TmRuntime) -> Vec<u64> {
+        let t = &rt.inner.orecs;
+        (0..t.len()).map(|i| t.load(i)).collect()
+    }
+
+    /// The fast-lane promise, checked against the runtime's own metadata:
+    /// a read-only `atomic_ro` leaves every orec untouched (and unlocked),
+    /// does not advance the global clock, and does not move NOrec's
+    /// sequence lock — while the same body under plain `atomic` is also
+    /// quiescent (invisible readers), and a *writing* transaction moves
+    /// the metadata, so the snapshot comparison is known to be sensitive.
+    #[test]
+    fn ro_fast_lane_acquires_no_orec_and_moves_no_clock() {
+        for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+            let rt = small_rt(algo);
+            let cells: Vec<TCell<u64>> = (0..64).map(TCell::new).collect();
+            // Two writes so orec versions are non-trivial before the
+            // snapshot (the first commit can release at version 0).
+            rt.atomic(|tx| tx.write(&cells[0], 6));
+            rt.atomic(|tx| tx.write(&cells[0], 7));
+
+            let orecs_before = orec_snapshot(&rt);
+            if algo != Algorithm::Norec {
+                assert!(
+                    orecs_before.iter().any(|&v| v != 0),
+                    "sanity: the priming writes must be visible in some orec"
+                );
+            }
+            let clock_before = rt.inner.clock.now();
+            let seq_before = rt.inner.seqlock.load();
+
+            for round in 0..50u64 {
+                let sum = rt.atomic_ro(|tx| {
+                    let mut s = 0u64;
+                    for c in &cells {
+                        s = s.wrapping_add(tx.read(c)?);
+                    }
+                    Ok(s)
+                });
+                assert_eq!(sum, 7 + (1..64).sum::<u64>(), "round {round} ({algo})");
+            }
+
+            let orecs_after = orec_snapshot(&rt);
+            assert_eq!(orecs_before, orecs_after, "{algo}: RO commits moved an orec");
+            assert!(
+                orecs_after.iter().all(|&v| !orec::is_locked(v)),
+                "{algo}: an orec is still locked after RO commits"
+            );
+            assert_eq!(rt.inner.clock.now(), clock_before, "{algo}: clock moved");
+            assert_eq!(rt.inner.seqlock.load(), seq_before, "{algo}: seqlock moved");
+
+            let s = rt.stats();
+            assert_eq!(s.ro_fast_commits, 50, "{algo}");
+            assert_eq!(s.ro_promotions, 0, "{algo}");
+            assert_eq!(s.aborts, 0, "{algo}");
+
+            // Sensitivity check: a writing transaction must move the same
+            // metadata the assertions above read.
+            rt.atomic(|tx| tx.fetch_add(&cells[1], 1));
+            match algo {
+                Algorithm::Norec => {
+                    assert_ne!(rt.inner.seqlock.load(), seq_before, "norec commit must bump");
+                }
+                _ => {
+                    assert_ne!(orec_snapshot(&rt), orecs_after, "a write must bump an orec");
+                    assert_ne!(rt.inner.clock.now(), clock_before, "a write must tick the clock");
+                }
+            }
+        }
+    }
+
+    /// Promotion is the inverse promise: the moment the "read-only"
+    /// transaction writes, it must behave exactly like a full transaction
+    /// — locking orecs / bumping the clock (or seqlock) — and be counted
+    /// as a promotion, not a fast commit.
+    #[test]
+    fn promoted_ro_transaction_commits_like_a_full_one() {
+        for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+            let rt = small_rt(algo);
+            let c = TCell::new(1u64);
+            let orecs_before = orec_snapshot(&rt);
+            let seq_before = rt.inner.seqlock.load();
+
+            let v = rt.atomic_ro(|tx| {
+                let v = tx.read(&c)?;
+                tx.write(&c, v + 1)?; // falls off the fast lane here
+                Ok(v)
+            });
+            assert_eq!(v, 1);
+            assert_eq!(c.load_direct(), 2, "{algo}: promoted write must commit");
+
+            let s = rt.stats();
+            assert_eq!(s.ro_promotions, 1, "{algo}");
+            assert_eq!(s.ro_fast_commits, 0, "{algo}");
+            match algo {
+                Algorithm::Norec => assert_ne!(rt.inner.seqlock.load(), seq_before, "{algo}"),
+                _ => assert_ne!(orec_snapshot(&rt), orecs_before, "{algo}"),
+            }
+            assert!(
+                orec_snapshot(&rt).iter().all(|&o| !orec::is_locked(o)),
+                "{algo}: promoted commit left an orec locked"
+            );
         }
     }
 }

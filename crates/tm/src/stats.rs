@@ -87,6 +87,20 @@ counters! {
     retry_limits,
     /// Bounded transactions whose `TxOptions::deadline` expired.
     timeouts,
+    /// Read-only fast-lane transactions that committed without ever
+    /// promoting: no orec acquired, no undo/redo log, single-fence commit.
+    ro_fast_commits,
+    /// Fast-lane transactions that wrote mid-flight and promoted to a full
+    /// read-write transaction (which then committed or retried normally).
+    ro_promotions,
+    /// Validations that *extended* a snapshot instead of aborting: the
+    /// global clock (or NOrec seqlock) had moved, but every logged read was
+    /// still consistent, so the start timestamp was advanced in place.
+    snapshot_extensions,
+    /// Repeated reads of an already-logged word (same orec for eager/lazy,
+    /// same address for NOrec) served from the read-set index without
+    /// appending a duplicate read-log entry.
+    read_log_dedup_hits,
 }
 
 impl TmStats {

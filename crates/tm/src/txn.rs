@@ -409,6 +409,11 @@ pub(crate) struct TxInner<'env> {
     pub(crate) engine: Engine,
     pub(crate) arena: Box<Arena>,
     pub(crate) irrevocable: bool,
+    /// Read-only fast lane: the attempt was opened through `atomic_ro` /
+    /// `relaxed_ro` and has not written yet. While set, no orec is ever
+    /// acquired and no undo/redo entry exists; the first write clears it
+    /// (in-flight promotion to a full read-write transaction).
+    pub(crate) ro: bool,
     pub(crate) holds_read: bool,
     pub(crate) holds_write: bool,
     pub(crate) commit_handlers: Vec<Box<dyn FnOnce() + 'env>>,
@@ -423,6 +428,14 @@ impl<'env> TxInner<'env> {
 
     #[inline]
     pub(crate) fn write_word(&mut self, w: &'env TWord, v: u64) -> Result<(), Abort> {
+        if self.ro {
+            // In-flight promotion: from here on this attempt is a full
+            // read-write transaction. The read set gathered so far stays
+            // valid (it is the same invisible-read log either way), so
+            // promotion costs exactly one branch plus a stat.
+            self.ro = false;
+            self.rt.stats.bump(&self.rt.stats.ro_promotions);
+        }
         self.engine.write_word(self.rt, &mut self.arena.logs, w.addr(), v)
     }
 
@@ -449,6 +462,11 @@ impl<'env> TxInner<'env> {
                  relaxed transactions that reach unsafe operations"
             ),
             SerialLockMode::ReaderWriter => {
+                // Leaving the fast lane without a data write: serial mode
+                // runs uninstrumented and may do anything, so the RO
+                // invariants no longer hold. Not counted as a promotion —
+                // `in_flight_switch` already records this transition.
+                self.ro = false;
                 if self.holds_read {
                     self.rt.serial.read_release();
                     self.holds_read = false;
@@ -580,6 +598,13 @@ impl<'env> RelaxedTx<'env> {
     pub fn is_irrevocable(&self) -> bool {
         self.0.irrevocable
     }
+
+    /// Whether this attempt is still in the read-only fast lane (started
+    /// via [`crate::TmRuntime::relaxed_ro`] and neither written nor gone
+    /// irrevocable yet).
+    pub fn is_fast_lane(&self) -> bool {
+        self.0.ro
+    }
 }
 
 impl<'env> AtomicTx<'env> {
@@ -587,5 +612,12 @@ impl<'env> AtomicTx<'env> {
     /// contention policy, never via unsafe operations).
     pub fn is_serial(&self) -> bool {
         self.0.irrevocable
+    }
+
+    /// Whether this attempt is still in the read-only fast lane (started
+    /// via [`crate::TmRuntime::atomic_ro`] and not yet promoted by a
+    /// write).
+    pub fn is_fast_lane(&self) -> bool {
+        self.0.ro
     }
 }

@@ -1,0 +1,246 @@
+//! Read-only fast-lane semantics, black-box:
+//!
+//! * **Zero allocations.** A steady-state read-only commit must never touch
+//!   the heap, on any algorithm, through both `atomic_ro` and `relaxed_ro`.
+//!   The counting global allocator makes that a hard assertion, the same
+//!   guard the `stm_fastpath` bench applies to read-write commits.
+//! * **Publication safety.** A value published under a transactional flag
+//!   is fully visible to any fast-lane reader that observes the flag.
+//! * **Privatization safety.** Once a transaction has logically privatized
+//!   a buffer (cleared its shared flag), the privatizer may mutate the
+//!   buffer *non-transactionally*; concurrent fast-lane readers must either
+//!   see the buffer still published — and then a consistent snapshot of its
+//!   contents — or skip it, never a torn mix. This is the paper's §3.3
+//!   reference-count / `item_free` pattern with the refcount elided.
+//!
+//! White-box counterparts (orec quiescence, clock/seqlock silence) live in
+//! `tm::runtime`'s unit tests.
+
+use std::sync::Arc;
+
+use tm::{
+    Algorithm, ContentionManager, RelaxedPlan, SerialLockMode, TCell, TmRuntime, Transaction,
+};
+
+#[global_allocator]
+static COUNTING_ALLOC: testkit::alloc::Counting = testkit::alloc::Counting;
+
+fn runtimes() -> Vec<TmRuntime> {
+    [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec]
+        .into_iter()
+        .map(|algo| {
+            TmRuntime::builder()
+                .algorithm(algo)
+                .contention_manager(ContentionManager::None)
+                .serial_lock(SerialLockMode::None)
+                .build()
+        })
+        .collect()
+}
+
+#[test]
+fn ro_commits_never_allocate() {
+    for rt in runtimes() {
+        let cells: Vec<TCell<u64>> = (0..32).map(TCell::new).collect();
+        let run_atomic = || {
+            rt.atomic_ro(|tx| {
+                let mut s = 0u64;
+                for c in &cells {
+                    s = s.wrapping_add(tx.read(c)?);
+                }
+                Ok(s)
+            })
+        };
+        let run_relaxed = || {
+            rt.relaxed_ro(RelaxedPlan::new(), |tx| {
+                let mut s = 0u64;
+                for c in &cells {
+                    s = s.wrapping_add(tx.read(c)?);
+                }
+                Ok(s)
+            })
+        };
+        // Warmup sizes the thread-local arena; steady state must be clean.
+        for _ in 0..20 {
+            run_atomic();
+            run_relaxed();
+        }
+        let expect: u64 = (0..32).sum();
+        let before = testkit::alloc::thread_allocs();
+        for _ in 0..200 {
+            assert_eq!(run_atomic(), expect);
+            assert_eq!(run_relaxed(), expect);
+        }
+        let allocs = testkit::alloc::thread_allocs() - before;
+        assert_eq!(
+            allocs,
+            0,
+            "{:?}: {allocs} heap allocations across 400 read-only commits",
+            rt.algorithm()
+        );
+        assert_eq!(rt.stats().ro_fast_commits, 440, "{:?}", rt.algorithm());
+    }
+}
+
+#[test]
+fn ro_reads_spilling_the_inline_window_never_allocate() {
+    // Multiget-sized read sets (past SMALL_READS) exercise the read-set
+    // index; its slab must be arena-retained like every other log buffer.
+    for rt in runtimes() {
+        let cells: Vec<TCell<u64>> = (0..128).map(TCell::new).collect();
+        let run = || {
+            rt.atomic_ro(|tx| {
+                let mut s = 0u64;
+                for c in &cells {
+                    s = s.wrapping_add(tx.read(c)?);
+                }
+                Ok(s)
+            })
+        };
+        for _ in 0..20 {
+            run();
+        }
+        let before = testkit::alloc::thread_allocs();
+        for _ in 0..200 {
+            assert_eq!(run(), (0..128).sum());
+        }
+        let allocs = testkit::alloc::thread_allocs() - before;
+        assert_eq!(
+            allocs,
+            0,
+            "{:?}: {allocs} heap allocations across 200 spilled RO commits",
+            rt.algorithm()
+        );
+    }
+}
+
+/// Publication: writer initializes a payload inside the transaction that
+/// sets the published flag; a fast-lane reader that sees the flag must see
+/// the whole payload.
+#[test]
+fn fast_lane_readers_see_publication_atomically() {
+    for rt in runtimes() {
+        let rt = Arc::new(rt);
+        let published = Arc::new(TCell::new(0u64));
+        let payload: Arc<Vec<TCell<u64>>> = Arc::new((0..16).map(|_| TCell::new(0)).collect());
+
+        let writer = {
+            let (rt, published, payload) = (rt.clone(), published.clone(), payload.clone());
+            std::thread::spawn(move || {
+                for round in 1..400u64 {
+                    rt.atomic(|tx| {
+                        // Unpublish, scramble, republish — all atomic.
+                        tx.write(&*published, 0)?;
+                        Ok(())
+                    });
+                    rt.atomic(|tx| {
+                        for (i, c) in payload.iter().enumerate() {
+                            tx.write(c, round * 1000 + i as u64)?;
+                        }
+                        tx.write(&*published, round)?;
+                        Ok(())
+                    });
+                }
+            })
+        };
+
+        let mut observed = 0u64;
+        // Sampling the finished flag BEFORE the snapshot guarantees the
+        // loop's last snapshot runs entirely after the writer — the final
+        // state is published, so at least one observation always lands.
+        loop {
+            let finished = writer.is_finished();
+            let snap = rt.atomic_ro(|tx| {
+                let round = tx.read(&*published)?;
+                if round == 0 {
+                    return Ok(None);
+                }
+                let mut vals = [0u64; 16];
+                for (i, c) in payload.iter().enumerate() {
+                    vals[i] = tx.read(c)?;
+                }
+                Ok(Some((round, vals)))
+            });
+            if let Some((round, vals)) = snap {
+                for (i, v) in vals.iter().enumerate() {
+                    assert_eq!(
+                        *v,
+                        round * 1000 + i as u64,
+                        "{:?}: reader saw a partially published payload",
+                        rt.algorithm()
+                    );
+                }
+                observed += 1;
+            }
+            if finished {
+                break;
+            }
+        }
+        writer.join().unwrap();
+        assert!(observed > 0, "reader never overlapped a published payload");
+    }
+}
+
+/// Privatization: after the privatizing transaction commits, the buffer is
+/// the privatizer's — it mutates it with plain non-transactional stores.
+/// Fast-lane readers must never observe those plain stores under a flag
+/// that still claims the buffer is shared.
+#[test]
+fn fast_lane_readers_respect_privatization() {
+    for rt in runtimes() {
+        let rt = Arc::new(rt);
+        let shared = Arc::new(TCell::new(1u64));
+        let buf: Arc<Vec<TCell<u64>>> = Arc::new((0..16).map(|_| TCell::new(7)).collect());
+
+        let privatizer = {
+            let (rt, shared, buf) = (rt.clone(), shared.clone(), buf.clone());
+            std::thread::spawn(move || {
+                for round in 0..300u64 {
+                    // Take the buffer private.
+                    rt.atomic(|tx| tx.write(&*shared, 0));
+                    // Quiescence: one transactional no-op read of the flag
+                    // word pairs with in-flight readers' snapshots (the
+                    // runtime's privatization fence).
+                    rt.atomic(|tx| tx.read(&*shared));
+                    // Ours now: plain stores, no transaction.
+                    for c in buf.iter() {
+                        c.store_direct(round * 31);
+                    }
+                    // Republish a consistent state transactionally.
+                    rt.atomic(|tx| {
+                        for c in buf.iter() {
+                            tx.write(c, 7)?;
+                        }
+                        tx.write(&*shared, 1)?;
+                        Ok(())
+                    });
+                }
+            })
+        };
+
+        loop {
+            let finished = privatizer.is_finished();
+            let snap = rt.atomic_ro(|tx| {
+                if tx.read(&*shared)? == 0 {
+                    return Ok(None); // privatized: hands off
+                }
+                let mut vals = [0u64; 16];
+                for (i, c) in buf.iter().enumerate() {
+                    vals[i] = tx.read(c)?;
+                }
+                Ok(Some(vals))
+            });
+            if let Some(vals) = snap {
+                assert!(
+                    vals.iter().all(|&v| v == 7),
+                    "{:?}: reader saw privatized-buffer mutation under shared flag: {vals:?}",
+                    rt.algorithm()
+                );
+            }
+            if finished {
+                break;
+            }
+        }
+        privatizer.join().unwrap();
+    }
+}

@@ -33,6 +33,31 @@ echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc count
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
     cargo bench --offline -p bench --bench stm_fastpath
-cp target/testkit-bench/BENCH_fastpath_*.json .
+
+echo "==> bench smoke (stm_getpath: read-only fast lane + multiget batching)"
+TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
+    TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
+    cargo bench --offline -p bench --bench stm_getpath
+
+# Offline regression gate, two tiers:
+#
+# 1. RATIO gates inside the benches themselves (stm_getpath asserts the
+#    fast-lane/fulltx ratio floor and the multiget non-inversion). The
+#    paired arms run interleaved, so these ratios are stable across host
+#    noise epochs — they are the *tight* gate, and a failure above
+#    already aborted this script.
+# 2. This ABSOLUTE gate: the fresh run's MINIMUM vs the committed
+#    BENCH_*.json baselines' MEDIAN (noise only ever adds time, so the
+#    fresh min is the stable cost estimate while the baseline median
+#    sits a noise margin above its own floor). Measured cross-epoch
+#    drift on shared hosts reaches ~35% even on minima, so the
+#    threshold is 50% — this tier only catches catastrophic (≳1.5x)
+#    absolute regressions. Zero-alloc counters must stay exactly zero
+#    regardless. Runs BEFORE the cp below so the fresh reports can
+#    never gate against themselves.
+echo "==> bench regression gate (fresh min vs committed baseline median, 50%)"
+cargo run --release --offline -p testkit --bin bench_compare -- . target/testkit-bench --threshold 50
+
+cp target/testkit-bench/BENCH_fastpath_*.json target/testkit-bench/BENCH_getpath_*.json .
 
 echo "==> verify OK"
