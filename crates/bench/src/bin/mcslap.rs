@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mcache::proto::binary::{self, Opcode, Request};
-use mcache::{Branch, McCache, McConfig, Stage};
+use mcache::{Branch, McCache, McConfig, Stage, StoreMode, StoreOp};
 use workload::{Op, OpMix, Workload};
 
 struct Args {
@@ -27,6 +27,16 @@ struct Args {
     /// (ASCII-style `get k1 .. kn` via the API, pipelined quiet GETKQ
     /// frames under `--binary`). 1 = no batching.
     multiget: usize,
+    /// Batch consecutive SETs n-at-a-time through the single-transaction
+    /// store path (`store_batch` via the API, pipelined quiet SETQ frames
+    /// under `--binary`). 1 = no batching.
+    setq_pipeline: usize,
+    /// Upper bound for uniform per-key value sizes; 0 = fixed
+    /// `--value-size` for every key.
+    value_size_max: usize,
+    /// Per-worker slab magazine capacity (transactional-item branches
+    /// only); 0 = off, the 3-transaction store.
+    magazine: usize,
 }
 
 fn parse_branch(name: &str) -> Option<Branch> {
@@ -57,6 +67,9 @@ fn parse_args() -> Args {
         keys: 2000,
         read_ratio: 90,
         multiget: 1,
+        setq_pipeline: 1,
+        value_size_max: 0,
+        magazine: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -89,6 +102,28 @@ fn parse_args() -> Args {
                     args.read_ratio = v.min(100);
                 }
             }
+            // memslap has no such flag, but every setpath arm is
+            // write-shaped; --write-ratio 70 == --read-ratio 30.
+            "--write-ratio" => {
+                if let Some(v) = num(&mut it) {
+                    args.read_ratio = 100 - v.min(100);
+                }
+            }
+            "--value-size-max" => {
+                if let Some(v) = num(&mut it) {
+                    args.value_size_max = v;
+                }
+            }
+            "--setq-pipeline" => {
+                if let Some(v) = num(&mut it) {
+                    args.setq_pipeline = v.max(1);
+                }
+            }
+            "--magazine" => {
+                if let Some(v) = num(&mut it) {
+                    args.magazine = v;
+                }
+            }
             "--multiget" => {
                 if let Some(v) = num(&mut it) {
                     args.multiget = v.max(1);
@@ -119,7 +154,10 @@ fn main() {
             .concurrency(args.concurrency)
             .execute_number(args.execute_number)
             .key_count(args.keys)
-            .value_size(args.value_size)
+            .value_size_range(
+                args.value_size,
+                args.value_size_max.max(args.value_size),
+            )
             .binary(args.binary)
             .mix(OpMix {
                 get: args.read_ratio as u32,
@@ -132,6 +170,7 @@ fn main() {
     let handle = McCache::start(McConfig {
         branch: args.branch,
         workers: args.concurrency,
+        magazine: args.magazine,
         ..Default::default()
     });
     let cache = handle.cache().clone();
@@ -146,12 +185,61 @@ fn main() {
             let wl = wl.clone();
             let binary = args.binary;
             let multiget = args.multiget;
+            let setq_pipeline = args.setq_pipeline;
             s.spawn(move || {
                 // --multiget batching: consecutive GETs accumulate here and
                 // flush n-at-a-time through the single-transaction multiget
                 // path; any interleaved write flushes the partial batch
                 // first, preserving per-thread order.
                 let mut batch: Vec<usize> = Vec::new();
+                // --setq-pipeline batching: the write twin — consecutive
+                // SETs flush n-at-a-time through the single-transaction
+                // store path (quiet SETQ frames on the wire under
+                // --binary, `store_batch` through the API).
+                let mut set_batch: Vec<usize> = Vec::new();
+                let flush_sets = |set_batch: &mut Vec<usize>| {
+                    if set_batch.is_empty() {
+                        return;
+                    }
+                    if binary {
+                        // Full wire path: encode and decode every quiet
+                        // SETQ frame, then dispatch the run as one batch;
+                        // successes are silent by protocol.
+                        let decoded: Vec<Request> = set_batch
+                            .iter()
+                            .map(|&k| {
+                                let req = Request {
+                                    opcode: Opcode::SetQ,
+                                    opaque: w as u32,
+                                    cas: 0,
+                                    key: wl.key(k).to_vec(),
+                                    value: wl.value(k),
+                                    extra: 0,
+                                };
+                                Request::decode(&req.encode()).expect("self-encoded frame")
+                            })
+                            .collect();
+                        for resp in binary::execute_pipeline(&cache, w, &decoded) {
+                            assert_eq!(resp.opaque, w as u32);
+                        }
+                    } else {
+                        let values: Vec<Vec<u8>> =
+                            set_batch.iter().map(|&k| wl.value(k)).collect();
+                        let ops: Vec<StoreOp> = set_batch
+                            .iter()
+                            .zip(&values)
+                            .map(|(&k, v)| StoreOp {
+                                mode: StoreMode::Set,
+                                key: wl.key(k),
+                                value: v,
+                                flags: 0,
+                                exptime: 0,
+                            })
+                            .collect();
+                        cache.store_batch(w, &ops);
+                    }
+                    set_batch.clear();
+                };
                 let flush = |batch: &mut Vec<usize>| {
                     if batch.is_empty() {
                         return;
@@ -187,6 +275,7 @@ fn main() {
                 for op in wl.stream(w) {
                     if multiget > 1 {
                         if let Op::Get(k) = op {
+                            flush_sets(&mut set_batch);
                             batch.push(k);
                             if batch.len() == multiget {
                                 flush(&mut batch);
@@ -194,6 +283,16 @@ fn main() {
                             continue;
                         }
                         flush(&mut batch);
+                    }
+                    if setq_pipeline > 1 {
+                        if let Op::Set(k) = op {
+                            set_batch.push(k);
+                            if set_batch.len() == setq_pipeline {
+                                flush_sets(&mut set_batch);
+                            }
+                            continue;
+                        }
+                        flush_sets(&mut set_batch);
                     }
                     if binary {
                         // Full wire path: encode, decode, dispatch.
@@ -253,6 +352,7 @@ fn main() {
                     }
                 }
                 flush(&mut batch);
+                flush_sets(&mut set_batch);
             });
         }
     });
@@ -261,7 +361,8 @@ fn main() {
     let stats = cache.stats();
     let tm = cache.tm_stats();
     println!(
-        "{} ops in {:.3}s = {:.0} ops/s  ({} threads, {} branch, {}, {}% reads, multiget {})",
+        "{} ops in {:.3}s = {:.0} ops/s  ({} threads, {} branch, {}, {}% reads, \
+         multiget {}, setq-pipeline {}, magazine {})",
         total_ops,
         secs,
         total_ops as f64 / secs,
@@ -270,6 +371,8 @@ fn main() {
         if args.binary { "binary" } else { "api" },
         args.read_ratio,
         args.multiget,
+        args.setq_pipeline,
+        args.magazine,
     );
     println!(
         "hits={} misses={} evictions={} expansions={} rebalances={}",

@@ -171,6 +171,11 @@ impl BenchConfig {
             lru_bump_every: 8,
             maintenance: true,
             refcount_elision: self.refcount_elision,
+            // Figures and tables run with magazines off so the per-set
+            // serialization counts stay bit-identical to the paper's
+            // 3-transaction store; mcslap exposes the knob for the
+            // setpath experiments.
+            magazine: 0,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! (Figure 2, comments) forms.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -60,6 +60,16 @@ pub struct McConfig {
     /// and IP branches, where privatized readers still need real
     /// reference counts.
     pub refcount_elision: bool,
+    /// Per-worker slab-magazine capacity, in chunks per size class; 0
+    /// disables the magazines (the default, which keeps the Tables 1–4
+    /// serialization profile bit-identical). When set on an IT branch,
+    /// each worker keeps a private cache of free chunks restocked and
+    /// drained in short dedicated transactions, so a steady-state SET
+    /// stops transactionally touching the global per-class free lists:
+    /// allocation becomes a private pop, and the whole store (header,
+    /// value, link, stats) collapses into one transaction. Ignored on
+    /// lock and IP branches.
+    pub magazine: usize,
 }
 
 impl Default for McConfig {
@@ -77,6 +87,7 @@ impl Default for McConfig {
             lru_bump_every: 8,
             maintenance: true,
             refcount_elision: false,
+            magazine: 0,
         }
     }
 }
@@ -122,6 +133,21 @@ pub enum StoreStatus {
     OutOfMemory,
 }
 
+/// One operation of a [`McCache::store_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOp<'a> {
+    /// Store flavor + predicate.
+    pub mode: StoreMode,
+    /// Key bytes.
+    pub key: &'a [u8],
+    /// Value bytes.
+    pub value: &'a [u8],
+    /// Client flags.
+    pub flags: u32,
+    /// Expiry time.
+    pub exptime: u32,
+}
+
 /// Outcome of `incr`/`decr`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ArithStatus {
@@ -133,10 +159,26 @@ pub enum ArithStatus {
     NonNumeric,
 }
 
+/// One worker's private chunk cache: a row of free handles per slab
+/// class, each row sized to the configured magazine capacity at start so
+/// steady-state pops and pushes never touch the heap. Chunks held here
+/// are invisible to the allocator and the rebalancer — `free_count` and
+/// `page_free` were decremented when the refill popped them — and only
+/// become shared again via a flush or a committed link.
+#[derive(Debug, Default)]
+struct Magazine {
+    rows: Vec<Vec<ItemHandle>>,
+}
+
+/// Padded to a cache-line pair so adjacent workers' stat blocks, op
+/// counters, and magazine state never false-share (128 bytes covers the
+/// adjacent-line prefetcher on x86).
+#[repr(align(128))]
 struct WorkerSlot {
     lock: ProfiledMutex<()>,
     stats: ThreadStats,
     op_count: AtomicU64,
+    magazine: Mutex<Magazine>,
 }
 
 /// The cache. Create with [`McCache::start`]; share via the returned
@@ -259,11 +301,21 @@ impl McCache {
             cfg.item_lock_power,
             &profiler,
         );
+        let magazines_on = cfg.magazine > 0 && policy.item_mode == ItemMode::Transactional;
         let workers = (0..cfg.workers)
             .map(|i| WorkerSlot {
                 lock: ProfiledMutex::new(&format!("thread_stats[{i}]"), (), &profiler),
                 stats: ThreadStats::default(),
                 op_count: AtomicU64::new(0),
+                magazine: Mutex::new(Magazine {
+                    rows: if magazines_on {
+                        (0..core.arena.class_count())
+                            .map(|_| Vec::with_capacity(cfg.magazine))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    },
+                }),
             })
             .collect();
         let cache = Arc::new(McCache {
@@ -964,7 +1016,16 @@ impl McCache {
                                 let expanding =
                                     core.assoc.is_expanding(ctx, &policy)?;
                                 let _ = expanding;
-                                self.link_new_tx(ctx, mode, key, hv, a.handle, a.evicted > 0, false)
+                                self.link_new_tx(
+                                    ctx,
+                                    mode,
+                                    key,
+                                    hv,
+                                    a.handle,
+                                    a.evicted > 0,
+                                    false,
+                                    None,
+                                )
                             },
                         );
                         let mut ctx = Ctx::Direct;
@@ -974,6 +1035,9 @@ impl McCache {
                 };
                 self.ip_item_unlock(stripe);
                 st
+            }
+            ItemMode::Transactional if self.magazines_on() => {
+                self.store_magazine(w, mode, key, value, flags, exptime, hv, now)
             }
             ItemMode::Transactional => {
                 let alloc = self.alloc_section(key, flags, exptime, nbytes, now, usize::MAX);
@@ -1009,6 +1073,7 @@ impl McCache {
                                     a.handle,
                                     a.evicted > 0,
                                     true,
+                                    None,
                                 )?;
                                 core.item_release(ctx, &policy, a.handle)?;
                                 let tstats = &self.workers[w].stats;
@@ -1056,6 +1121,159 @@ impl McCache {
         status
     }
 
+    /// Batched stores: a run of pipelined mutations (quiet binary SETQ
+    /// bursts, multi-command ASCII buffers) as ONE critical section. On the
+    /// transactional branches the whole run commits as a single transaction
+    /// — one begin, one commit fence for n stores — amortizing the
+    /// per-transaction overhead exactly like [`Self::get_multi`] does on
+    /// the read path, with allocation hoisted out front (a magazine pop per
+    /// op when magazines are on, one slab transaction per op otherwise).
+    /// Lock and IP branches, and trivial runs, fall back to per-op
+    /// [`Self::store`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a valid worker slot or any key exceeds
+    /// [`KEY_MAX`].
+    pub fn store_batch(&self, w: usize, ops: &[StoreOp<'_>]) -> Vec<StoreStatus> {
+        if self.policy.item_mode != ItemMode::Transactional || ops.len() < 2 {
+            return ops
+                .iter()
+                .map(|op| self.store(w, op.mode, op.key, op.value, op.flags, op.exptime))
+                .collect();
+        }
+        for op in ops {
+            assert!(op.key.len() <= KEY_MAX && !op.key.is_empty(), "bad key length");
+        }
+        let core = &self.core;
+        let policy = self.policy;
+        let now = self.rel_time();
+        let mags = self.magazines_on();
+        // Per-op prep (hash, sizing, one private chunk each) runs once; the
+        // link transaction below may retry, so it must not re-allocate.
+        enum Prep {
+            Fail(StoreStatus),
+            Ready {
+                hv: u32,
+                sizes: crate::item::ItemSizes,
+                h: ItemHandle,
+                evicted: bool,
+            },
+        }
+        let preps: Vec<Prep> = ops
+            .iter()
+            .map(|op| {
+                let hv = jenkins_hash(op.key, 0);
+                let Some((sizes, class)) = core.size_item(op.key, op.flags, op.value.len() as u32)
+                else {
+                    return Prep::Fail(StoreStatus::TooLarge);
+                };
+                if mags {
+                    match self.magazine_take(w, class) {
+                        Some(h) => Prep::Ready { hv, sizes, h, evicted: false },
+                        None => Prep::Fail(StoreStatus::OutOfMemory),
+                    }
+                } else {
+                    match self.alloc_section(
+                        op.key,
+                        op.flags,
+                        op.exptime,
+                        op.value.len() as u32,
+                        now,
+                        usize::MAX,
+                    ) {
+                        Ok(a) => Prep::Ready { hv, sizes, h: a.handle, evicted: a.evicted > 0 },
+                        Err(AllocError::TooLarge) => Prep::Fail(StoreStatus::TooLarge),
+                        Err(AllocError::OutOfMemory) => Prep::Fail(StoreStatus::OutOfMemory),
+                    }
+                }
+            })
+            .collect();
+        let tstats = &self.workers[w].stats;
+        let mut statuses: Vec<StoreStatus> = Vec::with_capacity(ops.len());
+        let mut reclaims: Vec<ItemHandle> = Vec::new();
+        let mut any_signal = false;
+        self.tx_section(
+            &[Category::VolatileFlag, Category::Libc],
+            &[Category::RefcountRmw, Category::LogIo, Category::AssertAbort],
+            |ctx| {
+                // Attempt-local accumulators: an abort rolls them back.
+                statuses.clear();
+                reclaims.clear();
+                any_signal = false;
+                let expanding = core.assoc.is_expanding(ctx, &policy)?;
+                let _ = expanding;
+                for (op, prep) in ops.iter().zip(&preps) {
+                    let &Prep::Ready { hv, sizes, h, .. } = prep else {
+                        let Prep::Fail(st) = prep else { unreachable!() };
+                        statuses.push(*st);
+                        continue;
+                    };
+                    if mags {
+                        // Magazine chunks arrive raw; alloc_section chunks
+                        // were initialized inside their slab transaction.
+                        core.init_item(ctx, &policy, h, op.key, op.flags, op.exptime, sizes, now)?;
+                    }
+                    let it = core.arena.resolve(h);
+                    it.write_value(ctx, &policy, sizes, op.value)?;
+                    let mut reclaimed = None;
+                    let (st, signal) = self.link_new_tx(
+                        ctx,
+                        op.mode,
+                        op.key,
+                        hv,
+                        h,
+                        false,
+                        true,
+                        if mags { Some(&mut reclaimed) } else { None },
+                    )?;
+                    if st == StoreStatus::Stored || !mags {
+                        // Magazine chunks that failed their predicate stay
+                        // private and go back to the magazine post-commit.
+                        core.item_release(ctx, &policy, h)?;
+                    }
+                    if let Some(old) = reclaimed {
+                        reclaims.push(old);
+                    }
+                    any_signal |= signal;
+                    self.stats_inline(ctx, &tstats.set_cmds, None)?;
+                    statuses.push(st);
+                }
+                Ok(())
+            },
+        );
+        for (prep, st) in preps.iter().zip(&statuses) {
+            if let Prep::Ready { h, .. } = prep {
+                if mags && *st != StoreStatus::Stored {
+                    self.magazine_put(w, *h);
+                }
+            }
+        }
+        for old in reclaims.drain(..) {
+            self.magazine_put(w, old);
+        }
+        if any_signal {
+            self.tx_section(&[Category::SemPost], &[], |ctx| {
+                self.signal_maintenance(ctx, false)
+            });
+        }
+        let evicted = preps
+            .iter()
+            .any(|p| matches!(p, Prep::Ready { evicted: true, .. }));
+        if evicted || statuses.contains(&StoreStatus::OutOfMemory) {
+            self.tx_section(&[Category::SemPost], &[], |ctx| {
+                self.signal_maintenance(ctx, true)
+            });
+        }
+        for st in &statuses {
+            if matches!(st, StoreStatus::TooLarge | StoreStatus::OutOfMemory) {
+                self.op_stats(w, |t| (&t.set_cmds, None));
+                self.bump_cmd_total();
+            }
+        }
+        statuses
+    }
+
     /// The merged cache+slabs allocation section for the transactional
     /// branches (§3.1's lock-order fix). Entry reads the `volatile` slab
     /// rebalance signal; eviction reads victim refcounts and the suffix
@@ -1082,6 +1300,201 @@ impl McCache {
         )
     }
 
+    // ------------------------------------------------------------------
+    // Per-worker slab magazines (the mutation fast lane's allocator)
+    // ------------------------------------------------------------------
+
+    /// Whether per-worker slab magazines are active: an IT branch with a
+    /// nonzero [`McConfig::magazine`].
+    pub fn magazines_on(&self) -> bool {
+        self.cfg.magazine > 0 && self.policy.item_mode == ItemMode::Transactional
+    }
+
+    /// Pops a chunk of `class` from worker `w`'s magazine, refilling from
+    /// the arena when the row is empty. `None` means even eviction and a
+    /// global magazine flush could not produce a chunk — genuine memory
+    /// exhaustion (the rebalance signal has been raised by then).
+    fn magazine_take(&self, w: usize, class: u8) -> Option<ItemHandle> {
+        if let Some(h) = self.workers[w].magazine.lock().unwrap().rows[class as usize].pop() {
+            return Some(h);
+        }
+        self.magazine_refill(w, class)
+    }
+
+    /// Restocks worker `w`'s magazine for `class` with ONE short dedicated
+    /// transaction: a batched freelist pop that also absorbs any eviction
+    /// write-backs, so their cost amortizes over the whole row instead of
+    /// landing on individual SETs. When the pool is truly dry the chunks
+    /// may be parked in other workers' magazines — invisible to allocator
+    /// and rebalancer alike — so before reporting out-of-memory every
+    /// magazine is flushed back and the refill retried once.
+    fn magazine_refill(&self, w: usize, class: u8) -> Option<ItemHandle> {
+        let core = &self.core;
+        let policy = self.policy;
+        let cap = self.cfg.magazine;
+        let mut scratch: Vec<ItemHandle> = Vec::with_capacity(cap);
+        let mut flushed = false;
+        loop {
+            let evictions = self.tx_section(
+                &[Category::VolatileFlag],
+                &[Category::Libc, Category::RefcountRmw, Category::AssertAbort],
+                |ctx| {
+                    scratch.clear(); // attempt-local: aborted pops roll back
+                    let sig = ctx.volatile_read(&policy, core.arena.rebalance_signal.word())?;
+                    let _ = sig;
+                    let (got, evicted) =
+                        core.refill_batch(ctx, &policy, class, cap, &mut scratch)?;
+                    if got > 0 {
+                        core.global.bump(ctx, &core.global.magazine_refills)?;
+                    }
+                    if got < cap {
+                        // Starving (or evicting): point the rebalancer at
+                        // this class, exactly like the plain alloc path.
+                        ctx.put_word(core.arena.needy_class.word(), class as u64)?;
+                        ctx.volatile_write(&policy, core.arena.rebalance_signal.word(), 1)?;
+                    }
+                    Ok(evicted)
+                },
+            );
+            if evictions > 0 {
+                // Deliver the wakeup outside the refill transaction, like
+                // the IT store hoists its sem_post.
+                self.tx_section(&[Category::SemPost], &[], |ctx| {
+                    self.signal_maintenance(ctx, true)
+                });
+            }
+            if let Some(h) = scratch.pop() {
+                if !scratch.is_empty() {
+                    let mut mag = self.workers[w].magazine.lock().unwrap();
+                    mag.rows[class as usize].append(&mut scratch);
+                }
+                return Some(h);
+            }
+            if flushed || !self.flush_magazines() {
+                return None;
+            }
+            flushed = true;
+        }
+    }
+
+    /// Returns a thread-private chunk to worker `w`'s magazine. A full row
+    /// first spills half of itself back to the arena (one flush
+    /// transaction), so an overwrite-heavy burst cannot hoard chunks
+    /// unboundedly; in the steady SET state (one pop, at most one push per
+    /// op) the row never overflows and the spill path never runs.
+    fn magazine_put(&self, w: usize, h: ItemHandle) {
+        let core = &self.core;
+        let cap = self.cfg.magazine;
+        let mut mag = self.workers[w].magazine.lock().unwrap();
+        let row = &mut mag.rows[h.class as usize];
+        if row.len() >= cap {
+            let keep = cap / 2;
+            self.tx_section(&[], &[Category::AssertAbort], |ctx| {
+                core.arena.free_batch(ctx, &row[keep..])?;
+                core.global.bump(ctx, &core.global.magazine_flushes)
+            });
+            row.truncate(keep);
+        }
+        row.push(h);
+    }
+
+    /// Flushes every worker's magazine back to the global free lists, one
+    /// transaction per non-empty class row (each counted in
+    /// `magazine_flushes`). Runs under allocation pressure and from
+    /// `flush_all`; locks one worker's magazine at a time. Returns whether
+    /// any chunk moved.
+    pub fn flush_magazines(&self) -> bool {
+        let core = &self.core;
+        let mut any = false;
+        for slot in &self.workers {
+            let mut mag = slot.magazine.lock().unwrap();
+            for row in mag.rows.iter_mut() {
+                if row.is_empty() {
+                    continue;
+                }
+                self.tx_section(&[], &[Category::AssertAbort], |ctx| {
+                    core.arena.free_batch(ctx, row)?;
+                    core.global.bump(ctx, &core.global.magazine_flushes)
+                });
+                row.clear();
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// The magazine SET — the write path's mutation fast lane. Allocation
+    /// becomes a private pop from the worker's chunk cache (no transaction,
+    /// no shared free list), and header, key, suffix, value, link, and
+    /// stats all commit in ONE transaction instead of the three (alloc +
+    /// value + link) the plain IT store pays. Every shared-memory write
+    /// stays instrumented: a magazine chunk's privacy is an *accounting*
+    /// fact, not a license for direct writes — scribbling a
+    /// previously-linked chunk uninstrumented would let a stale invisible
+    /// reader (whose read-only commit skips final validation) return
+    /// post-snapshot bytes undetected. A dead overwritten item is parked in
+    /// limbo by `link_new_tx` and merged into the magazine after commit, so
+    /// overwrite-heavy workloads recycle chunks entirely within the worker.
+    #[allow(clippy::too_many_arguments)]
+    fn store_magazine(
+        &self,
+        w: usize,
+        mode: StoreMode,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        hv: u32,
+        now: u32,
+    ) -> StoreStatus {
+        let core = &self.core;
+        let policy = self.policy;
+        let Some((sizes, class)) = core.size_item(key, flags, value.len() as u32) else {
+            return StoreStatus::TooLarge;
+        };
+        let Some(handle) = self.magazine_take(w, class) else {
+            // The refill raised the rebalance signal; store()'s tail
+            // delivers the wakeup and counts the failed op.
+            return StoreStatus::OutOfMemory;
+        };
+        let tstats = &self.workers[w].stats;
+        let mut reclaimed: Option<ItemHandle> = None;
+        let (st, signal) = self.tx_section(
+            &[Category::VolatileFlag, Category::Libc],
+            &[Category::RefcountRmw, Category::LogIo, Category::AssertAbort],
+            |ctx| {
+                reclaimed = None; // attempt-local: an aborted park rolls back
+                core.init_item(ctx, &policy, handle, key, flags, exptime, sizes, now)?;
+                let it = core.arena.resolve(handle);
+                it.write_value(ctx, &policy, sizes, value)?;
+                let expanding = core.assoc.is_expanding(ctx, &policy)?;
+                let _ = expanding;
+                let (st, signal) =
+                    self.link_new_tx(ctx, mode, key, hv, handle, false, true, Some(&mut reclaimed))?;
+                if st == StoreStatus::Stored {
+                    core.item_release(ctx, &policy, handle)?;
+                }
+                self.stats_inline(ctx, &tstats.set_cmds, None)?;
+                Ok((st, signal))
+            },
+        );
+        if st != StoreStatus::Stored {
+            // Failed predicate: never published, so still private — straight
+            // back into the magazine instead of a slab-free transaction.
+            debug_assert!(reclaimed.is_none());
+            self.magazine_put(w, handle);
+        }
+        if let Some(old) = reclaimed {
+            self.magazine_put(w, old);
+        }
+        if signal {
+            self.tx_section(&[Category::SemPost], &[], |ctx| {
+                self.signal_maintenance(ctx, false)
+            });
+        }
+        st
+    }
+
     /// Decide + unlink-old + link-new, inside whatever section the caller
     /// holds (`Ctx::Direct` for the lock branches). Returns the status and
     /// — transactionally — whether an expansion wants the maintainer.
@@ -1094,7 +1507,7 @@ impl McCache {
         new_h: ItemHandle,
         evicted: bool,
     ) -> StoreStatus {
-        match self.link_new_tx(ctx, mode, key, hv, new_h, evicted, false) {
+        match self.link_new_tx(ctx, mode, key, hv, new_h, evicted, false, None) {
             Ok((st, _)) => st,
             Err(_) => unreachable!("direct sections never abort"),
         }
@@ -1104,6 +1517,17 @@ impl McCache {
     /// `defer_signal` is set (IT), the expansion wakeup is reported to the
     /// caller instead of signaled inline; the returned pair is
     /// `(status, signal_needed)`.
+    ///
+    /// `reclaim` (magazine path only): when an overwrite unlinks a dead
+    /// old item, park it in limbo — unlinked, refcount 0, *not* on the
+    /// global free list — and report its handle so the caller can merge
+    /// it into the worker's magazine after commit. The pin trick (bump
+    /// the refcount across the unlink, then zero it) keeps
+    /// `unlink_item`'s free-on-unreferenced branch from pushing the chunk
+    /// through the shared free list; an aborted attempt rolls all of it
+    /// back, so the limbo state only ever exists after a successful
+    /// commit, at which point serializability makes the chunk
+    /// thread-private.
     #[allow(clippy::too_many_arguments)]
     fn link_new_tx<'e>(
         &'e self,
@@ -1114,6 +1538,7 @@ impl McCache {
         new_h: ItemHandle,
         evicted: bool,
         defer_signal: bool,
+        reclaim: Option<&mut Option<ItemHandle>>,
     ) -> Result<(StoreStatus, bool), Abort> {
         let core = &self.core;
         let policy = self.policy;
@@ -1141,7 +1566,20 @@ impl McCache {
             }
             Ok(()) => {
                 if let Some(old) = existing {
-                    core.unlink_item(ctx, &policy, old, hv)?;
+                    let mut parked = false;
+                    if let Some(reclaim) = reclaim {
+                        let it = core.arena.resolve(old);
+                        if it.refcount(ctx, &policy)? == 0 {
+                            it.set_refcount(ctx, 1)?;
+                            core.unlink_item(ctx, &policy, old, hv)?;
+                            it.set_refcount(ctx, 0)?;
+                            *reclaim = Some(old);
+                            parked = true;
+                        }
+                    }
+                    if !parked {
+                        core.unlink_item(ctx, &policy, old, hv)?;
+                    }
                 }
                 let wants_maintainer = core.link_item(ctx, &policy, new_h, hv)?;
                 self.maybe_log(ctx, "set")?;
@@ -1334,6 +1772,11 @@ impl McCache {
             core.flush_all(&mut ctx, now).expect("direct");
         } else {
             self.tx_section(&[], &[], |ctx| core.flush_all(ctx, now));
+        }
+        if self.magazines_on() {
+            // Return every parked chunk so a post-flush heap audit sees
+            // all memory back on the free lists.
+            self.flush_magazines();
         }
         let _ = w;
         self.bump_cmd_total();

@@ -343,16 +343,7 @@ impl CacheCore {
         now: u32,
         held_stripe: usize,
     ) -> Result<Result<Allocation, AllocError>, Abort> {
-        // The suffix is rendered to find its length before sizing the
-        // item (memcached's item_make_header); the actual shared-memory
-        // write below is the libc serialization site.
-        let nsuffix = tmstd::pure(|| format!(" {client_flags} {nbytes}\r\n").len()) as u8;
-        let sizes = ItemSizes {
-            nkey: key.len() as u8,
-            nsuffix,
-            nbytes,
-        };
-        let Some(class) = self.arena.class_for(sizes.total()) else {
+        let Some((sizes, class)) = self.size_item(key, client_flags, nbytes) else {
             return Ok(Err(AllocError::TooLarge));
         };
         let mut evicted = 0u32;
@@ -376,16 +367,84 @@ impl CacheCore {
             ctx.put_word(self.arena.needy_class.word(), class as u64)?;
             ctx.volatile_write(policy, self.arena.rebalance_signal.word(), 1)?;
         }
+        self.init_item(ctx, policy, handle, key, client_flags, exptime, sizes, now)?;
+        Ok(Ok(Allocation { handle, evicted }))
+    }
+
+    /// Sizing half of `do_item_alloc` (memcached's `item_make_header`):
+    /// the suffix is rendered to find its length, then the smallest
+    /// fitting class is picked. `None` means the object exceeds the
+    /// largest chunk.
+    pub fn size_item(
+        &self,
+        key: &[u8],
+        client_flags: u32,
+        nbytes: u32,
+    ) -> Option<(ItemSizes, u8)> {
+        let nsuffix = tmstd::item_suffix_len(client_flags, nbytes) as u8;
+        let sizes = ItemSizes {
+            nkey: key.len() as u8,
+            nsuffix,
+            nbytes,
+        };
+        self.arena.class_for(sizes.total()).map(|class| (sizes, class))
+    }
+
+    /// Initialization half of `do_item_alloc`: header, key, and suffix of
+    /// a freshly allocated, still-private chunk (refcount 1, unlinked).
+    /// The magazine store path calls this directly on a cached chunk,
+    /// skipping the slab transaction entirely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn init_item<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        policy: &Policy,
+        handle: ItemHandle,
+        key: &[u8],
+        client_flags: u32,
+        exptime: u32,
+        sizes: ItemSizes,
+        now: u32,
+    ) -> Result<(), Abort> {
         let it = self.arena.resolve(handle);
         it.set_refcount(ctx, 1)?;
-        it.set_flags(ctx, (class as u64) << 8)?;
+        it.set_flags(ctx, (handle.class as u64) << 8)?;
         it.set_times(ctx, exptime, now)?;
         it.set_sizes(ctx, sizes)?;
         it.set_cas(ctx, 0)?;
         it.set_client_flags(ctx, client_flags)?;
         it.write_key(ctx, key)?;
-        it.write_suffix(ctx, policy, sizes, client_flags)?;
-        Ok(Ok(Allocation { handle, evicted }))
+        it.write_suffix(ctx, policy, sizes, client_flags)
+    }
+
+    /// Magazine refill: pop up to `n` chunks of `class` in one call —
+    /// meant to run inside ONE short transaction — evicting from the
+    /// class's LRU when the pool runs dry. Eviction write-backs thereby
+    /// batch into the refill instead of costing one slab transaction per
+    /// SET. Returns `(chunks_popped, items_evicted)`; zero chunks means
+    /// the pool is exhausted and nothing was evictable (the caller
+    /// flushes magazines and/or raises the rebalance signal).
+    pub fn refill_batch<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        policy: &Policy,
+        class: u8,
+        n: usize,
+        out: &mut Vec<ItemHandle>,
+    ) -> Result<(usize, usize), Abort> {
+        let mut got = 0usize;
+        let mut evicted = 0usize;
+        while got < n {
+            got += self.arena.alloc_batch(ctx, policy, class, n - got, out)?;
+            if got >= n {
+                break;
+            }
+            if evicted >= EVICTION_TRIES || !self.evict_one(ctx, policy, class, usize::MAX)? {
+                break;
+            }
+            evicted += 1;
+        }
+        Ok((got, evicted))
     }
 
     /// Evicts one unreferenced item from the class's LRU tail, honoring

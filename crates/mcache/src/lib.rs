@@ -53,8 +53,8 @@ pub mod slabs;
 pub mod stats;
 
 pub use cache::{
-    ArithStatus, CacheStats, GetValue, McCache, McConfig, McHandle, StoreMode, StoreStatus,
-    KEY_MAX,
+    ArithStatus, CacheStats, GetValue, McCache, McConfig, McHandle, StoreMode, StoreOp,
+    StoreStatus, KEY_MAX,
 };
 pub use policy::{Branch, Category, ItemMode, Policy, SectionKind, Stage};
 pub use slabs::SlabConfig;
@@ -430,6 +430,192 @@ mod tests {
         let c = McCache::start(cfg);
         c.set(0, b"k", b"v", 0, 0);
         assert!(c.get(0, b"k").is_some());
+    }
+
+    #[test]
+    fn magazine_store_semantics_match_plain() {
+        // The magazine fast lane must be observably identical to the plain
+        // 3-transaction IT store — only the transaction count changes.
+        let mut cfg = small_config(Branch::It(Stage::OnCommit));
+        cfg.magazine = 16;
+        let c = McCache::start(cfg);
+        assert!(c.magazines_on());
+        assert_eq!(c.set(0, b"k1", b"v1", 7, 0), StoreStatus::Stored);
+        let v = c.get(0, b"k1").unwrap();
+        assert_eq!((v.data.as_slice(), v.flags), (b"v1".as_slice(), 7));
+        assert_eq!(c.add(0, b"k1", b"x", 0, 0), StoreStatus::NotStored);
+        assert_eq!(c.add(0, b"k2", b"v2", 0, 0), StoreStatus::Stored);
+        assert_eq!(c.replace(0, b"k2", b"v2b", 0, 0), StoreStatus::Stored);
+        assert_eq!(c.replace(0, b"nope", b"x", 0, 0), StoreStatus::NotStored);
+        let cas = c.get(0, b"k2").unwrap().cas;
+        assert_eq!(c.cas(0, b"k2", b"v2c", 0, 0, cas), StoreStatus::Stored);
+        assert_eq!(c.cas(0, b"k2", b"v2d", 0, 0, cas), StoreStatus::Exists);
+        assert_eq!(c.cas(0, b"gone", b"v", 0, 0, cas), StoreStatus::NotFound);
+        assert!(c.delete(0, b"k2"));
+        assert!(c.get(0, b"k2").is_none());
+        let s = c.stats();
+        assert!(s.global.magazine_refills > 0, "allocations came from refills: {s:?}");
+        // An overwrite-heavy run recycles its chunk inside the worker: one
+        // initial refill covers the whole loop.
+        let before = c.stats().global.magazine_refills;
+        for i in 0..100u32 {
+            let val = format!("val-{i}");
+            assert_eq!(c.set(0, b"hot", val.as_bytes(), 0, 0), StoreStatus::Stored);
+        }
+        let after = c.stats().global.magazine_refills;
+        assert!(
+            after - before <= 1,
+            "overwrites must recycle via the magazine, not refill: {before} -> {after}"
+        );
+        assert_eq!(c.get(0, b"hot").unwrap().data, b"val-99");
+        // flush_all drains every magazine back to the arena.
+        c.flush_all(0);
+        assert!(c.stats().global.magazine_flushes > 0);
+    }
+
+    #[test]
+    fn magazine_readers_never_see_torn_values() {
+        // The soundness argument for keeping magazine writes instrumented:
+        // invisible fast-lane readers racing overwrites of recycled chunks
+        // must never observe bytes from two different rounds.
+        let mut cfg = small_config(Branch::It(Stage::OnCommit));
+        cfg.magazine = 8;
+        cfg.refcount_elision = true;
+        cfg.lru_bump_every = 0;
+        let handle = McCache::start(cfg);
+        let c = handle.cache().clone();
+        let keys: Vec<Vec<u8>> = (0..4).map(|i| format!("mk{i}").into_bytes()).collect();
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let (c, keys) = (Arc::clone(&c), keys.clone());
+                s.spawn(move || {
+                    for round in 0..400u32 {
+                        let k = &keys[(round as usize + w) % keys.len()];
+                        if round % 7 == 6 {
+                            c.delete(w, k);
+                        } else {
+                            let fill = vec![b'a' + (round % 23) as u8; 64];
+                            c.set(w, k, &fill, 0, 0);
+                        }
+                    }
+                });
+            }
+            for w in 2..4usize {
+                let (c, keys) = (Arc::clone(&c), keys.clone());
+                s.spawn(move || {
+                    for i in 0..600usize {
+                        if let Some(v) = c.get(w, &keys[i % keys.len()]) {
+                            assert_eq!(v.data.len(), 64, "torn length");
+                            assert!(
+                                v.data.iter().all(|&b| b == v.data[0]),
+                                "torn value: reader mixed two rounds"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn magazine_survives_eviction_pressure_and_rebalance() {
+        // Magazine-held chunks look *allocated* to the rebalancer's
+        // fully-free-page scan; this exercises refill-driven eviction and
+        // page moves with magazines interposed on every store.
+        let mut cfg = small_config(Branch::It(Stage::OnCommit));
+        cfg.magazine = 16;
+        cfg.slab.mem_limit = 512 << 10;
+        let c = McCache::start(cfg);
+        // Give the small class its page first: once memory is exhausted by
+        // the large class, a brand-new class can only OOM (eviction is
+        // per-class), magazines or not.
+        for i in 0..200 {
+            let key = format!("small-{i}");
+            assert_eq!(c.set(0, key.as_bytes(), b"tiny", 0, 0), StoreStatus::Stored);
+        }
+        let value = vec![3u8; 2048];
+        for i in 0..600 {
+            let key = format!("pressure-{i}");
+            assert_eq!(c.set(0, key.as_bytes(), &value, 0, 0), StoreStatus::Stored, "at {i}");
+        }
+        let s = c.stats();
+        assert!(s.global.evictions > 0, "{s:?}");
+        assert!(c.get(0, b"pressure-599").is_some());
+        // The small class keeps serving stores (refills from its own page
+        // or evicting within the class) with magazines interposed.
+        for i in 0..200 {
+            let key = format!("small2-{i}");
+            assert_eq!(c.set(0, key.as_bytes(), b"tiny", 0, 0), StoreStatus::Stored);
+        }
+        assert!(c.get(0, b"small2-199").is_some());
+    }
+
+    #[test]
+    fn store_batch_matches_singles() {
+        for magazine in [0, 8] {
+            let mut cfg = small_config(Branch::It(Stage::OnCommit));
+            cfg.magazine = magazine;
+            let c = McCache::start(cfg);
+            c.set(0, b"seed", b"old", 0, 0);
+            let cas = c.get(0, b"seed").unwrap().cas;
+            let ops = [
+                StoreOp { mode: StoreMode::Set, key: b"a", value: b"va", flags: 1, exptime: 0 },
+                StoreOp { mode: StoreMode::Add, key: b"a", value: b"xx", flags: 0, exptime: 0 },
+                StoreOp { mode: StoreMode::Replace, key: b"miss", value: b"x", flags: 0, exptime: 0 },
+                StoreOp { mode: StoreMode::Cas(cas), key: b"seed", value: b"new", flags: 0, exptime: 0 },
+                StoreOp { mode: StoreMode::Cas(cas), key: b"seed", value: b"zzz", flags: 0, exptime: 0 },
+                StoreOp { mode: StoreMode::Set, key: b"b", value: b"vb", flags: 2, exptime: 0 },
+            ];
+            let st = c.store_batch(0, &ops);
+            assert_eq!(
+                st,
+                vec![
+                    StoreStatus::Stored,
+                    StoreStatus::NotStored,
+                    StoreStatus::NotStored,
+                    StoreStatus::Stored,
+                    StoreStatus::Exists,
+                    StoreStatus::Stored,
+                ],
+                "magazine={magazine}"
+            );
+            assert_eq!(c.get(0, b"a").unwrap().data, b"va");
+            assert_eq!(c.get(0, b"seed").unwrap().data, b"new");
+            assert_eq!(c.get(0, b"b").unwrap().data, b"vb");
+            let s = c.stats();
+            assert_eq!(s.threads.set_cmds, 7, "every batched op counted");
+            assert_eq!(s.global.cmd_total, s.threads.total_cmds() + s.global.flush_cmds);
+        }
+        // Lock branches fall back to per-op stores with identical results.
+        let c = McCache::start(small_config(Branch::Baseline));
+        let ops = [
+            StoreOp { mode: StoreMode::Set, key: b"a", value: b"va", flags: 0, exptime: 0 },
+            StoreOp { mode: StoreMode::Add, key: b"a", value: b"x", flags: 0, exptime: 0 },
+        ];
+        assert_eq!(
+            c.store_batch(0, &ops),
+            vec![StoreStatus::Stored, StoreStatus::NotStored]
+        );
+    }
+
+    #[test]
+    fn arith_wraparound_and_saturation_edges() {
+        // memcached semantics at the numeric rim: incr wraps modulo 2^64,
+        // decr saturates at zero.
+        for branch in [Branch::Baseline, Branch::It(Stage::OnCommit)] {
+            let c = McCache::start(small_config(branch));
+            let max = u64::MAX.to_string();
+            c.set(0, b"n", max.as_bytes(), 0, 0);
+            assert_eq!(c.arith(0, b"n", 1, true), ArithStatus::Ok(0), "{branch}: wrap");
+            assert_eq!(c.arith(0, b"n", 5, true), ArithStatus::Ok(5), "{branch}");
+            assert_eq!(c.arith(0, b"n", 100, false), ArithStatus::Ok(0), "{branch}: saturate");
+            assert_eq!(c.arith(0, b"n", u64::MAX, true), ArithStatus::Ok(u64::MAX), "{branch}");
+            assert_eq!(
+                c.arith(0, b"n", u64::MAX, true),
+                ArithStatus::Ok(u64::MAX - 1),
+                "{branch}: wrap by delta"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use tm::TBytes;
 use tmstd::DirectAccess;
 
-use crate::cache::{ArithStatus, McCache, StoreStatus};
+use crate::cache::{ArithStatus, McCache, StoreMode, StoreOp, StoreStatus};
 
 /// The response a worker sends when a request handler panics: memcached's
 /// catch-all `SERVER_ERROR`, so one poisoned request costs one connection
@@ -153,6 +153,7 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
         }
         b"stats" => {
             let s = cache.stats();
+            let tm = cache.tm_stats();
             let mut out = String::new();
             for (k, v) in [
                 ("cmd_get", s.threads.get_cmds),
@@ -166,6 +167,13 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
                 ("slab_reassigns", s.global.rebalances),
                 ("request_panics", s.request_panics),
                 ("maintenance_panics", s.maintenance_panics),
+                // Write-path overdrive gauges: the STM's mutation fast lane
+                // and the per-worker slab magazines.
+                ("silent_store_elisions", tm.silent_store_elisions),
+                ("clock_tick_elisions", tm.clock_tick_elisions),
+                ("clock_cas_retries", tm.clock_cas_retries),
+                ("magazine_refills", s.global.magazine_refills),
+                ("magazine_flushes", s.global.magazine_flushes),
             ] {
                 out.push_str(&format!("STAT {k} {v}\r\n"));
             }
@@ -175,6 +183,128 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
         b"version" => format!("VERSION 1.4.15-tm ({})\r\n", cache.branch()).into_bytes(),
         _ => b"ERROR\r\n".to_vec(),
     }
+}
+
+/// Executes a buffer holding MULTIPLE complete ASCII requests — a
+/// pipelined connection read — and returns the concatenated responses in
+/// order.
+///
+/// Runs of consecutive simple storage commands (`set`/`add`/`replace`/
+/// `cas`) execute as ONE batched store transaction via
+/// [`McCache::store_batch`] — the write-path twin of the multiget batch —
+/// so a bulk load pays one begin/commit fence for the whole run. Every
+/// other command (including `append`/`prepend`, which are get+CAS retry
+/// loops) dispatches one-by-one through [`execute_ascii`], keeping its
+/// per-request panic guard. A panic inside a batched run is caught here
+/// and answered with one [`SERVER_ERROR_PANIC`] per batched command.
+pub fn execute_ascii_pipeline(cache: &McCache, w: usize, buffer: &[u8]) -> Vec<u8> {
+    let mut cmds: Vec<&[u8]> = Vec::new();
+    let mut rest = buffer;
+    while !rest.is_empty() {
+        let Some(len) = ascii_request_len(rest) else {
+            // Unsplittable tail: the single-request path answers ERROR /
+            // CLIENT_ERROR exactly as a desynchronized connection would.
+            cmds.push(rest);
+            break;
+        };
+        cmds.push(&rest[..len]);
+        rest = &rest[len..];
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cmds.len() {
+        let Some(op) = parse_store_op(cmds[i]) else {
+            out.extend_from_slice(&execute_ascii(cache, w, cmds[i]));
+            i += 1;
+            continue;
+        };
+        let mut ops = vec![op];
+        let mut j = i + 1;
+        while j < cmds.len() {
+            let Some(op) = parse_store_op(cmds[j]) else { break };
+            ops.push(op);
+            j += 1;
+        }
+        let statuses = catch_unwind(AssertUnwindSafe(|| {
+            if cache.take_request_panic_trap() {
+                panic!("test trap: request panic");
+            }
+            cache.store_batch(w, &ops)
+        }));
+        match statuses {
+            Ok(sts) => {
+                for st in sts {
+                    out.extend_from_slice(store_reply(st));
+                }
+            }
+            Err(_panic) => {
+                cache.note_request_panic();
+                for _ in &ops {
+                    out.extend_from_slice(SERVER_ERROR_PANIC);
+                }
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Length of the first complete request in `buf`: the command line plus,
+/// for storage commands, the data block. `None` when the buffer cannot be
+/// split cleanly (malformed or truncated).
+fn ascii_request_len(buf: &[u8]) -> Option<usize> {
+    let line_end = buf.windows(2).position(|w| w == b"\r\n")?;
+    let mut parts = Tokens::new(&buf[..line_end]);
+    let cmd = parts.next()?;
+    let is_store = matches!(
+        cmd,
+        b"set" | b"add" | b"replace" | b"append" | b"prepend" | b"cas"
+    );
+    if !is_store {
+        return Some(line_end + 2);
+    }
+    let _key = parts.next()?;
+    let _flags = parts.next_u64()?;
+    let _exptime = parts.next_u64()?;
+    let nbytes = parts.next_u64()? as usize;
+    let total = line_end + 2 + nbytes + 2;
+    (buf.len() >= total && &buf[total - 2..total] == b"\r\n").then_some(total)
+}
+
+/// Parses one complete request as a batchable storage op: `set`/`add`/
+/// `replace`/`cas` with a well-formed command line and data block.
+fn parse_store_op(req: &[u8]) -> Option<StoreOp<'_>> {
+    let line_end = req.windows(2).position(|w| w == b"\r\n")?;
+    let mut parts = Tokens::new(&req[..line_end]);
+    let cmd = parts.next()?;
+    if !matches!(cmd, b"set" | b"add" | b"replace" | b"cas") {
+        return None;
+    }
+    let key = parts.next()?;
+    let flags = parts.next_u64()?;
+    let exptime = parts.next_u64()?;
+    let nbytes = parts.next_u64()? as usize;
+    let mode = match cmd {
+        b"set" => StoreMode::Set,
+        b"add" => StoreMode::Add,
+        b"replace" => StoreMode::Replace,
+        _ => StoreMode::Cas(parts.next_u64()?),
+    };
+    if key.is_empty() || key.len() > crate::cache::KEY_MAX {
+        return None;
+    }
+    let data_start = line_end + 2;
+    let data_end = data_start + nbytes;
+    if req.len() != data_end + 2 || &req[data_end..] != b"\r\n" {
+        return None;
+    }
+    Some(StoreOp {
+        mode,
+        key,
+        value: &req[data_start..data_end],
+        flags: flags as u32,
+        exptime: exptime as u32,
+    })
 }
 
 fn store_reply(st: StoreStatus) -> &'static [u8] {
@@ -255,6 +385,13 @@ pub mod binary {
         /// `GETKQ k1 .. GETKQ kn, Noop` as one multiget
         /// (see [`execute_pipeline`]).
         GetKQ = 0x0d,
+        /// Quiet SET: successes send no response, so a client can pipeline
+        /// `SETQ k1 .. SETQ kn, Noop` as one bulk load — the write-path
+        /// twin of the GETKQ multiget; [`execute_pipeline`] runs the whole
+        /// run as one batched store transaction.
+        SetQ = 0x11,
+        /// Quiet DELETE: successes send no response.
+        DeleteQ = 0x14,
     }
 
     /// Binary status codes.
@@ -313,7 +450,7 @@ pub mod binary {
         pub fn encode(&self) -> Vec<u8> {
             let keylen = self.key.len() as u16;
             let extlen: u8 = match self.opcode {
-                Opcode::Set | Opcode::Add | Opcode::Replace => 8,
+                Opcode::Set | Opcode::SetQ | Opcode::Add | Opcode::Replace => 8,
                 Opcode::Increment | Opcode::Decrement => 8,
                 _ => 0,
             };
@@ -353,6 +490,8 @@ pub mod binary {
                 0x0b => Opcode::Version,
                 0x0c => Opcode::GetK,
                 0x0d => Opcode::GetKQ,
+                0x11 => Opcode::SetQ,
+                0x14 => Opcode::DeleteQ,
                 _ => return None,
             };
             let keylen = u16::from_be_bytes([buf[2], buf[3]]) as usize;
@@ -406,14 +545,87 @@ pub mod binary {
     /// Runs of consecutive quiet gets ([`Opcode::GetKQ`]) — the binary
     /// protocol's multiget idiom — execute as ONE read-only fast-lane
     /// transaction via [`McCache::get_multi`], and, per the quiet
-    /// semantics, misses produce no response at all. Every other opcode
-    /// (including the terminating `Noop`) dispatches one-by-one through
-    /// [`execute`]. A panic inside a batch is caught here and answered
-    /// with one [`Status::InternalError`] per batched request.
+    /// semantics, misses produce no response at all. Runs of consecutive
+    /// quiet sets ([`Opcode::SetQ`]) — the bulk-load idiom — execute as
+    /// ONE batched store transaction via [`McCache::store_batch`], and
+    /// successes produce no response. Quiet deletes ([`Opcode::DeleteQ`])
+    /// suppress their success responses. Every other opcode (including
+    /// the terminating `Noop`) dispatches one-by-one through [`execute`].
+    /// A panic inside a batch is caught here and answered with one
+    /// [`Status::InternalError`] per batched request.
     pub fn execute_pipeline(cache: &McCache, w: usize, reqs: &[Request]) -> Vec<Response> {
         let mut out = Vec::new();
         let mut i = 0;
         while i < reqs.len() {
+            if reqs[i].opcode == Opcode::SetQ {
+                let mut j = i + 1;
+                // CAS-carrying SETQs keep their per-op dispatch (store_batch
+                // handles them, but the run stays simple without).
+                while j < reqs.len() && reqs[j].opcode == Opcode::SetQ {
+                    j += 1;
+                }
+                let batch = &reqs[i..j];
+                let statuses = catch_unwind(AssertUnwindSafe(|| {
+                    if cache.take_request_panic_trap() {
+                        panic!("test trap: request panic");
+                    }
+                    let ops: Vec<StoreOp<'_>> = batch
+                        .iter()
+                        .map(|r| StoreOp {
+                            mode: if r.cas != 0 { StoreMode::Cas(r.cas) } else { StoreMode::Set },
+                            key: &r.key,
+                            value: &r.value,
+                            flags: r.extra as u32,
+                            exptime: 0,
+                        })
+                        .collect();
+                    cache.store_batch(w, &ops)
+                }));
+                match statuses {
+                    Ok(statuses) => {
+                        for (r, st) in batch.iter().zip(statuses) {
+                            // Quiet set: success sends nothing.
+                            let status = match st {
+                                StoreStatus::Stored => continue,
+                                StoreStatus::NotStored => Status::NotStored,
+                                StoreStatus::Exists => Status::KeyExists,
+                                StoreStatus::NotFound => Status::KeyNotFound,
+                                StoreStatus::TooLarge => Status::ValueTooLarge,
+                                StoreStatus::OutOfMemory => Status::OutOfMemory,
+                            };
+                            out.push(Response {
+                                status,
+                                opaque: r.opaque,
+                                cas: 0,
+                                key: Vec::new(),
+                                value: Vec::new(),
+                            });
+                        }
+                    }
+                    Err(_panic) => {
+                        cache.note_request_panic();
+                        for r in batch {
+                            out.push(Response {
+                                status: Status::InternalError,
+                                opaque: r.opaque,
+                                cas: 0,
+                                key: Vec::new(),
+                                value: Vec::new(),
+                            });
+                        }
+                    }
+                }
+                i = j;
+                continue;
+            }
+            if reqs[i].opcode == Opcode::DeleteQ {
+                let r = execute(cache, w, &reqs[i]);
+                if r.status != Status::Ok {
+                    out.push(r);
+                }
+                i += 1;
+                continue;
+            }
             if reqs[i].opcode != Opcode::GetKQ {
                 out.push(execute(cache, w, &reqs[i]));
                 i += 1;
@@ -486,12 +698,14 @@ pub mod binary {
                 }
                 None => resp.status = Status::KeyNotFound,
             },
-            Opcode::Set | Opcode::Add | Opcode::Replace => {
+            Opcode::Set | Opcode::SetQ | Opcode::Add | Opcode::Replace => {
                 let st = if req.cas != 0 {
                     cache.cas(w, &req.key, &req.value, req.extra as u32, 0, req.cas)
                 } else {
                     match req.opcode {
-                        Opcode::Set => cache.set(w, &req.key, &req.value, req.extra as u32, 0),
+                        Opcode::Set | Opcode::SetQ => {
+                            cache.set(w, &req.key, &req.value, req.extra as u32, 0)
+                        }
                         Opcode::Add => cache.add(w, &req.key, &req.value, req.extra as u32, 0),
                         _ => cache.replace(w, &req.key, &req.value, req.extra as u32, 0),
                     }
@@ -505,7 +719,7 @@ pub mod binary {
                     StoreStatus::OutOfMemory => Status::OutOfMemory,
                 };
             }
-            Opcode::Delete => {
+            Opcode::Delete | Opcode::DeleteQ => {
                 if !cache.delete(w, &req.key) {
                     resp.status = Status::KeyNotFound;
                 }
@@ -803,5 +1017,148 @@ mod tests {
     fn binary_decode_rejects_garbage() {
         assert!(binary::Request::decode(b"short").is_none());
         assert!(binary::Request::decode(&[0x81; 30]).is_none(), "wrong magic");
+    }
+
+    fn magazine_cache() -> crate::cache::McHandle {
+        McCache::start(McConfig {
+            branch: Branch::It(Stage::OnCommit),
+            workers: 1,
+            hash_power: 8,
+            hash_power_max: 10,
+            magazine: 16,
+            slab: crate::SlabConfig {
+                mem_limit: 2 << 20,
+                page_size: 64 << 10,
+                chunk_min: 96,
+                growth_factor: 1.5,
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn ascii_pipeline_batches_storage_commands() {
+        for c in [cache(), magazine_cache()] {
+            let buf = b"set a 1 0 2\r\nAA\r\n\
+                        set b 2 0 2\r\nBB\r\n\
+                        add a 0 0 1\r\nX\r\n\
+                        get a b\r\n\
+                        set c 0 0 1\r\nC\r\n\
+                        delete c\r\n";
+            let out = execute_ascii_pipeline(&c, 0, buf);
+            let text = String::from_utf8(out).unwrap();
+            assert_eq!(
+                text,
+                "STORED\r\nSTORED\r\nNOT_STORED\r\n\
+                 VALUE a 1 2\r\nAA\r\nVALUE b 2 2\r\nBB\r\nEND\r\n\
+                 STORED\r\nDELETED\r\n",
+                "responses stay in request order"
+            );
+            // The three consecutive storage commands went through one batch:
+            // still counted per-op.
+            assert_eq!(c.stats().threads.set_cmds, 4);
+        }
+    }
+
+    #[test]
+    fn ascii_pipeline_rejects_malformed_tail() {
+        let c = cache();
+        let out = execute_ascii_pipeline(&c, 0, b"set k 0 0 1\r\nA\r\nbogus cmd\r\n");
+        assert_eq!(out, b"STORED\r\nERROR\r\n");
+        // A storage command with a short data block can't be framed; the
+        // unsplittable tail falls through to the single-request path.
+        let out = execute_ascii_pipeline(&c, 0, b"get k\r\nset x 0 0 10\r\nshort\r\n");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("VALUE k 0 1\r\nA\r\nEND\r\n"), "{text}");
+        assert!(text.contains("CLIENT_ERROR"), "{text}");
+    }
+
+    #[test]
+    fn binary_setq_pipeline_is_quiet_on_success() {
+        for c in [cache(), magazine_cache()] {
+            let setq = |key: &[u8], value: &[u8], cas: u64, opaque| binary::Request {
+                opcode: binary::Opcode::SetQ,
+                opaque,
+                cas,
+                key: key.to_vec(),
+                value: value.to_vec(),
+                extra: 9,
+            };
+            // Wire roundtrip for the new opcode.
+            let decoded = binary::Request::decode(&setq(b"k", b"v", 0, 5).encode()).unwrap();
+            assert_eq!(decoded.opcode, binary::Opcode::SetQ);
+            assert_eq!(decoded.extra, 9);
+
+            let noop = binary::Request {
+                opcode: binary::Opcode::Noop,
+                opaque: 77,
+                cas: 0,
+                key: vec![],
+                value: vec![],
+                extra: 0,
+            };
+            let reqs = [
+                setq(b"qa", b"va", 0, 1),
+                setq(b"qb", b"vb", 0, 2),
+                setq(b"qa", b"clash", 999_999, 3), // CAS mismatch: must answer
+                noop,
+            ];
+            let resps = binary::execute_pipeline(&c, 0, &reqs);
+            assert_eq!(resps.len(), 2, "two quiet successes: {resps:?}");
+            assert_eq!(resps[0].status, binary::Status::KeyExists);
+            assert_eq!(resps[0].opaque, 3);
+            assert_eq!(resps[1].opaque, 77);
+            // Both stores really landed, with the SetQ extras as flags.
+            let out = execute_ascii(&c, 0, b"get qa qb\r\n");
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("VALUE qa 9 2\r\nva"), "{text}");
+            assert!(text.contains("VALUE qb 9 2\r\nvb"), "{text}");
+            assert_eq!(c.stats().threads.set_cmds, 3, "quiet ops still counted");
+        }
+    }
+
+    #[test]
+    fn binary_deleteq_quiet_on_hit_loud_on_miss() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set k 0 0 1\r\nA\r\n");
+        let delq = |key: &[u8], opaque| binary::Request {
+            opcode: binary::Opcode::DeleteQ,
+            opaque,
+            cas: 0,
+            key: key.to_vec(),
+            value: vec![],
+            extra: 0,
+        };
+        let resps = binary::execute_pipeline(&c, 0, &[delq(b"k", 1), delq(b"missing", 2)]);
+        assert_eq!(resps.len(), 1, "hit is silent: {resps:?}");
+        assert_eq!(resps[0].status, binary::Status::KeyNotFound);
+        assert_eq!(resps[0].opaque, 2);
+        assert!(c.get(0, b"k").is_none());
+    }
+
+    #[test]
+    fn ascii_stats_reports_write_path_counters() {
+        let c = magazine_cache();
+        execute_ascii(&c, 0, b"set k 0 0 1\r\nA\r\n");
+        // A silent store: same key, same bytes.
+        execute_ascii(&c, 0, b"set k 0 0 1\r\nA\r\n");
+        let stats = String::from_utf8(execute_ascii(&c, 0, b"stats\r\n")).unwrap();
+        for key in [
+            "silent_store_elisions",
+            "clock_tick_elisions",
+            "clock_cas_retries",
+            "magazine_refills",
+            "magazine_flushes",
+        ] {
+            assert!(stats.contains(&format!("STAT {key} ")), "missing {key}: {stats}");
+        }
+        let refills: u64 = stats
+            .lines()
+            .find_map(|l| l.strip_prefix("STAT magazine_refills "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(refills > 0, "magazine cache must have refilled: {stats}");
     }
 }

@@ -66,6 +66,12 @@ cells! {
         /// Total commands processed (the program-wide counter that keeps
         /// `stats_lock` hot in §3.1's mutrace profile).
         cmd_total,
+        /// Magazine refill transactions: batched freelist pops that restock
+        /// a worker's private chunk cache.
+        magazine_refills,
+        /// Magazine flush transactions: batched freelist pushes returning a
+        /// worker's cached chunks under memory pressure or overflow.
+        magazine_flushes,
     } snapshot GlobalSnapshot
 }
 

@@ -15,14 +15,19 @@
 //! bounded delays, and injected panics rain on all 21 combos while the
 //! ticket oracle stays on.
 //!
-//! Every combo runs **two** schedules per seed: the write-heavy ticket
-//! schedule and the read-mostly fast-lane schedule (transactions start
+//! Every combo runs **three** schedules per seed: the mixed ticket
+//! schedule, the read-mostly fast-lane schedule (transactions start
 //! read-only, a quarter promote mid-flight; reader snapshots are
-//! position-checked against the ticket-ordered serial prefix).
+//! position-checked against the ticket-ordered serial prefix), and the
+//! write-heavy schedule (three quarters of the operations mutate, with
+//! manufactured silent stores; the run fails if silent-store elision
+//! never fired).
 
 use std::time::{Duration, Instant};
 
-use testkit::stress::{run_schedule, run_schedule_ro, run_schedule_sabotaged, StressConfig};
+use testkit::stress::{
+    run_schedule, run_schedule_ro, run_schedule_sabotaged, run_schedule_wh, StressConfig,
+};
 
 struct Args {
     seconds: Option<u64>,
@@ -97,6 +102,7 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
     let (mut schedules, mut commits, mut aborts) = (0u64, 0u64, 0u64);
     let (mut injected, mut panic_aborts) = (0u64, 0u64);
     let (mut promotions, mut ro_commits, mut snaps_checked) = (0u64, 0u64, 0u64);
+    let mut elisions = 0u64;
     let mut seed = args.seed.unwrap_or(1);
     loop {
         for &(algorithm, serial_lock, contention) in &combos {
@@ -135,6 +141,20 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
                     std::process::exit(1);
                 }
             }
+            match chaos::run_schedule_wh_chaos(seed, &cfg, plan) {
+                Ok(r) => {
+                    schedules += 1;
+                    commits += r.report.commits;
+                    aborts += r.report.aborts;
+                    injected += r.injected;
+                    panic_aborts += r.panic_aborts;
+                    elisions += r.report.silent_elisions;
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
         }
         if args.seed.is_some() || start.elapsed() >= budget {
             break;
@@ -144,7 +164,7 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
     println!(
         "stress: CHAOS OK — {} schedules over {} runtime combos, {} commits, {} aborts, \
          {} faults injected ({} panic teardowns), {} fast-lane commits, {} promotions, \
-         {} reader snapshots checked, {:.2}s",
+         {} reader snapshots checked, {} silent stores elided, {:.2}s",
         schedules,
         combos.len(),
         commits,
@@ -154,6 +174,7 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
         ro_commits,
         promotions,
         snaps_checked,
+        elisions,
         start.elapsed().as_secs_f64()
     );
     std::process::exit(0);
@@ -191,6 +212,7 @@ fn main() {
     let mut commits = 0u64;
     let mut aborts = 0u64;
     let (mut promotions, mut ro_commits, mut snaps_checked) = (0u64, 0u64, 0u64);
+    let mut elisions = 0u64;
     let mut seed = args.seed.unwrap_or(1);
     loop {
         for &(algorithm, serial_lock, contention) in &combos {
@@ -225,6 +247,18 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            match run_schedule_wh(seed, &cfg) {
+                Ok(r) => {
+                    schedules += 1;
+                    commits += r.commits;
+                    aborts += r.aborts;
+                    elisions += r.silent_elisions;
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
         }
         // A single --seed run sweeps the matrix exactly once.
         if args.seed.is_some() || start.elapsed() >= budget {
@@ -234,7 +268,8 @@ fn main() {
     }
     println!(
         "stress: OK — {} schedules over {} runtime combos, {} commits, {} aborts, \
-         {} fast-lane commits, {} promotions, {} reader snapshots checked, {:.2}s",
+         {} fast-lane commits, {} promotions, {} reader snapshots checked, \
+         {} silent stores elided, {:.2}s",
         schedules,
         combos.len(),
         commits,
@@ -242,6 +277,7 @@ fn main() {
         ro_commits,
         promotions,
         snaps_checked,
+        elisions,
         start.elapsed().as_secs_f64()
     );
 }

@@ -92,6 +92,8 @@ pub struct StressReport {
     pub commits: u64,
     /// Aborted attempts observed by the runtime during the schedule.
     pub aborts: u64,
+    /// Writes the runtime elided as silent stores during the schedule.
+    pub silent_elisions: u64,
 }
 
 /// A schedule whose concurrent outcome disagreed with the sequential
@@ -135,6 +137,10 @@ pub enum StressOp {
     Mix(usize, usize),
 }
 
+/// How a schedule draws its per-transaction programs. Plain `fn` pointer so
+/// worker threads can share it without capturing.
+pub type ProgramFn = fn(u64, usize, usize, &StressConfig) -> Vec<StressOp>;
+
 /// The program for transaction `txn` of thread `thread` — a pure function
 /// of the schedule seed, replayable anywhere.
 pub fn txn_program(seed: u64, thread: usize, txn: usize, cfg: &StressConfig) -> Vec<StressOp> {
@@ -151,6 +157,41 @@ pub fn txn_program(seed: u64, thread: usize, txn: usize, cfg: &StressConfig) -> 
             _ => StressOp::Mix(rng.gen_range(0..cfg.cells), rng.gen_range(0..cfg.cells)),
         })
         .collect()
+}
+
+/// The **write-heavy** program for transaction `txn` of thread `thread`:
+/// three quarters of the operations mutate, and two arms manufacture
+/// *silent stores* on purpose — a self-copy writes back the value it just
+/// read, and a duplicated constant write makes its second half a no-op —
+/// so the write path's silent-store elision fires constantly while the
+/// ticket oracle keeps checking serializability underneath it.
+pub fn wh_txn_program(seed: u64, thread: usize, txn: usize, cfg: &StressConfig) -> Vec<StressOp> {
+    let mut rng = SmallRng::seed_from_u64(mix_seed(
+        mix_seed(seed, 0x3717 + thread as u64),
+        txn as u64 + 1,
+    ));
+    let n = rng.gen_range(2..cfg.max_ops_per_txn.max(3));
+    let mut ops = Vec::with_capacity(n + 1);
+    while ops.len() < n {
+        match rng.gen_range(0u32..8) {
+            0 | 1 | 2 => ops.push(StressOp::Write(rng.gen_range(0..cfg.cells), rng.next_u64())),
+            3 | 4 => ops.push(StressOp::Add(rng.gen_range(0..cfg.cells), rng.gen_range(0u64..1000))),
+            5 => {
+                // Silent by construction: write the value just read.
+                let i = rng.gen_range(0..cfg.cells);
+                ops.push(StressOp::Copy(i, i));
+            }
+            6 => {
+                // The second write of the pair stores what's already there.
+                let i = rng.gen_range(0..cfg.cells);
+                let v = rng.next_u64();
+                ops.push(StressOp::Write(i, v));
+                ops.push(StressOp::Write(i, v));
+            }
+            _ => ops.push(StressOp::Mix(rng.gen_range(0..cfg.cells), rng.gen_range(0..cfg.cells))),
+        }
+    }
+    ops
 }
 
 fn mix_values(a: u64, b: u64) -> u64 {
@@ -201,7 +242,31 @@ fn initial_values(seed: u64, cells: usize) -> Vec<u64> {
 /// Returns [`Divergence`] — carrying the replay seed — when the committed
 /// state disagrees with the model.
 pub fn run_schedule(seed: u64, cfg: &StressConfig) -> Result<StressReport, Divergence> {
-    run_schedule_impl(seed, cfg, false)
+    run_schedule_impl(seed, cfg, false, txn_program)
+}
+
+/// Runs one **write-heavy** barrier-stepped schedule ([`wh_txn_program`])
+/// and checks it against the sequential model. On top of the ticket
+/// oracle, the schedule must have actually exercised silent-store
+/// elision — a write-heavy run that never elides means the optimization
+/// is dead under that combination.
+///
+/// # Errors
+///
+/// Returns [`Divergence`] on model disagreement, or when the schedule
+/// elided nothing despite its manufactured silent stores.
+pub fn run_schedule_wh(seed: u64, cfg: &StressConfig) -> Result<StressReport, Divergence> {
+    let report = run_schedule_impl(seed, cfg, false, wh_txn_program)?;
+    if report.silent_elisions == 0 {
+        return Err(Divergence {
+            seed,
+            combo: cfg.combo(),
+            detail: "write-heavy schedule elided no silent stores — \
+                     the elision path is dead under this combination"
+                .into(),
+        });
+    }
+    Ok(report)
 }
 
 /// [`run_schedule`] with a deliberately injected bug: after the sequential
@@ -212,13 +277,14 @@ pub fn run_schedule(seed: u64, cfg: &StressConfig) -> Result<StressReport, Diver
 /// deterministically from its printed seed.
 #[doc(hidden)]
 pub fn run_schedule_sabotaged(seed: u64, cfg: &StressConfig) -> Result<StressReport, Divergence> {
-    run_schedule_impl(seed, cfg, true)
+    run_schedule_impl(seed, cfg, true, txn_program)
 }
 
 fn run_schedule_impl(
     seed: u64,
     cfg: &StressConfig,
     sabotage: bool,
+    program: ProgramFn,
 ) -> Result<StressReport, Divergence> {
     assert!(cfg.threads > 0 && cfg.cells > 0 && cfg.txns_per_thread > 0);
     let rt = TmRuntime::builder()
@@ -261,7 +327,7 @@ fn run_schedule_impl(
                     let lo = r * per_round;
                     let hi = ((r + 1) * per_round).min(cfg.txns_per_thread);
                     for j in lo..hi {
-                        let ops = txn_program(seed, t, j, cfg);
+                        let ops = program(seed, t, j, cfg);
                         let tk = rt.atomic(|tx| {
                             let tk = tx.fetch_add(ticket, 1)?;
                             for &op in &ops {
@@ -310,7 +376,7 @@ fn run_schedule_impl(
     // Sequential replay in ticket order.
     let mut model = init;
     for &(_tk, t, j) in &order {
-        for op in txn_program(seed, t, j, cfg) {
+        for op in program(seed, t, j, cfg) {
             apply_model(&mut model, op);
         }
     }
@@ -330,6 +396,7 @@ fn run_schedule_impl(
         combo: cfg.combo(),
         commits: stats.commits,
         aborts: stats.aborts,
+        silent_elisions: stats.silent_store_elisions,
     })
 }
 
@@ -411,6 +478,69 @@ pub mod chaos {
         cfg: &StressConfig,
         plan: FaultPlan,
     ) -> Result<ChaosReport, Divergence> {
+        run_schedule_chaos_impl(seed, cfg, plan, txn_program)
+    }
+
+    /// [`run_schedule_wh`] under fault injection: write-heavy programs
+    /// with manufactured silent stores, every worker armed, the same
+    /// ticket oracle — and the same demand that silent-store elision
+    /// actually fired. Elision under chaos is the scary case: an elided
+    /// write is logged as a *read*, so a spurious abort or injected panic
+    /// between the elision decision and the commit must still roll the
+    /// attempt back to a state where the re-execution can decide
+    /// differently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Divergence`] on model disagreement or when nothing was
+    /// elided.
+    pub fn run_schedule_wh_chaos(
+        seed: u64,
+        cfg: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<ChaosReport, Divergence> {
+        let r = run_schedule_chaos_impl(seed, cfg, plan, wh_txn_program)?;
+        if r.report.silent_elisions == 0 {
+            return Err(Divergence {
+                seed,
+                combo: cfg.combo(),
+                detail: "[chaos] write-heavy schedule elided no silent stores — \
+                         the elision path is dead under this combination"
+                    .into(),
+            });
+        }
+        Ok(r)
+    }
+
+    /// [`run_schedule_wh_chaos`] across every [`combos`] combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Divergence`].
+    pub fn run_matrix_wh_chaos(
+        seed: u64,
+        base: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<Vec<ChaosReport>, Divergence> {
+        let mut reports = Vec::new();
+        for (algorithm, serial_lock, contention) in combos() {
+            let cfg = StressConfig {
+                algorithm,
+                serial_lock,
+                contention,
+                ..base.clone()
+            };
+            reports.push(run_schedule_wh_chaos(seed, &cfg, plan)?);
+        }
+        Ok(reports)
+    }
+
+    fn run_schedule_chaos_impl(
+        seed: u64,
+        cfg: &StressConfig,
+        plan: FaultPlan,
+        program: ProgramFn,
+    ) -> Result<ChaosReport, Divergence> {
         assert!(cfg.threads > 0 && cfg.cells > 0 && cfg.txns_per_thread > 0);
         silence_injected_panics();
         let rt = TmRuntime::builder()
@@ -455,7 +585,7 @@ pub mod chaos {
                         let lo = r * per_round;
                         let hi = ((r + 1) * per_round).min(cfg.txns_per_thread);
                         for j in lo..hi {
-                            let ops = txn_program(seed, t, j, cfg);
+                            let ops = program(seed, t, j, cfg);
                             // A seed-derived quarter of the transactions
                             // register no-op handlers so the Handler fault
                             // site (handler panics after the commit point)
@@ -538,7 +668,7 @@ pub mod chaos {
 
         let mut model = init;
         for &(_tk, t, j) in &order {
-            for op in txn_program(seed, t, j, cfg) {
+            for op in program(seed, t, j, cfg) {
                 apply_model(&mut model, op);
             }
         }
@@ -556,6 +686,7 @@ pub mod chaos {
                 combo: cfg.combo(),
                 commits: stats.commits,
                 aborts: stats.aborts,
+                silent_elisions: stats.silent_store_elisions,
             },
             injected,
             panic_aborts: stats.panic_aborts,
@@ -764,6 +895,7 @@ pub mod chaos {
                     combo: cfg.combo(),
                     commits: stats.commits,
                     aborts: stats.aborts,
+                    silent_elisions: stats.silent_store_elisions,
                 },
                 ro_fast_commits: stats.ro_fast_commits,
                 ro_promotions: stats.ro_promotions,
@@ -841,6 +973,27 @@ pub fn run_matrix(seed: u64, base: &StressConfig) -> Result<Vec<StressReport>, D
             ..base.clone()
         };
         reports.push(run_schedule(seed, &cfg)?);
+    }
+    Ok(reports)
+}
+
+/// Runs [`run_schedule_wh`] for `seed` across every [`combos`]
+/// combination, stopping at the first divergence (including a combination
+/// that elided nothing).
+///
+/// # Errors
+///
+/// Propagates the first [`Divergence`].
+pub fn run_matrix_wh(seed: u64, base: &StressConfig) -> Result<Vec<StressReport>, Divergence> {
+    let mut reports = Vec::new();
+    for (algorithm, serial_lock, contention) in combos() {
+        let cfg = StressConfig {
+            algorithm,
+            serial_lock,
+            contention,
+            ..base.clone()
+        };
+        reports.push(run_schedule_wh(seed, &cfg)?);
     }
     Ok(reports)
 }
@@ -1025,6 +1178,7 @@ fn run_schedule_ro_impl(
             combo: cfg.combo(),
             commits: stats.commits,
             aborts: stats.aborts,
+            silent_elisions: stats.silent_store_elisions,
         },
         ro_fast_commits: stats.ro_fast_commits,
         ro_promotions: stats.ro_promotions,
@@ -1200,6 +1354,76 @@ mod tests {
         assert_eq!(txn_program(9, 2, 17, &cfg), txn_program(9, 2, 17, &cfg));
         assert_ne!(txn_program(9, 2, 17, &cfg), txn_program(10, 2, 17, &cfg));
         assert_ne!(txn_program(9, 2, 17, &cfg), txn_program(9, 3, 17, &cfg));
+        assert_eq!(wh_txn_program(9, 2, 17, &cfg), wh_txn_program(9, 2, 17, &cfg));
+        assert_ne!(wh_txn_program(9, 2, 17, &cfg), wh_txn_program(10, 2, 17, &cfg));
+    }
+
+    /// The write-heavy matrix: all 21 combos pass the ticket oracle, and
+    /// every combo really elided silent stores (the run itself diverges
+    /// if not — asserted again here for the report values).
+    #[test]
+    fn write_heavy_matrix_elides_on_every_combo() {
+        let base = StressConfig {
+            threads: 3,
+            cells: 6,
+            txns_per_thread: 25,
+            max_ops_per_txn: 5,
+            ..StressConfig::smoke()
+        };
+        let reports = run_matrix_wh(0x3717, &base).unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(reports.len(), combos().len());
+        for r in &reports {
+            assert_eq!(r.commits, 3 * 25, "{}", r.combo);
+            assert!(r.silent_elisions > 0, "{}", r.combo);
+        }
+    }
+
+    /// The write-heavy programs really do manufacture silent stores:
+    /// self-copies and duplicated constant writes appear across any
+    /// reasonable sample of programs.
+    #[test]
+    fn write_heavy_programs_contain_manufactured_silent_stores() {
+        let cfg = StressConfig::smoke();
+        let mut self_copies = 0;
+        let mut dup_writes = 0;
+        for t in 0..4 {
+            for j in 0..60 {
+                let ops = wh_txn_program(0xFEED, t, j, &cfg);
+                self_copies += ops
+                    .iter()
+                    .filter(|op| matches!(op, StressOp::Copy(a, b) if a == b))
+                    .count();
+                dup_writes += ops
+                    .windows(2)
+                    .filter(|w| matches!(w, [StressOp::Write(a, x), StressOp::Write(b, y)] if a == b && x == y))
+                    .count();
+            }
+        }
+        assert!(self_copies > 0, "no self-copies drawn");
+        assert!(dup_writes > 0, "no duplicated constant writes drawn");
+    }
+
+    /// Elision under fire: all 21 combos pass the ticket oracle on
+    /// write-heavy programs while faults rain on the write path, and the
+    /// elisions still happen.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_write_heavy_matrix_passes_ticket_oracle() {
+        let base = StressConfig {
+            threads: 3,
+            cells: 6,
+            txns_per_thread: 20,
+            max_ops_per_txn: 5,
+            ..StressConfig::smoke()
+        };
+        let reports = chaos::run_matrix_wh_chaos(0x3A17, &base, chaos::default_plan())
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(reports.len(), combos().len());
+        let injected: u64 = reports.iter().map(|r| r.injected).sum();
+        assert!(injected > 0, "chaos write-heavy schedule injected no faults");
+        for r in &reports {
+            assert!(r.report.silent_elisions > 0, "{}", r.report.combo);
+        }
     }
 
     /// The acceptance criterion's scratch-branch check, kept as a real

@@ -13,7 +13,7 @@
 //! `(word address, previous value)`.
 
 use super::tword_at;
-use crate::arena::LogBufs;
+use crate::arena::{LogBufs, SMALL_WRITES};
 use crate::error::Abort;
 use crate::fault::{self, FaultSite};
 use crate::orec::{self, OrecValue};
@@ -30,6 +30,16 @@ pub(crate) struct EagerTx {
 /// Did this transaction lock `idx`, and if so with what pre-lock value?
 fn lock_prev(locks: &[(usize, OrecValue)], idx: usize) -> Option<OrecValue> {
     locks.iter().rev().find(|(i, _)| *i == idx).map(|(_, p)| *p)
+}
+
+/// Inline small-write scan over the most recent undo entries (the eager
+/// twin of the redo log's [`SMALL_WRITES`] window): a word rewritten while
+/// its orec is already ours needs no second undo entry — rollback replays
+/// in reverse, so only the oldest entry per address matters. Duplicates
+/// older than the window are pushed again, which is merely redundant.
+#[inline]
+fn undo_recently_logged(undo: &[(usize, u64)], addr: usize) -> bool {
+    undo.iter().rev().take(SMALL_WRITES).any(|&(a, _)| a == addr)
 }
 
 impl EagerTx {
@@ -131,7 +141,16 @@ impl EagerTx {
             if orec::is_locked(o) {
                 if orec::owner_of(o) == self.tx_id {
                     let w = tword_at(addr);
-                    bufs.undo.push((addr, w.load_direct()));
+                    let cur = w.load_direct();
+                    if cur == v {
+                        // Silent store under our own lock: the word (ours
+                        // since we hold the orec) already reads `v`.
+                        bufs.silent_elisions += 1;
+                        return Ok(());
+                    }
+                    if !undo_recently_logged(&bufs.undo, addr) {
+                        bufs.undo.push((addr, cur));
+                    }
                     w.store_direct(v);
                     return Ok(());
                 }
@@ -140,6 +159,22 @@ impl EagerTx {
             if orec::version_of(o) > self.start_time {
                 self.extend(rt, bufs)?;
                 continue;
+            }
+            if tword_at(addr).load_direct() == v {
+                // Silent-store elision: the committed word already holds
+                // `v` (consistent iff the orec has not moved under the
+                // value read). Log the orec as a READ instead of locking —
+                // commit-time validation still covers the location, so a
+                // concurrent writer changing it aborts us exactly as a real
+                // write-write conflict would.
+                if rt.orecs.load(idx) != o {
+                    continue; // changed under the value read; re-sample
+                }
+                if let Some(slot) = bufs.read_slot_or_append(idx, o) {
+                    bufs.reads[slot].1 = o;
+                }
+                bufs.silent_elisions += 1;
+                return Ok(());
             }
             if rt.orecs.try_update(idx, o, orec::locked_by(self.tx_id)) {
                 bufs.locks.push((idx, o));
@@ -171,14 +206,22 @@ impl EagerTx {
             self.rollback(rt, bufs);
             return Err(e);
         }
-        let end = rt.clock.tick();
-        if end > self.start_time + 1 {
-            // Someone committed since our snapshot: full validation.
-            if self.validate(rt, bufs).is_err() {
+        let end = if rt.clock.try_tick_from(self.start_time) {
+            // GV5-style conflict-free path: the clock never moved past our
+            // snapshot, so no transaction committed since we started and
+            // every logged read is still current — validation elided.
+            bufs.clock_elisions += 1;
+            self.start_time + 1
+        } else {
+            // Someone committed since our snapshot: full tick + validation.
+            bufs.clock_retries += 1;
+            let end = rt.clock.tick();
+            if end > self.start_time + 1 && self.validate(rt, bufs).is_err() {
                 self.rollback(rt, bufs);
                 return Err(Abort::Conflict);
             }
-        }
+            end
+        };
         for &(idx, _) in &bufs.locks {
             rt.orecs.release(idx, orec::unlocked_at(end));
         }

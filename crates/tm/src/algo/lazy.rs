@@ -117,11 +117,32 @@ impl LazyTx {
 
     pub(crate) fn write_word(
         &mut self,
-        _rt: &RtInner,
+        rt: &RtInner,
         bufs: &mut LogBufs,
         addr: usize,
         v: u64,
     ) -> Result<(), Abort> {
+        // Silent-store elision: a write whose value equals the committed
+        // contents (read consistently at our snapshot) is logged as a READ
+        // instead of buffered — validation still covers the location, so a
+        // concurrent change aborts us like any read-write conflict, but the
+        // commit never locks the orec or writes the word back. Addresses
+        // already buffered must stay buffered (the redo value, not memory,
+        // is what later reads and the write-back observe).
+        if bufs.redo_lookup(addr).is_none() {
+            let idx = rt.orecs.index_of(addr);
+            let o1 = rt.orecs.load(idx);
+            if !orec::is_locked(o1) && orec::version_of(o1) <= self.start_time {
+                let cur = tword_at(addr).load_direct();
+                if rt.orecs.load(idx) == o1 && cur == v {
+                    if let Some(slot) = bufs.read_slot_or_append(idx, o1) {
+                        bufs.reads[slot].1 = o1;
+                    }
+                    bufs.silent_elisions += 1;
+                    return Ok(());
+                }
+            }
+        }
         bufs.redo_record(addr, v);
         Ok(())
     }
@@ -136,6 +157,8 @@ impl LazyTx {
             reads,
             writes,
             locks: held,
+            clock_elisions,
+            clock_retries,
             ..
         } = bufs;
         if writes.is_empty() {
@@ -185,12 +208,21 @@ impl LazyTx {
             bufs.clear();
             return Err(e);
         }
-        let end = rt.clock.tick();
-        if end > self.start_time + 1 && validate(rt, self.tx_id, reads, held).is_err() {
-            release_held(rt, held, None);
-            bufs.clear();
-            return Err(Abort::Conflict);
-        }
+        let end = if rt.clock.try_tick_from(self.start_time) {
+            // GV5-style conflict-free path: no commit since our snapshot,
+            // so the read set is provably current — validation elided.
+            *clock_elisions += 1;
+            self.start_time + 1
+        } else {
+            *clock_retries += 1;
+            let end = rt.clock.tick();
+            if end > self.start_time + 1 && validate(rt, self.tx_id, reads, held).is_err() {
+                release_held(rt, held, None);
+                bufs.clear();
+                return Err(Abort::Conflict);
+            }
+            end
+        };
         for &(addr, v) in writes.iter() {
             tword_at(addr).store_direct(v);
         }

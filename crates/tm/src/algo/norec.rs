@@ -97,11 +97,27 @@ impl NorecTx {
 
     pub(crate) fn write_word(
         &mut self,
-        _rt: &RtInner,
+        rt: &RtInner,
         bufs: &mut LogBufs,
         addr: usize,
         v: u64,
     ) -> Result<(), Abort> {
+        // Silent-store elision: if the committed word (read consistently at
+        // our snapshot) already holds `v`, log it as a value-based READ
+        // instead of buffering — validation re-reads it at commit, so the
+        // location stays covered while the write set (and the write-back
+        // under the sequence lock) shrinks. Addresses already buffered must
+        // stay buffered.
+        if bufs.redo_lookup(addr).is_none() {
+            let cur = tword_at(addr).load_direct();
+            if rt.seqlock.load() == self.snapshot && cur == v {
+                if let Some(slot) = bufs.read_slot_or_append(addr, cur) {
+                    bufs.reads[slot].1 = cur;
+                }
+                bufs.silent_elisions += 1;
+                return Ok(());
+            }
+        }
         bufs.redo_record(addr, v);
         Ok(())
     }
@@ -117,11 +133,21 @@ impl NorecTx {
             bufs.clear();
             return Ok(());
         }
+        // NOrec's commit CAS *is* its clock tick: a first-try acquisition
+        // means the snapshot was still current — the conflict-free path the
+        // clock-elision counters gauge. Every lost CAS is a seqlock retry
+        // (revalidate, then try again at the advanced snapshot).
+        let mut first_try = true;
         while !rt.seqlock.try_begin_commit(self.snapshot) {
+            first_try = false;
+            bufs.clock_retries += 1;
             if self.validate(rt, bufs).is_err() {
                 bufs.clear();
                 return Err(Abort::Conflict);
             }
+        }
+        if first_try {
+            bufs.clock_elisions += 1;
         }
         self.committing = true;
         for &(addr, v) in &bufs.writes {

@@ -237,13 +237,46 @@ pub(crate) struct LogBufs {
     /// Successful snapshot extensions this attempt; flushed into
     /// `TmStats::snapshot_extensions` when the attempt ends.
     pub(crate) extensions: u64,
+    /// Writes elided because the location already held the written value;
+    /// flushed into `TmStats::silent_store_elisions` when the attempt ends.
+    pub(crate) silent_elisions: u64,
+    /// Commits that took the conflict-free snapshot+1 clock CAS and skipped
+    /// validation; flushed into `TmStats::clock_tick_elisions`.
+    pub(crate) clock_elisions: u64,
+    /// Commit-time clock CASes lost to a concurrent committer; flushed into
+    /// `TmStats::clock_cas_retries`.
+    pub(crate) clock_retries: u64,
+    /// High-watermark log sizes observed on this thread, updated as each
+    /// attempt's logs are cleared. [`LogBufs::prewarm`] reserves to these
+    /// marks up front, so a workload's steady-state transaction shape never
+    /// reallocates mid-attempt — the mutation fast lane's "pre-sized
+    /// redo/undo reservation" hints.
+    peak_reads: usize,
+    peak_writes: usize,
+    peak_undo: usize,
+}
+
+/// The per-attempt stat tallies [`LogBufs`] accumulates and the runtime
+/// flushes into the shared [`crate::TmStats`] counters once per attempt.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct OpTallies {
+    pub(crate) dedup_hits: u64,
+    pub(crate) extensions: u64,
+    pub(crate) silent_elisions: u64,
+    pub(crate) clock_elisions: u64,
+    pub(crate) clock_retries: u64,
 }
 
 impl LogBufs {
     /// Clears every log, keeping all backing storage. The per-attempt stat
     /// tallies survive (they are flushed by the runtime, which needs them
-    /// *after* the engine's commit/rollback has cleared the logs).
+    /// *after* the engine's commit/rollback has cleared the logs); the
+    /// high-watermark size hints are refreshed here, where the attempt's
+    /// final log sizes are still visible.
     pub(crate) fn clear(&mut self) {
+        self.peak_reads = self.peak_reads.max(self.reads.len());
+        self.peak_writes = self.peak_writes.max(self.writes.len());
+        self.peak_undo = self.peak_undo.max(self.undo.len());
         self.reads.clear();
         self.writes.clear();
         self.locks.clear();
@@ -252,12 +285,40 @@ impl LogBufs {
         self.rmap.clear();
     }
 
+    /// Reserves log capacity up to the high-watermarks recorded by previous
+    /// attempts on this thread. A no-op at steady state (cleared vectors
+    /// keep their capacity); after a fresh arena or a workload shape change
+    /// it front-loads the growth so no log reallocates mid-attempt.
+    pub(crate) fn prewarm(&mut self) {
+        if self.reads.capacity() < self.peak_reads {
+            self.reads.reserve(self.peak_reads - self.reads.len());
+        }
+        if self.writes.capacity() < self.peak_writes {
+            self.writes.reserve(self.peak_writes - self.writes.len());
+            // A redo log past the inline window will index itself; size the
+            // map for the expected spill instead of growing it in-flight.
+            self.locks.reserve(self.peak_writes.saturating_sub(self.locks.len()));
+        }
+        if self.undo.capacity() < self.peak_undo {
+            self.undo.reserve(self.peak_undo - self.undo.len());
+        }
+    }
+
     /// Takes and resets the per-attempt stat tallies.
     #[inline]
-    pub(crate) fn take_op_tallies(&mut self) -> (u64, u64) {
-        let t = (self.dedup_hits, self.extensions);
+    pub(crate) fn take_op_tallies(&mut self) -> OpTallies {
+        let t = OpTallies {
+            dedup_hits: self.dedup_hits,
+            extensions: self.extensions,
+            silent_elisions: self.silent_elisions,
+            clock_elisions: self.clock_elisions,
+            clock_retries: self.clock_retries,
+        };
         self.dedup_hits = 0;
         self.extensions = 0;
+        self.silent_elisions = 0;
+        self.clock_elisions = 0;
+        self.clock_retries = 0;
         t
     }
 
@@ -388,9 +449,12 @@ fn relifetime<'from, 'to>(mut v: Vec<Box<dyn FnOnce() + 'from>>) -> Vec<Box<dyn 
 
 impl Arena {
     /// Takes this thread's cached arena, or a fresh one if none is cached
-    /// (first transaction on the thread, or a reentrant transaction).
+    /// (first transaction on the thread, or a reentrant transaction). The
+    /// logs come back pre-reserved to this thread's high-watermark hints.
     pub(crate) fn take() -> Box<Arena> {
-        ARENA.with(|slot| slot.take()).unwrap_or_default()
+        let mut a = ARENA.with(|slot| slot.take()).unwrap_or_default();
+        a.logs.prewarm();
+        a
     }
 
     /// Borrows the cached `onCommit` handler storage at the transaction's
@@ -551,6 +615,45 @@ mod tests {
         b.clear();
         assert!(b.reads.is_empty());
         assert_eq!(b.read_slot_or_append(5, 1), None, "fresh after clear");
+    }
+
+    #[test]
+    fn prewarm_reserves_to_the_high_watermark() {
+        let mut b = LogBufs::default();
+        for i in 0..50usize {
+            b.reads.push((i, 0));
+            b.writes.push((i, 0));
+            b.undo.push((i, 0));
+        }
+        b.clear();
+        // A fresh arena has no capacity yet but inherits the hints.
+        b.reads = Vec::new();
+        b.writes = Vec::new();
+        b.undo = Vec::new();
+        b.prewarm();
+        assert!(b.reads.capacity() >= 50, "reads hint not applied");
+        assert!(b.writes.capacity() >= 50, "writes hint not applied");
+        assert!(b.undo.capacity() >= 50, "undo hint not applied");
+        // Steady state: prewarm against retained capacity must not shrink.
+        let cap = b.reads.capacity();
+        b.prewarm();
+        assert_eq!(b.reads.capacity(), cap);
+    }
+
+    #[test]
+    fn op_tallies_reset_on_take() {
+        let mut b = LogBufs::default();
+        b.silent_elisions = 3;
+        b.clock_elisions = 2;
+        b.clock_retries = 1;
+        b.dedup_hits = 7;
+        let t = b.take_op_tallies();
+        assert_eq!(
+            (t.silent_elisions, t.clock_elisions, t.clock_retries, t.dedup_hits),
+            (3, 2, 1, 7)
+        );
+        let t2 = b.take_op_tallies();
+        assert_eq!(t2.silent_elisions + t2.clock_elisions + t2.clock_retries, 0);
     }
 
     #[test]

@@ -32,6 +32,23 @@ impl GlobalClock {
     pub fn tick(&self) -> u64 {
         self.0.fetch_add(1, Ordering::AcqRel) + 1
     }
+
+    /// TL2 GV5-style conflict-free tick: CAS `expected -> expected + 1`.
+    ///
+    /// Success proves no transaction committed since the caller sampled
+    /// `expected` as its snapshot — the snapshot is still *current*, so the
+    /// caller may stamp its writes with `expected + 1` and skip commit-time
+    /// validation entirely. Failure means the clock moved; the caller falls
+    /// back to [`GlobalClock::tick`] plus full validation. Unlike raw GV5
+    /// stamping (which publishes versions the clock has not reached and
+    /// forces readers to repair the clock), the CAS keeps the invariant
+    /// that every published orec version is ≤ the clock.
+    #[inline]
+    pub fn try_tick_from(&self, expected: u64) -> bool {
+        self.0
+            .compare_exchange(expected, expected + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
 }
 
 impl fmt::Debug for GlobalClock {
@@ -132,6 +149,18 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000, "duplicate commit timestamps issued");
+    }
+
+    #[test]
+    fn conflict_free_tick_is_a_snapshot_cas() {
+        let c = GlobalClock::new();
+        assert!(c.try_tick_from(0), "current snapshot must win the CAS");
+        assert_eq!(c.now(), 1);
+        assert!(!c.try_tick_from(0), "stale snapshot must lose the CAS");
+        assert_eq!(c.now(), 1, "a failed CAS must not move the clock");
+        assert_eq!(c.tick(), 2);
+        assert!(c.try_tick_from(2));
+        assert_eq!(c.now(), 3);
     }
 
     #[test]

@@ -818,13 +818,12 @@ impl TmRuntime {
 /// so this can run after commit/rollback.
 fn flush_op_tallies(inner: &mut TxInner<'_>) {
     let rt = inner.rt;
-    let (dedup, ext) = inner.arena.logs.take_op_tallies();
-    if dedup != 0 {
-        rt.stats.add(&rt.stats.read_log_dedup_hits, dedup);
-    }
-    if ext != 0 {
-        rt.stats.add(&rt.stats.snapshot_extensions, ext);
-    }
+    let t = inner.arena.logs.take_op_tallies();
+    rt.stats.add(&rt.stats.read_log_dedup_hits, t.dedup_hits);
+    rt.stats.add(&rt.stats.snapshot_extensions, t.extensions);
+    rt.stats.add(&rt.stats.silent_store_elisions, t.silent_elisions);
+    rt.stats.add(&rt.stats.clock_tick_elisions, t.clock_elisions);
+    rt.stats.add(&rt.stats.clock_cas_retries, t.clock_retries);
 }
 
 fn run_handler<'e>(
@@ -962,6 +961,130 @@ mod tests {
                 orec_snapshot(&rt).iter().all(|&o| !orec::is_locked(o)),
                 "{algo}: promoted commit left an orec locked"
             );
+        }
+    }
+
+    /// The write-side mirror of the RO fast-lane promise: a transaction
+    /// whose every write is silent (value equals committed contents) ends
+    /// up with an empty write set and must commit like a read-only one —
+    /// no orec movement, no clock tick, no seqlock bump — while still
+    /// being counted under `silent_store_elisions`.
+    #[test]
+    fn all_silent_writes_commit_as_read_only() {
+        for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+            let rt = small_rt(algo);
+            let cells: Vec<TCell<u64>> = (0..16).map(|_| TCell::new(u64::MAX)).collect();
+            rt.atomic(|tx| {
+                for (i, c) in cells.iter().enumerate() {
+                    tx.write(c, i as u64 * 3)?;
+                }
+                Ok(())
+            });
+
+            let orecs_before = orec_snapshot(&rt);
+            let clock_before = rt.inner.clock.now();
+            let seq_before = rt.inner.seqlock.load();
+
+            for round in 0..25u64 {
+                rt.atomic(|tx| {
+                    for (i, c) in cells.iter().enumerate() {
+                        tx.write(c, i as u64 * 3)?; // same value: silent
+                    }
+                    Ok(())
+                });
+                assert_eq!(
+                    rt.inner.clock.now(),
+                    clock_before,
+                    "{algo}: silent-only commit ticked the clock (round {round})"
+                );
+            }
+
+            let orecs_after = orec_snapshot(&rt);
+            assert_eq!(orecs_before, orecs_after, "{algo}: silent commits moved an orec");
+            assert!(
+                orecs_after.iter().all(|&v| !orec::is_locked(v)),
+                "{algo}: an orec is still locked after silent commits"
+            );
+            assert_eq!(rt.inner.seqlock.load(), seq_before, "{algo}: seqlock moved");
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(c.load_direct(), i as u64 * 3, "{algo}");
+            }
+
+            let s = rt.stats();
+            assert_eq!(s.silent_store_elisions, 25 * 16, "{algo}");
+            assert_eq!(s.read_only_commits, 25, "{algo}: all-silent txns take the RO path");
+            assert_eq!(s.aborts, 0, "{algo}");
+
+            // Sensitivity: one genuinely new value must move the metadata.
+            rt.atomic(|tx| tx.write(&cells[0], 999));
+            match algo {
+                Algorithm::Norec => {
+                    assert_ne!(rt.inner.seqlock.load(), seq_before, "norec commit must bump");
+                }
+                _ => {
+                    assert_ne!(orec_snapshot(&rt), orecs_after, "a write must bump an orec");
+                    assert_ne!(rt.inner.clock.now(), clock_before, "a write must tick the clock");
+                }
+            }
+        }
+    }
+
+    /// A silent store to an address already in the redo log must NOT be
+    /// elided: the buffered value — not committed memory — is what later
+    /// reads and the write-back observe.
+    #[test]
+    fn buffered_addresses_are_never_silently_elided() {
+        for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+            let rt = small_rt(algo);
+            let c = TCell::new(7u64);
+            let seen = rt.atomic(|tx| {
+                tx.write(&c, 5)?; // real write, enters the write set
+                tx.write(&c, 7)?; // equals committed memory, but must land
+                tx.read(&c)
+            });
+            assert_eq!(seen, 7, "{algo}: in-tx read must see the latest write");
+            assert_eq!(c.load_direct(), 7, "{algo}");
+        }
+    }
+
+    /// Conflict-free commits (clock still at the snapshot) must take the
+    /// GV5-style elided path — one CAS, no commit-time validation — and a
+    /// commit whose snapshot went stale must be counted as a retry instead.
+    #[test]
+    fn conflict_free_commit_elides_the_clock_cas() {
+        for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+            let rt = small_rt(algo);
+            let c = TCell::new(0u64);
+            for i in 1..=40u64 {
+                rt.atomic(|tx| tx.write(&c, i));
+            }
+            let s = rt.stats();
+            assert_eq!(s.clock_tick_elisions, 40, "{algo}: uncontended commits must elide");
+            assert_eq!(s.clock_cas_retries, 0, "{algo}");
+            assert_eq!(s.aborts, 0, "{algo}");
+
+            // Stale snapshot: move the global time base from inside the
+            // transaction body (standing in for a concurrent committer),
+            // so the commit-time CAS must lose and fall back to the full
+            // tick-and-validate path.
+            rt.atomic(|tx| {
+                tx.write(&c, 1234)?;
+                match algo {
+                    Algorithm::Norec => {
+                        let snap = rt.inner.seqlock.load();
+                        assert!(rt.inner.seqlock.try_begin_commit(snap));
+                        rt.inner.seqlock.end_commit(snap);
+                    }
+                    _ => {
+                        rt.inner.clock.tick();
+                    }
+                }
+                Ok(())
+            });
+            assert_eq!(c.load_direct(), 1234, "{algo}");
+            let s = rt.stats();
+            assert_eq!(s.clock_tick_elisions, 40, "{algo}: stale commit must not elide");
+            assert!(s.clock_cas_retries >= 1, "{algo}: stale commit must count a retry");
         }
     }
 }

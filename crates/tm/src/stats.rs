@@ -101,6 +101,22 @@ counters! {
     /// same address for NOrec) served from the read-set index without
     /// appending a duplicate read-log entry.
     read_log_dedup_hits,
+    /// Transactional writes whose value equaled the location's current
+    /// committed contents: dropped from the write set and logged as reads
+    /// instead (the location stays validated, so serializability is
+    /// untouched). A transaction whose writes are *all* silent commits on
+    /// the read-only path — no orec, no clock tick.
+    silent_store_elisions,
+    /// Writer commits that acquired their timestamp with the conflict-free
+    /// `snapshot -> snapshot + 1` CAS (TL2 GV5-style): the snapshot was
+    /// provably current at commit, so commit-time validation was skipped.
+    /// For NOrec this counts first-try seqlock acquisitions.
+    clock_tick_elisions,
+    /// Commit-time clock CASes lost to a concurrent committer — the
+    /// contended path that pays a full tick plus validation (for NOrec,
+    /// seqlock acquisition retries). The clock-pressure gauge: relief work
+    /// (magazines, batching, silent stores) must push this down.
+    clock_cas_retries,
 }
 
 impl TmStats {

@@ -1,0 +1,165 @@
+//! Write-path fast-lane semantics, black-box:
+//!
+//! * **Silent-store serializability.** An elided write still participates
+//!   in conflict detection as a read: a transaction that mixes a silent
+//!   store with a real write must abort (and retry) if the silently-written
+//!   location changes under it before commit — the classic hazard silent
+//!   -store elision must not introduce.
+//! * **All-silent transactions are no-ops.** They commit at their snapshot
+//!   like read-only transactions and leave memory untouched even while a
+//!   concurrent writer races them.
+//! * **Zero allocations.** Steady-state read-write commits — with and
+//!   without elided stores, including redo sets past the inline window —
+//!   never touch the heap.
+//!
+//! White-box counterparts (orec/clock/seqlock quiescence, GV5 clock-CAS
+//! elision counters) live in `tm::runtime`'s unit tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use tm::{Algorithm, ContentionManager, SerialLockMode, TCell, TmRuntime, Transaction};
+
+#[global_allocator]
+static COUNTING_ALLOC: testkit::alloc::Counting = testkit::alloc::Counting;
+
+fn runtime(algo: Algorithm) -> TmRuntime {
+    TmRuntime::builder()
+        .algorithm(algo)
+        .contention_manager(ContentionManager::None)
+        .serial_lock(SerialLockMode::None)
+        .build()
+}
+
+/// A transaction writes `x`'s current value back (silent, elided to a
+/// read) plus a real write to `y`, then stalls; a second thread commits a
+/// new value into `x` before letting it proceed. Commit-time validation
+/// must treat the elided store like a read of `x` and abort the attempt —
+/// otherwise the transaction would serialize after the interferer while
+/// still believing `x` held the old value.
+#[test]
+fn elided_silent_store_still_conflicts() {
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        let rt = Arc::new(runtime(algo));
+        let x = Arc::new(TCell::new(0u64));
+        let y = Arc::new(TCell::new(0u64));
+        let ready = Arc::new(AtomicBool::new(false));
+        let proceed = Arc::new(AtomicBool::new(false));
+
+        let mixer = {
+            let (rt, x, y) = (rt.clone(), x.clone(), y.clone());
+            let (ready, proceed) = (ready.clone(), proceed.clone());
+            std::thread::spawn(move || {
+                let attempts = AtomicU32::new(0);
+                rt.atomic(|tx| {
+                    let first = attempts.fetch_add(1, Ordering::Relaxed) == 0;
+                    let seen = tx.read(&*x)?;
+                    tx.write(&*x, seen)?; // silent by construction
+                    tx.write(&*y, seen + 100)?; // real write: not read-only
+                    if first {
+                        ready.store(true, Ordering::Release);
+                        while !proceed.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    Ok(())
+                });
+                attempts.load(Ordering::Relaxed)
+            })
+        };
+
+        while !ready.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        rt.atomic(|tx| tx.write(&*x, 7)); // invalidate the elided store
+        proceed.store(true, Ordering::Release);
+
+        let attempts = mixer.join().unwrap();
+        assert!(
+            attempts >= 2,
+            "{algo}: the stale attempt must have aborted (attempts = {attempts})"
+        );
+        assert!(rt.stats().aborts >= 1, "{algo}");
+        assert!(rt.stats().silent_store_elisions >= 1, "{algo}");
+        // The retry saw x == 7: its write-back of 7 is again silent, and y
+        // carries the refreshed observation — the serializable outcome.
+        assert_eq!(x.load_direct(), 7, "{algo}");
+        assert_eq!(y.load_direct(), 107, "{algo}");
+    }
+}
+
+/// An all-silent transaction serializes at its snapshot like a read-only
+/// one: whatever it raced, memory afterwards reflects only real writers.
+#[test]
+fn all_silent_transactions_are_noops_under_contention() {
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        let rt = Arc::new(runtime(algo));
+        let cells: Arc<Vec<TCell<u64>>> = Arc::new((0..8).map(|_| TCell::new(0)).collect());
+
+        let toggler = {
+            let (rt, cells) = (rt.clone(), cells.clone());
+            std::thread::spawn(move || {
+                for round in 0..500u64 {
+                    rt.atomic(|tx| {
+                        for c in cells.iter() {
+                            tx.write(c, round % 2)?;
+                        }
+                        Ok(())
+                    });
+                }
+            })
+        };
+        // Racing writer of constants 0 and 1: every write is silent against
+        // one of the toggler's two states, real against the other.
+        for round in 0..500u64 {
+            rt.atomic(|tx| {
+                for c in cells.iter() {
+                    tx.write(c, round % 2)?;
+                }
+                Ok(())
+            });
+        }
+        toggler.join().unwrap();
+
+        let vals: Vec<u64> = cells.iter().map(|c| c.load_direct()).collect();
+        assert!(
+            vals.iter().all(|&v| v == vals[0]) && vals[0] <= 1,
+            "{algo}: torn final state {vals:?}"
+        );
+        assert!(rt.stats().silent_store_elisions > 0, "{algo}");
+    }
+}
+
+#[test]
+fn write_commits_never_allocate() {
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        let rt = runtime(algo);
+        // Past SMALL_WRITES so the write-map index is exercised too.
+        let cells: Vec<TCell<u64>> = (0..24).map(TCell::new).collect();
+        let run = |round: u64| {
+            rt.atomic(|tx| {
+                for (i, c) in cells.iter().enumerate() {
+                    // Half the writes repeat the committed value (silent),
+                    // half advance it — the steady-state SET mix.
+                    let v = if i % 2 == 0 { round } else { i as u64 };
+                    tx.write(c, v)?;
+                }
+                Ok(())
+            })
+        };
+        for r in 0..20 {
+            run(r);
+        }
+        let before = testkit::alloc::thread_allocs();
+        for r in 0..200 {
+            run(r);
+        }
+        let allocs = testkit::alloc::thread_allocs() - before;
+        assert_eq!(
+            allocs, 0,
+            "{algo}: {allocs} heap allocations across 200 read-write commits"
+        );
+        assert!(rt.stats().silent_store_elisions > 0, "{algo}");
+        assert_eq!(rt.stats().aborts, 0, "{algo}");
+    }
+}

@@ -43,8 +43,9 @@ mod str;
 
 pub use access::{ByteAccess, DirectAccess, TxAccess};
 pub use marshal::{
-    atoi, htonl, htons, isdigit, isspace, parse_i64, parse_u64, pure, snprintf_item_suffix,
-    snprintf_str, snprintf_u64_crlf, strtol, strtoull, GENEROUS_INPUT_BUF, GENEROUS_OUTPUT_BUF,
+    atoi, dec_len, htonl, htons, isdigit, isspace, item_suffix_len, parse_i64, parse_u64, pure,
+    snprintf_item_suffix, snprintf_str, snprintf_u64_crlf, strtol, strtoull, GENEROUS_INPUT_BUF,
+    GENEROUS_OUTPUT_BUF,
 };
 pub use mem::{
     memcmp, memcmp_slice, memcpy, memcpy_from_slice, memcpy_to_slice, memmove, memset, realloc,

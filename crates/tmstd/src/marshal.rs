@@ -211,6 +211,42 @@ pub fn snprintf_str<'e, A: ByteAccess<'e>>(
     snprintf_out(a, dst, doff, cap, &text)
 }
 
+/// Decimal digit count of `v` (1 for 0): the allocation-free length
+/// computation the snprintf clones and `item_make_header` sizing share.
+#[inline]
+pub fn dec_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        v.ilog10() as usize + 1
+    }
+}
+
+/// Renders `v` in decimal at the start of `out`, returning the length.
+/// Stack-only on purpose: C's `snprintf` formats into caller storage
+/// without touching the heap, and the clones must match — a hidden
+/// allocation here would put a malloc on every store.
+fn fmt_u64(mut v: u64, out: &mut [u8]) -> usize {
+    let n = dec_len(v);
+    let mut i = n;
+    loop {
+        i -= 1;
+        out[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    n
+}
+
+/// Length `snprintf(.., " %u %u\r\n", flags, nbytes)` would produce —
+/// the sizing half of `item_make_header`, computed without rendering.
+#[inline]
+pub fn item_suffix_len(flags: u32, nbytes: u32) -> usize {
+    4 + dec_len(flags as u64) + dec_len(nbytes as u64)
+}
+
 /// `snprintf(dst, cap, " %u %u\r\n", flags, nbytes)` — the clone memcached
 /// uses to build each item's cached response suffix at store time.
 ///
@@ -225,8 +261,19 @@ pub fn snprintf_item_suffix<'e, A: ByteAccess<'e>>(
     flags: u32,
     nbytes: u32,
 ) -> Result<usize, Abort> {
-    let text = pure(|| format!(" {flags} {nbytes}\r\n").into_bytes());
-    snprintf_out(a, dst, doff, cap, &text)
+    // " " + 10 digits + " " + 10 digits + "\r\n" = 24 bytes max.
+    let mut stack = [0u8; 24];
+    let mut n = 0;
+    stack[n] = b' ';
+    n += 1;
+    n += fmt_u64(flags as u64, &mut stack[n..]);
+    stack[n] = b' ';
+    n += 1;
+    n += fmt_u64(nbytes as u64, &mut stack[n..]);
+    stack[n] = b'\r';
+    stack[n + 1] = b'\n';
+    n += 2;
+    snprintf_out(a, dst, doff, cap, &stack[..n])
 }
 
 /// `snprintf(dst, cap, "%llu\r\n", v)` — the clone memcached uses to write
@@ -242,8 +289,13 @@ pub fn snprintf_u64_crlf<'e, A: ByteAccess<'e>>(
     cap: usize,
     v: u64,
 ) -> Result<usize, Abort> {
-    let text = pure(|| format!("{v}\r\n").into_bytes());
-    snprintf_out(a, dst, doff, cap, &text)
+    // 20 digits + "\r\n"; stack-only, like the suffix clone above.
+    let mut stack = [0u8; 22];
+    let mut n = fmt_u64(v, &mut stack);
+    stack[n] = b'\r';
+    stack[n + 1] = b'\n';
+    n += 2;
+    snprintf_out(a, dst, doff, cap, &stack[..n])
 }
 
 #[cfg(test)]

@@ -96,6 +96,9 @@ pub struct WorkloadBuilder {
     key_count: usize,
     key_size: usize,
     value_size: usize,
+    /// Upper bound for uniform per-key value sizes; 0 = fixed
+    /// `value_size` for every key.
+    value_size_max: usize,
     mix: OpMix,
     hot_fraction: f64,
     hot_probability: f64,
@@ -111,6 +114,7 @@ impl Default for WorkloadBuilder {
             key_count: 10_000,
             key_size: 64,
             value_size: 1024,
+            value_size_max: 0,
             mix: OpMix::default(),
             hot_fraction: 0.0,
             hot_probability: 0.0,
@@ -150,6 +154,18 @@ impl WorkloadBuilder {
     /// Value length in bytes.
     pub fn value_size(mut self, n: usize) -> Self {
         self.value_size = n.max(1);
+        self.value_size_max = 0;
+        self
+    }
+
+    /// Value length *distribution*: per-key sizes drawn uniformly (and
+    /// deterministically — the size is a pure function of the key index)
+    /// from `min..=max`, so a store mix spreads across several slab
+    /// classes the way memslap's `--value-size-range` does.
+    /// [`Self::value_size`] is the fixed special case.
+    pub fn value_size_range(mut self, min: usize, max: usize) -> Self {
+        self.value_size = min.max(1);
+        self.value_size_max = max.max(self.value_size);
         self
     }
 
@@ -262,10 +278,28 @@ impl Workload {
         &self.keys[i]
     }
 
+    /// The value length for key `i`: the fixed `value_size`, or a
+    /// deterministic uniform draw from the configured range.
+    pub fn value_len(&self, i: usize) -> usize {
+        let min = self.cfg.value_size;
+        let max = self.cfg.value_size_max;
+        if max <= min {
+            return min;
+        }
+        // SplitMix64 finalizer over the key index: size is a pure
+        // function of the key, so every generation of a key has the same
+        // length and readers can verify it.
+        let mut h = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        min + (h % (max - min + 1) as u64) as usize
+    }
+
     /// The deterministic value stored for key `i`: a repeating pattern
     /// derived from the index, so readers can verify payload integrity.
     pub fn value(&self, i: usize) -> Vec<u8> {
-        let mut v = vec![0u8; self.cfg.value_size];
+        let mut v = vec![0u8; self.value_len(i)];
         fill_value(i, &mut v);
         v
     }
@@ -274,7 +308,7 @@ impl Workload {
     /// key `i` (any stored generation matches, since values depend only on
     /// the key).
     pub fn verify_value(&self, i: usize, data: &[u8]) -> bool {
-        if data.len() != self.cfg.value_size {
+        if data.len() != self.value_len(i) {
             return false;
         }
         let mut expect = vec![0u8; data.len()];

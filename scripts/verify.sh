@@ -15,7 +15,7 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 
-echo "==> stress smoke (${STRESS_SECONDS}s, every algorithm/lock/CM combo)"
+echo "==> stress smoke (${STRESS_SECONDS}s, every algorithm/lock/CM combo; mixed, read-mostly and write-heavy schedules per seed)"
 cargo run --release --offline -p testkit --bin stress -- --seconds "$STRESS_SECONDS"
 
 # Chaos tier: the same 21-combo matrix with tm's deterministic fault
@@ -26,7 +26,7 @@ echo "==> chaos tests (tm fault layer + chaos schedules + fault-path zero-alloc 
 cargo test -q --offline -p tm --features fault
 cargo test -q --offline -p testkit --features chaos
 
-echo "==> chaos stress (5s, every combo, deterministic fault plan)"
+echo "==> chaos stress (5s, every combo, deterministic fault plan; all three schedules)"
 cargo run --release --offline -p testkit --features chaos --bin stress -- --chaos --seconds 5
 
 echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc counts)"
@@ -38,6 +38,11 @@ echo "==> bench smoke (stm_getpath: read-only fast lane + multiget batching)"
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
     cargo bench --offline -p bench --bench stm_getpath
+
+echo "==> bench smoke (stm_setpath: mutation fast lane + store batching + slab magazines)"
+TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
+    TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
+    cargo bench --offline -p bench --bench stm_setpath
 
 # Offline regression gate, two tiers:
 #
@@ -58,6 +63,7 @@ TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
 echo "==> bench regression gate (fresh min vs committed baseline median, 50%)"
 cargo run --release --offline -p testkit --bin bench_compare -- . target/testkit-bench --threshold 50
 
-cp target/testkit-bench/BENCH_fastpath_*.json target/testkit-bench/BENCH_getpath_*.json .
+cp target/testkit-bench/BENCH_fastpath_*.json target/testkit-bench/BENCH_getpath_*.json \
+   target/testkit-bench/BENCH_setpath_*.json .
 
 echo "==> verify OK"
