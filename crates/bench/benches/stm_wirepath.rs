@@ -1,0 +1,177 @@
+//! Wire-path benches: what the TCP front end costs over the in-process
+//! protocol engine. Each pair drives the SAME operation shape two ways:
+//!
+//! * **inproc** — `proto::execute_ascii` straight into the cache, the
+//!   shape every earlier bench measured (no sockets, no framing copies).
+//! * **loopback** — the full server path over a real `127.0.0.1` socket:
+//!   client write → kernel → nonblocking read → incremental frame scan →
+//!   dispatch → response write → client read.
+//!
+//! Groups:
+//!
+//! * `wirepath_get` — single-key GET roundtrips (hit), in-process vs
+//!   loopback, plus an 8-key multiget per roundtrip on the wire (the
+//!   PR 4 coalescing shape: one syscall pair, one read-only
+//!   transaction).
+//! * `wirepath_set` — single-key overwrite SET roundtrips, in-process
+//!   vs loopback, plus an 8-deep pipelined SET burst per roundtrip (the
+//!   PR 5 `store_batch` shape on the wire).
+//!
+//! There is deliberately NO ratio gate here: loopback pays two syscalls
+//! and a scheduler handoff per roundtrip and legitimately loses to the
+//! in-process call by orders of magnitude. The committed
+//! `BENCH_wirepath_*.json` baselines instead feed the bench_compare
+//! regression gate, which catches the server path itself getting slower.
+
+use std::hint::black_box;
+
+use bench::wire::WireConn;
+use mcache::net::{NetConfig, Server};
+use mcache::{proto, Branch, McCache, McConfig, Stage};
+use testkit::bench::Criterion;
+use testkit::{criterion_group, criterion_main};
+
+const KEYS: usize = 64;
+const VALUE: &[u8] = &[0x5a; 100];
+
+fn key(i: usize) -> String {
+    format!("wirebench:{i:04}")
+}
+
+/// One cache + server on an ephemeral loopback port, warmed with the
+/// bench keyspace.
+fn server() -> Server {
+    let handle = McCache::start(McConfig {
+        branch: Branch::It(Stage::OnCommit),
+        workers: 2,
+        magazine: 16,
+        ..Default::default()
+    });
+    for i in 0..KEYS {
+        assert_eq!(
+            handle.set(0, key(i).as_bytes(), VALUE, 0, 0),
+            mcache::StoreStatus::Stored
+        );
+    }
+    Server::start(
+        handle,
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral loopback port")
+}
+
+fn bench_get(c: &mut Criterion) {
+    let srv = server();
+    let addr = srv.local_addr().to_string();
+    let cache = srv.cache().clone();
+    let mut conn = WireConn::connect(&addr).expect("connect");
+    let mut i = 0usize;
+    let mut j = 0usize;
+
+    let mut g = c.benchmark_group("wirepath_get");
+    g.sample_size(30);
+    g.bench_pair(
+        "get/inproc",
+        |b| {
+            b.iter(|| {
+                i = (i + 1) % KEYS;
+                let req = format!("get {}\r\n", key(i));
+                black_box(proto::execute_ascii(&cache, 0, req.as_bytes()))
+            })
+        },
+        "get/loopback",
+        |b| {
+            b.iter(|| {
+                j = (j + 1) % KEYS;
+                let k = key(j);
+                let hits = conn.ascii_get(&[k.as_bytes()], false).expect("get");
+                assert_eq!(hits.len(), 1, "warm key must hit");
+                black_box(hits)
+            })
+        },
+    );
+
+    // The coalescing shape: 8 keys per roundtrip, one syscall pair, one
+    // read-only transaction server-side.
+    let mut m = 0usize;
+    g.bench_function("get/loopback_multiget_x8", |b| {
+        b.iter(|| {
+            let keys: Vec<String> = (0..8)
+                .map(|n| {
+                    m = (m + 1) % KEYS;
+                    key((m + n) % KEYS)
+                })
+                .collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+            let hits = conn.ascii_get(&refs, false).expect("multiget");
+            black_box(hits)
+        })
+    });
+    g.finish();
+    drop(conn);
+}
+
+fn bench_set(c: &mut Criterion) {
+    let srv = server();
+    let addr = srv.local_addr().to_string();
+    let cache = srv.cache().clone();
+    let mut conn = WireConn::connect(&addr).expect("connect");
+    let mut i = 0usize;
+    let mut j = 0usize;
+
+    fn set_frame(i: usize) -> Vec<u8> {
+        let mut f = format!("set {} 0 0 {}\r\n", key(i), VALUE.len()).into_bytes();
+        f.extend_from_slice(VALUE);
+        f.extend_from_slice(b"\r\n");
+        f
+    }
+
+    let mut g = c.benchmark_group("wirepath_set");
+    g.sample_size(30);
+    g.bench_pair(
+        "set/inproc",
+        |b| {
+            b.iter(|| {
+                i = (i + 1) % KEYS;
+                let out = proto::execute_ascii(&cache, 0, &set_frame(i));
+                assert_eq!(out, b"STORED\r\n");
+                black_box(out)
+            })
+        },
+        "set/loopback",
+        |b| {
+            b.iter(|| {
+                j = (j + 1) % KEYS;
+                let line = conn.ascii_line(&set_frame(j)).expect("set");
+                assert_eq!(line, b"STORED");
+                black_box(line)
+            })
+        },
+    );
+
+    // The store_batch shape on the wire: 8 sets in one write, 8 STORED
+    // lines back — the server folds the run into one transaction.
+    let mut m = 0usize;
+    g.bench_function("set/loopback_pipeline_x8", |b| {
+        b.iter(|| {
+            let mut wire = Vec::new();
+            for n in 0..8 {
+                wire.extend_from_slice(&set_frame((m + n) % KEYS));
+            }
+            m = (m + 8) % KEYS;
+            conn.send(&wire).expect("pipelined sets");
+            for _ in 0..8 {
+                assert_eq!(conn.read_line().expect("set reply"), b"STORED");
+            }
+        })
+    });
+    g.finish();
+    drop(conn);
+}
+
+criterion_group!(benches, bench_get, bench_set);
+criterion_main!(benches);

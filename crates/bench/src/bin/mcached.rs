@@ -1,0 +1,145 @@
+//! `mcached`: the transactionalized cache behind a real TCP server.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin mcached -- \
+//!       --port 11311 --threads 4 --branch it-oncommit --magazine 16
+//! LISTENING 127.0.0.1:11311
+//! ```
+//!
+//! Runs until stdin reaches EOF or a line reading `shutdown` arrives
+//! (so a harness can stop it cleanly through a pipe), then drains the
+//! workers, prints the final wire counters, and exits 0. `--port 0`
+//! binds an ephemeral port; the `LISTENING` line reports the real one.
+
+use std::io::BufRead;
+
+use mcache::net::{NetConfig, Server};
+use mcache::{Branch, McCache, McConfig, Stage};
+
+struct Args {
+    host: String,
+    port: u16,
+    threads: usize,
+    branch: Branch,
+    magazine: usize,
+}
+
+fn parse_branch(name: &str) -> Option<Branch> {
+    Some(match name {
+        "baseline" => Branch::Baseline,
+        "semaphore" => Branch::Semaphore,
+        "ip" => Branch::Ip(Stage::Plain),
+        "it" => Branch::It(Stage::Plain),
+        "ip-max" => Branch::Ip(Stage::Max),
+        "it-max" => Branch::It(Stage::Max),
+        "ip-lib" => Branch::Ip(Stage::Lib),
+        "it-lib" => Branch::It(Stage::Lib),
+        "ip-oncommit" => Branch::Ip(Stage::OnCommit),
+        "it-oncommit" => Branch::It(Stage::OnCommit),
+        "ip-nolock" => Branch::IpNoLock,
+        "it-nolock" => Branch::ItNoLock,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        host: "127.0.0.1".to_string(),
+        port: 11311,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+        branch: Branch::IpNoLock,
+        magazine: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = String>| {
+            it.next().and_then(|v| v.parse::<usize>().ok())
+        };
+        match flag.as_str() {
+            "--host" => {
+                if let Some(h) = it.next() {
+                    args.host = h;
+                }
+            }
+            "--port" | "-p" => {
+                if let Some(v) = num(&mut it) {
+                    args.port = v as u16;
+                }
+            }
+            "--threads" | "-t" => {
+                if let Some(v) = num(&mut it) {
+                    args.threads = v.max(1);
+                }
+            }
+            "--magazine" => {
+                if let Some(v) = num(&mut it) {
+                    args.magazine = v;
+                }
+            }
+            "--branch" => {
+                if let Some(b) = it.next().as_deref().and_then(parse_branch) {
+                    args.branch = b;
+                } else {
+                    eprintln!("unknown branch; see examples/cache_server.rs for names");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let handle = McCache::start(McConfig {
+        branch: args.branch,
+        workers: args.threads,
+        magazine: args.magazine,
+        ..Default::default()
+    });
+    let mut server = Server::start(
+        handle,
+        NetConfig {
+            addr: format!("{}:{}", args.host, args.port),
+            workers: args.threads,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bind failed: {e}");
+        std::process::exit(1);
+    });
+    // The harness contract: one line, then serve until the pipe says stop.
+    println!("LISTENING {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "shutdown" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    server.shutdown();
+    let ns = server.net_stats();
+    let s = server.cache().stats();
+    println!(
+        "shutdown: total_connections={} curr_connections={} bytes_read={} bytes_written={} \
+         frame_errors={} cmd_get={} cmd_set={} request_panics={}",
+        ns.total_connections,
+        ns.curr_connections,
+        ns.bytes_read,
+        ns.bytes_written,
+        ns.frame_errors,
+        s.threads.get_cmds,
+        s.threads.set_cmds,
+        s.request_panics,
+    );
+}

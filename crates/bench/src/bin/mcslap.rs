@@ -6,11 +6,22 @@
 //! $ cargo run --release -p bench --bin mcslap -- \
 //!       --concurrency 4 --execute-number 10000 --binary --branch ip-nolock
 //! ```
+//!
+//! With `--tcp HOST:PORT` the same workloads run over real sockets
+//! against a running `mcached` instead of an in-process cache — every
+//! GET hit is verified against the deterministic workload oracle, and
+//! the run ends by asserting the server saw zero frame errors:
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin mcslap -- \
+//!       --tcp 127.0.0.1:11311 --connections 4 --multiget 8
+//! ```
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use mcache::proto::binary::{self, Opcode, Request};
+use bench::wire::WireConn;
+use mcache::proto::binary::{self, Opcode, Request, Status};
 use mcache::{Branch, McCache, McConfig, Stage, StoreMode, StoreOp};
 use workload::{Op, OpMix, Workload};
 
@@ -21,6 +32,11 @@ struct Args {
     branch: Branch,
     value_size: usize,
     keys: usize,
+    /// Run over TCP against this `HOST:PORT` instead of in-process.
+    tcp: Option<String>,
+    /// Client connections in `--tcp` mode (each with its own thread and
+    /// workload stream); 0 = `--concurrency`.
+    connections: usize,
     /// Percent of operations that are GETs (the rest are SETs).
     read_ratio: usize,
     /// Batch consecutive GETs n-at-a-time through the multiget path
@@ -65,6 +81,8 @@ fn parse_args() -> Args {
         branch: Branch::IpNoLock,
         value_size: 256,
         keys: 2000,
+        tcp: None,
+        connections: 0,
         read_ratio: 90,
         multiget: 1,
         setq_pipeline: 1,
@@ -130,6 +148,19 @@ fn parse_args() -> Args {
                 }
             }
             "--binary" => args.binary = true,
+            "--tcp" => {
+                if let Some(a) = it.next() {
+                    args.tcp = Some(a);
+                } else {
+                    eprintln!("--tcp needs HOST:PORT");
+                    std::process::exit(2);
+                }
+            }
+            "--connections" => {
+                if let Some(v) = num(&mut it) {
+                    args.connections = v.max(1);
+                }
+            }
             "--branch" => {
                 if let Some(b) = it.next().as_deref().and_then(parse_branch) {
                     args.branch = b;
@@ -149,6 +180,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(addr) = args.tcp.clone() {
+        run_tcp(&args, &addr);
+        return;
+    }
     let wl = Arc::new(
         Workload::builder()
             .concurrency(args.concurrency)
@@ -383,4 +418,342 @@ fn main() {
         stats.global.rebalances,
     );
     println!("tm: {tm}");
+}
+
+/// Sentinel opaque for the trailing Noop in quiet pipelines; key
+/// indices (the other opaques in flight) can never reach it.
+const NOOP_OPAQUE: u32 = u32::MAX;
+
+/// The `--tcp` mode: same workloads, real sockets against a running
+/// `mcached`. Every GET hit is verified against the workload oracle
+/// (values are a pure function of the key index), and the run asserts
+/// the server counted zero frame errors.
+fn run_tcp(args: &Args, addr: &str) {
+    let workers = if args.connections > 0 {
+        args.connections
+    } else {
+        args.concurrency
+    };
+    let wl = Arc::new(
+        Workload::builder()
+            .concurrency(workers)
+            .execute_number(args.execute_number)
+            .key_count(args.keys)
+            .value_size_range(args.value_size, args.value_size_max.max(args.value_size))
+            .binary(args.binary)
+            .mix(OpMix {
+                get: args.read_ratio as u32,
+                set: 100 - args.read_ratio as u32,
+                delete: 0,
+                incr: 0,
+            })
+            .build(),
+    );
+
+    // Preload the whole keyspace through one connection: noreply sets
+    // in bulk writes, then a version roundtrip as the sync point.
+    {
+        let mut conn = WireConn::connect(addr).expect("connect for preload");
+        let mut buf = Vec::new();
+        for i in 0..wl.key_count() {
+            let value = wl.value(i);
+            buf.extend_from_slice(
+                format!(
+                    "set {} 0 0 {} noreply\r\n",
+                    String::from_utf8_lossy(wl.key(i)),
+                    value.len()
+                )
+                .as_bytes(),
+            );
+            buf.extend_from_slice(&value);
+            buf.extend_from_slice(b"\r\n");
+            if buf.len() > 256 << 10 {
+                conn.send(&buf).expect("preload send");
+                buf.clear();
+            }
+        }
+        conn.send(&buf).expect("preload send");
+        let v = conn.ascii_line(b"version\r\n").expect("preload sync");
+        assert!(v.starts_with(b"VERSION"), "unexpected preload sync: {v:?}");
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let wl = wl.clone();
+            s.spawn(move || run_tcp_worker(args, addr, &wl, w));
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_ops = workers * args.execute_number;
+
+    let mut conn = WireConn::connect(addr).expect("connect for stats");
+    let stats = conn.ascii_stats().expect("final stats");
+    let stat = |k: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("server stats missing {k}"))
+    };
+    println!(
+        "{} ops in {:.3}s = {:.0} ops/s  ({} connections, tcp {}, {}, {}% reads, \
+         multiget {}, setq-pipeline {})",
+        total_ops,
+        secs,
+        total_ops as f64 / secs,
+        workers,
+        addr,
+        if args.binary { "binary" } else { "ascii" },
+        args.read_ratio,
+        args.multiget,
+        args.setq_pipeline,
+    );
+    println!(
+        "server: hits={} misses={} curr_connections={} bytes_read={} bytes_written={} \
+         frame_errors={}",
+        stat("get_hits"),
+        stat("get_misses"),
+        stat("curr_connections"),
+        stat("bytes_read"),
+        stat("bytes_written"),
+        stat("frame_errors"),
+    );
+    assert_eq!(stat("frame_errors"), 0, "clean run must not desync frames");
+    assert_eq!(stat("request_panics"), 0, "no handler may have panicked");
+}
+
+fn run_tcp_worker(args: &Args, addr: &str, wl: &Workload, w: usize) {
+    let mut conn = WireConn::connect(addr).expect("worker connect");
+    let mut get_batch: Vec<usize> = Vec::new();
+    let mut set_batch: Vec<usize> = Vec::new();
+    for op in wl.stream(w) {
+        if args.multiget > 1 {
+            if let Op::Get(k) = op {
+                flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+                get_batch.push(k);
+                if get_batch.len() == args.multiget {
+                    flush_tcp_gets(args, &mut conn, wl, &mut get_batch);
+                }
+                continue;
+            }
+            flush_tcp_gets(args, &mut conn, wl, &mut get_batch);
+        }
+        if args.setq_pipeline > 1 {
+            if let Op::Set(k) = op {
+                set_batch.push(k);
+                if set_batch.len() == args.setq_pipeline {
+                    flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+                }
+                continue;
+            }
+            flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+        }
+        if args.binary {
+            let req = match op {
+                Op::Get(k) => Request {
+                    opcode: Opcode::Get,
+                    opaque: k as u32,
+                    cas: 0,
+                    key: wl.key(k).to_vec(),
+                    value: vec![],
+                    extra: 0,
+                },
+                Op::Set(k) => Request {
+                    opcode: Opcode::Set,
+                    opaque: k as u32,
+                    cas: 0,
+                    key: wl.key(k).to_vec(),
+                    value: wl.value(k),
+                    extra: 0,
+                },
+                Op::Delete(k) => Request {
+                    opcode: Opcode::Delete,
+                    opaque: k as u32,
+                    cas: 0,
+                    key: wl.key(k).to_vec(),
+                    value: vec![],
+                    extra: 0,
+                },
+                Op::Incr(k, d) => Request {
+                    opcode: Opcode::Increment,
+                    opaque: k as u32,
+                    cas: 0,
+                    key: wl.key(k).to_vec(),
+                    value: vec![],
+                    extra: d,
+                },
+            };
+            let resp = conn.binary_roundtrip(&req).expect("binary roundtrip");
+            assert_eq!(resp.opaque, req.opaque, "opaque echo");
+            match op {
+                Op::Get(k) => match resp.status {
+                    Status::Ok => assert!(
+                        wl.verify_value(k, &resp.value),
+                        "GET returned wrong bytes for key index {k}"
+                    ),
+                    Status::KeyNotFound => {}
+                    other => panic!("GET answered {other:?}"),
+                },
+                Op::Set(_) => assert_eq!(resp.status, Status::Ok, "SET must store"),
+                Op::Delete(_) => assert!(
+                    matches!(resp.status, Status::Ok | Status::KeyNotFound),
+                    "DELETE answered {:?}",
+                    resp.status
+                ),
+                Op::Incr(..) => {}
+            }
+        } else {
+            match op {
+                Op::Get(k) => {
+                    let hits = conn.ascii_get(&[wl.key(k).as_ref()], false).expect("get");
+                    if let Some(hit) = hits.first() {
+                        assert!(
+                            wl.verify_value(k, &hit.data),
+                            "GET returned wrong bytes for key index {k}"
+                        );
+                    }
+                }
+                Op::Set(k) => {
+                    let value = wl.value(k);
+                    let mut req = format!(
+                        "set {} 0 0 {}\r\n",
+                        String::from_utf8_lossy(wl.key(k)),
+                        value.len()
+                    )
+                    .into_bytes();
+                    req.extend_from_slice(&value);
+                    req.extend_from_slice(b"\r\n");
+                    let line = conn.ascii_line(&req).expect("set");
+                    assert_eq!(line, b"STORED", "SET must store");
+                }
+                Op::Delete(k) => {
+                    let req = format!("delete {}\r\n", String::from_utf8_lossy(wl.key(k)));
+                    let line = conn.ascii_line(req.as_bytes()).expect("delete");
+                    assert!(
+                        line == b"DELETED" || line == b"NOT_FOUND",
+                        "DELETE answered {:?}",
+                        String::from_utf8_lossy(&line)
+                    );
+                }
+                Op::Incr(k, d) => {
+                    let req = format!("incr {} {}\r\n", String::from_utf8_lossy(wl.key(k)), d);
+                    conn.ascii_line(req.as_bytes()).expect("incr");
+                }
+            }
+        }
+    }
+    flush_tcp_gets(args, &mut conn, wl, &mut get_batch);
+    flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+}
+
+/// Flushes a `--multiget` batch over the wire: one `get k1 .. kn` line
+/// (ASCII) or a GETKQ burst terminated by a Noop (binary). Every hit is
+/// verified against the oracle.
+fn flush_tcp_gets(args: &Args, conn: &mut WireConn, wl: &Workload, batch: &mut Vec<usize>) {
+    if batch.is_empty() {
+        return;
+    }
+    if args.binary {
+        let mut reqs: Vec<Request> = batch
+            .iter()
+            .map(|&k| Request {
+                opcode: Opcode::GetKQ,
+                opaque: k as u32,
+                cas: 0,
+                key: wl.key(k).to_vec(),
+                value: vec![],
+                extra: 0,
+            })
+            .collect();
+        reqs.push(Request {
+            opcode: Opcode::Noop,
+            opaque: NOOP_OPAQUE,
+            cas: 0,
+            key: vec![],
+            value: vec![],
+            extra: 0,
+        });
+        let resps = conn.binary_pipeline(&reqs, NOOP_OPAQUE).expect("multiget");
+        for resp in &resps[..resps.len() - 1] {
+            assert_eq!(resp.status, Status::Ok, "quiet get only answers hits");
+            let k = resp.opaque as usize;
+            assert_eq!(resp.key.as_slice(), wl.key(k).as_ref(), "GETKQ echoes its key");
+            assert!(
+                wl.verify_value(k, &resp.value),
+                "multiget returned wrong bytes for key index {k}"
+            );
+        }
+    } else {
+        let keys: Vec<&[u8]> = batch.iter().map(|&k| wl.key(k).as_ref()).collect();
+        let hits = conn.ascii_get(&keys, false).expect("multiget");
+        for hit in hits {
+            let k = batch
+                .iter()
+                .copied()
+                .find(|&k| wl.key(k).as_ref() == hit.key.as_slice())
+                .expect("hit echoes a requested key");
+            assert!(
+                wl.verify_value(k, &hit.data),
+                "multiget returned wrong bytes for key index {k}"
+            );
+        }
+    }
+    batch.clear();
+}
+
+/// Flushes a `--setq-pipeline` batch: a concatenated burst of loud sets
+/// (ASCII) or quiet SETQ frames terminated by a Noop (binary).
+fn flush_tcp_sets(args: &Args, conn: &mut WireConn, wl: &Workload, batch: &mut Vec<usize>) {
+    if batch.is_empty() {
+        return;
+    }
+    if args.binary {
+        let mut reqs: Vec<Request> = batch
+            .iter()
+            .map(|&k| Request {
+                opcode: Opcode::SetQ,
+                opaque: k as u32,
+                cas: 0,
+                key: wl.key(k).to_vec(),
+                value: wl.value(k),
+                extra: 0,
+            })
+            .collect();
+        reqs.push(Request {
+            opcode: Opcode::Noop,
+            opaque: NOOP_OPAQUE,
+            cas: 0,
+            key: vec![],
+            value: vec![],
+            extra: 0,
+        });
+        let resps = conn.binary_pipeline(&reqs, NOOP_OPAQUE).expect("setq burst");
+        assert_eq!(
+            resps.len(),
+            1,
+            "quiet sets must all succeed silently: {resps:?}"
+        );
+    } else {
+        let mut wire = Vec::new();
+        for &k in batch.iter() {
+            let value = wl.value(k);
+            wire.extend_from_slice(
+                format!(
+                    "set {} 0 0 {}\r\n",
+                    String::from_utf8_lossy(wl.key(k)),
+                    value.len()
+                )
+                .as_bytes(),
+            );
+            wire.extend_from_slice(&value);
+            wire.extend_from_slice(b"\r\n");
+        }
+        conn.send(&wire).expect("pipelined sets");
+        for _ in batch.iter() {
+            let line = conn.read_line().expect("set reply");
+            assert_eq!(line, b"STORED", "pipelined SET must store");
+        }
+    }
+    batch.clear();
 }

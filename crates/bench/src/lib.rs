@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod wire;
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -1,0 +1,210 @@
+//! A minimal blocking memcached wire client for loopback load
+//! generation and tests: mcslap's `--tcp` mode, the `stm_wirepath`
+//! bench, and the conformance suites drive [`mcache::net::Server`]
+//! through real sockets with this.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use mcache::proto::binary::{Request, Response};
+
+/// One blocking client connection with a response reassembly buffer.
+pub struct WireConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+}
+
+/// One ASCII `VALUE` block from a get response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsciiValue {
+    /// The key as echoed on the `VALUE` line.
+    pub key: Vec<u8>,
+    /// Client flags.
+    pub flags: u32,
+    /// CAS id (`gets` only; 0 for `get`).
+    pub cas: u64,
+    /// The data block.
+    pub data: Vec<u8>,
+}
+
+impl WireConn {
+    /// Connects (blocking, `TCP_NODELAY`).
+    pub fn connect(addr: &str) -> io::Result<WireConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireConn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+        })
+    }
+
+    /// Sends raw bytes.
+    pub fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        if self.rpos > 0 && self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        }
+        let mut chunk = [0u8; 16 << 10];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        self.rbuf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Reads one CRLF-terminated line (CRLF stripped).
+    pub fn read_line(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            let avail = &self.rbuf[self.rpos..];
+            if let Some(i) = avail.windows(2).position(|w| w == b"\r\n") {
+                let line = avail[..i].to_vec();
+                self.rpos += i + 2;
+                return Ok(line);
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Reads exactly `n` bytes.
+    pub fn read_exact_bytes(&mut self, n: usize) -> io::Result<Vec<u8>> {
+        while self.rbuf.len() - self.rpos < n {
+            self.fill()?;
+        }
+        let out = self.rbuf[self.rpos..self.rpos + n].to_vec();
+        self.rpos += n;
+        Ok(out)
+    }
+
+    /// Sends an ASCII request expecting a single-line response and
+    /// returns that line (CRLF stripped): storage commands, `delete`,
+    /// `incr`/`decr`, `touch`, `version`, errors.
+    pub fn ascii_line(&mut self, request: &[u8]) -> io::Result<Vec<u8>> {
+        self.send(request)?;
+        self.read_line()
+    }
+
+    /// Sends `get`/`gets` for `keys` and parses the `VALUE` blocks up
+    /// to the terminating `END`.
+    pub fn ascii_get(&mut self, keys: &[&[u8]], with_cas: bool) -> io::Result<Vec<AsciiValue>> {
+        let mut req: Vec<u8> = if with_cas { b"gets".to_vec() } else { b"get".to_vec() };
+        for k in keys {
+            req.push(b' ');
+            req.extend_from_slice(k);
+        }
+        req.extend_from_slice(b"\r\n");
+        self.send(&req)?;
+        self.read_values()
+    }
+
+    /// Parses `VALUE` blocks up to the terminating `END` (the response
+    /// to an already-sent get).
+    pub fn read_values(&mut self) -> io::Result<Vec<AsciiValue>> {
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == b"END" {
+                return Ok(out);
+            }
+            let text = String::from_utf8_lossy(&line);
+            let mut parts = text.split_whitespace();
+            let (Some("VALUE"), Some(key), Some(flags), Some(len)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected get response line: {text:?}"),
+                ));
+            };
+            let flags: u32 = flags.parse().map_err(bad_data)?;
+            let len: usize = len.parse().map_err(bad_data)?;
+            let cas: u64 = match parts.next() {
+                Some(c) => c.parse().map_err(bad_data)?,
+                None => 0,
+            };
+            let data = self.read_exact_bytes(len)?;
+            let crlf = self.read_exact_bytes(2)?;
+            if crlf != b"\r\n" {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "missing data CRLF"));
+            }
+            out.push(AsciiValue {
+                key: key.as_bytes().to_vec(),
+                flags,
+                cas,
+                data,
+            });
+        }
+    }
+
+    /// Sends `stats` and returns the `(name, value)` pairs.
+    pub fn ascii_stats(&mut self) -> io::Result<Vec<(String, u64)>> {
+        self.send(b"stats\r\n")?;
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == b"END" {
+                return Ok(out);
+            }
+            let text = String::from_utf8_lossy(&line);
+            let mut parts = text.split_whitespace();
+            if let (Some("STAT"), Some(k), Some(v)) = (parts.next(), parts.next(), parts.next()) {
+                out.push((k.to_string(), v.parse().map_err(bad_data)?));
+            }
+        }
+    }
+
+    /// Reads one binary response frame.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        loop {
+            if let Some((resp, used)) = Response::decode(&self.rbuf[self.rpos..]) {
+                self.rpos += used;
+                return Ok(resp);
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Sends one non-quiet binary request and reads its response.
+    pub fn binary_roundtrip(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(&req.encode())?;
+        self.read_response()
+    }
+
+    /// Sends a pipelined burst of binary requests as ONE write and
+    /// reads responses until the sentinel — the response echoing
+    /// `stop_opaque` (a trailing `Noop` per the quiet-op idiom).
+    /// Returns every response up to and including the sentinel.
+    pub fn binary_pipeline(
+        &mut self,
+        reqs: &[Request],
+        stop_opaque: u32,
+    ) -> io::Result<Vec<Response>> {
+        let mut wire = Vec::new();
+        for r in reqs {
+            wire.extend_from_slice(&r.encode());
+        }
+        self.send(&wire)?;
+        let mut out = Vec::new();
+        loop {
+            let resp = self.read_response()?;
+            let done = resp.opaque == stop_opaque;
+            out.push(resp);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+fn bad_data<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}

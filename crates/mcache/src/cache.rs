@@ -385,6 +385,14 @@ impl McCache {
         self.cfg.branch
     }
 
+    /// Number of registered worker slots — the valid range of the `w`
+    /// index every operation takes. The TCP front end sizes its
+    /// thread-per-core pool against this so each network worker owns a
+    /// distinct slot.
+    pub fn worker_slots(&self) -> usize {
+        self.workers.len()
+    }
+
     /// The TM runtime's statistics (Tables 1–4 raw material).
     pub fn tm_stats(&self) -> StatsSnapshot {
         self.rt.stats()

@@ -46,6 +46,7 @@ pub mod ctx;
 pub mod hashes;
 pub mod item;
 pub mod lru;
+pub mod net;
 pub mod policy;
 pub mod proto;
 pub mod sem;
@@ -56,6 +57,7 @@ pub use cache::{
     ArithStatus, CacheStats, GetValue, McCache, McConfig, McHandle, StoreMode, StoreOp,
     StoreStatus, KEY_MAX,
 };
+pub use net::{NetConfig, NetSnapshot, Server};
 pub use policy::{Branch, Category, ItemMode, Policy, SectionKind, Stage};
 pub use slabs::SlabConfig;
 

@@ -1,0 +1,256 @@
+//! Per-connection state machine: buffer management, incremental frame
+//! scanning, and coalesced dispatch into the protocol layer.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+use crate::cache::McCache;
+use crate::proto::{self, binary, FrameScan};
+
+use super::Shared;
+
+/// Upper bound on bytes a single pump ingests before dispatching, so
+/// one fire-hosing client cannot grow its buffer unboundedly between
+/// dispatches.
+const MAX_READS_PER_PUMP: usize = 16;
+
+pub(crate) struct Connection {
+    stream: TcpStream,
+    /// Unconsumed request bytes; the head is always a frame boundary
+    /// (or the inside of a swallowed block, tracked by `swallow`).
+    rbuf: Vec<u8>,
+    /// Pending response bytes from `wpos` on.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Bytes still to discard as they arrive (an oversized data block).
+    swallow: usize,
+    /// Close once `wbuf` drains (after `quit` or an unsyncable error).
+    close_after_flush: bool,
+}
+
+impl Connection {
+    pub(crate) fn new(stream: TcpStream) -> Connection {
+        Connection {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            swallow: 0,
+            close_after_flush: false,
+        }
+    }
+
+    /// One poll round: flush pending writes, drain the socket, dispatch
+    /// every complete frame, flush again. Returns `(keep, busy)` —
+    /// whether the connection stays registered and whether any bytes
+    /// moved (the worker's idle-sleep signal).
+    pub(crate) fn pump(&mut self, cache: &McCache, w: usize, shared: &Shared) -> (bool, bool) {
+        let mut busy = false;
+        if !self.flush(shared, &mut busy) {
+            return (false, busy);
+        }
+        let mut chunk = vec![0u8; shared.cfg.read_chunk];
+        let mut peer_closed = false;
+        for _ in 0..MAX_READS_PER_PUMP {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    busy = true;
+                    shared.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return (false, busy),
+            }
+        }
+        self.dispatch(cache, w, shared);
+        if !self.flush(shared, &mut busy) {
+            return (false, busy);
+        }
+        if peer_closed {
+            // Whatever could be answered was; a half-open client gets
+            // the remaining responses dropped with the connection, as
+            // memcached does.
+            return (false, busy);
+        }
+        if self.close_after_flush && self.wpos == self.wbuf.len() {
+            return (false, busy);
+        }
+        (true, busy)
+    }
+
+    /// Nonblocking write of the pending response bytes. Returns `false`
+    /// when the connection died.
+    fn flush(&mut self, shared: &Shared, busy: &mut bool) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    *busy = true;
+                    self.wpos += n;
+                    shared.stats.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        true
+    }
+
+    /// Executes every complete frame at the head of `rbuf`.
+    fn dispatch(&mut self, cache: &McCache, w: usize, shared: &Shared) {
+        if self.swallow > 0 {
+            let n = self.swallow.min(self.rbuf.len());
+            self.rbuf.drain(..n);
+            self.swallow -= n;
+            if self.swallow > 0 {
+                return;
+            }
+        }
+        if self.rbuf.is_empty() {
+            return;
+        }
+        let outcome = run_frames(cache, w, shared, &self.rbuf);
+        self.wbuf.extend_from_slice(&outcome.out);
+        self.rbuf.drain(..outcome.consumed);
+        self.swallow = outcome.swallow;
+        if outcome.close {
+            self.close_after_flush = true;
+        }
+    }
+}
+
+struct DispatchOutcome {
+    out: Vec<u8>,
+    consumed: usize,
+    swallow: usize,
+    close: bool,
+}
+
+/// Scans `buf` frame by frame and executes coalesced runs: consecutive
+/// ASCII frames via [`proto::execute_ascii_run`] (consecutive stores →
+/// one batched transaction), consecutive binary frames via
+/// [`binary::execute_pipeline`] (GETQ/GETKQ and SETQ runs batch). The
+/// batch boundary is exactly the bytes the client's burst put in the
+/// buffer.
+fn run_frames(cache: &McCache, w: usize, shared: &Shared, buf: &[u8]) -> DispatchOutcome {
+    let mut out = Vec::new();
+    let mut consumed = 0;
+    let mut swallow = 0;
+    let mut close = false;
+    let mut ascii_run: Vec<&[u8]> = Vec::new();
+    let mut bin_run: Vec<binary::Request> = Vec::new();
+
+    // Flushes whichever run is pending (at most one is non-empty).
+    macro_rules! flush_runs {
+        () => {
+            if !ascii_run.is_empty() {
+                out.extend_from_slice(&proto::execute_ascii_run(cache, w, &ascii_run));
+                ascii_run.clear();
+            }
+            if !bin_run.is_empty() {
+                for r in binary::execute_pipeline(cache, w, &bin_run) {
+                    out.extend_from_slice(&r.encode());
+                }
+                bin_run.clear();
+            }
+        };
+    }
+
+    loop {
+        match proto::scan_frame(&buf[consumed..]) {
+            FrameScan::Incomplete => break,
+            FrameScan::Ascii { len } => {
+                let frame = &buf[consumed..consumed + len];
+                consumed += len;
+                // Connection-level commands the protocol layer cannot
+                // answer: `quit` and the net-stat splice on `stats`.
+                if frame == b"quit\r\n" {
+                    flush_runs!();
+                    close = true;
+                    break;
+                }
+                if frame == b"stats\r\n" {
+                    flush_runs!();
+                    out.extend_from_slice(&stats_with_net(cache, w, shared));
+                    continue;
+                }
+                if !bin_run.is_empty() {
+                    flush_runs!();
+                }
+                ascii_run.push(frame);
+            }
+            FrameScan::Binary { len } => {
+                let frame = &buf[consumed..consumed + len];
+                consumed += len;
+                if !ascii_run.is_empty() {
+                    flush_runs!();
+                }
+                match binary::parse_frame(frame) {
+                    Ok(req) => bin_run.push(req),
+                    Err(resp) => {
+                        // Answer in order, then keep going: a bad frame
+                        // is delimited, the connection stays synced.
+                        flush_runs!();
+                        shared.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                        out.extend_from_slice(&resp);
+                    }
+                }
+            }
+            FrameScan::Error {
+                consumed: c,
+                swallow: s,
+                close: cl,
+                response,
+            } => {
+                flush_runs!();
+                shared.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                out.extend_from_slice(&response);
+                consumed += c;
+                swallow = s;
+                close = cl;
+                break;
+            }
+        }
+    }
+    flush_runs!();
+    DispatchOutcome {
+        out,
+        consumed,
+        swallow,
+        close,
+    }
+}
+
+/// The cache's `stats` response with the server-wide wire counters
+/// spliced in before the trailing `END`.
+fn stats_with_net(cache: &McCache, w: usize, shared: &Shared) -> Vec<u8> {
+    let base = proto::execute_ascii(cache, w, b"stats\r\n");
+    let Some(cut) = base.len().checked_sub(b"END\r\n".len()).filter(|&c| &base[c..] == b"END\r\n")
+    else {
+        return base; // a panicked handler answered SERVER_ERROR
+    };
+    let mut out = base[..cut].to_vec();
+    let ns = shared.stats.snapshot();
+    for (k, v) in [
+        ("curr_connections", ns.curr_connections),
+        ("total_connections", ns.total_connections),
+        ("bytes_read", ns.bytes_read),
+        ("bytes_written", ns.bytes_written),
+        ("frame_errors", ns.frame_errors),
+    ] {
+        out.extend_from_slice(format!("STAT {k} {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"END\r\n");
+    out
+}

@@ -1,0 +1,55 @@
+//! Worker loop: sharded accept plus connection polling.
+
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::conn::Connection;
+use super::Shared;
+
+/// One network worker: accepts off its clone of the shared nonblocking
+/// listener (the kernel spreads `accept` across the clones) and pumps
+/// the connections it owns. All cache traffic from this thread uses
+/// worker slot `w`, keeping STM descriptors, stat shards and slab
+/// magazines thread-private.
+pub(crate) fn worker_loop(shared: Arc<Shared>, listener: TcpListener, w: usize) {
+    let mut conns: Vec<Connection> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut busy = false;
+        // Drain the accept queue before polling: a burst of clients
+        // should all land this round.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    busy = true;
+                    if stream.set_nonblocking(true).is_ok() {
+                        let _ = stream.set_nodelay(true);
+                        shared.stats.curr_connections.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.total_connections.fetch_add(1, Ordering::Relaxed);
+                        conns.push(Connection::new(stream));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept failures (per-connection resets,
+                // fd pressure): skip this round, keep serving.
+                Err(_) => break,
+            }
+        }
+        conns.retain_mut(|c| {
+            let (keep, did_work) = c.pump(&shared.cache, w, &shared);
+            busy |= did_work;
+            if !keep {
+                shared.stats.curr_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+            keep
+        });
+        if !busy {
+            std::thread::sleep(Duration::from_micros(shared.cfg.idle_sleep_us));
+        }
+    }
+    // Shutdown closes whatever is still connected.
+    for _ in &conns {
+        shared.stats.curr_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}

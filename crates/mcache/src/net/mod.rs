@@ -1,0 +1,204 @@
+//! The TCP front end: puts the transactionalized cache on the wire.
+//!
+//! Architecture (DESIGN §12):
+//!
+//! - **Sharded accept, thread-per-core workers.** One nonblocking
+//!   `TcpListener` is cloned into every worker thread; each worker
+//!   accepts directly off the shared socket (the kernel load-balances
+//!   `accept` across the clones) and owns the connections it accepted
+//!   for their whole life. Worker `w` drives the cache exclusively
+//!   through worker slot `w`, so the STM's per-worker descriptors,
+//!   stats shards and slab magazines all stay thread-private — no
+//!   cross-thread handoff anywhere on the request path.
+//! - **Incremental framing.** Reads land in a per-connection buffer and
+//!   [`proto::scan_frame`] delimits complete frames with exact byte
+//!   counts, auto-detecting ASCII vs binary per frame. Partial frames
+//!   (a `set` whose data block straddles two socket reads) simply stay
+//!   buffered; oversized data blocks are swallowed without buffering.
+//! - **Coalescing from the buffer.** Whatever complete frames sit in
+//!   the buffer at dispatch time execute as pipelined runs:
+//!   consecutive ASCII frames through [`proto::execute_ascii_run`]
+//!   (consecutive stores → one batched store transaction) and
+//!   consecutive binary frames through [`binary::execute_pipeline`]
+//!   (GETQ/GETKQ runs → one read-only multiget transaction, SETQ runs
+//!   → one batched store). The batch boundary is the client's real
+//!   burst, exactly as memcached's `conn` state machine drains what
+//!   `read(2)` returned.
+//!
+//! Everything is `std::net` + nonblocking polling — no epoll wrapper,
+//! no async runtime — so the server builds offline and hermetic.
+//!
+//! [`binary::execute_pipeline`]: crate::proto::binary::execute_pipeline
+
+mod conn;
+mod listener;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::cache::{McCache, McHandle};
+
+/// Configuration for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 = ephemeral).
+    pub addr: String,
+    /// Network worker threads. `0` means one per cache worker slot.
+    /// Must not exceed [`McCache::worker_slots`] — each worker owns one
+    /// slot.
+    pub workers: usize,
+    /// Bytes per `read(2)` into a connection buffer.
+    pub read_chunk: usize,
+    /// Poll-idle sleep in microseconds when a worker finds no bytes and
+    /// no new connections.
+    pub idle_sleep_us: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            read_chunk: 16 << 10,
+            idle_sleep_us: 200,
+        }
+    }
+}
+
+/// Server-wide wire counters, updated lock-free by the workers and
+/// spliced into the ASCII `stats` response.
+#[derive(Default)]
+pub struct NetStats {
+    pub(crate) curr_connections: AtomicU64,
+    pub(crate) total_connections: AtomicU64,
+    pub(crate) bytes_read: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+    pub(crate) frame_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Connections currently open.
+    pub curr_connections: u64,
+    /// Connections ever accepted.
+    pub total_connections: u64,
+    /// Payload bytes read off sockets.
+    pub bytes_read: u64,
+    /// Payload bytes written to sockets.
+    pub bytes_written: u64,
+    /// Frames that failed to scan or decode (oversized values,
+    /// unknown opcodes, unterminated lines, ...).
+    pub frame_errors: u64,
+}
+
+impl NetStats {
+    /// Snapshots the counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            curr_connections: self.curr_connections.load(Ordering::Relaxed),
+            total_connections: self.total_connections.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by every network worker.
+pub(crate) struct Shared {
+    pub(crate) cache: Arc<McCache>,
+    pub(crate) stats: NetStats,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) cfg: NetConfig,
+}
+
+/// A running TCP server owning the cache it serves.
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops the
+/// workers, closes every connection, and then shuts the cache down via
+/// its [`McHandle`].
+pub struct Server {
+    handle: Option<McHandle>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and spawns the worker threads.
+    ///
+    /// # Panics
+    /// If `cfg.workers` exceeds the cache's worker slots.
+    pub fn start(cache: McHandle, cfg: NetConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            cache.worker_slots()
+        } else {
+            cfg.workers
+        };
+        assert!(
+            workers >= 1 && workers <= cache.worker_slots(),
+            "net workers ({workers}) must fit the cache's worker slots ({})",
+            cache.worker_slots()
+        );
+        let shared = Arc::new(Shared {
+            cache: cache.cache().clone(),
+            stats: NetStats::default(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let mut threads = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let l = listener.try_clone()?;
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mc-net-{w}"))
+                    .spawn(move || listener::worker_loop(s, l, w))?,
+            );
+        }
+        Ok(Server {
+            handle: Some(cache),
+            shared,
+            threads,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port from `addr:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The cache behind the server.
+    pub fn cache(&self) -> &Arc<McCache> {
+        &self.shared.cache
+    }
+
+    /// Wire-level counters.
+    pub fn net_stats(&self) -> NetSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops the workers (closing every connection) and shuts the cache
+    /// down. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.handle.take(); // McHandle drop stops the cache
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

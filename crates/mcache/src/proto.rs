@@ -42,6 +42,17 @@ pub fn execute_ascii(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
     }
 }
 
+/// `true` when `key` is a protocol-legal key: nonempty and at most
+/// [`KEY_MAX`](crate::cache::KEY_MAX) bytes. The cache layer *asserts*
+/// these bounds, so the protocol layer must reject violations first —
+/// otherwise an oversized key on the wire costs a caught panic and a
+/// `SERVER_ERROR` instead of the `CLIENT_ERROR` memcached answers.
+fn valid_key(key: &[u8]) -> bool {
+    !key.is_empty() && key.len() <= crate::cache::KEY_MAX
+}
+
+const BAD_LINE: &[u8] = b"CLIENT_ERROR bad command line format\r\n";
+
 fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
     if cache.take_request_panic_trap() {
         panic!("test trap: request panic");
@@ -64,6 +75,13 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
             // whole multiget runs as a single read-only fast-lane
             // transaction (see `McCache::get_multi`).
             let keys: Vec<&[u8]> = parts.collect();
+            if keys.is_empty() || keys.iter().any(|k| !valid_key(k)) {
+                return if keys.is_empty() {
+                    b"ERROR\r\n".to_vec()
+                } else {
+                    BAD_LINE.to_vec()
+                };
+            }
             let vals = cache.get_multi(w, &keys);
             let mut out = Vec::new();
             for (key, v) in keys.iter().zip(vals) {
@@ -88,21 +106,25 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
         }
         b"set" | b"add" | b"replace" | b"append" | b"prepend" | b"cas" => {
             let Some(key) = parts.next() else {
-                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+                return BAD_LINE.to_vec();
             };
             let (Some(flags), Some(exptime), Some(nbytes)) =
                 (parts.next_u64(), parts.next_u64(), parts.next_u64())
             else {
-                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+                return BAD_LINE.to_vec();
             };
             let cas_id = if cmd == b"cas" {
                 match parts.next_u64() {
                     Some(c) => c,
-                    None => return b"CLIENT_ERROR bad command line format\r\n".to_vec(),
+                    None => return BAD_LINE.to_vec(),
                 }
             } else {
                 0
             };
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            if !valid_key(key) {
+                return BAD_LINE.to_vec();
+            }
             let data_start = line_end + 2;
             let data_end = data_start + nbytes as usize;
             if request.len() < data_end + 2 || &request[data_end..data_end + 2] != b"\r\n" {
@@ -118,18 +140,42 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
                 b"cas" => cache.cas(w, key, data, flags as u32, exptime as u32, cas_id),
                 _ => unreachable!(),
             };
-            store_reply(st).to_vec()
+            if noreply {
+                Vec::new()
+            } else {
+                store_reply(st).to_vec()
+            }
         }
-        b"delete" => match parts.next() {
-            Some(key) if cache.delete(w, key) => b"DELETED\r\n".to_vec(),
-            Some(_) => b"NOT_FOUND\r\n".to_vec(),
-            None => b"CLIENT_ERROR bad command line format\r\n".to_vec(),
-        },
+        b"delete" => {
+            let Some(key) = parts.next() else {
+                return BAD_LINE.to_vec();
+            };
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            if !valid_key(key) {
+                return BAD_LINE.to_vec();
+            }
+            let deleted = cache.delete(w, key);
+            if noreply {
+                Vec::new()
+            } else if deleted {
+                b"DELETED\r\n".to_vec()
+            } else {
+                b"NOT_FOUND\r\n".to_vec()
+            }
+        }
         b"incr" | b"decr" => {
             let (Some(key), Some(delta)) = (parts.next(), parts.next_u64()) else {
-                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+                return BAD_LINE.to_vec();
             };
-            match cache.arith(w, key, delta, cmd == b"incr") {
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            if !valid_key(key) {
+                return BAD_LINE.to_vec();
+            }
+            let st = cache.arith(w, key, delta, cmd == b"incr");
+            if noreply {
+                return Vec::new();
+            }
+            match st {
                 ArithStatus::Ok(v) => format!("{v}\r\n").into_bytes(),
                 ArithStatus::NotFound => b"NOT_FOUND\r\n".to_vec(),
                 ArithStatus::NonNumeric => {
@@ -139,17 +185,29 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
         }
         b"touch" => {
             let (Some(key), Some(exp)) = (parts.next(), parts.next_u64()) else {
-                return b"CLIENT_ERROR bad command line format\r\n".to_vec();
+                return BAD_LINE.to_vec();
             };
-            if cache.touch(w, key, exp as u32) {
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            if !valid_key(key) {
+                return BAD_LINE.to_vec();
+            }
+            let touched = cache.touch(w, key, exp as u32);
+            if noreply {
+                Vec::new()
+            } else if touched {
                 b"TOUCHED\r\n".to_vec()
             } else {
                 b"NOT_FOUND\r\n".to_vec()
             }
         }
         b"flush_all" => {
+            let noreply = matches!(parts.next(), Some(b"noreply"));
             cache.flush_all(w);
-            b"OK\r\n".to_vec()
+            if noreply {
+                Vec::new()
+            } else {
+                b"OK\r\n".to_vec()
+            }
         }
         b"stats" => {
             let s = cache.stats();
@@ -210,19 +268,35 @@ pub fn execute_ascii_pipeline(cache: &McCache, w: usize, buffer: &[u8]) -> Vec<u
         cmds.push(&rest[..len]);
         rest = &rest[len..];
     }
+    execute_ascii_run(cache, w, &cmds)
+}
+
+/// Executes a run of pre-split COMPLETE ASCII requests — the batching
+/// core shared by [`execute_ascii_pipeline`] (whole-buffer splitting),
+/// [`execute_ascii_pipeline_consumed`] (incremental framing), and the
+/// TCP connection dispatcher, which feeds it exactly the frames sitting
+/// in a connection's read buffer.
+///
+/// Runs of consecutive simple storage commands execute as ONE batched
+/// store transaction via [`McCache::store_batch`]; `noreply` ops inside
+/// a batch keep their quiet semantics (the store happens, the reply is
+/// suppressed).
+pub fn execute_ascii_run(cache: &McCache, w: usize, cmds: &[&[u8]]) -> Vec<u8> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < cmds.len() {
-        let Some(op) = parse_store_op(cmds[i]) else {
+        let Some((op, noreply)) = parse_store_op(cmds[i]) else {
             out.extend_from_slice(&execute_ascii(cache, w, cmds[i]));
             i += 1;
             continue;
         };
         let mut ops = vec![op];
+        let mut quiet = vec![noreply];
         let mut j = i + 1;
         while j < cmds.len() {
-            let Some(op) = parse_store_op(cmds[j]) else { break };
+            let Some((op, noreply)) = parse_store_op(cmds[j]) else { break };
             ops.push(op);
+            quiet.push(noreply);
             j += 1;
         }
         let statuses = catch_unwind(AssertUnwindSafe(|| {
@@ -233,20 +307,226 @@ pub fn execute_ascii_pipeline(cache: &McCache, w: usize, buffer: &[u8]) -> Vec<u
         }));
         match statuses {
             Ok(sts) => {
-                for st in sts {
-                    out.extend_from_slice(store_reply(st));
+                for (st, &q) in sts.into_iter().zip(&quiet) {
+                    if !q {
+                        out.extend_from_slice(store_reply(st));
+                    }
                 }
             }
             Err(_panic) => {
                 cache.note_request_panic();
-                for _ in &ops {
-                    out.extend_from_slice(SERVER_ERROR_PANIC);
+                for &q in &quiet {
+                    if !q {
+                        out.extend_from_slice(SERVER_ERROR_PANIC);
+                    }
                 }
             }
         }
         i = j;
     }
     out
+}
+
+/// Result of scanning a connection read buffer for one complete frame
+/// (see [`scan_frame`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameScan {
+    /// No complete frame yet: keep the bytes and read more.
+    Incomplete,
+    /// One complete ASCII request occupies the first `len` bytes.
+    Ascii {
+        /// Frame length: command line plus any data block, CRLFs included.
+        len: usize,
+    },
+    /// One complete binary request occupies the first `len` bytes.
+    Binary {
+        /// Frame length: the 24-byte header plus body.
+        len: usize,
+    },
+    /// The buffer head is not a servable frame. `response` goes to the
+    /// client, `consumed` bytes leave the buffer now, the next `swallow`
+    /// bytes (which may not have arrived yet) are discarded as they
+    /// stream in, and `close` marks the connection beyond resync.
+    Error {
+        /// Bytes to drop from the front of the buffer immediately.
+        consumed: usize,
+        /// Further bytes to discard as they arrive — an oversized data
+        /// block still in flight, kept off the heap entirely.
+        swallow: usize,
+        /// Whether to drop the connection once the response flushes.
+        close: bool,
+        /// Error line (ASCII) or error frame (binary) to send.
+        response: Vec<u8>,
+    },
+}
+
+/// Longest accepted ASCII command line, CRLF excluded (memcached's
+/// fixed command-line read buffer). A longer line without a CRLF can
+/// never resynchronize, so the connection closes.
+pub const ASCII_LINE_MAX: usize = 2048;
+
+/// Largest accepted ASCII data block: memcached's default 1 MiB item
+/// cap. A bigger store answers `SERVER_ERROR object too large for
+/// cache` and the in-flight data block is swallowed byte-for-byte,
+/// keeping the connection synchronized without buffering the payload.
+pub const ASCII_VALUE_MAX: usize = 1 << 20;
+
+/// Largest accepted binary request body. Past this the header cannot
+/// be trusted (there is no CRLF to hunt for), so the connection closes.
+pub const BINARY_BODY_MAX: usize = 2 << 20;
+
+/// Scans the head of a connection read buffer for one complete frame,
+/// auto-detecting the protocol per frame: a leading
+/// [`binary::REQ_MAGIC`] byte means binary, anything else ASCII.
+///
+/// This is the incremental-parsing entry point the server's connection
+/// state machine drives. It never copies and never executes; it only
+/// reports exact byte counts, so a request split across socket reads —
+/// a `set` whose data block straddles two reads, a binary header cut
+/// mid-word — is simply [`FrameScan::Incomplete`] until the rest
+/// arrives.
+pub fn scan_frame(buf: &[u8]) -> FrameScan {
+    let Some(&first) = buf.first() else {
+        return FrameScan::Incomplete;
+    };
+    if first == binary::REQ_MAGIC {
+        if buf.len() < 24 {
+            return FrameScan::Incomplete;
+        }
+        let body_len = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+        if body_len > BINARY_BODY_MAX {
+            let opaque = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
+            return FrameScan::Error {
+                consumed: buf.len(),
+                swallow: 0,
+                close: true,
+                response: binary::error_frame(buf[1], opaque, binary::Status::ValueTooLarge),
+            };
+        }
+        return if buf.len() < 24 + body_len {
+            FrameScan::Incomplete
+        } else {
+            FrameScan::Binary { len: 24 + body_len }
+        };
+    }
+    let line_end = match buf.windows(2).position(|w| w == b"\r\n") {
+        Some(i) => i,
+        None => {
+            return if buf.len() > ASCII_LINE_MAX {
+                FrameScan::Error {
+                    consumed: buf.len(),
+                    swallow: 0,
+                    close: true,
+                    response: BAD_LINE.to_vec(),
+                }
+            } else {
+                FrameScan::Incomplete
+            };
+        }
+    };
+    let mut parts = Tokens::new(&buf[..line_end]);
+    let is_store = matches!(
+        parts.next(),
+        Some(b"set" | b"add" | b"replace" | b"append" | b"prepend" | b"cas")
+    );
+    if !is_store {
+        return FrameScan::Ascii { len: line_end + 2 };
+    }
+    // Storage header: key flags exptime nbytes [cas] [noreply]. If it
+    // doesn't parse, the line alone is the frame — the single-request
+    // path answers CLIENT_ERROR, exactly as a desynchronized memcached
+    // connection would.
+    let nbytes = (|| {
+        parts.next()?; // key
+        parts.next_u64()?; // flags
+        parts.next_u64()?; // exptime
+        parts.next_u64() // nbytes
+    })();
+    let Some(nbytes) = nbytes else {
+        return FrameScan::Ascii { len: line_end + 2 };
+    };
+    if nbytes > ASCII_VALUE_MAX as u64 {
+        return FrameScan::Error {
+            consumed: line_end + 2,
+            swallow: nbytes as usize + 2,
+            close: false,
+            response: b"SERVER_ERROR object too large for cache\r\n".to_vec(),
+        };
+    }
+    let total = line_end + 2 + nbytes as usize + 2;
+    if buf.len() < total {
+        // A data block straddling two socket reads: not a frame yet.
+        // (A bad trailing CRLF still frames as `total` bytes — the
+        // executor answers `CLIENT_ERROR bad data chunk`.)
+        FrameScan::Incomplete
+    } else {
+        FrameScan::Ascii { len: total }
+    }
+}
+
+/// Outcome of [`execute_ascii_pipeline_consumed`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineOutcome {
+    /// Concatenated wire responses for every executed request.
+    pub responses: Vec<u8>,
+    /// Bytes consumed from the front of the buffer. Anything after is a
+    /// partial frame the caller must keep for the next socket read.
+    pub consumed: usize,
+    /// Further bytes to discard as they arrive (see [`FrameScan::Error`]).
+    pub swallow: usize,
+    /// Whether the connection should close after flushing `responses`.
+    pub close: bool,
+}
+
+/// Incremental twin of [`execute_ascii_pipeline`]: executes every
+/// COMPLETE ASCII request at the front of `buffer` — with the same
+/// consecutive-store batching — and reports exactly how many bytes were
+/// consumed. A trailing partial frame (a `set` whose data block
+/// straddles two socket reads) is left unconsumed for the next read to
+/// complete; a malformed head reports its error response plus
+/// swallow/close state. Stops without consuming at the first binary
+/// frame — protocol interleaving is the connection dispatcher's job.
+pub fn execute_ascii_pipeline_consumed(
+    cache: &McCache,
+    w: usize,
+    buffer: &[u8],
+) -> PipelineOutcome {
+    let mut cmds: Vec<&[u8]> = Vec::new();
+    let mut consumed = 0;
+    let mut swallow = 0;
+    let mut close = false;
+    let mut tail_error: Option<Vec<u8>> = None;
+    loop {
+        match scan_frame(&buffer[consumed..]) {
+            FrameScan::Ascii { len } => {
+                cmds.push(&buffer[consumed..consumed + len]);
+                consumed += len;
+            }
+            FrameScan::Incomplete | FrameScan::Binary { .. } => break,
+            FrameScan::Error {
+                consumed: c,
+                swallow: s,
+                close: cl,
+                response,
+            } => {
+                consumed += c;
+                swallow = s;
+                close = cl;
+                tail_error = Some(response);
+                break;
+            }
+        }
+    }
+    let mut responses = execute_ascii_run(cache, w, &cmds);
+    if let Some(e) = tail_error {
+        responses.extend_from_slice(&e);
+    }
+    PipelineOutcome {
+        responses,
+        consumed,
+        swallow,
+        close,
+    }
 }
 
 /// Length of the first complete request in `buf`: the command line plus,
@@ -272,8 +552,10 @@ fn ascii_request_len(buf: &[u8]) -> Option<usize> {
 }
 
 /// Parses one complete request as a batchable storage op: `set`/`add`/
-/// `replace`/`cas` with a well-formed command line and data block.
-fn parse_store_op(req: &[u8]) -> Option<StoreOp<'_>> {
+/// `replace`/`cas` with a well-formed command line and data block. The
+/// second element is the `noreply` flag — a quiet op still joins the
+/// batch, its reply is simply suppressed.
+fn parse_store_op(req: &[u8]) -> Option<(StoreOp<'_>, bool)> {
     let line_end = req.windows(2).position(|w| w == b"\r\n")?;
     let mut parts = Tokens::new(&req[..line_end]);
     let cmd = parts.next()?;
@@ -290,6 +572,7 @@ fn parse_store_op(req: &[u8]) -> Option<StoreOp<'_>> {
         b"replace" => StoreMode::Replace,
         _ => StoreMode::Cas(parts.next_u64()?),
     };
+    let noreply = matches!(parts.next(), Some(b"noreply"));
     if key.is_empty() || key.len() > crate::cache::KEY_MAX {
         return None;
     }
@@ -298,13 +581,16 @@ fn parse_store_op(req: &[u8]) -> Option<StoreOp<'_>> {
     if req.len() != data_end + 2 || &req[data_end..] != b"\r\n" {
         return None;
     }
-    Some(StoreOp {
-        mode,
-        key,
-        value: &req[data_start..data_end],
-        flags: flags as u32,
-        exptime: exptime as u32,
-    })
+    Some((
+        StoreOp {
+            mode,
+            key,
+            value: &req[data_start..data_end],
+            flags: flags as u32,
+            exptime: exptime as u32,
+        },
+        noreply,
+    ))
 }
 
 fn store_reply(st: StoreStatus) -> &'static [u8] {
@@ -377,6 +663,9 @@ pub mod binary {
         Delete = 0x04,
         Increment = 0x05,
         Decrement = 0x06,
+        /// Quiet GET: misses send no response, no key echo on hits.
+        /// Pipelined runs batch exactly like [`Opcode::GetKQ`].
+        GetQ = 0x09,
         Noop = 0x0a,
         Version = 0x0b,
         /// GET returning the key in the response body.
@@ -403,6 +692,8 @@ pub mod binary {
         KeyNotFound = 0x0001,
         KeyExists = 0x0002,
         ValueTooLarge = 0x0003,
+        /// 0x0004: a known opcode with a malformed frame layout.
+        InvalidArguments = 0x0004,
         NotStored = 0x0005,
         NonNumeric = 0x0006,
         OutOfMemory = 0x0082,
@@ -410,6 +701,48 @@ pub mod binary {
         /// 0x0084: the handler panicked and was recovered by the
         /// per-request guard.
         InternalError = 0x0084,
+    }
+
+    impl Opcode {
+        /// Decodes a wire opcode byte.
+        pub fn from_u8(b: u8) -> Option<Opcode> {
+            Some(match b {
+                0x00 => Opcode::Get,
+                0x01 => Opcode::Set,
+                0x02 => Opcode::Add,
+                0x03 => Opcode::Replace,
+                0x04 => Opcode::Delete,
+                0x05 => Opcode::Increment,
+                0x06 => Opcode::Decrement,
+                0x09 => Opcode::GetQ,
+                0x0a => Opcode::Noop,
+                0x0b => Opcode::Version,
+                0x0c => Opcode::GetK,
+                0x0d => Opcode::GetKQ,
+                0x11 => Opcode::SetQ,
+                0x14 => Opcode::DeleteQ,
+                _ => return None,
+            })
+        }
+    }
+
+    impl Status {
+        /// Decodes a wire status code.
+        pub fn from_u16(v: u16) -> Option<Status> {
+            Some(match v {
+                0x0000 => Status::Ok,
+                0x0001 => Status::KeyNotFound,
+                0x0002 => Status::KeyExists,
+                0x0003 => Status::ValueTooLarge,
+                0x0004 => Status::InvalidArguments,
+                0x0005 => Status::NotStored,
+                0x0006 => Status::NonNumeric,
+                0x0081 => Status::UnknownCommand,
+                0x0082 => Status::OutOfMemory,
+                0x0084 => Status::InternalError,
+                _ => return None,
+            })
+        }
     }
 
     /// A decoded binary request.
@@ -434,10 +767,15 @@ pub mod binary {
     pub struct Response {
         /// Outcome.
         pub status: Status,
+        /// The request opcode this answers (drives wire framing: get-class
+        /// hits carry a 4-byte flags extras block).
+        pub opcode: Opcode,
         /// Echoed opaque.
         pub opaque: u32,
         /// Stored item's CAS (stores/gets).
         pub cas: u64,
+        /// Item client flags (get-class hits; 0 otherwise).
+        pub flags: u32,
         /// Key echo (GETK/GETKQ hits; empty otherwise).
         pub key: Vec<u8>,
         /// Value (gets, arithmetic results, version).
@@ -478,22 +816,7 @@ pub mod binary {
             if buf.len() < 24 || buf[0] != REQ_MAGIC {
                 return None;
             }
-            let opcode = match buf[1] {
-                0x00 => Opcode::Get,
-                0x01 => Opcode::Set,
-                0x02 => Opcode::Add,
-                0x03 => Opcode::Replace,
-                0x04 => Opcode::Delete,
-                0x05 => Opcode::Increment,
-                0x06 => Opcode::Decrement,
-                0x0a => Opcode::Noop,
-                0x0b => Opcode::Version,
-                0x0c => Opcode::GetK,
-                0x0d => Opcode::GetKQ,
-                0x11 => Opcode::SetQ,
-                0x14 => Opcode::DeleteQ,
-                _ => return None,
-            };
+            let opcode = Opcode::from_u8(buf[1])?;
             let keylen = u16::from_be_bytes([buf[2], buf[3]]) as usize;
             let extlen = buf[4] as usize;
             let body_len = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
@@ -520,6 +843,115 @@ pub mod binary {
         }
     }
 
+    impl Response {
+        /// Encodes to the wire format (magic [`RES_MAGIC`]). Get-class
+        /// hits carry the item's client flags as the canonical 4-byte
+        /// extras block; everything else has no extras.
+        pub fn encode(&self) -> Vec<u8> {
+            let is_get = matches!(
+                self.opcode,
+                Opcode::Get | Opcode::GetQ | Opcode::GetK | Opcode::GetKQ
+            );
+            let extlen: u8 = if is_get && self.status == Status::Ok { 4 } else { 0 };
+            let body_len = extlen as usize + self.key.len() + self.value.len();
+            let mut out = Vec::with_capacity(24 + body_len);
+            out.push(RES_MAGIC);
+            out.push(self.opcode as u8);
+            out.extend_from_slice(&tmstd::htons(self.key.len() as u16).to_ne_bytes());
+            out.push(extlen);
+            out.push(0); // data type
+            out.extend_from_slice(&tmstd::htons(self.status as u16).to_ne_bytes());
+            out.extend_from_slice(&tmstd::htonl(body_len as u32).to_ne_bytes());
+            out.extend_from_slice(&tmstd::htonl(self.opaque).to_ne_bytes());
+            out.extend_from_slice(&self.cas.to_be_bytes());
+            if extlen == 4 {
+                out.extend_from_slice(&self.flags.to_be_bytes());
+            }
+            out.extend_from_slice(&self.key);
+            out.extend_from_slice(&self.value);
+            out
+        }
+
+        /// Decodes one response frame from the front of `buf`, returning
+        /// it plus the frame length. `None` if the frame is incomplete,
+        /// not a response, or carries an opcode/status this module does
+        /// not know.
+        pub fn decode(buf: &[u8]) -> Option<(Response, usize)> {
+            if buf.len() < 24 || buf[0] != RES_MAGIC {
+                return None;
+            }
+            let opcode = Opcode::from_u8(buf[1])?;
+            let keylen = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+            let extlen = buf[4] as usize;
+            let status = Status::from_u16(u16::from_be_bytes([buf[6], buf[7]]))?;
+            let body_len = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+            let opaque = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
+            let cas = u64::from_be_bytes(buf[16..24].try_into().ok()?);
+            if buf.len() < 24 + body_len || body_len < keylen + extlen {
+                return None;
+            }
+            let flags = if extlen >= 4 {
+                u32::from_be_bytes(buf[24..28].try_into().ok()?)
+            } else {
+                0
+            };
+            let key = buf[24 + extlen..24 + extlen + keylen].to_vec();
+            let value = buf[24 + extlen + keylen..24 + body_len].to_vec();
+            Some((
+                Response {
+                    status,
+                    opcode,
+                    opaque,
+                    cas,
+                    flags,
+                    key,
+                    value,
+                },
+                24 + body_len,
+            ))
+        }
+    }
+
+    /// Builds a raw error response frame for a request that could not
+    /// even be decoded: the raw opcode byte and opaque echo back so a
+    /// pipelining client can correlate, with a short human-readable
+    /// message body as real memcached sends.
+    pub fn error_frame(raw_opcode: u8, opaque: u32, status: Status) -> Vec<u8> {
+        let msg: &[u8] = match status {
+            Status::UnknownCommand => b"Unknown command",
+            Status::InvalidArguments => b"Invalid arguments",
+            Status::ValueTooLarge => b"Too large",
+            _ => b"Error",
+        };
+        let mut out = Vec::with_capacity(24 + msg.len());
+        out.push(RES_MAGIC);
+        out.push(raw_opcode);
+        out.extend_from_slice(&tmstd::htons(0).to_ne_bytes());
+        out.push(0);
+        out.push(0); // data type
+        out.extend_from_slice(&tmstd::htons(status as u16).to_ne_bytes());
+        out.extend_from_slice(&tmstd::htonl(msg.len() as u32).to_ne_bytes());
+        out.extend_from_slice(&tmstd::htonl(opaque).to_ne_bytes());
+        out.extend_from_slice(&0u64.to_be_bytes());
+        out.extend_from_slice(msg);
+        out
+    }
+
+    /// Decodes one COMPLETE binary frame (as delimited by
+    /// [`super::scan_frame`]) into a [`Request`], or produces the error
+    /// response frame a real server answers without dropping the
+    /// connection: [`Status::UnknownCommand`] for an unrecognized
+    /// opcode, [`Status::InvalidArguments`] for a known opcode whose
+    /// header lengths don't add up.
+    pub fn parse_frame(frame: &[u8]) -> Result<Request, Vec<u8>> {
+        debug_assert!(frame.len() >= 24 && frame[0] == REQ_MAGIC);
+        let opaque = u32::from_be_bytes([frame[12], frame[13], frame[14], frame[15]]);
+        if Opcode::from_u8(frame[1]).is_none() {
+            return Err(error_frame(frame[1], opaque, Status::UnknownCommand));
+        }
+        Request::decode(frame).ok_or_else(|| error_frame(frame[1], opaque, Status::InvalidArguments))
+    }
+
     /// Dispatches one binary request.
     ///
     /// Like [`super::execute_ascii`], a panicking handler is caught,
@@ -531,8 +963,10 @@ pub mod binary {
                 cache.note_request_panic();
                 Response {
                     status: Status::InternalError,
+                    opcode: req.opcode,
                     opaque: req.opaque,
                     cas: 0,
+                    flags: 0,
                     key: Vec::new(),
                     value: Vec::new(),
                 }
@@ -542,9 +976,9 @@ pub mod binary {
 
     /// Dispatches a pipelined batch of binary requests.
     ///
-    /// Runs of consecutive quiet gets ([`Opcode::GetKQ`]) — the binary
-    /// protocol's multiget idiom — execute as ONE read-only fast-lane
-    /// transaction via [`McCache::get_multi`], and, per the quiet
+    /// Runs of consecutive quiet gets ([`Opcode::GetKQ`]/[`Opcode::GetQ`])
+    /// — the binary protocol's multiget idiom — execute as ONE read-only
+    /// fast-lane transaction via [`McCache::get_multi`], and, per the quiet
     /// semantics, misses produce no response at all. Runs of consecutive
     /// quiet sets ([`Opcode::SetQ`]) — the bulk-load idiom — execute as
     /// ONE batched store transaction via [`McCache::store_batch`], and
@@ -595,8 +1029,10 @@ pub mod binary {
                             };
                             out.push(Response {
                                 status,
+                                opcode: r.opcode,
                                 opaque: r.opaque,
                                 cas: 0,
+                                flags: 0,
                                 key: Vec::new(),
                                 value: Vec::new(),
                             });
@@ -607,8 +1043,10 @@ pub mod binary {
                         for r in batch {
                             out.push(Response {
                                 status: Status::InternalError,
+                                opcode: r.opcode,
                                 opaque: r.opaque,
                                 cas: 0,
+                                flags: 0,
                                 key: Vec::new(),
                                 value: Vec::new(),
                             });
@@ -626,13 +1064,13 @@ pub mod binary {
                 i += 1;
                 continue;
             }
-            if reqs[i].opcode != Opcode::GetKQ {
+            if !matches!(reqs[i].opcode, Opcode::GetKQ | Opcode::GetQ) {
                 out.push(execute(cache, w, &reqs[i]));
                 i += 1;
                 continue;
             }
             let mut j = i + 1;
-            while j < reqs.len() && reqs[j].opcode == Opcode::GetKQ {
+            while j < reqs.len() && matches!(reqs[j].opcode, Opcode::GetKQ | Opcode::GetQ) {
                 j += 1;
             }
             let batch = &reqs[i..j];
@@ -646,13 +1084,20 @@ pub mod binary {
             match vals {
                 Ok(vals) => {
                     for (r, v) in batch.iter().zip(vals) {
-                        // Quiet get: a miss sends nothing.
+                        // Quiet get: a miss sends nothing. Only GETKQ
+                        // echoes the key.
                         if let Some(v) = v {
                             out.push(Response {
                                 status: Status::Ok,
+                                opcode: r.opcode,
                                 opaque: r.opaque,
                                 cas: v.cas,
-                                key: r.key.clone(),
+                                flags: v.flags,
+                                key: if r.opcode == Opcode::GetKQ {
+                                    r.key.clone()
+                                } else {
+                                    Vec::new()
+                                },
                                 value: v.data,
                             });
                         }
@@ -663,8 +1108,10 @@ pub mod binary {
                     for r in batch {
                         out.push(Response {
                             status: Status::InternalError,
+                            opcode: r.opcode,
                             opaque: r.opaque,
                             cas: 0,
+                            flags: 0,
                             key: Vec::new(),
                             value: Vec::new(),
                         });
@@ -682,22 +1129,27 @@ pub mod binary {
         }
         let mut resp = Response {
             status: Status::Ok,
+            opcode: req.opcode,
             opaque: req.opaque,
             cas: 0,
+            flags: 0,
             key: Vec::new(),
             value: Vec::new(),
         };
         match req.opcode {
-            Opcode::Get | Opcode::GetK | Opcode::GetKQ => match cache.get(w, &req.key) {
-                Some(v) => {
-                    resp.cas = v.cas;
-                    resp.value = v.data;
-                    if req.opcode != Opcode::Get {
-                        resp.key = req.key.clone();
+            Opcode::Get | Opcode::GetQ | Opcode::GetK | Opcode::GetKQ => {
+                match cache.get(w, &req.key) {
+                    Some(v) => {
+                        resp.cas = v.cas;
+                        resp.flags = v.flags;
+                        resp.value = v.data;
+                        if matches!(req.opcode, Opcode::GetK | Opcode::GetKQ) {
+                            resp.key = req.key.clone();
+                        }
                     }
+                    None => resp.status = Status::KeyNotFound,
                 }
-                None => resp.status = Status::KeyNotFound,
-            },
+            }
             Opcode::Set | Opcode::SetQ | Opcode::Add | Opcode::Replace => {
                 let st = if req.cas != 0 {
                     cache.cas(w, &req.key, &req.value, req.extra as u32, 0, req.cas)
@@ -1134,6 +1586,219 @@ mod tests {
         assert_eq!(resps[0].status, binary::Status::KeyNotFound);
         assert_eq!(resps[0].opaque, 2);
         assert!(c.get(0, b"k").is_none());
+    }
+
+    #[test]
+    fn ascii_noreply_suppresses_responses() {
+        let c = cache();
+        assert_eq!(execute_ascii(&c, 0, b"set k 7 0 1 noreply\r\nA\r\n"), b"");
+        assert_eq!(execute_ascii(&c, 0, b"get k\r\n"), b"VALUE k 7 1\r\nA\r\nEND\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"set n 0 0 1 noreply\r\n5\r\n"), b"");
+        assert_eq!(execute_ascii(&c, 0, b"incr n 1 noreply\r\n"), b"");
+        assert_eq!(execute_ascii(&c, 0, b"get n\r\n"), b"VALUE n 0 1\r\n6\r\nEND\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"touch n 10 noreply\r\n"), b"");
+        assert_eq!(execute_ascii(&c, 0, b"delete n noreply\r\n"), b"");
+        assert_eq!(execute_ascii(&c, 0, b"get n\r\n"), b"END\r\n");
+        // Quiet ops inside a batched pipeline stay quiet; loud ones answer.
+        let out = execute_ascii_pipeline(
+            &c,
+            0,
+            b"set a 0 0 1 noreply\r\nA\r\nset b 0 0 1\r\nB\r\nset c 0 0 1 noreply\r\nC\r\n",
+        );
+        assert_eq!(out, b"STORED\r\n");
+        assert_eq!(execute_ascii(&c, 0, b"get a c\r\n").len(), b"VALUE a 0 1\r\nA\r\nVALUE c 0 1\r\nC\r\nEND\r\n".len());
+    }
+
+    #[test]
+    fn ascii_oversized_key_is_client_error_not_panic() {
+        let c = cache();
+        let big = vec![b'x'; crate::cache::KEY_MAX + 1];
+        let mut req = b"set ".to_vec();
+        req.extend_from_slice(&big);
+        req.extend_from_slice(b" 0 0 1\r\nA\r\n");
+        assert!(execute_ascii(&c, 0, &req).starts_with(b"CLIENT_ERROR"));
+        let mut req = b"get ".to_vec();
+        req.extend_from_slice(&big);
+        req.extend_from_slice(b"\r\n");
+        assert!(execute_ascii(&c, 0, &req).starts_with(b"CLIENT_ERROR"));
+        assert!(execute_ascii(&c, 0, b"delete \r\n").starts_with(b"CLIENT_ERROR"));
+        assert_eq!(c.request_panics(), 0, "rejected at the protocol layer");
+    }
+
+    #[test]
+    fn scan_frame_reports_exact_lengths() {
+        assert_eq!(scan_frame(b""), FrameScan::Incomplete);
+        assert_eq!(scan_frame(b"get k"), FrameScan::Incomplete);
+        assert_eq!(scan_frame(b"get k\r\n"), FrameScan::Ascii { len: 7 });
+        assert_eq!(scan_frame(b"get k\r\nget j\r\n"), FrameScan::Ascii { len: 7 });
+        // A set's frame spans the data block; short data is Incomplete.
+        assert_eq!(scan_frame(b"set k 0 0 5\r\nhel"), FrameScan::Incomplete);
+        assert_eq!(
+            scan_frame(b"set k 0 0 5\r\nhello\r\n"),
+            FrameScan::Ascii { len: 20 }
+        );
+        // Unparseable storage header: the line alone is the frame.
+        assert_eq!(scan_frame(b"set k x y z\r\n"), FrameScan::Ascii { len: 13 });
+        // Binary framing: header then body.
+        let req = binary::Request {
+            opcode: binary::Opcode::Set,
+            opaque: 1,
+            cas: 0,
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+            extra: 0,
+        }
+        .encode();
+        assert_eq!(scan_frame(&req[..10]), FrameScan::Incomplete);
+        assert_eq!(scan_frame(&req[..24]), FrameScan::Incomplete);
+        assert_eq!(scan_frame(&req), FrameScan::Binary { len: req.len() });
+    }
+
+    #[test]
+    fn scan_frame_oversized_and_unsyncable_inputs() {
+        // Oversized ASCII value: error now, swallow the in-flight block.
+        let line = format!("set k 0 0 {}\r\n", ASCII_VALUE_MAX + 1);
+        match scan_frame(line.as_bytes()) {
+            FrameScan::Error {
+                consumed,
+                swallow,
+                close,
+                response,
+            } => {
+                assert_eq!(consumed, line.len());
+                assert_eq!(swallow, ASCII_VALUE_MAX + 3);
+                assert!(!close, "oversized value keeps the connection");
+                assert!(response.starts_with(b"SERVER_ERROR object too large"));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // A command line that can never terminate closes the connection.
+        let junk = vec![b'a'; ASCII_LINE_MAX + 1];
+        match scan_frame(&junk) {
+            FrameScan::Error { close, .. } => assert!(close),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // A binary header promising a huge body closes too.
+        let mut frame = vec![0u8; 24];
+        frame[0] = binary::REQ_MAGIC;
+        frame[1] = 0x01;
+        frame[8..12].copy_from_slice(&(BINARY_BODY_MAX as u32 + 1).to_be_bytes());
+        match scan_frame(&frame) {
+            FrameScan::Error { close, response, .. } => {
+                assert!(close);
+                assert_eq!(response[0], binary::RES_MAGIC);
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ascii_pipeline_consumed_leaves_straddled_set() {
+        let c = cache();
+        // First socket read ends mid-data-block: nothing consumed.
+        let part = b"get missing\r\nset s 0 0 5\r\nhel";
+        let out = execute_ascii_pipeline_consumed(&c, 0, part);
+        assert_eq!(out.consumed, 13, "only the get consumed");
+        assert_eq!(out.responses, b"END\r\n");
+        assert_eq!((out.swallow, out.close), (0, false));
+        // Second read completes the block: the set executes.
+        let full = b"set s 0 0 5\r\nhello\r\nget s\r\n";
+        let out = execute_ascii_pipeline_consumed(&c, 0, full);
+        assert_eq!(out.consumed, full.len());
+        assert_eq!(out.responses, b"STORED\r\nVALUE s 0 5\r\nhello\r\nEND\r\n");
+    }
+
+    #[test]
+    fn ascii_pipeline_consumed_reports_error_state() {
+        let c = cache();
+        let buf = format!("set ok 0 0 1\r\nA\r\nset big 0 0 {}\r\n", ASCII_VALUE_MAX + 1);
+        let out = execute_ascii_pipeline_consumed(&c, 0, buf.as_bytes());
+        assert_eq!(out.consumed, buf.len());
+        assert_eq!(out.swallow, ASCII_VALUE_MAX + 3);
+        assert!(!out.close);
+        let text = String::from_utf8(out.responses).unwrap();
+        assert!(text.starts_with("STORED\r\nSERVER_ERROR object too large"), "{text}");
+    }
+
+    #[test]
+    fn binary_response_wire_roundtrip() {
+        let resp = binary::Response {
+            status: binary::Status::Ok,
+            opcode: binary::Opcode::GetK,
+            opaque: 0xABCD,
+            cas: 77,
+            flags: 42,
+            key: b"k".to_vec(),
+            value: b"hello".to_vec(),
+        };
+        let wire = resp.encode();
+        let (decoded, used) = binary::Response::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(decoded, resp);
+        // Non-get responses carry no extras and flags decode as 0.
+        let resp = binary::Response {
+            status: binary::Status::KeyExists,
+            opcode: binary::Opcode::Set,
+            opaque: 9,
+            cas: 0,
+            flags: 0,
+            key: Vec::new(),
+            value: Vec::new(),
+        };
+        let wire = resp.encode();
+        assert_eq!(wire.len(), 24);
+        let (decoded, _) = binary::Response::decode(&wire).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn binary_parse_frame_answers_unknown_and_malformed() {
+        // Unknown opcode: UnknownCommand, opaque echoed, connection keeps.
+        let mut frame = vec![0u8; 24];
+        frame[0] = binary::REQ_MAGIC;
+        frame[1] = 0x7f;
+        frame[12..16].copy_from_slice(&0xDEAD_BEEFu32.to_be_bytes());
+        let err = binary::parse_frame(&frame).unwrap_err();
+        assert_eq!(err[0], binary::RES_MAGIC);
+        assert_eq!(u16::from_be_bytes([err[6], err[7]]), 0x0081);
+        assert_eq!(u32::from_be_bytes([err[12], err[13], err[14], err[15]]), 0xDEAD_BEEF);
+        // Known opcode, bogus layout (keylen > body): InvalidArguments.
+        let mut frame = vec![0u8; 24];
+        frame[0] = binary::REQ_MAGIC;
+        frame[1] = 0x00; // Get
+        frame[2..4].copy_from_slice(&10u16.to_be_bytes());
+        let err = binary::parse_frame(&frame).unwrap_err();
+        assert_eq!(u16::from_be_bytes([err[6], err[7]]), 0x0004);
+    }
+
+    #[test]
+    fn binary_getq_is_quiet_and_batches() {
+        let c = cache();
+        execute_ascii(&c, 0, b"set a 5 0 1\r\nA\r\n");
+        let q = |key: &[u8], opaque| binary::Request {
+            opcode: binary::Opcode::GetQ,
+            opaque,
+            cas: 0,
+            key: key.to_vec(),
+            value: vec![],
+            extra: 0,
+        };
+        let noop = binary::Request {
+            opcode: binary::Opcode::Noop,
+            opaque: 9,
+            cas: 0,
+            key: vec![],
+            value: vec![],
+            extra: 0,
+        };
+        let resps = binary::execute_pipeline(&c, 0, &[q(b"a", 1), q(b"missing", 2), noop]);
+        assert_eq!(resps.len(), 2, "miss is silent: {resps:?}");
+        assert_eq!(resps[0].opaque, 1);
+        assert_eq!(resps[0].value, b"A");
+        assert_eq!(resps[0].flags, 5);
+        assert!(resps[0].key.is_empty(), "GETQ does not echo the key");
+        assert_eq!(resps[1].opaque, 9);
+        assert_eq!(c.stats().threads.get_cmds, 2, "both gets went through");
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Wire-level concurrency and robustness: many client threads hammering
+//! one [`mcache::net::Server`] over loopback, with every response checked
+//! against the deterministic oracle; CAS races with structural
+//! invariants; and abrupt mid-frame disconnects that must release the
+//! connection slot without poisoning worker state.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use mcache::net::{NetConfig, Server};
+use mcache::{Branch, McCache, McConfig, SlabConfig, Stage};
+
+fn server(branch: Branch, workers: usize) -> Server {
+    let handle = McCache::start(McConfig {
+        branch,
+        workers,
+        slab: SlabConfig {
+            mem_limit: 16 << 20,
+            page_size: 256 << 10,
+            chunk_min: 96,
+            growth_factor: 1.5,
+        },
+        hash_power: 8,
+        hash_power_max: 10,
+        item_lock_power: 5,
+        maintenance: false,
+        ..Default::default()
+    });
+    Server::start(
+        handle,
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn connect(srv: &Server) -> TcpStream {
+    let s = TcpStream::connect(srv.local_addr()).expect("connect");
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s
+}
+
+fn read_line(s: &mut TcpStream, buf: &mut Vec<u8>) -> Vec<u8> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(i) = buf.windows(2).position(|w| w == b"\r\n") {
+            let line = buf[..i].to_vec();
+            buf.drain(..i + 2);
+            return line;
+        }
+        let n = s.read(&mut chunk).expect("read line");
+        assert!(n > 0, "connection closed mid-line");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Reads a full get response (to END) and returns the VALUE data blocks.
+fn read_values(s: &mut TcpStream, buf: &mut Vec<u8>) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let line = read_line(s, buf);
+        if line == b"END" {
+            return out;
+        }
+        let text = String::from_utf8_lossy(&line).to_string();
+        let len: usize = text.split_whitespace().nth(3).unwrap().parse().unwrap();
+        let mut chunk = [0u8; 4096];
+        while buf.len() < len + 2 {
+            let n = s.read(&mut chunk).expect("read data block");
+            assert!(n > 0, "connection closed mid-value");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        out.push(buf[..len].to_vec());
+        assert_eq!(&buf[len..len + 2], b"\r\n");
+        buf.drain(..len + 2);
+    }
+}
+
+/// The oracle: thread `t`'s key `i` always stores exactly this value at
+/// version `v` — any wire response disagreeing is a server bug.
+fn oracle_value(t: usize, i: usize, v: usize) -> Vec<u8> {
+    format!("value-{t}-{i}-{v}-{}", "x".repeat((t * 7 + i * 3 + v) % 64)).into_bytes()
+}
+
+#[test]
+fn concurrent_clients_match_the_oracle() {
+    const THREADS: usize = 4;
+    const KEYS_PER_THREAD: usize = 32;
+    const ROUNDS: usize = 12;
+    let srv = server(Branch::It(Stage::OnCommit), 4);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let srv = &srv;
+            scope.spawn(move || {
+                let mut s = connect(srv);
+                let mut buf = Vec::new();
+                for v in 0..ROUNDS {
+                    // A pipelined burst: every key's set in ONE write,
+                    // then the STORED replies in order.
+                    let mut wire = Vec::new();
+                    for i in 0..KEYS_PER_THREAD {
+                        let val = oracle_value(t, i, v);
+                        wire.extend_from_slice(
+                            format!("set t{t}:k{i} 0 0 {}\r\n", val.len()).as_bytes(),
+                        );
+                        wire.extend_from_slice(&val);
+                        wire.extend_from_slice(b"\r\n");
+                    }
+                    s.write_all(&wire).unwrap();
+                    for _ in 0..KEYS_PER_THREAD {
+                        assert_eq!(read_line(&mut s, &mut buf), b"STORED");
+                    }
+                    // Multiget the whole private keyspace back: all hits,
+                    // every data block exactly the oracle's bytes.
+                    let mut req = b"get".to_vec();
+                    for i in 0..KEYS_PER_THREAD {
+                        req.extend_from_slice(format!(" t{t}:k{i}").as_bytes());
+                    }
+                    req.extend_from_slice(b"\r\n");
+                    s.write_all(&req).unwrap();
+                    let vals = read_values(&mut s, &mut buf);
+                    assert_eq!(vals.len(), KEYS_PER_THREAD, "private keys never miss");
+                    for (i, data) in vals.iter().enumerate() {
+                        assert_eq!(data, &oracle_value(t, i, v), "t{t} k{i} round {v}");
+                    }
+                }
+            });
+        }
+    });
+
+    let ns = srv.net_stats();
+    assert_eq!(ns.frame_errors, 0, "clean traffic must not count frame errors");
+    let st = srv.cache().stats();
+    assert_eq!(st.request_panics, 0);
+    assert_eq!(
+        st.threads.get_misses, 0,
+        "private keyspaces: every wire GET must hit"
+    );
+}
+
+#[test]
+fn cas_races_over_loopback_keep_structural_invariants() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 50;
+    let srv = server(Branch::ItNoLock, 4);
+
+    // Seed the contested key.
+    {
+        let mut s = connect(&srv);
+        let mut buf = Vec::new();
+        s.write_all(b"set contested 0 0 6\r\nseed-0\r\n").unwrap();
+        assert_eq!(read_line(&mut s, &mut buf), b"STORED");
+    }
+
+    let wins: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let srv = &srv;
+                scope.spawn(move || {
+                    let mut s = connect(srv);
+                    let mut buf = Vec::new();
+                    let mut wins = 0usize;
+                    for r in 0..ROUNDS {
+                        // gets → cas with the observed id: classic optimistic
+                        // update. Exactly one of the racers can win each
+                        // version; losers see EXISTS (or NOT_FOUND never —
+                        // the key is never deleted).
+                        s.write_all(b"gets contested\r\n").unwrap();
+                        let line = read_line(&mut s, &mut buf);
+                        let text = String::from_utf8_lossy(&line).to_string();
+                        assert!(text.starts_with("VALUE contested "), "{text:?}");
+                        let len: usize =
+                            text.split_whitespace().nth(3).unwrap().parse().unwrap();
+                        let cas: u64 =
+                            text.split_whitespace().nth(4).unwrap().parse().unwrap();
+                        let mut chunk = [0u8; 4096];
+                        while buf.len() < len + 2 {
+                            let n = s.read(&mut chunk).unwrap();
+                            assert!(n > 0);
+                            buf.extend_from_slice(&chunk[..n]);
+                        }
+                        buf.drain(..len + 2);
+                        assert_eq!(read_line(&mut s, &mut buf), b"END");
+
+                        let val = format!("w-{t}-{r}");
+                        let req =
+                            format!("cas contested 0 0 {} {cas}\r\n{val}\r\n", val.len());
+                        s.write_all(req.as_bytes()).unwrap();
+                        match read_line(&mut s, &mut buf).as_slice() {
+                            b"STORED" => wins += 1,
+                            b"EXISTS" => {}
+                            other => panic!(
+                                "cas answered {:?}",
+                                String::from_utf8_lossy(other)
+                            ),
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Somebody must have won, and the survivor is a well-formed candidate.
+    let total: usize = wins.iter().sum();
+    assert!(total >= 1, "at least one CAS must land");
+    let mut s = connect(&srv);
+    let mut buf = Vec::new();
+    s.write_all(b"get contested\r\n").unwrap();
+    let vals = read_values(&mut s, &mut buf);
+    assert_eq!(vals.len(), 1);
+    let text = String::from_utf8_lossy(&vals[0]).to_string();
+    assert!(
+        text == "seed-0" || text.starts_with("w-"),
+        "final value is one of the writes: {text:?}"
+    );
+    assert_eq!(srv.net_stats().frame_errors, 0);
+    assert_eq!(srv.cache().stats().request_panics, 0);
+}
+
+/// Polls until the server's live-connection gauge drains to `want`.
+fn wait_for_connections(srv: &Server, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if srv.net_stats().curr_connections == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "curr_connections stuck at {} (want {want})",
+            srv.net_stats().curr_connections
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn abrupt_mid_frame_disconnect_releases_the_slot() {
+    let srv = server(Branch::It(Stage::OnCommit), 2);
+
+    // ASCII: die with a set's data block half-sent.
+    {
+        let mut s = connect(&srv);
+        s.write_all(b"set doomed 0 0 100\r\npartial-data").unwrap();
+        wait_for_connections(&srv, 1);
+        drop(s);
+    }
+    wait_for_connections(&srv, 0);
+
+    // Binary: die mid-header.
+    {
+        let mut s = connect(&srv);
+        s.write_all(&[0x80, 0x01, 0x00]).unwrap();
+        wait_for_connections(&srv, 1);
+        drop(s);
+    }
+    wait_for_connections(&srv, 0);
+
+    // The worker that owned those connections still serves correctly.
+    let mut s = connect(&srv);
+    let mut buf = Vec::new();
+    s.write_all(b"set alive 0 0 2\r\nok\r\n").unwrap();
+    assert_eq!(read_line(&mut s, &mut buf), b"STORED");
+    s.write_all(b"get alive\r\n").unwrap();
+    assert_eq!(read_values(&mut s, &mut buf), vec![b"ok".to_vec()]);
+    // The torn frames never executed and never counted as panics; the
+    // half-sent set must not have stored anything.
+    s.write_all(b"get doomed\r\n").unwrap();
+    assert!(read_values(&mut s, &mut buf).is_empty());
+    assert_eq!(srv.cache().stats().request_panics, 0);
+    let ns = srv.net_stats();
+    assert_eq!(ns.curr_connections, 1);
+    assert_eq!(ns.total_connections, 3);
+}

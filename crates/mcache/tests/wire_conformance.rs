@@ -1,0 +1,456 @@
+//! Wire-level protocol conformance: a real [`mcache::net::Server`] on an
+//! ephemeral loopback port, driven with raw byte streams — including
+//! torn frames delivered one byte at a time, oversized keys and values,
+//! and malformed input — asserting exact response bytes and whether the
+//! connection survives.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mcache::net::{NetConfig, Server};
+use mcache::proto::binary::{Opcode, Request, Response, Status};
+use mcache::proto::{ASCII_LINE_MAX, ASCII_VALUE_MAX};
+use mcache::{Branch, McCache, McConfig, SlabConfig, Stage};
+
+fn server(branch: Branch) -> Server {
+    let handle = McCache::start(McConfig {
+        branch,
+        workers: 2,
+        slab: SlabConfig {
+            mem_limit: 8 << 20,
+            page_size: 256 << 10,
+            chunk_min: 96,
+            growth_factor: 1.5,
+        },
+        hash_power: 6,
+        hash_power_max: 8,
+        item_lock_power: 4,
+        maintenance: false,
+        ..Default::default()
+    });
+    Server::start(
+        handle,
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn connect(srv: &Server) -> TcpStream {
+    let s = TcpStream::connect(srv.local_addr()).expect("connect");
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Reads exactly `expected.len()` bytes and asserts they match.
+fn expect_exact(s: &mut TcpStream, expected: &[u8]) {
+    let mut got = vec![0u8; expected.len()];
+    s.read_exact(&mut got).unwrap_or_else(|e| {
+        panic!(
+            "short read (wanted {:?}): {e}",
+            String::from_utf8_lossy(expected)
+        )
+    });
+    assert_eq!(
+        got,
+        expected,
+        "wire bytes: got {:?}, wanted {:?}",
+        String::from_utf8_lossy(&got),
+        String::from_utf8_lossy(expected)
+    );
+}
+
+/// Sends a request and asserts the exact response bytes.
+fn roundtrip(s: &mut TcpStream, req: &[u8], expected: &[u8]) {
+    s.write_all(req).unwrap();
+    expect_exact(s, expected);
+}
+
+/// Asserts the server closed this connection (EOF, not timeout).
+fn expect_closed(s: &mut TcpStream) {
+    let mut b = [0u8; 64];
+    loop {
+        match s.read(&mut b) {
+            Ok(0) => return,
+            Ok(_) => continue, // drain any final error line
+            Err(e) => panic!("expected EOF, got {e}"),
+        }
+    }
+}
+
+/// Reads one binary response frame; pipelined leftovers stay in `buf`
+/// for the next call.
+fn read_frame(s: &mut TcpStream, buf: &mut Vec<u8>) -> Response {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((resp, used)) = Response::decode(buf) {
+            buf.drain(..used);
+            return resp;
+        }
+        let n = s.read(&mut chunk).expect("read binary frame");
+        assert!(n > 0, "connection closed mid-frame");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Reads one raw binary response header + body, returning the status
+/// field — for error frames whose opcode byte is garbage by design
+/// (Response::decode rejects those).
+fn read_raw_status(s: &mut TcpStream) -> u16 {
+    let mut header = [0u8; 24];
+    s.read_exact(&mut header).expect("read raw response header");
+    assert_eq!(header[0], 0x81, "response magic");
+    let body_len = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let mut body = vec![0u8; body_len];
+    s.read_exact(&mut body).expect("read raw response body");
+    u16::from_be_bytes([header[6], header[7]])
+}
+
+/// The ASCII script every transport variant must satisfy, in order.
+fn ascii_script() -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut v: Vec<(&[u8], &[u8])> = vec![
+        (b"set k1 5 0 3\r\nabc\r\n", b"STORED\r\n"),
+        (b"get k1\r\n", b"VALUE k1 5 3\r\nabc\r\nEND\r\n"),
+        (b"add k1 0 0 1\r\nZ\r\n", b"NOT_STORED\r\n"),
+        (b"replace k1 0 0 3\r\nxyz\r\n", b"STORED\r\n"),
+        (b"append k1 0 0 1\r\n!\r\n", b"STORED\r\n"),
+        (b"prepend k1 0 0 1\r\n>\r\n", b"STORED\r\n"),
+        (b"get k1\r\n", b"VALUE k1 0 5\r\n>xyz!\r\nEND\r\n"),
+        (b"set k2 0 0 2\r\nhi\r\n", b"STORED\r\n"),
+        // multiget: both keys, request order.
+        (
+            b"get k1 k2 missing\r\n",
+            b"VALUE k1 0 5\r\n>xyz!\r\nVALUE k2 0 2\r\nhi\r\nEND\r\n",
+        ),
+        (b"delete k2\r\n", b"DELETED\r\n"),
+        (b"delete k2\r\n", b"NOT_FOUND\r\n"),
+        (b"set n 0 0 1\r\n5\r\n", b"STORED\r\n"),
+        (b"incr n 10\r\n", b"15\r\n"),
+        (b"decr n 20\r\n", b"0\r\n"),
+        (b"touch n 100\r\n", b"TOUCHED\r\n"),
+        (b"touch missing 100\r\n", b"NOT_FOUND\r\n"),
+        (b"version\r\n", b"VERSION 1.4.15-tm (IT-onCommit)\r\n"),
+        (b"bogus_command\r\n", b"ERROR\r\n"),
+        (b"get\r\n", b"ERROR\r\n"),
+        // nbytes bytes arrive but the data block's terminator is wrong:
+        // the frame consumes exactly nbytes+2 so the stream stays synced.
+        (b"set k3 0 0 3\r\nabXY\r", b"CLIENT_ERROR bad data chunk\r\n"),
+    ];
+    // noreply storage is silent; prove it by the very next response.
+    v.push((b"set quiet 0 0 2 noreply\r\nqq\r\n", b""));
+    v.push((b"get quiet\r\n", b"VALUE quiet 0 2\r\nqq\r\nEND\r\n"));
+    v.push((b"delete quiet noreply\r\n", b""));
+    v.push((b"get quiet\r\n", b"END\r\n"));
+    v.into_iter()
+        .map(|(a, b)| (a.to_vec(), b.to_vec()))
+        .collect()
+}
+
+#[test]
+fn ascii_script_over_the_wire() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    for (req, resp) in ascii_script() {
+        roundtrip(&mut s, &req, &resp);
+    }
+}
+
+#[test]
+fn ascii_script_survives_one_byte_writes() {
+    // The same script, every request delivered one byte per write: the
+    // incremental scanner must frame identically no matter where the
+    // socket reads land.
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    for (req, resp) in ascii_script() {
+        for &b in req.iter() {
+            s.write_all(&[b]).unwrap();
+        }
+        expect_exact(&mut s, &resp);
+    }
+}
+
+#[test]
+fn ascii_cas_over_the_wire() {
+    let srv = server(Branch::ItNoLock);
+    let mut s = connect(&srv);
+    roundtrip(&mut s, b"set c 0 0 3\r\nv-1\r\n", b"STORED\r\n");
+
+    // gets exposes the CAS id; parse it back out.
+    s.write_all(b"gets c\r\n").unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 256];
+    while !buf.ends_with(b"END\r\n") {
+        let n = s.read(&mut chunk).unwrap();
+        assert!(n > 0, "connection closed mid-gets");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8_lossy(&buf).to_string();
+    assert!(text.starts_with("VALUE c 0 3 "), "gets response: {text:?}");
+    let cas: u64 = text
+        .split_whitespace()
+        .nth(4)
+        .and_then(|w| w.split('\r').next())
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    let good = format!("cas c 0 0 3 {cas}\r\nv-2\r\n");
+    roundtrip(&mut s, good.as_bytes(), b"STORED\r\n");
+    // Stale CAS id loses.
+    let stale = format!("cas c 0 0 3 {cas}\r\nv-3\r\n");
+    roundtrip(&mut s, stale.as_bytes(), b"EXISTS\r\n");
+    roundtrip(&mut s, b"cas ghost 0 0 1 9\r\nx\r\n", b"NOT_FOUND\r\n");
+    roundtrip(&mut s, b"get c\r\n", b"VALUE c 0 3\r\nv-2\r\nEND\r\n");
+}
+
+#[test]
+fn oversized_key_is_client_error_and_survivable() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    let big = "k".repeat(251);
+
+    let req = format!("get {big}\r\n");
+    roundtrip(
+        &mut s,
+        req.as_bytes(),
+        b"CLIENT_ERROR bad command line format\r\n",
+    );
+    // A store with an oversized key frames as line + data block (the
+    // data is consumed with the doomed command), answered once.
+    let req = format!("set {big} 0 0 1\r\nx\r\n");
+    roundtrip(
+        &mut s,
+        req.as_bytes(),
+        b"CLIENT_ERROR bad command line format\r\n",
+    );
+    // The connection is still in sync.
+    roundtrip(&mut s, b"set ok 0 0 2\r\nok\r\n", b"STORED\r\n");
+    roundtrip(&mut s, b"get ok\r\n", b"VALUE ok 0 2\r\nok\r\nEND\r\n");
+}
+
+#[test]
+fn oversized_value_is_swallowed_not_fatal() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+
+    // nbytes over the cap: the server answers immediately and discards
+    // the in-flight data block without buffering it.
+    let n = ASCII_VALUE_MAX + 1;
+    s.write_all(format!("set huge 0 0 {n}\r\n").as_bytes()).unwrap();
+    expect_exact(&mut s, b"SERVER_ERROR object too large for cache\r\n");
+    // Stream the doomed payload anyway — it must be swallowed so the
+    // next command starts on a frame boundary.
+    let chunk = vec![b'z'; 64 << 10];
+    let mut sent = 0;
+    while sent < n {
+        let take = chunk.len().min(n - sent);
+        s.write_all(&chunk[..take]).unwrap();
+        sent += take;
+    }
+    s.write_all(b"\r\n").unwrap();
+    roundtrip(&mut s, b"get huge\r\n", b"END\r\n");
+    roundtrip(&mut s, b"set after 0 0 2\r\nok\r\n", b"STORED\r\n");
+    assert!(srv.net_stats().frame_errors >= 1, "counted as a frame error");
+}
+
+#[test]
+fn overlong_line_closes_the_connection() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    // An unterminated command line past the cap cannot be resynced.
+    let junk = vec![b'a'; ASCII_LINE_MAX + 1];
+    s.write_all(&junk).unwrap();
+    expect_closed(&mut s);
+    // The server itself is fine: new connections work.
+    let mut s2 = connect(&srv);
+    roundtrip(&mut s2, b"version\r\n", b"VERSION 1.4.15-tm (IT-onCommit)\r\n");
+}
+
+#[test]
+fn quit_closes_after_flushing() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    // Pipelined: the set's reply must arrive before the close.
+    s.write_all(b"set q 0 0 1\r\nx\r\nquit\r\n").unwrap();
+    expect_exact(&mut s, b"STORED\r\n");
+    expect_closed(&mut s);
+}
+
+#[test]
+fn stats_includes_net_counters() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    roundtrip(&mut s, b"set sk 0 0 2\r\nsv\r\n", b"STORED\r\n");
+    s.write_all(b"stats\r\n").unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !buf.ends_with(b"END\r\n") {
+        let n = s.read(&mut chunk).unwrap();
+        assert!(n > 0, "connection closed mid-stats");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8_lossy(&buf);
+    for key in [
+        "STAT curr_connections 1",
+        "STAT total_connections 1",
+        "STAT bytes_read ",
+        "STAT bytes_written ",
+        "STAT frame_errors 0",
+        "STAT cmd_set ",
+    ] {
+        assert!(text.contains(key), "stats missing {key:?} in:\n{text}");
+    }
+}
+
+fn bin_req(opcode: Opcode, opaque: u32, key: &[u8], value: &[u8]) -> Request {
+    Request {
+        opcode,
+        opaque,
+        cas: 0,
+        key: key.to_vec(),
+        value: value.to_vec(),
+        extra: 0,
+    }
+}
+
+#[test]
+fn binary_script_over_the_wire() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+
+    let mut rb = Vec::new();
+    s.write_all(&bin_req(Opcode::Set, 1, b"bk", b"bv").encode()).unwrap();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.status, r.opaque), (Status::Ok, 1));
+
+    s.write_all(&bin_req(Opcode::Get, 2, b"bk", b"").encode()).unwrap();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.status, r.opaque), (Status::Ok, 2));
+    assert_eq!(r.value, b"bv");
+    assert_ne!(r.cas, 0, "get hits expose the item CAS");
+    assert!(r.key.is_empty(), "plain GET does not echo the key");
+
+    s.write_all(&bin_req(Opcode::GetK, 3, b"bk", b"").encode()).unwrap();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.status, r.opaque), (Status::Ok, 3));
+    assert_eq!(r.key, b"bk");
+
+    s.write_all(&bin_req(Opcode::Get, 4, b"ghost", b"").encode()).unwrap();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.status, r.opaque), (Status::KeyNotFound, 4));
+
+    s.write_all(&bin_req(Opcode::Delete, 5, b"bk", b"").encode()).unwrap();
+    assert_eq!(read_frame(&mut s, &mut rb).status, Status::Ok);
+}
+
+#[test]
+fn binary_quiet_semantics_over_the_wire() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+
+    // SETQ burst: quiet stores answer nothing on success; only the
+    // terminating Noop comes back.
+    let mut wire = Vec::new();
+    for i in 0..4u32 {
+        let key = format!("qk{i}");
+        wire.extend_from_slice(
+            &bin_req(Opcode::SetQ, i, key.as_bytes(), b"qv").encode(),
+        );
+    }
+    wire.extend_from_slice(&bin_req(Opcode::Noop, 99, b"", b"").encode());
+    s.write_all(&wire).unwrap();
+    let mut rb = Vec::new();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.opcode, r.opaque), (Opcode::Noop, 99), "only the Noop answers");
+
+    // GETQ (no key echo) and GETKQ (key echo) mix: misses are silent.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&bin_req(Opcode::GetQ, 10, b"qk0", b"").encode());
+    wire.extend_from_slice(&bin_req(Opcode::GetQ, 11, b"ghost", b"").encode());
+    wire.extend_from_slice(&bin_req(Opcode::GetKQ, 12, b"qk1", b"").encode());
+    wire.extend_from_slice(&bin_req(Opcode::GetKQ, 13, b"ghost", b"").encode());
+    wire.extend_from_slice(&bin_req(Opcode::Noop, 100, b"", b"").encode());
+    s.write_all(&wire).unwrap();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.opaque, r.status), (10, Status::Ok));
+    assert_eq!(r.value, b"qv");
+    assert!(r.key.is_empty(), "GETQ hits do not echo the key");
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.opaque, r.status), (12, Status::Ok));
+    assert_eq!(r.key, b"qk1", "GETKQ hits echo the key");
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!(r.opaque, 100, "misses were silent; Noop terminates");
+
+    // DeleteQ: silent success, loud miss.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&bin_req(Opcode::DeleteQ, 20, b"qk0", b"").encode());
+    wire.extend_from_slice(&bin_req(Opcode::DeleteQ, 21, b"ghost", b"").encode());
+    wire.extend_from_slice(&bin_req(Opcode::Noop, 101, b"", b"").encode());
+    s.write_all(&wire).unwrap();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.opaque, r.status), (21, Status::KeyNotFound));
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!(r.opaque, 101);
+}
+
+#[test]
+fn binary_unknown_opcode_answers_without_closing() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+
+    // Magic 0x80, opcode 0xEE, empty body: a well-framed unknown command.
+    let mut frame = vec![0u8; 24];
+    frame[0] = 0x80;
+    frame[1] = 0xEE;
+    s.write_all(&frame).unwrap();
+    // The error frame echoes the raw unknown opcode, so only the raw
+    // header reader can parse it.
+    assert_eq!(read_raw_status(&mut s), Status::UnknownCommand as u16);
+
+    // Connection still works, on both protocols.
+    let mut rb = Vec::new();
+    s.write_all(&bin_req(Opcode::Set, 7, b"still", b"here").encode()).unwrap();
+    assert_eq!(read_frame(&mut s, &mut rb).status, Status::Ok);
+    roundtrip(&mut s, b"get still\r\n", b"VALUE still 0 4\r\nhere\r\nEND\r\n");
+    assert!(srv.net_stats().frame_errors >= 1);
+}
+
+#[test]
+fn binary_torn_frames_one_byte_at_a_time() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    let reqs = [
+        bin_req(Opcode::Set, 1, b"torn", b"value-bytes"),
+        bin_req(Opcode::Get, 2, b"torn", b""),
+    ];
+    let mut rb = Vec::new();
+    for req in &reqs {
+        for &b in req.encode().iter() {
+            s.write_all(&[b]).unwrap();
+        }
+        let r = read_frame(&mut s, &mut rb);
+        assert_eq!((r.status, r.opaque), (Status::Ok, req.opaque));
+    }
+}
+
+#[test]
+fn binary_oversized_body_closes_with_error_frame() {
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    // Header advertising a body over the cap: answered with an error
+    // frame, then closed — the body is not buffered or awaited.
+    let mut frame = vec![0u8; 24];
+    frame[0] = 0x80;
+    frame[1] = Opcode::Set as u8;
+    frame[8..12].copy_from_slice(&tmstd::htonl(64 << 20).to_ne_bytes());
+    s.write_all(&frame).unwrap();
+    assert_eq!(read_raw_status(&mut s), Status::ValueTooLarge as u16);
+    expect_closed(&mut s);
+    assert!(srv.net_stats().frame_errors >= 1);
+}

@@ -29,6 +29,32 @@ cargo test -q --offline -p testkit --features chaos
 echo "==> chaos stress (5s, every combo, deterministic fault plan; all three schedules)"
 cargo run --release --offline -p testkit --features chaos --bin stress -- --chaos --seconds 5
 
+# Wire smoke: a real mcached on an ephemeral loopback port, two mcslap
+# --tcp workloads (each asserts every response against the workload
+# oracle and frame_errors=0 server-side), then a clean pipe-driven
+# shutdown that must exit 0.
+echo "==> wire smoke (mcached over loopback, mcslap --tcp on two workloads)"
+WIRE_LOG="$PWD/target/mcached-smoke.log"
+WIRE_CTL="$PWD/target/mcached-smoke.ctl"
+rm -f "$WIRE_CTL"
+mkfifo "$WIRE_CTL"
+target/release/mcached --port 0 --threads 2 < "$WIRE_CTL" > "$WIRE_LOG" 2>&1 &
+WIRE_PID=$!
+exec 9> "$WIRE_CTL" # hold the control pipe open until shutdown
+for _ in $(seq 1 300); do grep -q '^LISTENING' "$WIRE_LOG" && break; sleep 0.1; done
+grep -q '^LISTENING' "$WIRE_LOG"
+WIRE_ADDR=$(awk '/^LISTENING/{print $2; exit}' "$WIRE_LOG")
+target/release/mcslap --tcp "$WIRE_ADDR" --execute-number 5000 --concurrency 4 \
+    --read-ratio 90 --multiget 8
+target/release/mcslap --tcp "$WIRE_ADDR" --execute-number 5000 --concurrency 4 \
+    --read-ratio 50 --binary --multiget 4 --setq-pipeline 8
+echo shutdown >&9
+wait "$WIRE_PID"
+exec 9>&-
+rm -f "$WIRE_CTL"
+grep -q 'frame_errors=0' "$WIRE_LOG"
+echo "    wire smoke OK: $(tail -n 1 "$WIRE_LOG")"
+
 echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc counts)"
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
@@ -43,6 +69,11 @@ echo "==> bench smoke (stm_setpath: mutation fast lane + store batching + slab m
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
     cargo bench --offline -p bench --bench stm_setpath
+
+echo "==> bench smoke (stm_wirepath: in-process vs loopback GET/SET roundtrips)"
+TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
+    TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
+    cargo bench --offline -p bench --bench stm_wirepath
 
 # Offline regression gate, two tiers:
 #
@@ -64,6 +95,6 @@ echo "==> bench regression gate (fresh min vs committed baseline median, 50%)"
 cargo run --release --offline -p testkit --bin bench_compare -- . target/testkit-bench --threshold 50
 
 cp target/testkit-bench/BENCH_fastpath_*.json target/testkit-bench/BENCH_getpath_*.json \
-   target/testkit-bench/BENCH_setpath_*.json .
+   target/testkit-bench/BENCH_setpath_*.json target/testkit-bench/BENCH_wirepath_*.json .
 
 echo "==> verify OK"
