@@ -286,5 +286,110 @@ fn bench_multiget(c: &mut Criterion) {
     ratio_gate(&stats, "single_x16", "batched_x16", 0.95);
 }
 
-criterion_group!(benches, bench_mix, bench_multiget);
+/// One sample of the contended GET mix: `workers` threads each run
+/// `iters` operations of a 90/10 GET/SET mix over their **own** slice of
+/// the item table, so write sets never overlap and the threads share only
+/// the commit machinery. GETs ride the read-only fast lane (they read the
+/// clock but never tick it); the SETs are what contend on the commit
+/// clock. The per-worker batch is floored so one sample spans many
+/// scheduler quanta (short samples on small hosts measure descheduling,
+/// not the payload); the barrier-to-join wall time is scaled back to the
+/// requested `iters`.
+fn contended_mix_run(
+    rt: &TmRuntime,
+    items: &[[TCell<u64>; ITEM_WORDS]],
+    workers: usize,
+    iters: u64,
+) -> std::time::Duration {
+    const MIN_REPS: u64 = 12_000;
+    let reps = iters.max(MIN_REPS);
+    let block = ITEMS / workers;
+    let barrier = std::sync::Barrier::new(workers + 1);
+    let elapsed = std::thread::scope(|s| {
+        for w in 0..workers {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut seed = 0x9e3779b97f4a7c15u64 ^ (w as u64) << 32;
+                barrier.wait();
+                let mut acc = 0u64;
+                for _ in 0..reps {
+                    let r = lcg(&mut seed);
+                    let it = &items[w * block + (r % block as u64) as usize];
+                    if r % 10 < 9 {
+                        acc ^= rt.atomic_ro(|tx| {
+                            let mut a = tx.read(&it[0])? ^ tx.read(&it[1])?;
+                            a ^= tx.read(&it[2])? ^ tx.read(&it[3])?;
+                            a ^= tx.read(&it[4])? ^ tx.read(&it[5])?;
+                            Ok(a)
+                        });
+                    } else {
+                        rt.atomic(|tx| {
+                            let v = tx.read(&it[4])?;
+                            tx.write(&it[4], v.wrapping_add(1))?;
+                            let cas = tx.read(&it[5])?;
+                            tx.write(&it[5], cas.wrapping_add(1))?;
+                            Ok(())
+                        });
+                    }
+                }
+                black_box(acc);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let t0 = std::time::Instant::now();
+        barrier.wait();
+        t0.elapsed()
+    });
+    elapsed.mul_f64(iters as f64 / reps as f64)
+}
+
+/// Contended GET path: 2/4/8 workers on disjoint item slices, single
+/// global clock vs the 8-shard clock. GETs dominate, so this pins the
+/// read side of the sharding work — `now_cached` keeps fast-lane reads
+/// off the other shards' cache lines. The pair feeds the bench_compare
+/// baseline gate; the shard-spread assert (from the SETs' commit ticks)
+/// is the structural check that holds on any host.
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("getpath_contended");
+    g.sample_size(15);
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        for workers in [2usize, 4, 8] {
+            let rt1 = TmRuntime::builder()
+                .algorithm(algo)
+                .contention_manager(ContentionManager::None)
+                .serial_lock(SerialLockMode::None)
+                .clock_shards(1)
+                .build();
+            let items1 = table();
+            let rt8 = TmRuntime::builder()
+                .algorithm(algo)
+                .contention_manager(ContentionManager::None)
+                .serial_lock(SerialLockMode::None)
+                .clock_shards(8)
+                .build();
+            let items8 = table();
+            g.bench_pair(
+                format!("{algo}/shards1_w{workers}"),
+                |b| b.iter_custom(|iters| contended_mix_run(&rt1, &items1, workers, iters)),
+                format!("{algo}/shards8_w{workers}"),
+                |b| b.iter_custom(|iters| contended_mix_run(&rt8, &items8, workers, iters)),
+            );
+            if !matches!(algo, Algorithm::Norec) {
+                let ticked = rt8.clock_shard_stats().iter().filter(|s| s.ticks > 0).count();
+                let want = workers.min(rt8.clock_shards());
+                assert!(
+                    ticked >= want,
+                    "{algo}: {workers} disjoint writers ticked only {ticked} of \
+                     {} clock shards (expected >= {want})",
+                    rt8.clock_shards()
+                );
+            }
+            report(&format!("contended_shards8_w{workers}"), &rt8);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mix, bench_multiget, bench_contended);
 criterion_main!(benches);

@@ -393,5 +393,110 @@ fn bench_magazine(c: &mut Criterion) {
     ratio_gate(&stats, "set_magoff", "set_magon", 1.0);
 }
 
-criterion_group!(benches, bench_mix, bench_batch, bench_magazine);
+/// One sample of the contended SET storm: `workers` threads each run
+/// `iters` magazine-shaped single-transaction SETs over their **own**
+/// slice of the item table, with per-worker stats blocks, so every write
+/// set is disjoint — all the fighting happens at the commit point (clock
+/// shards, orec stripes). The per-worker batch is floored so one sample
+/// spans many scheduler quanta (short samples on small hosts measure
+/// descheduling, not the payload); the barrier-to-join wall time is
+/// scaled back to the requested `iters`.
+fn contended_set_run(
+    rt: &TmRuntime,
+    items: &[[TCell<u64>; ITEM_WORDS]],
+    stats: &[[TCell<u64>; 3]],
+    workers: usize,
+    iters: u64,
+) -> std::time::Duration {
+    const MIN_REPS: u64 = 8_000;
+    let reps = iters.max(MIN_REPS);
+    let block = ITEMS / workers;
+    let barrier = std::sync::Barrier::new(workers + 1);
+    let elapsed = std::thread::scope(|s| {
+        for w in 0..workers {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut seed = 0x9e3779b97f4a7c15u64 ^ (w as u64) << 32;
+                let mut mag: Vec<u64> = (0..64).collect();
+                barrier.wait();
+                let mut acc = 0u64;
+                for _ in 0..reps {
+                    let r = lcg(&mut seed);
+                    let it = &items[w * block + (r % block as u64) as usize];
+                    acc ^= magazine_set(rt, &mut mag, it, &stats[w], r);
+                }
+                black_box((acc, mag.len()));
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let t0 = std::time::Instant::now();
+        barrier.wait();
+        t0.elapsed()
+    });
+    elapsed.mul_f64(iters as f64 / reps as f64)
+}
+
+/// Contended SET path: 2/4/8 workers hammering disjoint item slices with
+/// the single-transaction magazine SET, single global clock vs the
+/// 8-shard clock. Every transaction is a writer, so this is the purest
+/// commit-clock contention the cache-shaped benches produce. The pair
+/// feeds the bench_compare baseline gate; the shard-spread assert is the
+/// structural check that holds on any host.
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("setpath_contended");
+    g.sample_size(15);
+    for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+        for workers in [2usize, 4, 8] {
+            let rt1 = TmRuntime::builder()
+                .algorithm(algo)
+                .contention_manager(ContentionManager::None)
+                .serial_lock(SerialLockMode::None)
+                .clock_shards(1)
+                .build();
+            let items1 = table();
+            let stats1: Vec<[TCell<u64>; 3]> = (0..workers)
+                .map(|_| std::array::from_fn(|_| TCell::new(0)))
+                .collect();
+            let rt8 = TmRuntime::builder()
+                .algorithm(algo)
+                .contention_manager(ContentionManager::None)
+                .serial_lock(SerialLockMode::None)
+                .clock_shards(8)
+                .build();
+            let items8 = table();
+            let stats8: Vec<[TCell<u64>; 3]> = (0..workers)
+                .map(|_| std::array::from_fn(|_| TCell::new(0)))
+                .collect();
+            g.bench_pair(
+                format!("{algo}/shards1_w{workers}"),
+                |b| {
+                    b.iter_custom(|iters| {
+                        contended_set_run(&rt1, &items1, &stats1, workers, iters)
+                    })
+                },
+                format!("{algo}/shards8_w{workers}"),
+                |b| {
+                    b.iter_custom(|iters| {
+                        contended_set_run(&rt8, &items8, &stats8, workers, iters)
+                    })
+                },
+            );
+            if !matches!(algo, Algorithm::Norec) {
+                let ticked = rt8.clock_shard_stats().iter().filter(|s| s.ticks > 0).count();
+                let want = workers.min(rt8.clock_shards());
+                assert!(
+                    ticked >= want,
+                    "{algo}: {workers} disjoint writers ticked only {ticked} of \
+                     {} clock shards (expected >= {want})",
+                    rt8.clock_shards()
+                );
+            }
+            report(&format!("contended_shards8_w{workers}"), &rt8);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mix, bench_batch, bench_magazine, bench_contended);
 criterion_main!(benches);

@@ -39,6 +39,10 @@ fn run_deterministic(cfg: &BenchConfig, scale: &Scale) -> (u64, u64, u64, u64) {
         // Tables 1–4 count the 3-transaction store; magazines stay off so
         // the per-set serialization counts remain bit-identical.
         magazine: 0,
+        // One clock shard reproduces the classic single-word global clock
+        // timestamp-for-timestamp, so the serialization decision stream is
+        // unchanged by the sharded-clock machinery.
+        clock_shards: 1,
     };
     let handle = McCache::start(mc);
     let cache = handle.cache().clone();

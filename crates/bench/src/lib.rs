@@ -178,6 +178,9 @@ impl BenchConfig {
             // 3-transaction store; mcslap exposes the knob for the
             // setpath experiments.
             magazine: 0,
+            // Figure/table runners keep the default shard fanout; the
+            // deterministic tablecheck bin pins its own config to 1.
+            clock_shards: 8,
         }
     }
 }

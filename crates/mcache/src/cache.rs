@@ -70,6 +70,11 @@ pub struct McConfig {
     /// value, link, stats) collapses into one transaction. Ignored on
     /// lock and IP branches.
     pub magazine: usize,
+    /// Commit-clock shards for the STM runtime (power of two in `1..=64`).
+    /// The default of 8 spreads eager/lazy commit CASes over eight cache
+    /// lines with worker→shard affinity; 1 reproduces the classic global
+    /// clock timestamp-for-timestamp (the `tablecheck` configuration).
+    pub clock_shards: usize,
 }
 
 impl Default for McConfig {
@@ -88,6 +93,7 @@ impl Default for McConfig {
             maintenance: true,
             refcount_elision: false,
             magazine: 0,
+            clock_shards: 8,
         }
     }
 }
@@ -180,6 +186,12 @@ struct WorkerSlot {
     op_count: AtomicU64,
     magazine: Mutex<Magazine>,
 }
+
+// Layout guard (see crates/tm/tests/layout_guard.rs for the STM twins):
+// worker slots must start on — and occupy whole multiples of — the padded
+// 128-byte boundary, or adjacent workers' stat counters false-share again.
+const _: () = assert!(std::mem::align_of::<WorkerSlot>() == 128, "WorkerSlot must keep its 128-byte alignment");
+const _: () = assert!(std::mem::size_of::<WorkerSlot>() % 128 == 0, "WorkerSlot must fill whole 128-byte units");
 
 /// The cache. Create with [`McCache::start`]; share via the returned
 /// [`Arc`]; maintenance threads stop when [`McCache::shutdown`] runs (also
@@ -292,6 +304,7 @@ impl McCache {
             } else {
                 SerialLockMode::None
             })
+            .clock_shards(cfg.clock_shards)
             .build();
         let profiler = Profiler::new();
         let core = CacheCore::new(

@@ -230,6 +230,11 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
                 ("silent_store_elisions", tm.silent_store_elisions),
                 ("clock_tick_elisions", tm.clock_tick_elisions),
                 ("clock_cas_retries", tm.clock_cas_retries),
+                // Contention-path gauges: sharded commit clock, striped
+                // orec table, and NOrec's seqlock-bump elision.
+                ("clock_shard_syncs", tm.clock_shard_syncs),
+                ("orec_stripe_conflicts", tm.orec_stripe_conflicts),
+                ("seqlock_bump_elisions", tm.seqlock_bump_elisions),
                 ("magazine_refills", s.global.magazine_refills),
                 ("magazine_flushes", s.global.magazine_flushes),
             ] {
@@ -1812,6 +1817,9 @@ mod tests {
             "silent_store_elisions",
             "clock_tick_elisions",
             "clock_cas_retries",
+            "clock_shard_syncs",
+            "orec_stripe_conflicts",
+            "seqlock_bump_elisions",
             "magazine_refills",
             "magazine_flushes",
         ] {

@@ -15,18 +15,23 @@
 //! bounded delays, and injected panics rain on all 21 combos while the
 //! ticket oracle stays on.
 //!
-//! Every combo runs **three** schedules per seed: the mixed ticket
+//! Every combo runs **four** schedules per seed: the mixed ticket
 //! schedule, the read-mostly fast-lane schedule (transactions start
 //! read-only, a quarter promote mid-flight; reader snapshots are
-//! position-checked against the ticket-ordered serial prefix), and the
+//! position-checked against the ticket-ordered serial prefix), the
 //! write-heavy schedule (three quarters of the operations mutate, with
 //! manufactured silent stores; the run fails if silent-store elision
-//! never fired).
+//! never fired), and the contended-commit schedule (disjoint per-thread
+//! write blocks with cross-block reads, so the threads fight over the
+//! commit machinery — clock shards, orec stripes — instead of data; the
+//! run fails if the per-shard clock stats stop attributing ticks to the
+//! shards the workers ran on).
 
 use std::time::{Duration, Instant};
 
 use testkit::stress::{
-    run_schedule, run_schedule_ro, run_schedule_sabotaged, run_schedule_wh, StressConfig,
+    run_schedule, run_schedule_contended, run_schedule_ro, run_schedule_sabotaged,
+    run_schedule_wh, StressConfig,
 };
 
 struct Args {
@@ -103,6 +108,7 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
     let (mut injected, mut panic_aborts) = (0u64, 0u64);
     let (mut promotions, mut ro_commits, mut snaps_checked) = (0u64, 0u64, 0u64);
     let mut elisions = 0u64;
+    let (mut shards_used, mut clock_retries) = (0usize, 0u64);
     let mut seed = args.seed.unwrap_or(1);
     loop {
         for &(algorithm, serial_lock, contention) in &combos {
@@ -155,6 +161,21 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
                     std::process::exit(1);
                 }
             }
+            match chaos::run_schedule_contended_chaos(seed, &cfg, plan) {
+                Ok(r) => {
+                    schedules += 1;
+                    commits += r.report.report.commits;
+                    aborts += r.report.report.aborts;
+                    injected += r.injected;
+                    panic_aborts += r.panic_aborts;
+                    shards_used = shards_used.max(r.report.shards_used);
+                    clock_retries += r.report.clock_cas_retries;
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
         }
         if args.seed.is_some() || start.elapsed() >= budget {
             break;
@@ -164,7 +185,8 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
     println!(
         "stress: CHAOS OK — {} schedules over {} runtime combos, {} commits, {} aborts, \
          {} faults injected ({} panic teardowns), {} fast-lane commits, {} promotions, \
-         {} reader snapshots checked, {} silent stores elided, {:.2}s",
+         {} reader snapshots checked, {} silent stores elided, contended commits over \
+         up to {} clock shards ({} clock CAS retries), {:.2}s",
         schedules,
         combos.len(),
         commits,
@@ -175,6 +197,8 @@ fn run_chaos(args: &Args, base: &StressConfig) -> ! {
         promotions,
         snaps_checked,
         elisions,
+        shards_used,
+        clock_retries,
         start.elapsed().as_secs_f64()
     );
     std::process::exit(0);
@@ -213,6 +237,7 @@ fn main() {
     let mut aborts = 0u64;
     let (mut promotions, mut ro_commits, mut snaps_checked) = (0u64, 0u64, 0u64);
     let mut elisions = 0u64;
+    let (mut shards_used, mut clock_retries) = (0usize, 0u64);
     let mut seed = args.seed.unwrap_or(1);
     loop {
         for &(algorithm, serial_lock, contention) in &combos {
@@ -259,6 +284,19 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            match run_schedule_contended(seed, &cfg) {
+                Ok(r) => {
+                    schedules += 1;
+                    commits += r.report.commits;
+                    aborts += r.report.aborts;
+                    shards_used = shards_used.max(r.shards_used);
+                    clock_retries += r.clock_cas_retries;
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    std::process::exit(1);
+                }
+            }
         }
         // A single --seed run sweeps the matrix exactly once.
         if args.seed.is_some() || start.elapsed() >= budget {
@@ -269,7 +307,8 @@ fn main() {
     println!(
         "stress: OK — {} schedules over {} runtime combos, {} commits, {} aborts, \
          {} fast-lane commits, {} promotions, {} reader snapshots checked, \
-         {} silent stores elided, {:.2}s",
+         {} silent stores elided, contended commits over up to {} clock shards \
+         ({} clock CAS retries), {:.2}s",
         schedules,
         combos.len(),
         commits,
@@ -278,6 +317,8 @@ fn main() {
         promotions,
         snaps_checked,
         elisions,
+        shards_used,
+        clock_retries,
         start.elapsed().as_secs_f64()
     );
 }

@@ -29,7 +29,10 @@
 use std::fmt;
 use std::sync::Barrier;
 
-use tm::{Abort, Algorithm, ContentionManager, SerialLockMode, TCell, TmRuntime, Transaction};
+use tm::{
+    Abort, Algorithm, ClockShardStats, ContentionManager, SerialLockMode, TCell, TmRuntime,
+    Transaction,
+};
 
 use crate::rng::{mix_seed, Rng, SmallRng, SplitMix64};
 
@@ -194,6 +197,45 @@ pub fn wh_txn_program(seed: u64, thread: usize, txn: usize, cfg: &StressConfig) 
     ops
 }
 
+/// The **contended-commit** program for transaction `txn` of thread
+/// `thread`: every mutation lands in the thread's own block of cells
+/// (`cells / threads` wide), so worker *write sets are disjoint by
+/// construction* and the only shared write is the ticket cell — the
+/// schedule contends on the commit machinery itself (clock shards, orec
+/// stripes, the NOrec seqlock) rather than on data. Reads still cross
+/// blocks: `Copy` and `Mix` pull a neighbour's cell into the own block,
+/// so validation keeps real cross-thread edges to check.
+///
+/// Write-disjointness needs `cfg.cells >= cfg.threads`; with fewer cells
+/// the blocks wrap and overlap (the schedule stays correct, just not
+/// disjoint).
+pub fn contended_txn_program(
+    seed: u64,
+    thread: usize,
+    txn: usize,
+    cfg: &StressConfig,
+) -> Vec<StressOp> {
+    let mut rng = SmallRng::seed_from_u64(mix_seed(
+        mix_seed(seed, 0xC0D7 + thread as u64),
+        txn as u64 + 1,
+    ));
+    let block = (cfg.cells / cfg.threads.max(1)).max(1);
+    let lo = (thread * block) % cfg.cells;
+    let width = block.min(cfg.cells - lo);
+    let n = rng.gen_range(2..cfg.max_ops_per_txn.max(3));
+    (0..n)
+        .map(|_| {
+            let own = lo + rng.gen_range(0..width);
+            match rng.gen_range(0u32..8) {
+                0 | 1 | 2 => StressOp::Write(own, rng.next_u64()),
+                3 | 4 => StressOp::Add(own, rng.gen_range(0u64..1000)),
+                5 | 6 => StressOp::Copy(rng.gen_range(0..cfg.cells), own),
+                _ => StressOp::Mix(rng.gen_range(0..cfg.cells), own),
+            }
+        })
+        .collect()
+}
+
 fn mix_values(a: u64, b: u64) -> u64 {
     (a ^ b).rotate_left(7).wrapping_add(0x9E37_79B9_7F4A_7C15)
 }
@@ -242,7 +284,7 @@ fn initial_values(seed: u64, cells: usize) -> Vec<u64> {
 /// Returns [`Divergence`] — carrying the replay seed — when the committed
 /// state disagrees with the model.
 pub fn run_schedule(seed: u64, cfg: &StressConfig) -> Result<StressReport, Divergence> {
-    run_schedule_impl(seed, cfg, false, txn_program)
+    run_schedule_impl(seed, cfg, false, txn_program).map(|(r, _, _)| r)
 }
 
 /// Runs one **write-heavy** barrier-stepped schedule ([`wh_txn_program`])
@@ -256,7 +298,7 @@ pub fn run_schedule(seed: u64, cfg: &StressConfig) -> Result<StressReport, Diver
 /// Returns [`Divergence`] on model disagreement, or when the schedule
 /// elided nothing despite its manufactured silent stores.
 pub fn run_schedule_wh(seed: u64, cfg: &StressConfig) -> Result<StressReport, Divergence> {
-    let report = run_schedule_impl(seed, cfg, false, wh_txn_program)?;
+    let (report, _, _) = run_schedule_impl(seed, cfg, false, wh_txn_program)?;
     if report.silent_elisions == 0 {
         return Err(Divergence {
             seed,
@@ -277,15 +319,18 @@ pub fn run_schedule_wh(seed: u64, cfg: &StressConfig) -> Result<StressReport, Di
 /// deterministically from its printed seed.
 #[doc(hidden)]
 pub fn run_schedule_sabotaged(seed: u64, cfg: &StressConfig) -> Result<StressReport, Divergence> {
-    run_schedule_impl(seed, cfg, true, txn_program)
+    run_schedule_impl(seed, cfg, true, txn_program).map(|(r, _, _)| r)
 }
 
+/// Besides the report, returns each worker's clock-shard affinity (in
+/// join order) and the runtime's final per-shard clock stats, so the
+/// contended wrapper can cross-check shard attribution.
 fn run_schedule_impl(
     seed: u64,
     cfg: &StressConfig,
     sabotage: bool,
     program: ProgramFn,
-) -> Result<StressReport, Divergence> {
+) -> Result<(StressReport, Vec<usize>, Vec<ClockShardStats>), Divergence> {
     assert!(cfg.threads > 0 && cfg.cells > 0 && cfg.txns_per_thread > 0);
     let rt = TmRuntime::builder()
         .algorithm(cfg.algorithm)
@@ -307,6 +352,7 @@ fn run_schedule_impl(
     let before = rt.stats();
     // (ticket, thread, txn) for every committed transaction.
     let mut order: Vec<(u64, usize, usize)> = Vec::with_capacity(cfg.threads * cfg.txns_per_thread);
+    let mut worker_shards: Vec<usize> = Vec::with_capacity(cfg.threads);
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..cfg.threads {
@@ -315,6 +361,8 @@ fn run_schedule_impl(
             let ticket = &ticket;
             let barrier = &barrier;
             handles.push(s.spawn(move || {
+                // Shard affinity is per OS thread; record it from inside.
+                let shard = rt.current_thread_shard();
                 let mut mine = Vec::with_capacity(cfg.txns_per_thread);
                 let mut stagger = SplitMix64::seed_from_u64(mix_seed(seed, 0x57A6 + t as u64));
                 for r in 0..rounds {
@@ -338,14 +386,17 @@ fn run_schedule_impl(
                         mine.push((tk, t, j));
                     }
                 }
-                mine
+                (mine, shard)
             }));
         }
         for h in handles {
-            order.extend(h.join().expect("stress worker panicked"));
+            let (mine, shard) = h.join().expect("stress worker panicked");
+            order.extend(mine);
+            worker_shards.push(shard);
         }
     });
     let stats = rt.stats().since(&before);
+    let shard_stats = rt.clock_shard_stats();
 
     let diverge = |detail: String| Divergence {
         seed,
@@ -392,12 +443,16 @@ fn run_schedule_impl(
             )));
         }
     }
-    Ok(StressReport {
-        combo: cfg.combo(),
-        commits: stats.commits,
-        aborts: stats.aborts,
-        silent_elisions: stats.silent_store_elisions,
-    })
+    Ok((
+        StressReport {
+            combo: cfg.combo(),
+            commits: stats.commits,
+            aborts: stats.aborts,
+            silent_elisions: stats.silent_store_elisions,
+        },
+        worker_shards,
+        shard_stats,
+    ))
 }
 
 /// Chaos mode: the same programs and the same ticket oracle as
@@ -478,7 +533,7 @@ pub mod chaos {
         cfg: &StressConfig,
         plan: FaultPlan,
     ) -> Result<ChaosReport, Divergence> {
-        run_schedule_chaos_impl(seed, cfg, plan, txn_program)
+        run_schedule_chaos_impl(seed, cfg, plan, txn_program).map(|(r, _, _)| r)
     }
 
     /// [`run_schedule_wh`] under fault injection: write-heavy programs
@@ -499,7 +554,7 @@ pub mod chaos {
         cfg: &StressConfig,
         plan: FaultPlan,
     ) -> Result<ChaosReport, Divergence> {
-        let r = run_schedule_chaos_impl(seed, cfg, plan, wh_txn_program)?;
+        let (r, _, _) = run_schedule_chaos_impl(seed, cfg, plan, wh_txn_program)?;
         if r.report.silent_elisions == 0 {
             return Err(Divergence {
                 seed,
@@ -540,7 +595,7 @@ pub mod chaos {
         cfg: &StressConfig,
         plan: FaultPlan,
         program: ProgramFn,
-    ) -> Result<ChaosReport, Divergence> {
+    ) -> Result<(ChaosReport, Vec<usize>, Vec<ClockShardStats>), Divergence> {
         assert!(cfg.threads > 0 && cfg.cells > 0 && cfg.txns_per_thread > 0);
         silence_injected_panics();
         let rt = TmRuntime::builder()
@@ -561,6 +616,7 @@ pub mod chaos {
         let mut order: Vec<(u64, usize, usize)> =
             Vec::with_capacity(cfg.threads * cfg.txns_per_thread);
         let mut injected = 0u64;
+        let mut worker_shards: Vec<usize> = Vec::with_capacity(cfg.threads);
         std::thread::scope(|s| {
             let mut handles = Vec::new();
             for t in 0..cfg.threads {
@@ -570,6 +626,7 @@ pub mod chaos {
                 let barrier = &barrier;
                 handles.push(s.spawn(move || {
                     fault::arm_thread(mix_seed(seed, 0xFA07 + t as u64), plan);
+                    let shard = rt.current_thread_shard();
                     let mut mine = Vec::with_capacity(cfg.txns_per_thread);
                     let mut stagger =
                         SplitMix64::seed_from_u64(mix_seed(seed, 0x57A6 + t as u64));
@@ -631,16 +688,19 @@ pub mod chaos {
                     }
                     let hits = fault::injected_count();
                     fault::disarm_thread();
-                    (mine, hits)
+                    (mine, hits, shard)
                 }));
             }
             for h in handles {
-                let (mine, hits) = h.join().expect("chaos worker escaped its catch_unwind");
+                let (mine, hits, shard) =
+                    h.join().expect("chaos worker escaped its catch_unwind");
                 order.extend(mine);
                 injected += hits;
+                worker_shards.push(shard);
             }
         });
         let stats = rt.stats().since(&before);
+        let shard_stats = rt.clock_shard_stats();
 
         let diverge = |detail: String| Divergence {
             seed,
@@ -681,16 +741,80 @@ pub mod chaos {
                 )));
             }
         }
-        Ok(ChaosReport {
-            report: StressReport {
-                combo: cfg.combo(),
-                commits: stats.commits,
-                aborts: stats.aborts,
-                silent_elisions: stats.silent_store_elisions,
+        Ok((
+            ChaosReport {
+                report: StressReport {
+                    combo: cfg.combo(),
+                    commits: stats.commits,
+                    aborts: stats.aborts,
+                    silent_elisions: stats.silent_store_elisions,
+                },
+                injected,
+                panic_aborts: stats.panic_aborts,
             },
-            injected,
-            panic_aborts: stats.panic_aborts,
+            worker_shards,
+            shard_stats,
+        ))
+    }
+
+    /// One passed contended-commit chaos schedule.
+    #[derive(Clone, Debug)]
+    pub struct ContendedChaosReport {
+        /// The contended measurements, shard attribution included.
+        pub report: ContendedReport,
+        /// Fault actions injected across all worker threads.
+        pub injected: u64,
+        /// Attempts torn down by a panic unwinding through the runtime.
+        pub panic_aborts: u64,
+    }
+
+    /// [`run_schedule_contended`] under fault injection: disjoint write
+    /// sets, every worker armed, the ticket oracle on — and the per-shard
+    /// clock stats must still attribute commit ticks to every shard the
+    /// workers ran on, even with spurious aborts and panics landing in
+    /// the middle of the commit-tick CAS loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Divergence`] on model disagreement or broken shard
+    /// attribution.
+    pub fn run_schedule_contended_chaos(
+        seed: u64,
+        cfg: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<ContendedChaosReport, Divergence> {
+        let (r, worker_shards, shard_stats) =
+            run_schedule_chaos_impl(seed, cfg, plan, contended_txn_program)?;
+        check_shard_divergence(seed, cfg, &worker_shards, &shard_stats, "[chaos] ")?;
+        Ok(ContendedChaosReport {
+            report: contended_report(r.report, worker_shards, shard_stats),
+            injected: r.injected,
+            panic_aborts: r.panic_aborts,
         })
+    }
+
+    /// [`run_schedule_contended_chaos`] across every [`combos`]
+    /// combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Divergence`].
+    pub fn run_matrix_contended_chaos(
+        seed: u64,
+        base: &StressConfig,
+        plan: FaultPlan,
+    ) -> Result<Vec<ContendedChaosReport>, Divergence> {
+        let mut reports = Vec::new();
+        for (algorithm, serial_lock, contention) in combos() {
+            let cfg = StressConfig {
+                algorithm,
+                serial_lock,
+                contention,
+                ..base.clone()
+            };
+            reports.push(run_schedule_contended_chaos(seed, &cfg, plan)?);
+        }
+        Ok(reports)
     }
 
     /// [`run_schedule_chaos`] across every [`combos`] combination.
@@ -994,6 +1118,113 @@ pub fn run_matrix_wh(seed: u64, base: &StressConfig) -> Result<Vec<StressReport>
             ..base.clone()
         };
         reports.push(run_schedule_wh(seed, &cfg)?);
+    }
+    Ok(reports)
+}
+
+// ---------------------------------------------------------------------------
+// Contended-commit schedules: disjoint write sets, shared commit machinery.
+// ---------------------------------------------------------------------------
+
+/// A passed contended-commit schedule's measurements.
+#[derive(Clone, Debug)]
+pub struct ContendedReport {
+    /// The ordinary measurements.
+    pub report: StressReport,
+    /// Distinct clock shards the worker threads mapped onto.
+    pub shards_used: usize,
+    /// Commit/rollback ticks per clock shard at the end of the schedule.
+    pub shard_ticks: Vec<u64>,
+    /// Same-shard clock CAS retries summed across shards.
+    pub clock_cas_retries: u64,
+}
+
+/// The shard-stat divergence oracle for contended schedules: every clock
+/// shard that a worker thread was pinned to must show commit ticks — a
+/// silent shard means per-shard attribution broke (a worker's commits
+/// were counted against somebody else's cache line, or not at all).
+/// NOrec commits through the sequence lock, never the sharded clock, so
+/// the check is skipped there.
+fn check_shard_divergence(
+    seed: u64,
+    cfg: &StressConfig,
+    worker_shards: &[usize],
+    shard_stats: &[ClockShardStats],
+    tag: &str,
+) -> Result<(), Divergence> {
+    if matches!(cfg.algorithm, Algorithm::Norec) {
+        return Ok(());
+    }
+    for &k in worker_shards {
+        if shard_stats[k].ticks == 0 {
+            return Err(Divergence {
+                seed,
+                combo: cfg.combo(),
+                detail: format!(
+                    "{tag}worker pinned to clock shard {k} committed {} transactions \
+                     but the shard's tick counter never moved — per-shard stats \
+                     diverged from thread affinity",
+                    cfg.txns_per_thread
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn contended_report(
+    report: StressReport,
+    mut worker_shards: Vec<usize>,
+    shard_stats: Vec<ClockShardStats>,
+) -> ContendedReport {
+    worker_shards.sort_unstable();
+    worker_shards.dedup();
+    ContendedReport {
+        report,
+        shards_used: worker_shards.len(),
+        clock_cas_retries: shard_stats.iter().map(|s| s.cas_retries).sum(),
+        shard_ticks: shard_stats.into_iter().map(|s| s.ticks).collect(),
+    }
+}
+
+/// Runs one **contended-commit** barrier-stepped schedule
+/// ([`contended_txn_program`]): worker write sets are disjoint blocks, so
+/// the threads fight over the ticket cell and the commit machinery —
+/// clock shards, orec stripes, the NOrec seqlock — instead of data. On
+/// top of the ticket oracle, the per-shard clock stats must attribute
+/// commit ticks to every shard the workers actually ran on
+/// ([`check_shard_divergence`]).
+///
+/// # Errors
+///
+/// Returns [`Divergence`] on model disagreement or broken shard
+/// attribution.
+pub fn run_schedule_contended(seed: u64, cfg: &StressConfig) -> Result<ContendedReport, Divergence> {
+    let (report, worker_shards, shard_stats) =
+        run_schedule_impl(seed, cfg, false, contended_txn_program)?;
+    check_shard_divergence(seed, cfg, &worker_shards, &shard_stats, "")?;
+    Ok(contended_report(report, worker_shards, shard_stats))
+}
+
+/// Runs [`run_schedule_contended`] for `seed` across every [`combos`]
+/// combination, stopping at the first divergence.
+///
+/// # Errors
+///
+/// Propagates the first [`Divergence`].
+pub fn run_matrix_contended(
+    seed: u64,
+    base: &StressConfig,
+) -> Result<Vec<ContendedReport>, Divergence> {
+    let mut reports = Vec::new();
+    for (algorithm, serial_lock, contention) in combos() {
+        let cfg = StressConfig {
+            algorithm,
+            serial_lock,
+            contention,
+            ..base.clone()
+        };
+        reports.push(run_schedule_contended(seed, &cfg)?);
     }
     Ok(reports)
 }
@@ -1356,6 +1587,104 @@ mod tests {
         assert_ne!(txn_program(9, 2, 17, &cfg), txn_program(9, 3, 17, &cfg));
         assert_eq!(wh_txn_program(9, 2, 17, &cfg), wh_txn_program(9, 2, 17, &cfg));
         assert_ne!(wh_txn_program(9, 2, 17, &cfg), wh_txn_program(10, 2, 17, &cfg));
+        assert_eq!(
+            contended_txn_program(9, 2, 17, &cfg),
+            contended_txn_program(9, 2, 17, &cfg)
+        );
+        assert_ne!(
+            contended_txn_program(9, 2, 17, &cfg),
+            contended_txn_program(10, 2, 17, &cfg)
+        );
+    }
+
+    /// The contended programs really are write-disjoint: every mutation's
+    /// destination lands in the issuing thread's own block, across a
+    /// sample large enough to draw all four operation arms.
+    #[test]
+    fn contended_programs_write_only_their_own_block() {
+        let cfg = StressConfig {
+            threads: 4,
+            cells: 8,
+            ..StressConfig::smoke()
+        };
+        let block = cfg.cells / cfg.threads;
+        let mut cross_reads = 0usize;
+        for t in 0..cfg.threads {
+            for j in 0..60 {
+                for op in contended_txn_program(0xC0, t, j, &cfg) {
+                    let (src, dst) = match op {
+                        StressOp::Write(i, _) | StressOp::Add(i, _) => (None, i),
+                        StressOp::Copy(a, b) | StressOp::Mix(a, b) => (Some(a), b),
+                    };
+                    assert!(
+                        (t * block..(t + 1) * block).contains(&dst),
+                        "thread {t} writes cell {dst} outside its block"
+                    );
+                    if src.is_some_and(|a| !(t * block..(t + 1) * block).contains(&a)) {
+                        cross_reads += 1;
+                    }
+                }
+            }
+        }
+        assert!(cross_reads > 0, "no cross-block reads drawn — validation has no edges");
+    }
+
+    /// The contended matrix: all 21 combos pass the ticket oracle with
+    /// disjoint write sets, and on the orec-based algorithms the per-shard
+    /// clock stats attribute ticks to every shard the workers ran on (the
+    /// run itself diverges if not — asserted again here for the report
+    /// values).
+    #[test]
+    fn contended_matrix_passes_on_every_combo() {
+        let base = StressConfig {
+            threads: 3,
+            cells: 6,
+            txns_per_thread: 25,
+            max_ops_per_txn: 5,
+            ..StressConfig::smoke()
+        };
+        let reports = run_matrix_contended(0xC047, &base).unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(reports.len(), combos().len());
+        for r in &reports {
+            assert_eq!(r.report.commits, 3 * 25, "{}", r.report.combo);
+            assert!(r.shards_used >= 1, "{}", r.report.combo);
+            if !r.report.combo.starts_with("norec") {
+                assert!(
+                    r.shard_ticks.iter().sum::<u64>() > 0,
+                    "{}: no commit ticks recorded on any clock shard",
+                    r.report.combo
+                );
+            }
+        }
+    }
+
+    /// Commit-path contention under fire: all 21 combos pass the ticket
+    /// oracle on disjoint write sets while faults rain on the commit-tick
+    /// CAS loop, and shard attribution survives.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_contended_matrix_passes_ticket_oracle() {
+        let base = StressConfig {
+            threads: 3,
+            cells: 6,
+            txns_per_thread: 20,
+            max_ops_per_txn: 5,
+            ..StressConfig::smoke()
+        };
+        let reports = chaos::run_matrix_contended_chaos(0xC4A0, &base, chaos::default_plan())
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(reports.len(), combos().len());
+        let injected: u64 = reports.iter().map(|r| r.injected).sum();
+        assert!(injected > 0, "chaos contended schedule injected no faults");
+        for r in &reports {
+            if !r.report.report.combo.starts_with("norec") {
+                assert!(
+                    r.report.shard_ticks.iter().sum::<u64>() > 0,
+                    "{}: no commit ticks recorded on any clock shard",
+                    r.report.report.combo
+                );
+            }
+        }
     }
 
     /// The write-heavy matrix: all 21 combos pass the ticket oracle, and

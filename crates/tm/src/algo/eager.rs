@@ -46,7 +46,9 @@ impl EagerTx {
     pub(crate) fn begin(rt: &RtInner, tx_id: u64) -> Self {
         EagerTx {
             tx_id,
-            start_time: rt.clock.now(),
+            // Own-shard load + cached cross-shard view: no full clock scan
+            // at begin. A stale-low snapshot costs at most an extension.
+            start_time: rt.clock.now_cached(),
         }
     }
 
@@ -74,15 +76,19 @@ impl EagerTx {
                     continue;
                 }
             }
+            rt.orecs.note_conflict(idx);
             return Err(Abort::Conflict);
         }
         Ok(())
     }
 
     /// TinySTM-style timestamp extension: revalidate, then move the
-    /// snapshot forward.
+    /// snapshot forward. This is the one place the read path pays a full
+    /// cross-shard clock scan ([`crate::clock::ShardedClock::sync`]) —
+    /// TLC-style, synchronization only on validation pressure.
     fn extend(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
-        let now = rt.clock.now();
+        let now = rt.clock.sync();
+        bufs.shard_syncs += 1;
         self.validate(rt, bufs)?;
         self.start_time = now;
         bufs.extensions += 1;
@@ -103,6 +109,7 @@ impl EagerTx {
                     // Write-through: our own writes are already in place.
                     return Ok(tword_at(addr).load_direct());
                 }
+                rt.orecs.note_conflict(idx);
                 return Err(Abort::Conflict);
             }
             let v = tword_at(addr).load_direct();
@@ -154,6 +161,7 @@ impl EagerTx {
                     w.store_direct(v);
                     return Ok(());
                 }
+                rt.orecs.note_conflict(idx);
                 return Err(Abort::Conflict);
             }
             if orec::version_of(o) > self.start_time {
@@ -206,22 +214,21 @@ impl EagerTx {
             self.rollback(rt, bufs);
             return Err(e);
         }
-        let end = if rt.clock.try_tick_from(self.start_time) {
-            // GV5-style conflict-free path: the clock never moved past our
-            // snapshot, so no transaction committed since we started and
-            // every logged read is still current — validation elided.
-            bufs.clock_elisions += 1;
-            self.start_time + 1
-        } else {
-            // Someone committed since our snapshot: full tick + validation.
+        let (end, revalidate) = rt.clock.commit_tick(self.start_time);
+        if revalidate {
+            // Some shard moved past our snapshot: a transaction committed
+            // since we started, so the read set must be revalidated.
             bufs.clock_retries += 1;
-            let end = rt.clock.tick();
-            if end > self.start_time + 1 && self.validate(rt, bufs).is_err() {
+            if self.validate(rt, bufs).is_err() {
                 self.rollback(rt, bufs);
                 return Err(Abort::Conflict);
             }
-            end
-        };
+        } else {
+            // GV5-style conflict-free path: no shard moved past our
+            // snapshot even after our own CAS published, so no transaction
+            // committed since we started — validation elided.
+            bufs.clock_elisions += 1;
+        }
         for &(idx, _) in &bufs.locks {
             rt.orecs.release(idx, orec::unlocked_at(end));
         }

@@ -55,6 +55,7 @@ fn validate(
                 continue;
             }
         }
+        rt.orecs.note_conflict(idx);
         return Err(Abort::Conflict);
     }
     Ok(())
@@ -64,7 +65,8 @@ impl LazyTx {
     pub(crate) fn begin(rt: &RtInner, tx_id: u64) -> Self {
         LazyTx {
             tx_id,
-            start_time: rt.clock.now(),
+            // Own-shard load + cached cross-shard view; see the eager twin.
+            start_time: rt.clock.now_cached(),
         }
     }
 
@@ -73,7 +75,10 @@ impl LazyTx {
     }
 
     fn extend(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
-        let now = rt.clock.now();
+        // The one full cross-shard clock scan on the read path: TLC-style,
+        // paid only under validation pressure.
+        let now = rt.clock.sync();
+        bufs.shard_syncs += 1;
         validate(rt, self.tx_id, &bufs.reads, &[])?;
         self.start_time = now;
         bufs.extensions += 1;
@@ -95,6 +100,7 @@ impl LazyTx {
             if orec::is_locked(o1) {
                 // We never hold locks while executing, so this is always a
                 // concurrent committer: conflict.
+                rt.orecs.note_conflict(idx);
                 return Err(Abort::Conflict);
             }
             let v = tword_at(addr).load_direct();
@@ -191,6 +197,7 @@ impl LazyTx {
                     if orec::owner_of(o) == self.tx_id {
                         break; // hash collision onto an orec we already hold
                     }
+                    rt.orecs.note_conflict(idx);
                     release_held(rt, held, None);
                     bufs.clear();
                     return Err(Abort::Conflict);
@@ -208,21 +215,21 @@ impl LazyTx {
             bufs.clear();
             return Err(e);
         }
-        let end = if rt.clock.try_tick_from(self.start_time) {
-            // GV5-style conflict-free path: no commit since our snapshot,
-            // so the read set is provably current — validation elided.
-            *clock_elisions += 1;
-            self.start_time + 1
-        } else {
+        let (end, revalidate) = rt.clock.commit_tick(self.start_time);
+        if revalidate {
+            // A shard moved past our snapshot: someone committed since we
+            // started, revalidate the read set.
             *clock_retries += 1;
-            let end = rt.clock.tick();
-            if end > self.start_time + 1 && validate(rt, self.tx_id, reads, held).is_err() {
+            if validate(rt, self.tx_id, reads, held).is_err() {
                 release_held(rt, held, None);
                 bufs.clear();
                 return Err(Abort::Conflict);
             }
-            end
-        };
+        } else {
+            // GV5-style conflict-free path: no commit since our snapshot,
+            // so the read set is provably current — validation elided.
+            *clock_elisions += 1;
+        }
         for &(addr, v) in writes.iter() {
             tword_at(addr).store_direct(v);
         }

@@ -133,6 +133,45 @@ impl NorecTx {
             bufs.clear();
             return Ok(());
         }
+        // Seqlock-bump elision: a write set whose every buffered value
+        // already equals committed memory (e.g. a read-modify-write that
+        // settled back on the original value) publishes nothing — the
+        // write-back would be a no-op — so the sequence bump that would
+        // invalidate every reader's seqlock line can be skipped. A cheap
+        // racy pre-scan filters; the loop below then re-checks BOTH logs
+        // inside one even-stable window, which makes the elided commit
+        // exactly a read-only transaction serialized at `t`: its reads are
+        // current at `t`, its writes leave memory bit-identical, and no
+        // reader can observe a torn snapshot because nothing is written
+        // and nothing is bumped.
+        if bufs.writes.iter().all(|&(a, v)| tword_at(a).load_direct() == v) {
+            loop {
+                let t = rt.seqlock.wait_even();
+                let reads_ok = bufs.reads.iter().all(|&(a, v)| tword_at(a).load_direct() == v);
+                let writes_ok = bufs.writes.iter().all(|&(a, v)| tword_at(a).load_direct() == v);
+                if rt.seqlock.load() != t {
+                    continue; // a committer raced the window; re-check
+                }
+                if !reads_ok {
+                    bufs.clear();
+                    return Err(Abort::Conflict);
+                }
+                if writes_ok {
+                    self.snapshot = t;
+                    bufs.seqlock_elisions += 1;
+                    bufs.clear();
+                    return Ok(());
+                }
+                // Writes no longer silent (memory moved under the value):
+                // the window doubled as a validation, so extend to `t` and
+                // take the ordinary bumping path.
+                if t != self.snapshot {
+                    bufs.extensions += 1;
+                }
+                self.snapshot = t;
+                break;
+            }
+        }
         // NOrec's commit CAS *is* its clock tick: a first-try acquisition
         // means the snapshot was still current — the conflict-free path the
         // clock-elision counters gauge. Every lost CAS is a seqlock retry

@@ -246,6 +246,12 @@ pub(crate) struct LogBufs {
     /// Commit-time clock CASes lost to a concurrent committer; flushed into
     /// `TmStats::clock_cas_retries`.
     pub(crate) clock_retries: u64,
+    /// Full cross-shard clock synchronizations (paid on the snapshot
+    /// extension path only); flushed into `TmStats::clock_shard_syncs`.
+    pub(crate) shard_syncs: u64,
+    /// NOrec commits whose write set matched memory and skipped the
+    /// sequence-lock bump; flushed into `TmStats::seqlock_bump_elisions`.
+    pub(crate) seqlock_elisions: u64,
     /// High-watermark log sizes observed on this thread, updated as each
     /// attempt's logs are cleared. [`LogBufs::prewarm`] reserves to these
     /// marks up front, so a workload's steady-state transaction shape never
@@ -265,6 +271,8 @@ pub(crate) struct OpTallies {
     pub(crate) silent_elisions: u64,
     pub(crate) clock_elisions: u64,
     pub(crate) clock_retries: u64,
+    pub(crate) shard_syncs: u64,
+    pub(crate) seqlock_elisions: u64,
 }
 
 impl LogBufs {
@@ -313,12 +321,16 @@ impl LogBufs {
             silent_elisions: self.silent_elisions,
             clock_elisions: self.clock_elisions,
             clock_retries: self.clock_retries,
+            shard_syncs: self.shard_syncs,
+            seqlock_elisions: self.seqlock_elisions,
         };
         self.dedup_hits = 0;
         self.extensions = 0;
         self.silent_elisions = 0;
         self.clock_elisions = 0;
         self.clock_retries = 0;
+        self.shard_syncs = 0;
+        self.seqlock_elisions = 0;
         t
     }
 
@@ -647,13 +659,23 @@ mod tests {
         b.clock_elisions = 2;
         b.clock_retries = 1;
         b.dedup_hits = 7;
+        b.shard_syncs = 5;
+        b.seqlock_elisions = 4;
         let t = b.take_op_tallies();
         assert_eq!(
             (t.silent_elisions, t.clock_elisions, t.clock_retries, t.dedup_hits),
             (3, 2, 1, 7)
         );
+        assert_eq!((t.shard_syncs, t.seqlock_elisions), (5, 4));
         let t2 = b.take_op_tallies();
-        assert_eq!(t2.silent_elisions + t2.clock_elisions + t2.clock_retries, 0);
+        assert_eq!(
+            t2.silent_elisions
+                + t2.clock_elisions
+                + t2.clock_retries
+                + t2.shard_syncs
+                + t2.seqlock_elisions,
+            0
+        );
     }
 
     #[test]

@@ -1,59 +1,323 @@
-//! Global time bases: the shared version clock (eager/lazy algorithms) and
+//! Global time bases: the sharded commit clock (eager/lazy algorithms) and
 //! the NOrec sequence lock.
+//!
+//! # Why sharded
+//!
+//! Every read-write commit in the orec-based algorithms must obtain a
+//! globally unique, monotonically ordered timestamp. With a single clock
+//! word, that is one CAS on one cache line for the whole process — the
+//! paper's `ml_wt` lineage scaling wall (and the top ROADMAP item once the
+//! wire front end could drive real multi-core load). [`ShardedClock`]
+//! splits the clock into up to 64 per-shard counters, each on its own
+//! cache line, with thread→shard affinity:
+//!
+//! * **Timestamps** encode `(counter << shard_bits) | shard_id`, so every
+//!   timestamp is globally unique (distinct shard residues) and plain
+//!   `u64` comparison still orders them. With one shard the arithmetic
+//!   degenerates to the classic `+1` global clock, bit for bit.
+//! * **Commit** CASes only the committer's own shard line; threads with
+//!   different affinity never contend on a clock CAS.
+//! * **Snapshots** are a lazy max: transaction begin reads the own-shard
+//!   line plus a thread-cached view of the other shards
+//!   ([`ShardedClock::now_cached`]). A stale-**low** snapshot is always
+//!   safe — reads that see newer orec versions trigger the ordinary
+//!   TinySTM extension, which performs the full cross-shard
+//!   [`ShardedClock::sync`]. TLC-style: cross-shard synchronization is
+//!   paid only on validation pressure, not on every begin.
+//! * **GV5 elision** ([`ShardedClock::commit_tick`]) still works: a
+//!   committer first publishes its own-shard CAS, *then* scans the other
+//!   shards. If none moved past its snapshot, no transaction committed
+//!   since the snapshot was taken and commit-time validation is elided.
+//!   The scan must come after the CAS: two concurrent committers on
+//!   different shards can otherwise both scan clean and both elide, which
+//!   is unserializable. Post-publication, any pair of eliders has a
+//!   temporal contradiction (each CAS precedes its own scan, and a clean
+//!   scan precedes the other's CAS), so at most one transaction in any
+//!   concurrent group skips validation — exactly the single-winner
+//!   guarantee the one-word GV5 CAS gave for free.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The global version clock used by the orec-based algorithms
-/// (TL2/TinySTM-style timestamp extension).
-///
-/// Aligned to its own cache line: every committer CASes this word, and it
-/// must not false-share with neighboring runtime fields (the serial lock,
-/// the stats counters) that readers touch on every transaction begin.
+/// Maximum number of clock shards (timestamps reserve 6 low bits at most).
+pub const MAX_CLOCK_SHARDS: usize = 64;
+
+/// Process-wide thread ordinal source for shard affinity. Deliberately
+/// shared by all clocks: a thread keeps one ordinal for life, and each
+/// clock masks it down to its own shard count.
+static THREAD_ORDINALS: AtomicU64 = AtomicU64::new(0);
+
+/// Identity source for [`ShardedClock`] instances, used to key the
+/// thread-local cached cross-shard view. Ids start at 1 so the zeroed
+/// thread-local cache never aliases a real clock.
+static CLOCK_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's process-wide ordinal (assigned on first use).
+    static THREAD_ORD: u64 = THREAD_ORDINALS.fetch_add(1, Ordering::Relaxed);
+    /// Cached cross-shard maximum: `(clock id, highest timestamp seen)`.
+    /// Only ever *behind* the real maximum (stale-low), never ahead: every
+    /// stored value was loaded from a shard line, so using it as a
+    /// snapshot floor can only cost an extension, never admit a torn read.
+    static CLOCK_VIEW: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// One clock shard: the timestamp word plus its contention telemetry,
+/// padded to exactly one cache line so a committer's CAS on shard `k`
+/// never invalidates shard `j`'s line under another committer.
 #[derive(Default)]
 #[repr(align(64))]
-pub struct GlobalClock(AtomicU64);
+pub(crate) struct ClockShard {
+    /// Latest timestamp issued on this shard.
+    value: AtomicU64,
+    /// Commit/rollback ticks issued on this shard.
+    ticks: AtomicU64,
+    /// CAS attempts on this shard lost to another thread with the same
+    /// affinity (never to a thread on a different shard).
+    cas_retries: AtomicU64,
+    /// Full cross-shard synchronizations performed by threads of this
+    /// affinity (snapshot extensions / validation pressure).
+    syncs: AtomicU64,
+}
 
-impl GlobalClock {
-    /// Creates a clock at time 0.
-    pub const fn new() -> Self {
-        GlobalClock(AtomicU64::new(0))
-    }
+const _: () = assert!(std::mem::size_of::<ClockShard>() == 64, "ClockShard must fill one cache line");
+const _: () = assert!(std::mem::align_of::<ClockShard>() == 64, "ClockShard must start a cache line");
 
-    /// Current time.
-    #[inline]
-    pub fn now(&self) -> u64 {
-        self.0.load(Ordering::Acquire)
-    }
+/// A point-in-time copy of one shard's counters; see
+/// [`crate::TmRuntime::clock_shard_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClockShardStats {
+    /// Latest timestamp issued on this shard (0 if never ticked).
+    pub value: u64,
+    /// Commit/rollback ticks issued on this shard.
+    pub ticks: u64,
+    /// Same-shard CAS losses (cross-shard committers never contend).
+    pub cas_retries: u64,
+    /// Full cross-shard synchronizations by threads of this affinity.
+    pub syncs: u64,
+}
 
-    /// Advances the clock, returning the *new* time (a unique commit
-    /// timestamp for the caller).
-    #[inline]
-    pub fn tick(&self) -> u64 {
-        self.0.fetch_add(1, Ordering::AcqRel) + 1
-    }
+/// The sharded global version clock used by the orec-based algorithms.
+pub(crate) struct ShardedClock {
+    shards: Box<[ClockShard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+    /// `log2(shards.len())` — low bits of every timestamp hold the shard.
+    shard_bits: u32,
+    /// Instance id keying the thread-local cached view.
+    id: u64,
+}
 
-    /// TL2 GV5-style conflict-free tick: CAS `expected -> expected + 1`.
+impl ShardedClock {
+    /// Creates a clock at time 0 with `nshards` per-shard counters.
     ///
-    /// Success proves no transaction committed since the caller sampled
-    /// `expected` as its snapshot — the snapshot is still *current*, so the
-    /// caller may stamp its writes with `expected + 1` and skip commit-time
-    /// validation entirely. Failure means the clock moved; the caller falls
-    /// back to [`GlobalClock::tick`] plus full validation. Unlike raw GV5
-    /// stamping (which publishes versions the clock has not reached and
-    /// forces readers to repair the clock), the CAS keeps the invariant
-    /// that every published orec version is ≤ the clock.
+    /// # Panics
+    ///
+    /// Panics unless `nshards` is a power of two in `1..=64`.
+    pub fn new(nshards: usize) -> Self {
+        assert!(
+            nshards.is_power_of_two() && (1..=MAX_CLOCK_SHARDS).contains(&nshards),
+            "clock shard count {nshards} must be a power of two in 1..=64"
+        );
+        ShardedClock {
+            shards: (0..nshards).map(|_| ClockShard::default()).collect(),
+            mask: (nshards - 1) as u64,
+            shard_bits: nshards.trailing_zeros(),
+            id: CLOCK_IDS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Number of shards.
     #[inline]
-    pub fn try_tick_from(&self, expected: u64) -> bool {
-        self.0
-            .compare_exchange(expected, expected + 1, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The calling thread's shard affinity under this clock.
+    #[inline]
+    pub fn my_shard(&self) -> usize {
+        (THREAD_ORD.with(|o| *o) & self.mask) as usize
+    }
+
+    /// The next timestamp after `from` carrying this shard's residue:
+    /// strictly greater than `from`, globally unique per shard.
+    #[inline]
+    fn next_on(&self, from: u64, shard: u64) -> u64 {
+        (((from >> self.shard_bits) + 1) << self.shard_bits) | shard
+    }
+
+    /// Scans every shard line for the current global maximum.
+    #[inline]
+    fn scan_max(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.value.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Folds a freshly observed timestamp into the thread-cached view.
+    #[inline]
+    fn cache_put(&self, t: u64) {
+        CLOCK_VIEW.with(|c| {
+            let (id, cached) = c.get();
+            let floor = if id == self.id { cached.max(t) } else { t };
+            c.set((self.id, floor));
+        });
+    }
+
+    /// Current global time: the exact lazy max over all shards. Costs one
+    /// load per shard; begin paths use [`ShardedClock::now_cached`].
+    pub fn now(&self) -> u64 {
+        let m = self.scan_max();
+        self.cache_put(m);
+        m
+    }
+
+    /// A cheap snapshot for transaction begin: the own-shard line joined
+    /// with this thread's cached cross-shard view — no full scan. May be
+    /// stale-low (costing a snapshot extension on the first read that
+    /// notices), never stale-high: every cached value was read from a
+    /// shard line of *this* clock, so it is a published timestamp.
+    #[inline]
+    pub fn now_cached(&self) -> u64 {
+        let own = self.shards[self.my_shard()].value.load(Ordering::Acquire);
+        let cached = CLOCK_VIEW.with(|c| {
+            let (id, cached) = c.get();
+            if id == self.id {
+                cached
+            } else {
+                0
+            }
+        });
+        let t = own.max(cached);
+        if cached < t {
+            self.cache_put(t);
+        }
+        t
+    }
+
+    /// Full cross-shard synchronization: scan every shard, refresh the
+    /// thread-cached view, count it against the caller's affinity shard.
+    /// Engines call this exactly where validation pressure appears (the
+    /// snapshot-extension path), so quiescent threads never pay the scan.
+    pub fn sync(&self) -> u64 {
+        self.shards[self.my_shard()]
+            .syncs
+            .fetch_add(1, Ordering::Relaxed);
+        self.now()
+    }
+
+    /// Advances this thread's shard past everything published, returning
+    /// the new globally maximal timestamp. The rollback / irrevocable
+    /// publish path: callers only need a fresh unique timestamp, not the
+    /// elision verdict.
+    ///
+    /// Must be called with the caller's write-set orecs already held (or
+    /// the caller serialized): the cross-shard scan inside is what makes
+    /// the returned timestamp exceed every snapshot a concurrent reader
+    /// could have completed before our locks became visible.
+    pub fn tick(&self) -> u64 {
+        let k = self.my_shard();
+        let slot = &self.shards[k];
+        let mut own = slot.value.load(Ordering::Acquire);
+        loop {
+            let m = self.scan_max().max(own);
+            let end = self.next_on(m, k as u64);
+            match slot
+                .value
+                .compare_exchange(own, end, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    slot.ticks.fetch_add(1, Ordering::Relaxed);
+                    self.cache_put(end);
+                    return end;
+                }
+                Err(cur) => {
+                    slot.cas_retries.fetch_add(1, Ordering::Relaxed);
+                    own = cur;
+                }
+            }
+        }
+    }
+
+    /// The commit-time tick: returns `(end timestamp, needs_validation)`.
+    ///
+    /// `needs_validation == false` is the GV5-style elided path: this
+    /// commit's own-shard CAS published first, and the *post-publication*
+    /// scan found no other shard past `snapshot` — so no transaction
+    /// committed since the caller's snapshot and its read set is provably
+    /// current. The scan ordering is load-bearing (see the module docs):
+    /// scanning before the CAS would let two committers on different
+    /// shards both elide against each other.
+    ///
+    /// `needs_validation == true` covers both fallbacks: another shard
+    /// advanced past the snapshot, or our own shard did (a same-affinity
+    /// thread committed). Either way `end` is already published and the
+    /// caller must validate its reads before releasing orecs at `end`.
+    ///
+    /// Same lock-ordering contract as [`ShardedClock::tick`].
+    pub fn commit_tick(&self, snapshot: u64) -> (u64, bool) {
+        let k = self.my_shard();
+        let slot = &self.shards[k];
+        let mut own = slot.value.load(Ordering::Acquire);
+        loop {
+            let (from, end) = if own <= snapshot {
+                // Our shard has not moved past the snapshot; try to claim
+                // the timestamp right after it.
+                (own, self.next_on(snapshot, k as u64))
+            } else {
+                // A same-affinity thread committed since our snapshot:
+                // the elided verdict is already lost, take a plain tick.
+                (own, self.next_on(self.scan_max().max(own), k as u64))
+            };
+            match slot
+                .value
+                .compare_exchange(from, end, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    slot.ticks.fetch_add(1, Ordering::Relaxed);
+                    self.cache_put(end);
+                    if from > snapshot {
+                        return (end, true);
+                    }
+                    // Post-publication cross-shard check: our CAS is
+                    // visible, so a racing committer either sees it (and
+                    // validates) or published before this scan (and we
+                    // see it here and validate).
+                    let clean = self.shards.iter().enumerate().all(|(j, s)| {
+                        j == k || s.value.load(Ordering::Acquire) <= snapshot
+                    });
+                    return (end, !clean);
+                }
+                Err(cur) => {
+                    slot.cas_retries.fetch_add(1, Ordering::Relaxed);
+                    own = cur;
+                }
+            }
+        }
+    }
+
+    /// Copies every shard's counters.
+    pub fn shard_stats(&self) -> Vec<ClockShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ClockShardStats {
+                value: s.value.load(Ordering::Acquire),
+                ticks: s.ticks.load(Ordering::Relaxed),
+                cas_retries: s.cas_retries.load(Ordering::Relaxed),
+                syncs: s.syncs.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
-impl fmt::Debug for GlobalClock {
+impl fmt::Debug for ShardedClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("GlobalClock").field(&self.now()).finish()
+        f.debug_struct("ShardedClock")
+            .field("shards", &self.shards.len())
+            .field("now", &self.scan_max())
+            .finish()
     }
 }
 
@@ -71,6 +335,8 @@ impl fmt::Debug for GlobalClock {
 #[derive(Default)]
 #[repr(align(64))]
 pub struct SeqLock(AtomicU64);
+
+const _: () = assert!(std::mem::align_of::<SeqLock>() == 64, "SeqLock must start a cache line");
 
 impl SeqLock {
     /// Creates an unlocked sequence lock at time 0.
@@ -124,43 +390,124 @@ mod tests {
     use super::*;
 
     #[test]
-    fn clock_ticks_monotonically() {
-        let c = GlobalClock::new();
+    fn one_shard_degenerates_to_the_plus_one_clock() {
+        let c = ShardedClock::new(1);
         assert_eq!(c.now(), 0);
         assert_eq!(c.tick(), 1);
         assert_eq!(c.tick(), 2);
         assert_eq!(c.now(), 2);
+        assert_eq!(c.now_cached(), 2);
+    }
+
+    #[test]
+    fn sharded_ticks_are_monotonic_on_one_thread() {
+        let c = ShardedClock::new(8);
+        let mut last = c.now();
+        for _ in 0..100 {
+            let t = c.tick();
+            assert!(t > last, "tick {t} did not exceed {last}");
+            assert_eq!(t & 7, c.my_shard() as u64, "residue must name the shard");
+            last = t;
+        }
+        assert_eq!(c.now(), last);
     }
 
     #[test]
     fn clock_ticks_are_unique_across_threads() {
-        let c = std::sync::Arc::new(GlobalClock::new());
-        let mut handles = vec![];
-        for _ in 0..4 {
-            let c = c.clone();
-            handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
-            }));
+        for nshards in [1usize, 4, 8] {
+            let c = std::sync::Arc::new(ShardedClock::new(nshards));
+            let mut handles = vec![];
+            for _ in 0..4 {
+                let c = c.clone();
+                handles.push(std::thread::spawn(move || {
+                    (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
+                }));
+            }
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 4000, "duplicate commit timestamps ({nshards} shards)");
         }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect();
-        all.sort_unstable();
-        all.dedup();
-        assert_eq!(all.len(), 4000, "duplicate commit timestamps issued");
     }
 
     #[test]
-    fn conflict_free_tick_is_a_snapshot_cas() {
-        let c = GlobalClock::new();
-        assert!(c.try_tick_from(0), "current snapshot must win the CAS");
-        assert_eq!(c.now(), 1);
-        assert!(!c.try_tick_from(0), "stale snapshot must lose the CAS");
-        assert_eq!(c.now(), 1, "a failed CAS must not move the clock");
-        assert_eq!(c.tick(), 2);
-        assert!(c.try_tick_from(2));
-        assert_eq!(c.now(), 3);
+    fn conflict_free_commit_tick_elides_validation() {
+        let c = ShardedClock::new(8);
+        let snap = c.now_cached();
+        let (end, validate) = c.commit_tick(snap);
+        assert!(!validate, "quiescent clock must elide");
+        assert!(end > snap);
+        // Single-thread steady state keeps eliding: the own shard is the max.
+        let snap2 = c.now_cached();
+        assert_eq!(snap2, end);
+        let (end2, validate2) = c.commit_tick(snap2);
+        assert!(!validate2);
+        assert!(end2 > end);
+    }
+
+    #[test]
+    fn stale_snapshot_commit_tick_demands_validation() {
+        let c = std::sync::Arc::new(ShardedClock::new(8));
+        let snap = c.now_cached();
+        // A commit from a different thread (different ordinal, usually a
+        // different shard — but even same-shard staleness must be seen).
+        {
+            let c = c.clone();
+            std::thread::spawn(move || c.tick()).join().unwrap();
+        }
+        let (end, validate) = c.commit_tick(snap);
+        assert!(validate, "a concurrent commit after the snapshot must force validation");
+        assert!(end > snap);
+        assert!(c.now() >= end);
+    }
+
+    #[test]
+    fn same_shard_staleness_forces_validation() {
+        // One shard: any tick after the snapshot lands on *our* shard.
+        let c = ShardedClock::new(1);
+        let snap = c.now_cached();
+        c.tick();
+        let (end, validate) = c.commit_tick(snap);
+        assert!(validate);
+        assert!(end > snap);
+        let stats = c.shard_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].ticks, 2);
+        assert_eq!(stats[0].value, end);
+    }
+
+    #[test]
+    fn cached_view_is_keyed_per_clock_instance() {
+        let a = ShardedClock::new(8);
+        let b = ShardedClock::new(8);
+        let ta = a.tick();
+        assert!(a.now_cached() >= ta);
+        // Clock b must not inherit a's cached view (stale-high would be
+        // unsound for b): a fresh clock still reads time 0.
+        assert_eq!(b.now_cached(), 0);
+        // And coming back to a, the own-shard line alone restores the time.
+        assert!(a.now_cached() >= ta);
+    }
+
+    #[test]
+    fn sync_counts_against_the_callers_shard() {
+        let c = ShardedClock::new(4);
+        let before: u64 = c.shard_stats().iter().map(|s| s.syncs).sum();
+        c.sync();
+        c.sync();
+        let stats = c.shard_stats();
+        let after: u64 = stats.iter().map(|s| s.syncs).sum();
+        assert_eq!(after - before, 2);
+        assert_eq!(stats[c.my_shard()].syncs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = ShardedClock::new(3);
     }
 
     #[test]

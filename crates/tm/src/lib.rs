@@ -73,6 +73,7 @@ mod clock;
 mod cm;
 mod error;
 pub mod fault;
+pub mod layout;
 mod orec;
 mod runtime;
 mod serial;
@@ -82,6 +83,7 @@ mod word;
 
 pub use algo::Algorithm;
 pub use cell::{TBytes, TCell, TWord};
+pub use clock::{ClockShardStats, MAX_CLOCK_SHARDS};
 pub use cm::ContentionManager;
 pub use error::{cancel, Abort, Cancelled, TxError};
 pub use runtime::{TmRuntime, TmRuntimeBuilder, TxOptions};

@@ -11,12 +11,38 @@
 //!
 //! * `version << 1` (even) — unlocked, last committed at `version`;
 //! * `(owner_tx_id << 1) | 1` (odd) — locked by the transaction with that id.
+//!
+//! # Striping
+//!
+//! The table is organized as cache-line *stripes* of [`ORECS_PER_STRIPE`]
+//! orecs each. The hash is stripe-aware: the 64-byte *data block* an
+//! address belongs to (`addr >> 6`) picks the stripe, and the word's
+//! position inside its block (`(addr >> 3) & 7`) picks the slot within the
+//! stripe. Two consequences:
+//!
+//! * Words of **unrelated** data blocks land on unrelated stripes, so a
+//!   committer's lock CAS never invalidates the orec line under readers of
+//!   a different block — no cross-block false sharing. (The previous
+//!   design padded every orec to its own line to get this, at 64 bytes per
+//!   orec; striping gets the same isolation at 8 bytes per orec, an 8×
+//!   footprint cut that keeps the default 2^16-entry table inside L2.)
+//! * Words of the **same** data block share one orec line. They were
+//!   already sharing a data cache line, so a writer was invalidating the
+//!   reader's data line regardless — co-locating their orecs adds no new
+//!   coherence traffic, and gives commit-time lock runs spatial locality.
+//!
+//! Per-stripe conflict counters live in a separate allocation (off the
+//! orec lines, so bumping one is not itself false sharing) and feed the
+//! `orec_stripe_conflicts` stat.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Raw orec value.
 pub type OrecValue = u64;
+
+/// Orecs per stripe: one 64-byte cache line of 8-byte orecs.
+pub const ORECS_PER_STRIPE: usize = 8;
 
 /// Returns `true` if the orec value is locked by some transaction.
 #[inline]
@@ -50,27 +76,30 @@ pub fn unlocked_at(version: u64) -> OrecValue {
     version << 1
 }
 
-/// One orec, padded to a full cache line. Orecs are the hottest shared
-/// words in the orec-based algorithms (every read samples one, every
-/// commit CASes several); without padding, eight orecs share a 64-byte
-/// line and a committer locking one orec invalidates the line under
-/// readers of seven unrelated ones — false sharing that Fibonacci hashing
-/// makes *more* likely by design, since it scatters adjacent addresses
-/// across the whole table.
+/// One cache line of orecs. Aligned and sized to exactly 64 bytes so
+/// stripe boundaries coincide with cache-line boundaries — the property
+/// the whole anti-false-sharing argument rests on (and which the layout
+/// guard test pins).
 #[derive(Default)]
 #[repr(align(64))]
-struct PaddedOrec(AtomicU64);
+pub(crate) struct OrecStripe([AtomicU64; ORECS_PER_STRIPE]);
+
+const _: () = assert!(std::mem::size_of::<OrecStripe>() == 64, "OrecStripe must fill one cache line");
+const _: () = assert!(std::mem::align_of::<OrecStripe>() == 64, "OrecStripe must start a cache line");
 
 /// The table of ownership records shared by all transactions of one
 /// [`crate::TmRuntime`].
 ///
 /// The table size trades false conflicts for memory; the default of 2^16
 /// entries matches the scale of the memcached reproduction's working set.
-/// Entries are cache-line-padded ([`PaddedOrec`]), so a table costs
-/// 64 bytes per orec.
+/// Entries are grouped into cache-line stripes ([`OrecStripe`]), so a
+/// table costs 8 bytes per orec plus 8 bytes per stripe of telemetry.
 pub struct OrecTable {
-    orecs: Box<[PaddedOrec]>,
-    mask: usize,
+    stripes: Box<[OrecStripe]>,
+    /// Per-stripe conflict tallies, deliberately a separate allocation so
+    /// the counters never share a line with the orecs they describe.
+    conflicts: Box<[AtomicU64]>,
+    stripe_mask: usize,
 }
 
 impl OrecTable {
@@ -81,17 +110,18 @@ impl OrecTable {
     ///
     /// # Panics
     ///
-    /// Panics if `log_size` is 0 or greater than 28.
+    /// Panics if `log_size` is less than 3 (one full stripe) or greater
+    /// than 28.
     pub fn new(log_size: u32) -> Self {
         assert!(
-            (1..=28).contains(&log_size),
-            "orec table log_size {log_size} out of range 1..=28"
+            (3..=28).contains(&log_size),
+            "orec table log_size {log_size} out of range 3..=28"
         );
-        let n = 1usize << log_size;
-        let orecs = (0..n).map(|_| PaddedOrec::default()).collect::<Vec<_>>();
+        let nstripes = 1usize << (log_size - 3);
         OrecTable {
-            orecs: orecs.into_boxed_slice(),
-            mask: n - 1,
+            stripes: (0..nstripes).map(|_| OrecStripe::default()).collect(),
+            conflicts: (0..nstripes).map(|_| AtomicU64::new(0)).collect(),
+            stripe_mask: nstripes - 1,
         }
     }
 
@@ -99,35 +129,45 @@ impl OrecTable {
     #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub fn len(&self) -> usize {
-        self.orecs.len()
+        self.stripes.len() * ORECS_PER_STRIPE
     }
 
     /// Whether the table is empty (never true for a constructed table).
     #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.orecs.is_empty()
+        self.stripes.is_empty()
     }
 
-    /// Maps a word address to its orec index (Fibonacci hashing over the
-    /// word-aligned address, so adjacent words spread across the table).
+    /// Number of stripes in the table.
+    #[inline]
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Maps a word address to its orec index. Stripe-aware: the 64-byte
+    /// data block picks the stripe (Fibonacci-hashed so unrelated blocks
+    /// spread across the table), the word's offset inside its block picks
+    /// the slot — same-block words co-locate on one orec line, unrelated
+    /// blocks never share one.
     #[inline]
     pub fn index_of(&self, addr: usize) -> usize {
-        let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> 24) & self.mask
+        let h = (addr >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let stripe = (h >> 24) & self.stripe_mask;
+        let slot = (addr >> 3) & (ORECS_PER_STRIPE - 1);
+        stripe * ORECS_PER_STRIPE + slot
     }
 
     /// Loads the orec at `idx`.
     #[inline]
     pub fn load(&self, idx: usize) -> OrecValue {
-        self.orecs[idx].0.load(Ordering::Acquire)
+        self.stripes[idx / ORECS_PER_STRIPE].0[idx % ORECS_PER_STRIPE].load(Ordering::Acquire)
     }
 
     /// Attempts to CAS the orec at `idx` from `current` to `new`.
     #[inline]
     pub fn try_update(&self, idx: usize, current: OrecValue, new: OrecValue) -> bool {
-        self.orecs[idx]
-            .0
+        self.stripes[idx / ORECS_PER_STRIPE].0[idx % ORECS_PER_STRIPE]
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
@@ -136,14 +176,35 @@ impl OrecTable {
     /// this (release paths).
     #[inline]
     pub fn release(&self, idx: usize, new: OrecValue) {
-        self.orecs[idx].0.store(new, Ordering::Release);
+        self.stripes[idx / ORECS_PER_STRIPE].0[idx % ORECS_PER_STRIPE]
+            .store(new, Ordering::Release);
+    }
+
+    /// Records a conflict observed at orec `idx` against its stripe.
+    /// Called on the abort edges (locked-by-other, version mismatch), not
+    /// on the happy path.
+    #[inline]
+    pub fn note_conflict(&self, idx: usize) {
+        self.conflicts[idx / ORECS_PER_STRIPE].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total conflicts recorded across all stripes.
+    pub fn conflict_total(&self) -> u64 {
+        self.conflicts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-stripe conflict tallies.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn stripe_conflicts(&self) -> Vec<u64> {
+        self.conflicts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 }
 
 impl fmt::Debug for OrecTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("OrecTable")
-            .field("len", &self.orecs.len())
+            .field("len", &self.len())
+            .field("stripes", &self.stripes.len())
             .finish()
     }
 }
@@ -167,6 +228,7 @@ mod tests {
         let t = OrecTable::new(4);
         assert_eq!(t.len(), 16);
         assert!(!t.is_empty());
+        assert_eq!(t.stripe_count(), 2);
         for i in 0..t.len() {
             let v = t.load(i);
             assert!(!is_locked(v));
@@ -191,8 +253,35 @@ mod tests {
         let a = t.index_of(base);
         let b = t.index_of(base + 8);
         let c = t.index_of(base + 16);
-        // Fibonacci hashing: consecutive words should not all collide.
+        // Same 64-byte block → same stripe, distinct slots.
         assert!(a != b || b != c);
+    }
+
+    #[test]
+    fn same_block_words_share_a_stripe_distinct_slots() {
+        let t = OrecTable::new(10);
+        let base = 0x4_0000usize; // block-aligned
+        let idxs: Vec<usize> = (0..8).map(|w| t.index_of(base + w * 8)).collect();
+        let stripe = idxs[0] / ORECS_PER_STRIPE;
+        for (w, &i) in idxs.iter().enumerate() {
+            assert_eq!(i / ORECS_PER_STRIPE, stripe, "word {w} left the stripe");
+        }
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "slots within a stripe must not collide");
+    }
+
+    #[test]
+    fn different_blocks_usually_hit_different_stripes() {
+        let t = OrecTable::new(10);
+        let stripes: Vec<usize> = (0..16)
+            .map(|b| t.index_of(0x1000 + b * 64) / ORECS_PER_STRIPE)
+            .collect();
+        let mut sorted = stripes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() > 8, "block hash must scatter stripes, got {sorted:?}");
     }
 
     #[test]
@@ -205,6 +294,17 @@ mod tests {
         assert_eq!(owner_of(t.load(idx)), 9);
         t.release(idx, unlocked_at(5));
         assert_eq!(version_of(t.load(idx)), 5);
+    }
+
+    #[test]
+    fn conflicts_tally_against_the_stripe() {
+        let t = OrecTable::new(4);
+        assert_eq!(t.conflict_total(), 0);
+        t.note_conflict(0);
+        t.note_conflict(3); // same stripe as 0
+        t.note_conflict(8); // second stripe
+        assert_eq!(t.conflict_total(), 3);
+        assert_eq!(t.stripe_conflicts(), vec![2, 1]);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use crate::algo::{Algorithm, Engine};
 use crate::arena::Arena;
-use crate::clock::{GlobalClock, SeqLock};
+use crate::clock::{ClockShardStats, SeqLock, ShardedClock, MAX_CLOCK_SHARDS};
 use crate::cm::{exponential_backoff, ContentionManager, Hourglass};
 use crate::cell::TCell;
 use crate::error::{Abort, Cancelled, TxError};
@@ -77,7 +77,7 @@ pub(crate) struct RtInner {
     pub(crate) cm: ContentionManager,
     pub(crate) serial_mode: SerialLockMode,
     pub(crate) orecs: OrecTable,
-    pub(crate) clock: GlobalClock,
+    pub(crate) clock: ShardedClock,
     pub(crate) seqlock: SeqLock,
     pub(crate) serial: SerialLock,
     pub(crate) hourglass: Hourglass,
@@ -129,6 +129,12 @@ pub struct TmRuntimeBuilder {
     cm: ContentionManager,
     serial_mode: SerialLockMode,
     orec_log_size: u32,
+    clock_shards: usize,
+}
+
+impl TmRuntimeBuilder {
+    /// Default commit-clock shard count.
+    pub const DEFAULT_CLOCK_SHARDS: usize = 8;
 }
 
 impl Default for TmRuntimeBuilder {
@@ -138,6 +144,7 @@ impl Default for TmRuntimeBuilder {
             cm: ContentionManager::GCC_DEFAULT,
             serial_mode: SerialLockMode::ReaderWriter,
             orec_log_size: OrecTable::DEFAULT_LOG_SIZE,
+            clock_shards: Self::DEFAULT_CLOCK_SHARDS,
         }
     }
 }
@@ -168,9 +175,23 @@ impl TmRuntimeBuilder {
     ///
     /// # Panics
     ///
-    /// `build` panics if the value is outside `1..=28`.
+    /// `build` panics if the value is outside `3..=28`.
     pub fn orec_log_size(mut self, log: u32) -> Self {
         self.orec_log_size = log;
+        self
+    }
+
+    /// Sets the commit-clock shard count (default 8). One shard reproduces
+    /// the classic single-word global clock, timestamp for timestamp — the
+    /// configuration `tablecheck` pins for the paper's tables. More shards
+    /// spread commit CASes over that many cache lines with thread→shard
+    /// affinity.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics unless the value is a power of two in `1..=64`.
+    pub fn clock_shards(mut self, n: usize) -> Self {
+        self.clock_shards = n;
         self
     }
 
@@ -180,7 +201,8 @@ impl TmRuntimeBuilder {
     ///
     /// Panics on an inconsistent configuration: a serializing contention
     /// manager ([`ContentionManager::SerializeAfter`]) cannot be combined
-    /// with [`SerialLockMode::None`].
+    /// with [`SerialLockMode::None`], and the clock shard count must be a
+    /// power of two in `1..=64`.
     pub fn build(self) -> TmRuntime {
         if matches!(self.cm, ContentionManager::SerializeAfter(_))
             && self.serial_mode == SerialLockMode::None
@@ -191,13 +213,19 @@ impl TmRuntimeBuilder {
                  SerialLockMode::None"
             );
         }
+        assert!(
+            self.clock_shards.is_power_of_two()
+                && (1..=MAX_CLOCK_SHARDS).contains(&self.clock_shards),
+            "clock shard count {} must be a power of two in 1..=64",
+            self.clock_shards
+        );
         TmRuntime {
             inner: Arc::new(RtInner {
                 algorithm: self.algorithm,
                 cm: self.cm,
                 serial_mode: self.serial_mode,
                 orecs: OrecTable::new(self.orec_log_size),
-                clock: GlobalClock::new(),
+                clock: ShardedClock::new(self.clock_shards),
                 seqlock: SeqLock::new(),
                 serial: SerialLock::new(),
                 hourglass: Hourglass::new(),
@@ -251,7 +279,39 @@ impl TmRuntime {
     /// A snapshot of the runtime's statistics counters (the raw material of
     /// the paper's Tables 1–4).
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut s = self.inner.stats.snapshot();
+        // Conflicts tally per orec stripe (off the transaction hot path);
+        // fold the table's total into the snapshot here.
+        s.orec_stripe_conflicts = self.inner.orecs.conflict_total();
+        s
+    }
+
+    /// Per-shard commit-clock counters: current timestamp, ticks issued,
+    /// same-shard CAS retries, and cross-shard syncs, indexed by shard.
+    pub fn clock_shard_stats(&self) -> Vec<ClockShardStats> {
+        self.inner.clock.shard_stats()
+    }
+
+    /// The number of commit-clock shards this runtime was built with.
+    pub fn clock_shards(&self) -> usize {
+        self.inner.clock.shards()
+    }
+
+    /// The calling thread's commit-clock shard affinity under this
+    /// runtime: commits from this thread CAS only that shard's line.
+    pub fn current_thread_shard(&self) -> usize {
+        self.inner.clock.my_shard()
+    }
+
+    /// Per-stripe orec conflict tallies (locked-by-other and version
+    /// mismatches observed against each orec cache line).
+    pub fn orec_stripe_conflicts(&self) -> Vec<u64> {
+        self.inner.orecs.stripe_conflicts()
+    }
+
+    /// The number of orec cache-line stripes in this runtime's table.
+    pub fn orec_stripe_count(&self) -> usize {
+        self.inner.orecs.stripe_count()
     }
 
     /// Runs `f` as a `__transaction_atomic` block, retrying on conflict
@@ -824,6 +884,8 @@ fn flush_op_tallies(inner: &mut TxInner<'_>) {
     rt.stats.add(&rt.stats.silent_store_elisions, t.silent_elisions);
     rt.stats.add(&rt.stats.clock_tick_elisions, t.clock_elisions);
     rt.stats.add(&rt.stats.clock_cas_retries, t.clock_retries);
+    rt.stats.add(&rt.stats.clock_shard_syncs, t.shard_syncs);
+    rt.stats.add(&rt.stats.seqlock_bump_elisions, t.seqlock_elisions);
 }
 
 fn run_handler<'e>(

@@ -117,6 +117,20 @@ counters! {
     /// seqlock acquisition retries). The clock-pressure gauge: relief work
     /// (magazines, batching, silent stores) must push this down.
     clock_cas_retries,
+    /// Full cross-shard commit-clock scans, paid only on the snapshot
+    /// extension path (TLC-style: quiescent threads never synchronize).
+    /// Per-shard breakdowns come from `TmRuntime::clock_shard_stats`.
+    clock_shard_syncs,
+    /// Conflicts recorded against orec cache-line stripes (locked-by-other
+    /// encounters and validation version mismatches). Snapshots read the
+    /// live per-stripe tallies; `TmRuntime::orec_stripe_conflicts` gives
+    /// the per-stripe breakdown.
+    orec_stripe_conflicts,
+    /// NOrec writer commits whose buffered values all matched committed
+    /// memory inside one even-stable seqlock window: the write-back and
+    /// the sequence bump were both skipped, so concurrent readers kept
+    /// their snapshots instead of revalidating.
+    seqlock_bump_elisions,
 }
 
 impl TmStats {

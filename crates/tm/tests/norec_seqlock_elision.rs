@@ -1,0 +1,166 @@
+//! NOrec seqlock-bump elision: a writer commit whose buffered values all
+//! equal committed memory publishes nothing, so it may skip the sequence
+//! bump — and must be indistinguishable from a bumping commit to every
+//! observer (the equivalence these tests pin), because an elided commit
+//! is exactly a read-only transaction serialized inside one even-stable
+//! seqlock window.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tm::{Algorithm, ContentionManager, SerialLockMode, TCell, TmRuntime, Transaction};
+
+fn norec_rt() -> TmRuntime {
+    TmRuntime::builder()
+        .algorithm(Algorithm::Norec)
+        .contention_manager(ContentionManager::None)
+        .serial_lock(SerialLockMode::None)
+        .build()
+}
+
+/// The deterministic shape: a read-modify-write that settles back on the
+/// original value has a non-empty write set whose write-back would be a
+/// no-op. The commit must elide the bump (sequence lock unchanged, stat
+/// counted) while leaving memory exactly right.
+#[test]
+fn net_zero_write_set_elides_the_bump() {
+    let rt = norec_rt();
+    let c = TCell::new(7u64);
+    let seq_before = rt.liveness().seq;
+
+    rt.atomic(|tx| {
+        tx.write(&c, 5)?; // real buffered write
+        tx.write(&c, 7)?; // buffered overwrite back to the committed value
+        tx.read(&c) // in-tx read must see the buffered 7
+    });
+
+    assert_eq!(c.load_direct(), 7);
+    assert_eq!(
+        rt.liveness().seq,
+        seq_before,
+        "elided commit must not move the sequence lock"
+    );
+    let s = rt.stats();
+    assert_eq!(s.commits, 1);
+    assert_eq!(s.seqlock_bump_elisions, 1);
+    assert_eq!(
+        s.clock_tick_elisions, 0,
+        "the elided path returns before the commit CAS"
+    );
+
+    // Sensitivity: a genuinely new value must bump (and not count).
+    rt.atomic(|tx| tx.write(&c, 8));
+    assert_ne!(rt.liveness().seq, seq_before);
+    let s = rt.stats();
+    assert_eq!(s.seqlock_bump_elisions, 1, "bumping commit must not count as elided");
+}
+
+/// A write set that *would* have elided but whose read set went stale must
+/// still abort: the elision window doubles as value-based validation.
+#[test]
+fn elision_never_outruns_validation() {
+    let rt = norec_rt();
+    let a = TCell::new(1u64);
+    let b = TCell::new(10u64);
+    let mut first_attempt = true;
+    let seen = rt.atomic(|tx| {
+        let v = tx.read(&b)?;
+        if first_attempt {
+            first_attempt = false;
+            // A concurrent committer between our read and our commit.
+            std::thread::scope(|s| {
+                s.spawn(|| rt.atomic(|tx2| tx2.write(&b, 99))).join().unwrap();
+            });
+        }
+        // Net-zero on `a`: the write set matches memory, eliding-shaped.
+        tx.write(&a, 2)?;
+        tx.write(&a, 1)?;
+        Ok(v)
+    });
+    // The first attempt read b=10, went stale (b=99), and must NOT have
+    // committed via the elision path; the retry sees the new value.
+    assert_eq!(seen, 99, "stale read set must abort the eliding commit");
+    assert_eq!(rt.stats().aborts, 1);
+    assert_eq!(a.load_direct(), 1);
+}
+
+/// The torn-snapshot equivalence under concurrency: readers holding the
+/// a + b == 100 invariant must never observe an intermediate state, no
+/// matter how elided and bumping writer commits interleave. On top of the
+/// invariant, the run must actually exercise the elision path (stat > 0).
+#[test]
+fn readers_never_observe_torn_snapshots_around_elided_commits() {
+    let rt = Arc::new(norec_rt());
+    let a = Arc::new(TCell::new(60u64));
+    let b = Arc::new(TCell::new(40u64));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::new();
+    for w in 0..2u64 {
+        let (rt, a, b, stop) = (rt.clone(), a.clone(), b.clone(), stop.clone());
+        writers.push(std::thread::spawn(move || {
+            for i in 0..400u64 {
+                if i % 2 == w % 2 {
+                    // Real transfer: moves value from a to b (bumping).
+                    rt.atomic(|tx| {
+                        let va = tx.read(&a)?;
+                        let vb = tx.read(&b)?;
+                        let d = 1 + (i % 3);
+                        if va >= d {
+                            tx.write(&a, va - d)?;
+                            tx.write(&b, vb + d)?;
+                        } else {
+                            tx.write(&a, va + vb)?;
+                            tx.write(&b, 0)?;
+                        }
+                        Ok(())
+                    });
+                } else {
+                    // Net-zero churn: buffered writes settle back on the
+                    // committed values — the eliding shape.
+                    rt.atomic(|tx| {
+                        let va = tx.read(&a)?;
+                        tx.write(&a, va ^ 0xFF)?;
+                        tx.write(&a, va)?;
+                        Ok(())
+                    });
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        }));
+    }
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (rt, a, b, stop) = (rt.clone(), a.clone(), b.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut checks = 0u64;
+                // Keep checking until the writers are done, but always do a
+                // minimum amount of work: on a single-core host a writer
+                // can finish before this thread is first scheduled.
+                while !stop.load(Ordering::Relaxed) || checks < 50 {
+                    let (va, vb) = rt.atomic_ro(|tx| Ok((tx.read(&a)?, tx.read(&b)?)));
+                    assert_eq!(va + vb, 100, "torn snapshot: {va} + {vb}");
+                    checks += 1;
+                }
+                checks
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    let checks: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(checks > 0, "readers must have raced the writers");
+    assert_eq!(
+        rt.atomic_ro(|tx| Ok(tx.read(&a)? + tx.read(&b)?)),
+        100,
+        "invariant must hold at quiescence"
+    );
+    let s = rt.stats();
+    assert!(
+        s.seqlock_bump_elisions > 0,
+        "the run must exercise the elision path: {s:?}"
+    );
+}

@@ -15,7 +15,7 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 
-echo "==> stress smoke (${STRESS_SECONDS}s, every algorithm/lock/CM combo; mixed, read-mostly and write-heavy schedules per seed)"
+echo "==> stress smoke (${STRESS_SECONDS}s, every algorithm/lock/CM combo; mixed, read-mostly, write-heavy and contended-commit schedules per seed)"
 cargo run --release --offline -p testkit --bin stress -- --seconds "$STRESS_SECONDS"
 
 # Chaos tier: the same 21-combo matrix with tm's deterministic fault
@@ -26,7 +26,7 @@ echo "==> chaos tests (tm fault layer + chaos schedules + fault-path zero-alloc 
 cargo test -q --offline -p tm --features fault
 cargo test -q --offline -p testkit --features chaos
 
-echo "==> chaos stress (5s, every combo, deterministic fault plan; all three schedules)"
+echo "==> chaos stress (5s, every combo, deterministic fault plan; all four schedules)"
 cargo run --release --offline -p testkit --features chaos --bin stress -- --chaos --seconds 5
 
 # Wire smoke: a real mcached on an ephemeral loopback port, two mcslap
@@ -55,7 +55,7 @@ rm -f "$WIRE_CTL"
 grep -q 'frame_errors=0' "$WIRE_LOG"
 echo "    wire smoke OK: $(tail -n 1 "$WIRE_LOG")"
 
-echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc counts)"
+echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc counts + contended sharded-clock arms)"
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
     cargo bench --offline -p bench --bench stm_fastpath
