@@ -15,6 +15,13 @@ use super::Shared;
 /// dispatches.
 const MAX_READS_PER_PUMP: usize = 16;
 
+/// Upper bound on frames per coalesced run. Runs normally end at the
+/// client's real burst boundary; this cap only bites on degenerate
+/// bursts, keeping one run's responses (and one batched transaction)
+/// bounded so the dispatch output budget is checked at least this
+/// often.
+const MAX_FRAMES_PER_RUN: usize = 64;
+
 pub(crate) struct Connection {
     stream: TcpStream,
     /// Unconsumed request bytes; the head is always a frame boundary
@@ -49,6 +56,19 @@ impl Connection {
         let mut busy = false;
         if !self.flush(shared, &mut busy) {
             return (false, busy);
+        }
+        // Backpressure: a client that pipelines requests but does not
+        // drain responses parks here — no reads, no dispatch — until
+        // its backlog flushes below the high-water mark, so `wbuf`
+        // cannot grow without bound (memcached's conn state machine
+        // does the same by leaving conn_mwrite until the buffer
+        // drains).
+        if self.wbuf.len() - self.wpos >= shared.cfg.wbuf_high_water.max(1) {
+            shared
+                .stats
+                .backpressure_stalls
+                .fetch_add(1, Ordering::Relaxed);
+            return (true, busy);
         }
         let mut chunk = vec![0u8; shared.cfg.read_chunk];
         let mut peer_closed = false;
@@ -167,7 +187,21 @@ fn run_frames(cache: &McCache, w: usize, shared: &Shared, buf: &[u8]) -> Dispatc
         };
     }
 
+    // One dispatch may produce at most a high-water mark's worth of
+    // responses (plus one run): past that the remaining frames stay
+    // buffered for later pumps, where the backpressure gate decides
+    // whether they run. Without this, the frames already ingested into
+    // `rbuf` could amplify into an arbitrarily large `out` in a single
+    // dispatch — budget-checking only future reads would not bound it.
+    let out_budget = shared.cfg.wbuf_high_water.max(1);
     loop {
+        if out.len() >= out_budget {
+            break;
+        }
+        if ascii_run.len() >= MAX_FRAMES_PER_RUN || bin_run.len() >= MAX_FRAMES_PER_RUN {
+            flush_runs!();
+            continue;
+        }
         match proto::scan_frame(&buf[consumed..]) {
             FrameScan::Incomplete => break,
             FrameScan::Ascii { len } => {
@@ -248,6 +282,7 @@ fn stats_with_net(cache: &McCache, w: usize, shared: &Shared) -> Vec<u8> {
         ("bytes_read", ns.bytes_read),
         ("bytes_written", ns.bytes_written),
         ("frame_errors", ns.frame_errors),
+        ("backpressure_stalls", ns.backpressure_stalls),
     ] {
         out.extend_from_slice(format!("STAT {k} {v}\r\n").as_bytes());
     }

@@ -24,6 +24,14 @@
 //!   → one batched store). The batch boundary is the client's real
 //!   burst, exactly as memcached's `conn` state machine drains what
 //!   `read(2)` returned.
+//! - **Write-side backpressure.** A connection whose pending response
+//!   bytes reach [`NetConfig::wbuf_high_water`] is parked — no reads,
+//!   no dispatch — until the backlog flushes below the mark, and a
+//!   single dispatch's response output is budgeted by the same mark.
+//!   A client that pipelines requests but never reads responses
+//!   (small `get`s fanning out to megabyte values) therefore cannot
+//!   run the server out of memory; stalls are observable as the
+//!   `backpressure_stalls` stat.
 //!
 //! Everything is `std::net` + nonblocking polling — no epoll wrapper,
 //! no async runtime — so the server builds offline and hermetic.
@@ -55,6 +63,15 @@ pub struct NetConfig {
     /// Poll-idle sleep in microseconds when a worker finds no bytes and
     /// no new connections.
     pub idle_sleep_us: u64,
+    /// Backpressure high-water mark: once a connection's pending
+    /// response bytes reach this, the worker stops reading (and
+    /// answering) that connection until the backlog flushes below it —
+    /// a client that pipelines requests without draining responses
+    /// cannot grow the write buffer without bound. Per-dispatch
+    /// response output is budgeted by the same mark, so the buffer
+    /// overshoots it by at most one coalesced run. Stalls are counted
+    /// in [`NetSnapshot::backpressure_stalls`].
+    pub wbuf_high_water: usize,
 }
 
 impl Default for NetConfig {
@@ -64,6 +81,7 @@ impl Default for NetConfig {
             workers: 0,
             read_chunk: 16 << 10,
             idle_sleep_us: 200,
+            wbuf_high_water: 4 << 20,
         }
     }
 }
@@ -77,6 +95,7 @@ pub struct NetStats {
     pub(crate) bytes_read: AtomicU64,
     pub(crate) bytes_written: AtomicU64,
     pub(crate) frame_errors: AtomicU64,
+    pub(crate) backpressure_stalls: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetStats`].
@@ -93,6 +112,11 @@ pub struct NetSnapshot {
     /// Frames that failed to scan or decode (oversized values,
     /// unknown opcodes, unterminated lines, ...).
     pub frame_errors: u64,
+    /// Pump rounds that skipped reading a connection because its
+    /// pending responses sat at or above
+    /// [`NetConfig::wbuf_high_water`] (a slow- or never-reading
+    /// client being held back).
+    pub backpressure_stalls: u64,
 }
 
 impl NetStats {
@@ -104,6 +128,7 @@ impl NetStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             frame_errors: self.frame_errors.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
         }
     }
 }

@@ -125,6 +125,12 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
             if !valid_key(key) {
                 return BAD_LINE.to_vec();
             }
+            // Bound nbytes by the request itself before any usize
+            // arithmetic: a header declaring a length near u64::MAX must
+            // not overflow the data-block offsets.
+            if nbytes > request.len() as u64 {
+                return b"CLIENT_ERROR bad data chunk\r\n".to_vec();
+            }
             let data_start = line_end + 2;
             let data_end = data_start + nbytes as usize;
             if request.len() < data_end + 2 || &request[data_end..data_end + 2] != b"\r\n" {
@@ -380,6 +386,15 @@ pub const ASCII_VALUE_MAX: usize = 1 << 20;
 /// be trusted (there is no CRLF to hunt for), so the connection closes.
 pub const BINARY_BODY_MAX: usize = 2 << 20;
 
+/// Largest oversized ASCII data block the server will swallow to keep a
+/// connection synchronized. A declared length past this (memcached's
+/// `-I` ceiling is 1 GiB) is treated as a lying or hostile header, not
+/// a real payload: swallowing it would pin the connection for an
+/// unbounded stream — and a length near `u64::MAX` does not even fit
+/// `usize` arithmetic — so the connection closes instead, mirroring the
+/// [`BINARY_BODY_MAX`] path.
+pub const ASCII_SWALLOW_MAX: u64 = 1 << 30;
+
 /// Scans the head of a connection read buffer for one complete frame,
 /// auto-detecting the protocol per frame: a leading
 /// [`binary::REQ_MAGIC`] byte means binary, anything else ASCII.
@@ -451,6 +466,14 @@ pub fn scan_frame(buf: &[u8]) -> FrameScan {
         return FrameScan::Ascii { len: line_end + 2 };
     };
     if nbytes > ASCII_VALUE_MAX as u64 {
+        if nbytes > ASCII_SWALLOW_MAX {
+            return FrameScan::Error {
+                consumed: line_end + 2,
+                swallow: 0,
+                close: true,
+                response: b"SERVER_ERROR object too large for cache\r\n".to_vec(),
+            };
+        }
         return FrameScan::Error {
             consumed: line_end + 2,
             swallow: nbytes as usize + 2,
@@ -551,8 +574,11 @@ fn ascii_request_len(buf: &[u8]) -> Option<usize> {
     let _key = parts.next()?;
     let _flags = parts.next_u64()?;
     let _exptime = parts.next_u64()?;
-    let nbytes = parts.next_u64()? as usize;
-    let total = line_end + 2 + nbytes + 2;
+    let nbytes = parts.next_u64()?;
+    if nbytes > buf.len() as u64 {
+        return None; // cannot be complete; also keeps usize math exact
+    }
+    let total = line_end + 2 + nbytes as usize + 2;
     (buf.len() >= total && &buf[total - 2..total] == b"\r\n").then_some(total)
 }
 
@@ -570,7 +596,11 @@ fn parse_store_op(req: &[u8]) -> Option<(StoreOp<'_>, bool)> {
     let key = parts.next()?;
     let flags = parts.next_u64()?;
     let exptime = parts.next_u64()?;
-    let nbytes = parts.next_u64()? as usize;
+    let nbytes = parts.next_u64()?;
+    if nbytes > req.len() as u64 {
+        return None; // the data block cannot be present; keep usize math exact
+    }
+    let nbytes = nbytes as usize;
     let mode = match cmd {
         b"set" => StoreMode::Set,
         b"add" => StoreMode::Add,
@@ -1683,6 +1713,35 @@ mod tests {
             FrameScan::Error { close, .. } => assert!(close),
             other => panic!("expected Error, got {other:?}"),
         }
+        // An absurd declared length — up to u64::MAX, which would
+        // overflow `swallow + 2` — is unsyncable: no swallow, close.
+        for n in [ASCII_SWALLOW_MAX + 1, u64::MAX - 1, u64::MAX] {
+            let line = format!("set k 0 0 {n}\r\n");
+            match scan_frame(line.as_bytes()) {
+                FrameScan::Error {
+                    consumed,
+                    swallow,
+                    close,
+                    response,
+                } => {
+                    assert_eq!(consumed, line.len());
+                    assert_eq!(swallow, 0, "nothing swallowable about {n} bytes");
+                    assert!(close, "a lying header is beyond resync");
+                    assert!(response.starts_with(b"SERVER_ERROR object too large"));
+                }
+                other => panic!("expected Error for nbytes {n}, got {other:?}"),
+            }
+        }
+        // The same headers through the single-request executor and the
+        // batch parser: answered / rejected without offset overflow.
+        let c = cache();
+        let huge = format!("set k 0 0 {}\r\nx\r\n", u64::MAX);
+        assert_eq!(
+            execute_ascii(&c, 0, huge.as_bytes()),
+            b"CLIENT_ERROR bad data chunk\r\n".to_vec()
+        );
+        assert!(parse_store_op(huge.as_bytes()).is_none());
+        assert!(ascii_request_len(huge.as_bytes()).is_none());
         // A binary header promising a huge body closes too.
         let mut frame = vec![0u8; 24];
         frame[0] = binary::REQ_MAGIC;

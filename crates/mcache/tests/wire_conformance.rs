@@ -260,6 +260,90 @@ fn oversized_value_is_swallowed_not_fatal() {
 }
 
 #[test]
+fn absurd_value_length_closes_without_killing_the_worker() {
+    // `set k 0 0 18446744073709551615`: the declared length overflows
+    // `swallow + 2` in usize arithmetic. The connection must be closed
+    // as unsyncable — not panic the net worker (which owns every other
+    // connection on its shard) or wrap the swallow count.
+    let srv = server(Branch::It(Stage::OnCommit));
+    let mut s = connect(&srv);
+    roundtrip(&mut s, b"set live 0 0 2\r\nok\r\n", b"STORED\r\n");
+    s.write_all(format!("set k 0 0 {}\r\n", u64::MAX).as_bytes()).unwrap();
+    expect_exact(&mut s, b"SERVER_ERROR object too large for cache\r\n");
+    expect_closed(&mut s);
+    assert!(srv.net_stats().frame_errors >= 1);
+    // The worker survived: a fresh connection is served normally.
+    let mut s2 = connect(&srv);
+    roundtrip(&mut s2, b"get live\r\n", b"VALUE live 0 2\r\nok\r\nEND\r\n");
+}
+
+#[test]
+fn slow_reader_backpressure_bounds_pending_responses() {
+    // A client that pipelines gets of a fat value but never reads the
+    // responses must be parked at the write-side high-water mark, not
+    // amplified into an unbounded response buffer.
+    let handle = McCache::start(McConfig {
+        branch: Branch::It(Stage::OnCommit),
+        workers: 2,
+        slab: SlabConfig {
+            mem_limit: 8 << 20,
+            page_size: 256 << 10,
+            chunk_min: 96,
+            growth_factor: 1.5,
+        },
+        hash_power: 6,
+        hash_power_max: 8,
+        item_lock_power: 4,
+        maintenance: false,
+        ..Default::default()
+    });
+    let srv = Server::start(
+        handle,
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            wbuf_high_water: 32 << 10,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut s = connect(&srv);
+
+    let val = vec![b'v'; 16 << 10];
+    let mut set = format!("set fat 0 0 {}\r\n", val.len()).into_bytes();
+    set.extend_from_slice(&val);
+    set.extend_from_slice(b"\r\n");
+    roundtrip(&mut s, &set, b"STORED\r\n");
+
+    // ~28 KiB of requests fanning out to ~67 MiB of responses; without
+    // backpressure that all lands in the connection's write buffer.
+    const GETS: usize = 4096;
+    let burst = b"get fat\r\n".repeat(GETS);
+    s.write_all(&burst).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while srv.net_stats().backpressure_stalls == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never stalled the non-reading client"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Draining the socket releases the backlog: every response arrives
+    // complete and in order.
+    let mut one = format!("VALUE fat 0 {}\r\n", val.len()).into_bytes();
+    one.extend_from_slice(&val);
+    one.extend_from_slice(b"\r\nEND\r\n");
+    for i in 0..GETS {
+        let mut got = vec![0u8; one.len()];
+        s.read_exact(&mut got)
+            .unwrap_or_else(|e| panic!("short read at response {i}: {e}"));
+        assert!(got == one, "response {i} corrupted");
+    }
+    assert!(srv.net_stats().backpressure_stalls > 0);
+}
+
+#[test]
 fn overlong_line_closes_the_connection() {
     let srv = server(Branch::It(Stage::OnCommit));
     let mut s = connect(&srv);

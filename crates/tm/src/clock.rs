@@ -256,6 +256,15 @@ impl ShardedClock {
     /// thread committed). Either way `end` is already published and the
     /// caller must validate its reads before releasing orecs at `end`.
     ///
+    /// The returned stamp always exceeds every timestamp published before
+    /// the caller's write-set locks became visible. When the
+    /// post-publication scan finds a foreign shard above the stamp claimed
+    /// from a stale-low snapshot, the own shard is re-advanced past the
+    /// scan maximum and that higher stamp is returned: releasing orecs at
+    /// or below a live reader's snapshot would let that reader accept the
+    /// new values against version checks — a torn write set that
+    /// read-only transactions (which never revalidate) cannot detect.
+    ///
     /// Same lock-ordering contract as [`ShardedClock::tick`].
     pub fn commit_tick(&self, snapshot: u64) -> (u64, bool) {
         let k = self.my_shard();
@@ -277,18 +286,58 @@ impl ShardedClock {
             {
                 Ok(_) => {
                     slot.ticks.fetch_add(1, Ordering::Relaxed);
-                    self.cache_put(end);
                     if from > snapshot {
+                        self.cache_put(end);
                         return (end, true);
                     }
                     // Post-publication cross-shard check: our CAS is
                     // visible, so a racing committer either sees it (and
                     // validates) or published before this scan (and we
                     // see it here and validate).
-                    let clean = self.shards.iter().enumerate().all(|(j, s)| {
-                        j == k || s.value.load(Ordering::Acquire) <= snapshot
-                    });
-                    return (end, !clean);
+                    let mut clean = true;
+                    let mut max_seen = end;
+                    for (j, s) in self.shards.iter().enumerate() {
+                        if j == k {
+                            continue;
+                        }
+                        let v = s.value.load(Ordering::Acquire);
+                        clean &= v <= snapshot;
+                        max_seen = max_seen.max(v);
+                    }
+                    if max_seen <= end {
+                        self.cache_put(end);
+                        return (end, !clean);
+                    }
+                    // A stale-low snapshot: some shard is already past the
+                    // stamp we just published. Orecs released at `end`
+                    // would carry versions at or below live readers'
+                    // snapshots — new values that pass every `<= rv` check
+                    // (a torn write set no read-only transaction would
+                    // ever revalidate). Re-advance our shard past
+                    // everything published and release at that stamp
+                    // instead; anything published after this second scan
+                    // postdates our (already visible) write-set locks, so
+                    // its readers abort on the locks, not on versions.
+                    let mut own = end;
+                    loop {
+                        let m = self.scan_max().max(own);
+                        let bumped = self.next_on(m, k as u64);
+                        match slot.value.compare_exchange(
+                            own,
+                            bumped,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => {
+                                self.cache_put(bumped);
+                                return (bumped, true);
+                            }
+                            Err(cur) => {
+                                slot.cas_retries.fetch_add(1, Ordering::Relaxed);
+                                own = cur;
+                            }
+                        }
+                    }
                 }
                 Err(cur) => {
                     slot.cas_retries.fetch_add(1, Ordering::Relaxed);
@@ -502,6 +551,37 @@ mod tests {
         let after: u64 = stats.iter().map(|s| s.syncs).sum();
         assert_eq!(after - before, 2);
         assert_eq!(stats[c.my_shard()].syncs, 2);
+    }
+
+    #[test]
+    fn stale_snapshot_commit_stamp_exceeds_every_published_timestamp() {
+        // A committer whose snapshot is stale-low (cold home shard, cached
+        // view behind a hot foreign shard) must still publish a commit
+        // timestamp above the global maximum: eager/lazy release write-set
+        // orecs at this stamp, and a stamp at or below a live reader's
+        // snapshot lets that reader accept post-commit values as
+        // pre-snapshot ones — a torn write set no validation catches.
+        let c = std::sync::Arc::new(ShardedClock::new(8));
+        let snap = c.now_cached();
+        let k = c.my_shard();
+        // Drive a *different* shard far ahead. Spawned threads get fresh
+        // ordinals; retry any that land back on our own shard.
+        let mut hot = 0;
+        while hot == 0 {
+            let c2 = c.clone();
+            hot = std::thread::spawn(move || {
+                if c2.my_shard() == k {
+                    return 0;
+                }
+                (0..64).map(|_| c2.tick()).max().unwrap()
+            })
+            .join()
+            .unwrap();
+        }
+        let (end, validate) = c.commit_tick(snap);
+        assert!(validate, "foreign commits past the snapshot must force validation");
+        assert!(end > hot, "commit stamp {end} must exceed the hot shard's {hot}");
+        assert_eq!(c.scan_max(), end, "the fresh stamp is the new global max");
     }
 
     #[test]
