@@ -2,19 +2,24 @@
 //!
 //! ```console
 //! $ cargo run --release -p bench --bin mcached -- \
-//!       --port 11311 --threads 4 --branch it-oncommit --magazine 16
+//!       --port 11311 --threads 4 --branch it-oncommit --magazine 16 \
+//!       --dur-path /var/tmp/mcached.d --dur-fsync every:32
 //! LISTENING 127.0.0.1:11311
 //! ```
 //!
-//! Runs until stdin reaches EOF or a line reading `shutdown` arrives
-//! (so a harness can stop it cleanly through a pipe), then drains the
-//! workers, prints the final wire counters, and exits 0. `--port 0`
-//! binds an ephemeral port; the `LISTENING` line reports the real one.
+//! Runs until stdin reaches EOF, a line reading `shutdown` arrives (so a
+//! harness can stop it cleanly through a pipe), or `SIGTERM`/`SIGINT` is
+//! delivered. All three paths drain the workers, seal the redo log (when
+//! `--dur-path` is set), print the final wire counters, and exit 0.
+//! `--port 0` binds an ephemeral port; the `LISTENING` line reports the
+//! real one. Starting on a `--dur-path` that already holds a log replays
+//! it before the socket opens.
 
 use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use mcache::net::{NetConfig, Server};
-use mcache::{Branch, McCache, McConfig, Stage};
+use mcache::{Branch, DurFsync, McCache, McConfig, Stage};
 
 struct Args {
     host: String,
@@ -22,6 +27,8 @@ struct Args {
     threads: usize,
     branch: Branch,
     magazine: usize,
+    dur_path: Option<std::path::PathBuf>,
+    dur_fsync: DurFsync,
 }
 
 fn parse_branch(name: &str) -> Option<Branch> {
@@ -49,6 +56,8 @@ fn parse_args() -> Args {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
         branch: Branch::IpNoLock,
         magazine: 0,
+        dur_path: None,
+        dur_fsync: DurFsync::EveryN(32),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +93,22 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             }
+            "--dur-path" => {
+                if let Some(p) = it.next() {
+                    args.dur_path = Some(std::path::PathBuf::from(p));
+                } else {
+                    eprintln!("--dur-path needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--dur-fsync" => {
+                if let Some(f) = it.next().as_deref().and_then(DurFsync::parse) {
+                    args.dur_fsync = f;
+                } else {
+                    eprintln!("--dur-fsync takes always | every:N | off");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -93,14 +118,47 @@ fn parse_args() -> Args {
     args
 }
 
+/// Set by the signal handler; polled by the main loop. A relaxed store
+/// on a static `AtomicBool` is async-signal-safe.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::Relaxed);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM through the raw
+/// `signal(2)` symbol — the workspace is hermetic (no `libc` crate), and
+/// these two constants are identical across the platforms we target.
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    install_signal_handlers();
     let handle = McCache::start(McConfig {
         branch: args.branch,
         workers: args.threads,
         magazine: args.magazine,
+        dur_path: args.dur_path,
+        dur_fsync: args.dur_fsync,
         ..Default::default()
     });
+    if let Some(d) = handle.dur_stats() {
+        println!(
+            "RECOVERED items={} torn_records_dropped={}",
+            d.recovered_items, d.torn_records_dropped
+        );
+    }
     let mut server = Server::start(
         handle,
         NetConfig {
@@ -113,21 +171,33 @@ fn main() {
         eprintln!("bind failed: {e}");
         std::process::exit(1);
     });
-    // The harness contract: one line, then serve until the pipe says stop.
+    // The harness contract: one line, then serve until the pipe or a
+    // signal says stop.
     println!("LISTENING {}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line {
-            Ok(l) if l.trim() == "shutdown" => break,
-            Ok(_) => {}
-            Err(_) => break,
+    // Stdin lives on its own thread so the main loop can also watch the
+    // signal flag; `read_line` can't be interrupted portably.
+    std::thread::spawn(|| {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(l) if l.trim() == "shutdown" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
         }
+        STOP.store(true, Ordering::Relaxed);
+    });
+    while !STOP.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(25));
     }
 
+    // Graceful teardown: stop accepting, drain in-flight connections,
+    // then seal the redo log so the next start skips the torn-tail scan.
     server.shutdown();
+    server.cache().shutdown();
     let ns = server.net_stats();
     let s = server.cache().stats();
     println!(
@@ -142,4 +212,10 @@ fn main() {
         s.threads.set_cmds,
         s.request_panics,
     );
+    if let Some(d) = server.cache().dur_stats() {
+        println!(
+            "durability: dur_appends={} dur_fsyncs={} dur_bytes={} log_write_errors={}",
+            d.appends, d.fsyncs, d.bytes, d.log_write_errors
+        );
+    }
 }

@@ -53,6 +53,14 @@ struct Args {
     /// Per-worker slab magazine capacity (transactional-item branches
     /// only); 0 = off, the 3-transaction store.
     magazine: usize,
+    /// Warm-restart mode: load the keyspace with the redo log attached,
+    /// shut down (sealing the log), restart on the same directory, and
+    /// verify + time the recovery.
+    restart: bool,
+    /// Redo-log directory for `--restart`; a fresh temp dir when unset.
+    dur_path: Option<std::path::PathBuf>,
+    /// Fsync policy for `--restart`.
+    dur_fsync: mcache::DurFsync,
 }
 
 fn parse_branch(name: &str) -> Option<Branch> {
@@ -88,6 +96,9 @@ fn parse_args() -> Args {
         setq_pipeline: 1,
         value_size_max: 0,
         magazine: 0,
+        restart: false,
+        dur_path: None,
+        dur_fsync: mcache::DurFsync::EveryN(32),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -148,6 +159,23 @@ fn parse_args() -> Args {
                 }
             }
             "--binary" => args.binary = true,
+            "--restart" => args.restart = true,
+            "--dur-path" => {
+                if let Some(p) = it.next() {
+                    args.dur_path = Some(std::path::PathBuf::from(p));
+                } else {
+                    eprintln!("--dur-path needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--dur-fsync" => {
+                if let Some(f) = it.next().as_deref().and_then(mcache::DurFsync::parse) {
+                    args.dur_fsync = f;
+                } else {
+                    eprintln!("--dur-fsync takes always | every:N | off");
+                    std::process::exit(2);
+                }
+            }
             "--tcp" => {
                 if let Some(a) = it.next() {
                     args.tcp = Some(a);
@@ -180,6 +208,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.restart {
+        run_restart(&args);
+        return;
+    }
     if let Some(addr) = args.tcp.clone() {
         run_tcp(&args, &addr);
         return;
@@ -418,6 +450,106 @@ fn main() {
         stats.global.rebalances,
     );
     println!("tm: {tm}");
+}
+
+/// The `--restart` mode: memslap meets `kill -TERM`. Loads the whole
+/// keyspace with the redo log attached, shuts down gracefully (sealing
+/// the log), restarts a second cache on the same directory, and verifies
+/// every key against the workload oracle — timing each phase so warm
+/// restarts are a measured artifact, not folklore.
+fn run_restart(args: &Args) {
+    let owned_tmp = args.dur_path.is_none();
+    let dir = args.dur_path.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("mcslap-restart-{}", std::process::id()))
+    });
+    if owned_tmp {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create restart dir");
+    }
+    let wl = Workload::builder()
+        .concurrency(args.concurrency)
+        .execute_number(args.execute_number)
+        .key_count(args.keys)
+        .value_size_range(args.value_size, args.value_size_max.max(args.value_size))
+        .binary(args.binary)
+        .mix(OpMix { get: 0, set: 100, delete: 0, incr: 0 })
+        .build();
+    let cfg = || McConfig {
+        branch: args.branch,
+        workers: args.concurrency,
+        magazine: args.magazine,
+        dur_path: Some(dir.clone()),
+        dur_fsync: args.dur_fsync,
+        ..Default::default()
+    };
+
+    // Phase 1: load. One loud set per key, all workers.
+    let load_start = Instant::now();
+    let handle = McCache::start(cfg());
+    let cache = handle.cache().clone();
+    std::thread::scope(|s| {
+        for w in 0..args.concurrency {
+            let cache = cache.clone();
+            let wl = &wl;
+            s.spawn(move || {
+                for i in (w..wl.key_count()).step_by(args.concurrency) {
+                    cache.set(w, wl.key(i), &wl.value(i), 0, 0);
+                }
+            });
+        }
+    });
+    let d = cache.dur_stats().expect("restart mode always logs");
+    let load_secs = load_start.elapsed().as_secs_f64();
+    println!(
+        "restart: loaded {} keys in {:.3}s = {:.0} sets/s ({} branch, fsync={}, \
+         dur_appends={} dur_fsyncs={} dur_bytes={})",
+        args.keys,
+        load_secs,
+        args.keys as f64 / load_secs,
+        args.branch,
+        args.dur_fsync,
+        d.appends,
+        d.fsyncs,
+        d.bytes,
+    );
+
+    // Phase 2: graceful shutdown seals the segment.
+    let seal_start = Instant::now();
+    drop(handle);
+    println!("restart: sealed + shut down in {:.3}s", seal_start.elapsed().as_secs_f64());
+
+    // Phase 3: warm restart — recovery runs inside `start`, before the
+    // cache accepts its first operation.
+    let boot_start = Instant::now();
+    let handle = McCache::start(cfg());
+    let boot_secs = boot_start.elapsed().as_secs_f64();
+    let d = handle.dur_stats().expect("restart mode always logs");
+    assert_eq!(
+        d.torn_records_dropped, 0,
+        "a sealed log must recover without torn records"
+    );
+    println!(
+        "restart: recovered {} items in {:.3}s = {:.0} items/s (torn={})",
+        d.recovered_items,
+        boot_secs,
+        d.recovered_items as f64 / boot_secs.max(1e-9),
+        d.torn_records_dropped,
+    );
+
+    // Phase 4: verify every key against the oracle.
+    let mut verified = 0usize;
+    for i in 0..wl.key_count() {
+        let got = handle.get(0, wl.key(i)).unwrap_or_else(|| {
+            panic!("key index {i} lost across restart")
+        });
+        assert!(wl.verify_value(i, &got.data), "key index {i} recovered wrong bytes");
+        verified += 1;
+    }
+    println!("restart: verified {verified}/{} keys", wl.key_count());
+    drop(handle);
+    if owned_tmp {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// Sentinel opaque for the trailing Noop in quiet pipelines; key

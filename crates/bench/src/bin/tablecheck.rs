@@ -43,6 +43,10 @@ fn run_deterministic(cfg: &BenchConfig, scale: &Scale) -> (u64, u64, u64, u64) {
         // timestamp-for-timestamp, so the serialization decision stream is
         // unchanged by the sharded-clock machinery.
         clock_shards: 1,
+        dur_path: None,
+        dur_fsync: mcache::DurFsync::Off,
+        dur_segment_bytes: 4 << 20,
+        dur_compact_ratio: 0.5,
     };
     let handle = McCache::start(mc);
     let cache = handle.cache().clone();

@@ -181,6 +181,12 @@ impl BenchConfig {
             // Figure/table runners keep the default shard fanout; the
             // deterministic tablecheck bin pins its own config to 1.
             clock_shards: 8,
+            // Figures and tables measure the in-memory paths; durability
+            // has its own bench (stm_durpath) and harness (mccrash).
+            dur_path: None,
+            dur_fsync: mcache::DurFsync::Off,
+            dur_segment_bytes: 4 << 20,
+            dur_compact_ratio: 0.5,
         }
     }
 }

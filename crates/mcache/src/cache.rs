@@ -6,7 +6,7 @@
 //! (Figure 2, comments) forms.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -17,6 +17,7 @@ use tmstd::ByteAccess;
 
 use crate::core::{AllocError, CacheCore, GetHit};
 use crate::ctx::Ctx;
+use crate::dur::{self, DurLog, DurSnapshot, Record};
 use crate::hashes::jenkins_hash;
 use crate::item::ItemHandle;
 use crate::policy::{Branch, Category, ItemMode, Policy, SectionKind};
@@ -75,6 +76,21 @@ pub struct McConfig {
     /// lines with worker→shard affinity; 1 reproduces the classic global
     /// clock timestamp-for-timestamp (the `tablecheck` configuration).
     pub clock_shards: usize,
+    /// Directory for the commit-time redo log (DESIGN §14). `None` (the
+    /// default) disables durability entirely — no hook, no handler, no
+    /// cost on the commit path. When set, startup replays any surviving
+    /// segments before the cache accepts operations.
+    pub dur_path: Option<std::path::PathBuf>,
+    /// When the redo-log writer calls `fdatasync`; ignored without
+    /// [`McConfig::dur_path`].
+    pub dur_fsync: crate::dur::DurFsync,
+    /// Redo-log segment size: the writer rotates to a fresh segment file
+    /// before exceeding this many bytes.
+    pub dur_segment_bytes: u64,
+    /// Recovery-time compaction trigger: once the log exceeds one segment,
+    /// rewrite it as a single sealed segment whenever the live entries
+    /// account for less than this fraction of the on-disk bytes.
+    pub dur_compact_ratio: f64,
 }
 
 impl Default for McConfig {
@@ -94,6 +110,10 @@ impl Default for McConfig {
             refcount_elision: false,
             magazine: 0,
             clock_shards: 8,
+            dur_path: None,
+            dur_fsync: crate::dur::DurFsync::EveryN(32),
+            dur_segment_bytes: 4 << 20,
+            dur_compact_ratio: 0.5,
         }
     }
 }
@@ -203,6 +223,12 @@ pub struct McCache {
     core: CacheCore,
     profiler: Profiler,
     start_time: Instant,
+    /// Unix seconds corresponding to `rel_time() == 0`, fixed at start so
+    /// redo records carry wall-clock times that survive a restart.
+    unix_base: u64,
+    /// The redo-log writer; empty while recovery replays (replayed inserts
+    /// must not re-log) and forever when durability is off.
+    dur: OnceLock<Arc<DurLog>>,
     // Lock-branch locks, in the §3.1 order: item, cache, slabs, stats.
     cache_lock: ProfiledMutex<()>,
     slabs_lock: ProfiledMutex<()>,
@@ -352,9 +378,24 @@ impl McCache {
             assoc_panic_trap: AtomicBool::new(false),
             slab_panic_trap: AtomicBool::new(false),
             start_time: Instant::now(),
+            unix_base: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0)
+                .saturating_sub(2),
+            dur: OnceLock::new(),
             profiler,
             cfg,
         });
+        // Durability: replay whatever the redo log holds, then attach the
+        // writer — strictly in that order, so replayed inserts are not
+        // re-logged (idempotent recovery) and everything after this point
+        // is. Runs before the maintenance threads and before any caller
+        // can reach the wire front end (the TCP server binds only after
+        // `start` returns).
+        if cache.cfg.dur_path.is_some() {
+            cache.recover_and_attach_log();
+        }
         let mut threads = Vec::new();
         if cache.cfg.maintenance {
             threads.push(Self::supervised(&cache, McCache::assoc_maintenance_loop));
@@ -384,8 +425,12 @@ impl McCache {
         })
     }
 
-    /// Stops the maintenance threads (idempotent).
+    /// Stops the maintenance threads (idempotent) and seals the redo log
+    /// so the next start recovers without the torn-tail heuristic.
     pub fn shutdown(&self) {
+        if let Some(d) = self.dur.get() {
+            d.seal();
+        }
         self.shutdown.store(true, Ordering::SeqCst);
         self.assoc_sem.post();
         self.slab_sem.post();
@@ -446,6 +491,159 @@ impl McCache {
     /// so that time 0/1 never collide with "immediately".
     pub fn rel_time(&self) -> u32 {
         self.start_time.elapsed().as_secs() as u32 + 2
+    }
+
+    /// Current Unix seconds, derived from the same monotonic clock as
+    /// [`McCache::rel_time`] so the two never drift within a run.
+    pub fn unix_time(&self) -> u64 {
+        self.unix_base + self.rel_time() as u64
+    }
+
+    /// Converts a rel-time-space second to Unix seconds, preserving the
+    /// "0 = never" sentinel.
+    fn abs_unix(&self, rel: u32) -> u64 {
+        if rel == 0 {
+            0
+        } else {
+            self.unix_base + rel as u64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: redo-log hook + startup recovery (DESIGN §14)
+    // ------------------------------------------------------------------
+
+    /// Whether the redo log is attached (and not yet failed).
+    pub fn dur_enabled(&self) -> bool {
+        self.dur.get().is_some_and(|d| !d.is_failed())
+    }
+
+    /// Durability counters, `None` when the cache runs without a log.
+    pub fn dur_stats(&self) -> Option<DurSnapshot> {
+        self.dur.get().map(|d| d.stats().snapshot())
+    }
+
+    /// Registers `rec` for the redo log at this critical section's commit
+    /// stamp. Inside a transaction the append rides the §3.5 onCommit
+    /// hook — it runs after every runtime lock is released, stamped with
+    /// [`tm::last_commit_stamp`]. Under a held lock (Lock/IP branches,
+    /// recovery) the append happens immediately with a freshly minted
+    /// stamp from the same time base, while the caller still holds the
+    /// item lock — so same-key records land in the file in lock order.
+    fn dur_record<'e>(&'e self, ctx: &mut Ctx<'_, 'e>, rec: Record) {
+        let Some(d) = self.dur.get() else { return };
+        if ctx.in_transaction() {
+            let d = Arc::clone(d);
+            ctx.defer_or_run(move || d.append(tm::last_commit_stamp(), &rec));
+        } else {
+            d.append(self.rt.mint_commit_stamp(), &rec);
+        }
+    }
+
+    /// Builds and registers the [`Record::Set`] for a freshly linked item.
+    /// Must run inside the same critical section as the link, after the
+    /// link assigned the CAS id.
+    fn dur_store_record<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        h: ItemHandle,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+    ) -> Result<(), Abort> {
+        if self.dur.get().is_none() {
+            return Ok(());
+        }
+        let it = self.core.arena.resolve(h);
+        let cas = it.cas(ctx)?;
+        let (exp, last) = it.times(ctx)?;
+        self.dur_record(
+            ctx,
+            Record::Set {
+                cas,
+                flags,
+                abs_exp: self.abs_unix(exp),
+                stored_unix: self.abs_unix(last),
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Startup recovery: scan the log directory, replay the surviving
+    /// records into the (still-private) cache, optionally compact, then
+    /// attach a fresh-epoch writer. Any I/O failure here degrades to a
+    /// cold, cache-only start with a one-time warning — never a panic.
+    fn recover_and_attach_log(&self) {
+        let dir = self.cfg.dur_path.clone().expect("caller checked dur_path");
+        let unix_now = self.unix_time();
+        let mut recovered = 0u64;
+        let mut compactions = 0u64;
+        let mut torn = 0u64;
+        let mut cas_floor = 0u64;
+        match dur::recover(&dir) {
+            Err(e) => {
+                eprintln!("mcache: redo-log recovery failed ({e}); starting cold");
+            }
+            Ok(mut rec) => {
+                torn = rec.torn_records_dropped;
+                cas_floor = rec.cas_floor;
+                // Expired-at-replay entries are skipped (and excluded from
+                // any compacted rewrite).
+                rec.entries
+                    .retain(|e| e.abs_exp == 0 || e.abs_exp > unix_now);
+                // CAS floor first: every replayed item must take an id
+                // strictly above anything a pre-crash client saw.
+                let mut ctx = Ctx::Direct;
+                self.core
+                    .set_cas_floor(&mut ctx, cas_floor)
+                    .expect("direct");
+                for e in &rec.entries {
+                    if e.key.is_empty() || e.key.len() > KEY_MAX {
+                        continue; // foreign garbage that still passed crc
+                    }
+                    let rel_exp = if e.abs_exp == 0 {
+                        0
+                    } else {
+                        e.abs_exp.saturating_sub(self.unix_base) as u32
+                    };
+                    if self.store(0, StoreMode::Set, &e.key, &e.value, e.flags, rel_exp)
+                        == StoreStatus::Stored
+                    {
+                        recovered += 1;
+                    }
+                }
+                // Compaction: once the log outgrows a segment and most of
+                // its bytes are dead, rewrite it as one sealed segment.
+                let live: u64 = rec
+                    .entries
+                    .iter()
+                    .map(|e| 64 + e.key.len() as u64 + e.value.len() as u64)
+                    .sum();
+                if rec.log_bytes >= self.cfg.dur_segment_bytes
+                    && (live as f64) < self.cfg.dur_compact_ratio * rec.log_bytes as f64
+                {
+                    match dur::compact(&dir, &rec, unix_now) {
+                        Ok(_) => compactions = 1,
+                        Err(e) => {
+                            eprintln!("mcache: redo-log compaction failed ({e}); keeping segments");
+                        }
+                    }
+                }
+            }
+        }
+        match DurLog::open(&dir, self.cfg.dur_fsync, self.cfg.dur_segment_bytes, cas_floor) {
+            Ok(log) => {
+                log.note_recovery(recovered, torn, compactions);
+                let _ = self.dur.set(Arc::new(log));
+            }
+            Err(e) => {
+                eprintln!(
+                    "mcache: redo log unavailable ({e}); continuing in cache-only mode"
+                );
+            }
+        }
     }
 
     /// Requests whose handler panicked and was converted to a
@@ -1007,6 +1205,10 @@ impl McCache {
                             let _c = self.cache_lock.lock();
                             self.link_new(&mut ctx, mode, key, hv, a.handle, a.evicted > 0)
                         };
+                        if st == StoreStatus::Stored {
+                            self.dur_store_record(&mut ctx, a.handle, key, value, flags)
+                                .expect("direct");
+                        }
                         core.item_release(&mut ctx, &policy, a.handle).expect("direct");
                         st
                     }
@@ -1037,7 +1239,7 @@ impl McCache {
                                 let expanding =
                                     core.assoc.is_expanding(ctx, &policy)?;
                                 let _ = expanding;
-                                self.link_new_tx(
+                                let (st, signal) = self.link_new_tx(
                                     ctx,
                                     mode,
                                     key,
@@ -1046,7 +1248,11 @@ impl McCache {
                                     a.evicted > 0,
                                     false,
                                     None,
-                                )
+                                )?;
+                                if st == StoreStatus::Stored {
+                                    self.dur_store_record(ctx, a.handle, key, value, flags)?;
+                                }
+                                Ok((st, signal))
                             },
                         );
                         let mut ctx = Ctx::Direct;
@@ -1096,6 +1302,9 @@ impl McCache {
                                     true,
                                     None,
                                 )?;
+                                if st == StoreStatus::Stored {
+                                    self.dur_store_record(ctx, a.handle, key, value, flags)?;
+                                }
                                 core.item_release(ctx, &policy, a.handle)?;
                                 let tstats = &self.workers[w].stats;
                                 self.stats_inline(ctx, &tstats.set_cmds, None)?;
@@ -1248,6 +1457,9 @@ impl McCache {
                         true,
                         if mags { Some(&mut reclaimed) } else { None },
                     )?;
+                    if st == StoreStatus::Stored {
+                        self.dur_store_record(ctx, h, op.key, op.value, op.flags)?;
+                    }
                     if st == StoreStatus::Stored || !mags {
                         // Magazine chunks that failed their predicate stay
                         // private and go back to the magazine post-commit.
@@ -1493,6 +1705,7 @@ impl McCache {
                 let (st, signal) =
                     self.link_new_tx(ctx, mode, key, hv, handle, false, true, Some(&mut reclaimed))?;
                 if st == StoreStatus::Stored {
+                    self.dur_store_record(ctx, handle, key, value, flags)?;
                     core.item_release(ctx, &policy, handle)?;
                 }
                 self.stats_inline(ctx, &tstats.set_cmds, None)?;
@@ -1639,6 +1852,7 @@ impl McCache {
                 {
                     Some(h) => {
                         core.unlink_item(&mut ctx, &policy, h, hv).expect("direct");
+                        self.dur_record(&mut ctx, Record::Del { key: key.to_vec() });
                         true
                     }
                     None => false,
@@ -1657,6 +1871,7 @@ impl McCache {
                         let found = match core.assoc.find(ctx, &policy, &core.arena, key, hv)? {
                             Some(h) => {
                                 core.unlink_item(ctx, &policy, h, hv)?;
+                                self.dur_record(ctx, Record::Del { key: key.to_vec() });
                                 true
                             }
                             None => false,
@@ -1699,8 +1914,16 @@ impl McCache {
                     let _g = (self.policy.item_mode == ItemMode::Lock)
                         .then(|| core.item_locks.mutex(stripe).lock());
                     let mut ctx = Ctx::Direct;
-                    core.arith(&mut ctx, &policy, key, hv, delta, incr, now)
-                        .expect("direct")
+                    let r = core
+                        .arith(&mut ctx, &policy, key, hv, delta, incr, now)
+                        .expect("direct");
+                    if let Some(Ok((new, cas))) = r {
+                        self.dur_record(
+                            &mut ctx,
+                            Record::Arith { cas, value: new, key: key.to_vec() },
+                        );
+                    }
+                    r
                 };
                 if self.policy.item_mode == ItemMode::Privatize {
                     self.ip_item_unlock(stripe);
@@ -1714,6 +1937,12 @@ impl McCache {
                     &[Category::Libc, Category::RefcountRmw, Category::AssertAbort],
                     |ctx| {
                         let r = core.arith(ctx, &policy, key, hv, delta, incr, now)?;
+                        if let Some(Ok((new, cas))) = r {
+                            self.dur_record(
+                                ctx,
+                                Record::Arith { cas, value: new, key: key.to_vec() },
+                            );
+                        }
                         self.stats_inline(ctx, &tstats.arith_cmds, None)?;
                         Ok(r)
                     },
@@ -1727,7 +1956,7 @@ impl McCache {
         match res {
             None => ArithStatus::NotFound,
             Some(Err(())) => ArithStatus::NonNumeric,
-            Some(Ok(v)) => ArithStatus::Ok(v),
+            Some(Ok((v, _cas))) => ArithStatus::Ok(v),
         }
     }
 
@@ -1777,6 +2006,22 @@ impl McCache {
             Some(h) => {
                 let it = core.arena.resolve(h);
                 it.set_times(ctx, exptime, now)?;
+                if self.dur.get().is_some() {
+                    if ctx.in_transaction() {
+                        // A touch that rewrites identical times commits
+                        // with an elided (read-only) stamp; bump the nonce
+                        // so the engine mints a fresh one for the record.
+                        ctx.fetch_add_word(core.dur_nonce.word(), 1)?;
+                    }
+                    self.dur_record(
+                        ctx,
+                        Record::Touch {
+                            abs_exp: self.abs_unix(exptime),
+                            touched_unix: self.abs_unix(now),
+                            key: key.to_vec(),
+                        },
+                    );
+                }
                 Ok(true)
             }
             None => Ok(false),
@@ -1787,12 +2032,18 @@ impl McCache {
     pub fn flush_all(&self, w: usize) {
         let now = self.rel_time();
         let core = &self.core;
+        let flush_unix = self.abs_unix(now);
         if !self.policy.transactional {
             let _s = self.stats_lock.lock();
             let mut ctx = Ctx::Direct;
             core.flush_all(&mut ctx, now).expect("direct");
+            self.dur_record(&mut ctx, Record::FlushAll { flush_unix });
         } else {
-            self.tx_section(&[], &[], |ctx| core.flush_all(ctx, now));
+            self.tx_section(&[], &[], |ctx| {
+                core.flush_all(ctx, now)?;
+                self.dur_record(ctx, Record::FlushAll { flush_unix });
+                Ok(())
+            });
         }
         if self.magazines_on() {
             // Return every parked chunk so a post-flush heap audit sees

@@ -172,6 +172,10 @@ pub struct CacheCore {
     cas_counter: TCell<u64>,
     /// `flush_all` watermark: items last touched at or before this die.
     pub oldest_live: TCell<u64>,
+    /// Write-nonce for the durability log: operations whose engine commit
+    /// would otherwise be fully read-only (an elided silent touch) bump
+    /// this so the commit mints a fresh stamp for its redo record.
+    pub dur_nonce: TCell<u64>,
 }
 
 impl std::fmt::Debug for CacheCore {
@@ -205,8 +209,20 @@ impl CacheCore {
             global: GlobalStats::default(),
             cas_counter: TCell::new(0),
             oldest_live: TCell::new(0),
+            dur_nonce: TCell::new(0),
             arena,
         }
+    }
+
+    /// Raises the CAS allocator to at least `floor`. Recovery calls this
+    /// before replaying logged items so every post-restart CAS id is
+    /// strictly above any id a pre-crash client observed.
+    pub fn set_cas_floor<'e>(&'e self, ctx: &mut Ctx<'_, 'e>, floor: u64) -> Result<(), Abort> {
+        let cur = ctx.get_word(self.cas_counter.word())?;
+        if cur < floor {
+            ctx.put_word(self.cas_counter.word(), floor)?;
+        }
+        Ok(())
     }
 
     /// Whether the item is still alive at `now` (expiry + `flush_all`).
@@ -561,7 +577,8 @@ impl CacheCore {
     /// `do_add_delta`: parse the stored decimal value (libc `strtoull`
     /// until Lib), apply the delta, and rewrite in place (libc `snprintf`
     /// until Lib). `None` = key missing; `Err(())` in the inner result =
-    /// the stored value is not a number.
+    /// the stored value is not a number; `Ok((new, cas))` carries the new
+    /// value and the CAS id this rewrite assigned (for the redo log).
     pub fn arith<'e>(
         &'e self,
         ctx: &mut Ctx<'_, 'e>,
@@ -571,7 +588,7 @@ impl CacheCore {
         delta: u64,
         incr: bool,
         now: u32,
-    ) -> Result<Option<Result<u64, ()>>, Abort> {
+    ) -> Result<Option<Result<(u64, u64), ()>>, Abort> {
         let Some(h) = self.assoc.find(ctx, policy, &self.arena, key, hv)? else {
             return Ok(None);
         };
@@ -633,7 +650,7 @@ impl CacheCore {
         it.set_sizes(ctx, sizes)?;
         let cas = ctx.fetch_add_word(self.cas_counter.word(), 1)? + 1;
         it.set_cas(ctx, cas)?;
-        Ok(Some(Ok(new)))
+        Ok(Some(Ok((new, cas))))
     }
 
     /// `flush_all`: everything last touched at or before `now` dies
@@ -785,16 +802,16 @@ mod tests {
         let mut ctx = Ctx::Direct;
         set(&c, &p, b"n", b"41", 0, 1);
         let hv = crate::hashes::jenkins_hash(b"n", 0);
-        assert_eq!(
-            c.arith(&mut ctx, &p, b"n", hv, 1, true, 1).unwrap(),
-            Some(Ok(42))
-        );
+        let r = c.arith(&mut ctx, &p, b"n", hv, 1, true, 1).unwrap();
+        assert!(matches!(r, Some(Ok((42, _)))), "got {r:?}");
+        let cas1 = r.unwrap().unwrap().1;
         assert_eq!(get(&c, &p, b"n", 1), Some(b"42".to_vec()));
-        assert_eq!(
-            c.arith(&mut ctx, &p, b"n", hv, 50, false, 1).unwrap(),
-            Some(Ok(0)),
-            "decr saturates at zero like memcached"
+        let r = c.arith(&mut ctx, &p, b"n", hv, 50, false, 1).unwrap();
+        assert!(
+            matches!(r, Some(Ok((0, _)))),
+            "decr saturates at zero like memcached: {r:?}"
         );
+        assert!(r.unwrap().unwrap().1 > cas1, "each arith assigns a fresh cas");
         assert_eq!(
             c.arith(&mut ctx, &p, b"nope", hv, 1, true, 1).unwrap(),
             None

@@ -43,6 +43,7 @@ pub mod assoc;
 pub mod cache;
 pub mod core;
 pub mod ctx;
+pub mod dur;
 pub mod hashes;
 pub mod item;
 pub mod lru;
@@ -57,6 +58,7 @@ pub use cache::{
     ArithStatus, CacheStats, GetValue, McCache, McConfig, McHandle, StoreMode, StoreOp,
     StoreStatus, KEY_MAX,
 };
+pub use dur::{DurFsync, DurSnapshot};
 pub use net::{NetConfig, NetSnapshot, Server};
 pub use policy::{Branch, Category, ItemMode, Policy, SectionKind, Stage};
 pub use slabs::SlabConfig;

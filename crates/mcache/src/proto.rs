@@ -246,6 +246,19 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
             ] {
                 out.push_str(&format!("STAT {k} {v}\r\n"));
             }
+            if let Some(d) = cache.dur_stats() {
+                for (k, v) in [
+                    ("dur_appends", d.appends),
+                    ("dur_fsyncs", d.fsyncs),
+                    ("dur_bytes", d.bytes),
+                    ("log_write_errors", d.log_write_errors),
+                    ("recovered_items", d.recovered_items),
+                    ("torn_records_dropped", d.torn_records_dropped),
+                    ("dur_compactions", d.compactions),
+                ] {
+                    out.push_str(&format!("STAT {k} {v}\r\n"));
+                }
+            }
             out.push_str("END\r\n");
             out.into_bytes()
         }

@@ -1,0 +1,260 @@
+//! Warm-restart conformance: a cache started on a redo-log directory
+//! must replay exactly what the previous incarnation committed — across
+//! branch families, with memcached's expiry / `flush_all` / CAS-uniqueness
+//! semantics intact.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mcache::dur::{DurLog, Record};
+use mcache::{Branch, DurFsync, McCache, McConfig, McHandle, SlabConfig, Stage};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "mcache-durtest-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn config(branch: Branch, dir: &PathBuf) -> McConfig {
+    McConfig {
+        branch,
+        workers: 2,
+        slab: SlabConfig {
+            mem_limit: 8 << 20,
+            page_size: 64 << 10,
+            chunk_min: 96,
+            growth_factor: 1.25,
+        },
+        hash_power: 8,
+        hash_power_max: 10,
+        maintenance: true,
+        dur_path: Some(dir.clone()),
+        dur_fsync: DurFsync::Always,
+        ..Default::default()
+    }
+}
+
+fn start(branch: Branch, dir: &PathBuf) -> McHandle {
+    McCache::start(config(branch, dir))
+}
+
+const BRANCHES: [Branch; 3] = [
+    Branch::Baseline,
+    Branch::Ip(Stage::OnCommit),
+    Branch::It(Stage::OnCommit),
+];
+
+#[test]
+fn warm_restart_replays_all_mutation_kinds() {
+    for branch in BRANCHES {
+        let dir = tmpdir(&format!("all-{branch}"));
+        {
+            let c = start(branch, &dir);
+            assert_eq!(c.dur_stats().unwrap().recovered_items, 0);
+            c.set(0, b"keep", b"v1", 7, 0);
+            c.set(0, b"gone", b"x", 0, 0);
+            c.set(0, b"num", b"10", 0, 0);
+            assert!(c.delete(0, b"gone"));
+            assert_eq!(c.arith(0, b"num", 5, true), mcache::ArithStatus::Ok(15));
+            c.set(0, b"keep", b"v2", 7, 0); // overwrite: replay keeps last
+        } // drop seals the log
+        let c = start(branch, &dir);
+        let d = c.dur_stats().unwrap();
+        assert_eq!(d.torn_records_dropped, 0, "{branch}: sealed log has no torn tail");
+        assert_eq!(d.recovered_items, 2, "{branch}: {d:?}");
+        let keep = c.get(0, b"keep").expect("keep survives");
+        assert_eq!(keep.data, b"v2", "{branch}: last write wins");
+        assert_eq!(keep.flags, 7, "{branch}: flags replayed");
+        assert_eq!(c.get(0, b"gone"), None, "{branch}: delete replayed");
+        assert_eq!(
+            c.get(0, b"num").unwrap().data,
+            b"15",
+            "{branch}: arith post-image replayed"
+        );
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn cas_ids_stay_unique_across_restart() {
+    let dir = tmpdir("casfloor");
+    let old_cas = {
+        let c = start(Branch::It(Stage::OnCommit), &dir);
+        for i in 0..50u32 {
+            c.set(0, format!("k{i}").as_bytes(), b"v", 0, 0);
+        }
+        c.get(0, b"k49").unwrap().cas
+    };
+    let c = start(Branch::It(Stage::OnCommit), &dir);
+    // A replayed item's id must already clear the floor...
+    assert!(
+        c.get(0, b"k49").unwrap().cas > old_cas,
+        "replayed items re-link above the recovered floor"
+    );
+    // ...and so must the first brand-new store.
+    c.set(0, b"fresh", b"v", 0, 0);
+    assert!(
+        c.get(0, b"fresh").unwrap().cas > old_cas,
+        "post-restart CAS ids are strictly above every pre-crash id"
+    );
+    drop(c);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn expired_at_replay_entries_are_skipped() {
+    // Craft the log directly: one live entry and one whose absolute
+    // expiry is already in the past — no sleeping in the test.
+    let dir = tmpdir("expiry");
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs();
+    {
+        let log = DurLog::open(&dir, DurFsync::Always, 4 << 20, 0).unwrap();
+        log.append(
+            1,
+            &Record::Set {
+                cas: 1,
+                flags: 0,
+                abs_exp: now.saturating_sub(60),
+                stored_unix: now.saturating_sub(120),
+                key: b"stale".to_vec(),
+                value: b"dead".to_vec(),
+            },
+        );
+        log.append(
+            2,
+            &Record::Set {
+                cas: 2,
+                flags: 0,
+                abs_exp: now + 3600,
+                stored_unix: now,
+                key: b"live".to_vec(),
+                value: b"ok".to_vec(),
+            },
+        );
+        log.seal();
+    }
+    let c = start(Branch::It(Stage::OnCommit), &dir);
+    assert_eq!(c.dur_stats().unwrap().recovered_items, 1);
+    assert_eq!(c.get(0, b"stale"), None, "expired entry must not be replayed");
+    assert_eq!(c.get(0, b"live").unwrap().data, b"ok");
+    drop(c);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn touch_extends_expiry_across_restart() {
+    let dir = tmpdir("touch");
+    {
+        let c = start(Branch::It(Stage::OnCommit), &dir);
+        c.set(0, b"k", b"v", 0, 1); // expires almost immediately
+        assert!(c.touch(0, b"k", 0)); // ...rescued: never expires
+    }
+    let c = start(Branch::It(Stage::OnCommit), &dir);
+    assert_eq!(
+        c.get(0, b"k").map(|g| g.data),
+        Some(b"v".to_vec()),
+        "replay must honor the touched expiry, not the original"
+    );
+    drop(c);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flush_all_is_not_resurrected_by_replay() {
+    for branch in [Branch::Baseline, Branch::It(Stage::OnCommit)] {
+        let dir = tmpdir(&format!("flush-{branch}"));
+        {
+            let c = start(branch, &dir);
+            c.set(0, b"pre", b"x", 0, 0);
+            c.flush_all(0);
+            // Cross the second boundary so the post-flush store is live by
+            // memcached's own `last > watermark` rule (a same-second store
+            // dies in the live cache too — replay must agree).
+            std::thread::sleep(Duration::from_millis(1100));
+            c.set(0, b"post", b"y", 0, 0);
+            assert_eq!(c.get(0, b"pre"), None, "{branch}: flushed in live cache");
+        }
+        let c = start(branch, &dir);
+        assert_eq!(c.get(0, b"pre"), None, "{branch}: flush_all replayed");
+        assert_eq!(
+            c.get(0, b"post").map(|g| g.data),
+            Some(b"y".to_vec()),
+            "{branch}: post-flush store survives"
+        );
+        assert_eq!(c.dur_stats().unwrap().recovered_items, 1, "{branch}");
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn double_restart_is_idempotent() {
+    let dir = tmpdir("idem");
+    {
+        let c = start(Branch::It(Stage::OnCommit), &dir);
+        for i in 0..20u32 {
+            c.set(0, format!("k{i}").as_bytes(), format!("v{i}").as_bytes(), 0, 0);
+        }
+    }
+    for round in 0..3 {
+        let c = start(Branch::It(Stage::OnCommit), &dir);
+        assert_eq!(c.dur_stats().unwrap().recovered_items, 20, "round {round}");
+        for i in 0..20u32 {
+            assert_eq!(
+                c.get(0, format!("k{i}").as_bytes()).unwrap().data,
+                format!("v{i}").as_bytes(),
+                "round {round}"
+            );
+        }
+        drop(c);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn batch_stores_replay_in_order() {
+    let dir = tmpdir("batch");
+    {
+        let c = start(Branch::It(Stage::OnCommit), &dir);
+        let ops: Vec<mcache::StoreOp<'_>> = (0..8)
+            .map(|i| mcache::StoreOp {
+                mode: mcache::StoreMode::Set,
+                key: b"same",
+                value: if i == 7 { b"final" } else { b"mid" },
+                flags: 0,
+                exptime: 0,
+            })
+            .collect();
+        let st = c.store_batch(0, &ops);
+        assert!(st.iter().all(|s| *s == mcache::StoreStatus::Stored));
+    }
+    let c = start(Branch::It(Stage::OnCommit), &dir);
+    assert_eq!(
+        c.get(0, b"same").unwrap().data,
+        b"final",
+        "equal-stamp batch records must replay in append order"
+    );
+    drop(c);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn log_off_cache_has_no_dur_surface() {
+    let c = McCache::start(McConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    assert!(!c.dur_enabled());
+    assert!(c.dur_stats().is_none());
+    c.set(0, b"k", b"v", 0, 0);
+    assert_eq!(c.get(0, b"k").unwrap().data, b"v");
+}

@@ -1,0 +1,234 @@
+//! Deterministic operation plans and a pure replay oracle for the
+//! kill-at-random-commit durability harness (`mccrash`).
+//!
+//! A [`CrashPlan`] expands a seed into a fixed mutation sequence over a
+//! small key universe. The child process executes the plan against a
+//! real cache with the redo log attached and is killed — by chaos
+//! injection — at a seed-chosen *append index*. The parent then replays
+//! the log into a fresh cache and compares it against [`simulate`], the
+//! pure model of the same prefix.
+//!
+//! The oracle is **exact**, not a two-state window: the plan runs on a
+//! single worker, the log writer is write-through (bytes reach the OS
+//! before the append returns, and `kill`/`abort` does not empty the page
+//! cache), and an operation produces a record *iff* it changes the store
+//! — so the recovered state must equal `simulate(plan, fatal_op(k))`
+//! with the fatal operation included exactly when the kill fires after
+//! its frame was written.
+
+use std::collections::BTreeMap;
+
+use crate::rng::{Rng, SmallRng};
+
+/// One mutation in a crash plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrashOp {
+    /// Unconditional store of `value` under `key`.
+    Set {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Delete `key` (a no-op — and no log record — when absent).
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `incr key delta` (a no-op when absent or non-numeric).
+    Incr {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Wrapping-add delta.
+        delta: u64,
+    },
+}
+
+/// A seed-expanded mutation sequence.
+#[derive(Clone, Debug)]
+pub struct CrashPlan {
+    /// The seed this plan was expanded from.
+    pub seed: u64,
+    /// The operations, in execution order.
+    pub ops: Vec<CrashOp>,
+}
+
+/// Binary-value keys (`v:*`) in the plan's universe.
+const VAL_KEYS: u64 = 12;
+/// Decimal-value keys (`n:*`) in the plan's universe.
+const NUM_KEYS: u64 = 6;
+
+impl CrashPlan {
+    /// Expands `seed` into `n` operations. Same seed, same plan — on any
+    /// host, any build: the generator is the workspace's own xoshiro.
+    pub fn from_seed(seed: u64, n: usize) -> CrashPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD0_C0FF_EE);
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let roll = rng.gen_range(0..100u32);
+            let op = if roll < 55 {
+                // Store: binary keys get random bytes; numeric keys get a
+                // decimal so later incrs hit; a sliver of non-numeric
+                // stores on numeric keys exercises the incr no-op path.
+                if rng.gen_bool(0.7) {
+                    let key = format!("v:{}", rng.gen_range(0..VAL_KEYS)).into_bytes();
+                    let mut value = vec![0u8; rng.gen_range(1..96usize)];
+                    rng.fill_bytes(&mut value);
+                    CrashOp::Set { key, value }
+                } else {
+                    let key = format!("n:{}", rng.gen_range(0..NUM_KEYS)).into_bytes();
+                    let value = if rng.gen_bool(0.85) {
+                        rng.gen_range(0..1_000_000u64).to_string().into_bytes()
+                    } else {
+                        b"not-a-number".to_vec()
+                    };
+                    CrashOp::Set { key, value }
+                }
+            } else if roll < 75 {
+                let key = if rng.gen_bool(0.7) {
+                    format!("v:{}", rng.gen_range(0..VAL_KEYS))
+                } else {
+                    format!("n:{}", rng.gen_range(0..NUM_KEYS))
+                };
+                CrashOp::Delete { key: key.into_bytes() }
+            } else {
+                CrashOp::Incr {
+                    key: format!("n:{}", rng.gen_range(0..NUM_KEYS)).into_bytes(),
+                    delta: rng.gen_range(1..1000u64),
+                }
+            };
+            ops.push(op);
+        }
+        CrashPlan { seed, ops }
+    }
+}
+
+/// memcached's `safe_strtoull` shape: the whole value must be a decimal.
+fn parse_decimal(b: &[u8]) -> Option<u64> {
+    if b.is_empty() || b.len() > 20 {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &c in b {
+        if !c.is_ascii_digit() {
+            return None;
+        }
+        v = v.wrapping_mul(10).wrapping_add((c - b'0') as u64);
+    }
+    Some(v)
+}
+
+/// Whether executing `op` against `state` changes the store (and thus
+/// produces exactly one redo record).
+fn apply(state: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &CrashOp) -> bool {
+    match op {
+        CrashOp::Set { key, value } => {
+            state.insert(key.clone(), value.clone());
+            true
+        }
+        CrashOp::Delete { key } => state.remove(key).is_some(),
+        CrashOp::Incr { key, delta } => {
+            let Some(old) = state.get(key).and_then(|v| parse_decimal(v)) else {
+                return false;
+            };
+            let new = old.wrapping_add(*delta);
+            state.insert(key.clone(), new.to_string().into_bytes());
+            true
+        }
+    }
+}
+
+/// The pure oracle: the store after the first `k` operations.
+pub fn simulate(ops: &[CrashOp], k: usize) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut state = BTreeMap::new();
+    for op in &ops[..k.min(ops.len())] {
+        apply(&mut state, op);
+    }
+    state
+}
+
+/// Redo records the first `k` operations produce (each store-changing op
+/// appends exactly one).
+pub fn appends_for(ops: &[CrashOp], k: usize) -> u64 {
+    let mut state = BTreeMap::new();
+    ops[..k.min(ops.len())]
+        .iter()
+        .filter(|op| apply(&mut state, op))
+        .count() as u64
+}
+
+/// The index of the operation that produces append number `kill_at`
+/// (0-based), or `ops.len()` when the plan finishes first. The child dies
+/// *during* this operation; whether its effect survives depends on the
+/// kill mode (before/mid lose the frame, after keeps it).
+pub fn fatal_op(ops: &[CrashOp], kill_at: u64) -> usize {
+    let mut state = BTreeMap::new();
+    let mut appends = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        if apply(&mut state, op) {
+            if appends == kill_at {
+                return i;
+            }
+            appends += 1;
+        }
+    }
+    ops.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = CrashPlan::from_seed(7, 200);
+        let b = CrashPlan::from_seed(7, 200);
+        assert_eq!(a.ops, b.ops);
+        let c = CrashPlan::from_seed(8, 200);
+        assert_ne!(a.ops, c.ops, "different seeds must diverge");
+    }
+
+    #[test]
+    fn plans_mix_all_op_kinds_and_noops() {
+        let plan = CrashPlan::from_seed(42, 500);
+        let sets = plan.ops.iter().filter(|o| matches!(o, CrashOp::Set { .. })).count();
+        let dels = plan.ops.iter().filter(|o| matches!(o, CrashOp::Delete { .. })).count();
+        let incrs = plan.ops.iter().filter(|o| matches!(o, CrashOp::Incr { .. })).count();
+        assert!(sets > 0 && dels > 0 && incrs > 0, "{sets}/{dels}/{incrs}");
+        // The plan must contain genuine no-ops (miss deletes / failed
+        // incrs), or the append-counting oracle is never exercised.
+        assert!(
+            appends_for(&plan.ops, plan.ops.len()) < plan.ops.len() as u64,
+            "expected some operations to produce no record"
+        );
+    }
+
+    #[test]
+    fn simulate_prefix_semantics() {
+        let ops = vec![
+            CrashOp::Set { key: b"n:0".to_vec(), value: b"10".to_vec() },
+            CrashOp::Incr { key: b"n:0".to_vec(), delta: 5 },
+            CrashOp::Delete { key: b"v:9".to_vec() }, // miss: no-op
+            CrashOp::Set { key: b"v:0".to_vec(), value: b"x".to_vec() },
+            CrashOp::Delete { key: b"n:0".to_vec() },
+        ];
+        assert_eq!(simulate(&ops, 0).len(), 0);
+        assert_eq!(simulate(&ops, 2)[&b"n:0".to_vec()], b"15".to_vec());
+        assert_eq!(simulate(&ops, 5).len(), 1);
+        assert_eq!(appends_for(&ops, 3), 2, "miss delete appends nothing");
+        assert_eq!(appends_for(&ops, 5), 4);
+        // Append 2 is produced by op 3 (op 2 was the no-op).
+        assert_eq!(fatal_op(&ops, 2), 3);
+        assert_eq!(fatal_op(&ops, 99), ops.len(), "plan can finish first");
+    }
+
+    #[test]
+    fn incr_on_non_numeric_is_a_noop() {
+        let ops = vec![
+            CrashOp::Set { key: b"n:1".to_vec(), value: b"abc".to_vec() },
+            CrashOp::Incr { key: b"n:1".to_vec(), delta: 1 },
+        ];
+        assert_eq!(simulate(&ops, 2)[&b"n:1".to_vec()], b"abc".to_vec());
+        assert_eq!(appends_for(&ops, 2), 1);
+    }
+}

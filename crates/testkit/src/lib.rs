@@ -23,6 +23,7 @@
 
 pub mod alloc;
 pub mod bench;
+pub mod crash;
 pub mod prop;
 pub mod rng;
 pub mod stress;

@@ -195,7 +195,7 @@ impl EagerTx {
         }
     }
 
-    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<u64, Abort> {
         // Fault site: commit entry. Locks and undo are intact, so both the
         // Err path (rollback below) and a panic are fully recoverable.
         if let Err(e) = fault::inject(FaultSite::CommitLock) {
@@ -207,7 +207,7 @@ impl EagerTx {
             // snapshot; a read-only transaction is serializable at its
             // snapshot and commits without touching the clock.
             bufs.clear();
-            return Ok(());
+            return Ok(self.start_time);
         }
         // Fault site: clock advance. Nothing published yet.
         if let Err(e) = fault::inject(FaultSite::ClockTick) {
@@ -233,7 +233,11 @@ impl EagerTx {
             rt.orecs.release(idx, orec::unlocked_at(end));
         }
         bufs.clear();
-        Ok(())
+        // `end` came from `commit_tick`, so it exceeds every timestamp
+        // published before this attempt's write-set locks became visible
+        // — later committers on overlapping data mint strictly larger
+        // stamps.
+        Ok(end)
     }
 
     pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {

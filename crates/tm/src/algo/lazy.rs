@@ -153,7 +153,7 @@ impl LazyTx {
         Ok(())
     }
 
-    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<u64, Abort> {
         // Fault site: commit entry, before any orec is taken.
         if let Err(e) = fault::inject(FaultSite::CommitLock) {
             bufs.clear();
@@ -169,7 +169,7 @@ impl LazyTx {
         } = bufs;
         if writes.is_empty() {
             bufs.clear();
-            return Ok(());
+            return Ok(self.start_time);
         }
         // Acquire every distinct orec covering the write set. The redo log
         // holds one entry per word address (redo_record deduplicates), so
@@ -235,7 +235,9 @@ impl LazyTx {
         }
         release_held(rt, held, Some(end));
         bufs.clear();
-        Ok(())
+        // Same commit-stamp invariant as eager: `end` exceeds every stamp
+        // published before our write locks became visible.
+        Ok(end)
     }
 
     pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {

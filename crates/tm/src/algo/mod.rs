@@ -115,12 +115,20 @@ impl Engine {
     }
 
     /// Attempts to commit. On `Err` the engine has already rolled back.
-    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+    ///
+    /// On success returns the attempt's *commit stamp*: a position in the
+    /// runtime's global time base (versioned clock for eager/lazy, sequence
+    /// lock for norec) such that any two committed transactions with
+    /// overlapping write sets carry stamps ordered consistently with their
+    /// real-time commit order. Read-only commits reuse their snapshot. A
+    /// serial-irrevocable attempt has no engine stamp; `commit_point` mints
+    /// one while still holding the serial lock exclusively.
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<u64, Abort> {
         match self {
             Engine::Eager(e) => e.commit(rt, bufs),
             Engine::Lazy(e) => e.commit(rt, bufs),
             Engine::Norec(e) => e.commit(rt, bufs),
-            Engine::Serial => Ok(()),
+            Engine::Serial => Ok(0),
         }
     }
 

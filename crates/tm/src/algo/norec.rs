@@ -122,7 +122,7 @@ impl NorecTx {
         Ok(())
     }
 
-    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<(), Abort> {
+    pub(crate) fn commit(&mut self, rt: &RtInner, bufs: &mut LogBufs) -> Result<u64, Abort> {
         // Fault site: commit entry, before the sequence lock is contended.
         if let Err(e) = fault::inject(FaultSite::CommitLock) {
             bufs.clear();
@@ -131,7 +131,7 @@ impl NorecTx {
         if bufs.writes.is_empty() {
             // Read-only: already consistent at `snapshot`.
             bufs.clear();
-            return Ok(());
+            return Ok(self.snapshot);
         }
         // Seqlock-bump elision: a write set whose every buffered value
         // already equals committed memory (e.g. a read-modify-write that
@@ -160,7 +160,7 @@ impl NorecTx {
                     self.snapshot = t;
                     bufs.seqlock_elisions += 1;
                     bufs.clear();
-                    return Ok(());
+                    return Ok(t);
                 }
                 // Writes no longer silent (memory moved under the value):
                 // the window doubled as a validation, so extend to `t` and
@@ -195,7 +195,9 @@ impl NorecTx {
         rt.seqlock.end_commit(self.snapshot);
         self.committing = false;
         bufs.clear();
-        Ok(())
+        // `end_commit` published snapshot+2 (odd while held, even after):
+        // that even value is this commit's position in the global order.
+        Ok(self.snapshot + 2)
     }
 
     pub(crate) fn rollback(&mut self, rt: &RtInner, bufs: &mut LogBufs) {

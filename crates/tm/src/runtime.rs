@@ -314,6 +314,28 @@ impl TmRuntime {
         self.inner.orecs.stripe_count()
     }
 
+    /// Mints a commit stamp from the runtime's time base for an effect
+    /// published *outside* a transaction (e.g. a direct update performed
+    /// under an external lock). The stamp shares the space used by
+    /// transactional commit stamps ([`last_commit_stamp`]): it is at
+    /// least as large as every stamp already published, and every
+    /// transactional writer that starts (or commits) after this call
+    /// returns mints a larger or equal stamp — equal only for norec,
+    /// where callers must break ties by append order.
+    pub fn mint_commit_stamp(&self) -> u64 {
+        let rt = &*self.inner;
+        match rt.algorithm {
+            // Advancing the clock (rather than just reading it) keeps the
+            // invariant that a later `commit_tick` strictly exceeds this
+            // stamp.
+            Algorithm::Eager | Algorithm::Lazy => rt.clock.tick(),
+            // No committer bump: the caller serializes same-data effects
+            // externally (its lock), and any transactional commit that
+            // begins after this read bumps to at least this value + 2.
+            Algorithm::Norec => rt.seqlock.wait_even(),
+        }
+    }
+
     /// Runs `f` as a `__transaction_atomic` block, retrying on conflict
     /// until it commits, and returns its result.
     ///
@@ -778,11 +800,39 @@ impl TmRuntime {
     fn commit_point(&self, inner: &mut TxInner<'_>) -> Result<(), Abort> {
         let rt = inner.rt;
         let read_only = inner.engine.is_read_only(&inner.arena.logs) && !inner.irrevocable;
-        if let Err(e) = inner.engine.commit(rt, &mut inner.arena.logs) {
-            // Engine rolled itself back; finish the bookkeeping.
-            self.abort_point(inner);
-            return Err(e);
-        }
+        let stamp = match inner.engine.commit(rt, &mut inner.arena.logs) {
+            Ok(s) => s,
+            Err(e) => {
+                // Engine rolled itself back; finish the bookkeeping.
+                self.abort_point(inner);
+                return Err(e);
+            }
+        };
+        // A serial-irrevocable attempt (started serial, or promoted by
+        // `make_irrevocable`) has no engine stamp; mint one from the
+        // runtime's time base while the serial lock is still held
+        // exclusively, so the stamp orders after every earlier commit and
+        // every later committer mints a larger (or tie-broken-later) one.
+        // Minted only when an onCommit handler might consume it — ticking
+        // the global clock on every serial commit would be pure overhead.
+        let stamp = if matches!(inner.engine, Engine::Serial) && !inner.commit_handlers.is_empty()
+        {
+            match rt.algorithm {
+                Algorithm::Eager | Algorithm::Lazy => rt.clock.tick(),
+                Algorithm::Norec => {
+                    let s = rt.seqlock.wait_even();
+                    // Cannot spin: no committer can hold the sequence lock
+                    // while we hold the serial lock exclusively.
+                    let bumped = rt.seqlock.try_begin_commit(s);
+                    debug_assert!(bumped);
+                    rt.seqlock.end_commit(s);
+                    s + 2
+                }
+            }
+        } else {
+            stamp
+        };
+        LAST_COMMIT_STAMP.with(|c| c.set(stamp));
         inner.release_serial();
         rt.stats.bump(&rt.stats.commits);
         if read_only {
@@ -869,6 +919,29 @@ impl TmRuntime {
         }
         first_panic
     }
+}
+
+thread_local! {
+    /// The commit stamp of this thread's most recent committed attempt,
+    /// published by `commit_point` before the serial lock is released and
+    /// before onCommit handlers run.
+    static LAST_COMMIT_STAMP: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The commit stamp of the calling thread's most recently committed
+/// transaction.
+///
+/// Intended for `on_commit` handlers: by the time a handler runs, the
+/// stamp of the transaction that registered it is the thread's latest,
+/// so a handler can label externalized effects (e.g. redo-log records)
+/// with their position in the runtime's commit order. Stamps from
+/// transactions with overlapping write sets are ordered consistently
+/// with their real-time commit order; two *equal* stamps (possible for
+/// read-only commits and norec) must be tie-broken by the caller.
+///
+/// Returns 0 if the thread has never committed.
+pub fn last_commit_stamp() -> u64 {
+    LAST_COMMIT_STAMP.with(|c| c.get())
 }
 
 /// Drains the attempt's per-operation tallies (read-log dedup hits,

@@ -55,6 +55,19 @@ rm -f "$WIRE_CTL"
 grep -q 'frame_errors=0' "$WIRE_LOG"
 echo "    wire smoke OK: $(tail -n 1 "$WIRE_LOG")"
 
+# Durability tier: the kill-at-random-commit harness. 36 seeded kill
+# points sweep every (fsync policy x kill mode) combination — each child
+# is murdered by chaos injection inside the log writer at a seed-chosen
+# append, and the parent replays the log against the exact oracle — plus
+# one injected-EIO degradation case per policy. Then a warm-restart
+# round trip under mcslap verifies and times recovery end to end.
+echo "==> crash sweep (mccrash: 36 kill points x {always,every:8,off} x {before,mid,after} + 3 chaos-fail arms)"
+target/release/mccrash --sweep 36 --seed 1
+
+echo "==> warm restart smoke (mcslap --restart: load, seal, recover, verify)"
+target/release/mcslap --restart --branch it-oncommit --keys 5000 --concurrency 2 \
+    --dur-fsync every:32
+
 echo "==> bench smoke (stm_fastpath: word-granularity speedup + zero-alloc counts + contended sharded-clock arms)"
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
@@ -74,6 +87,11 @@ echo "==> bench smoke (stm_wirepath: in-process vs loopback GET/SET roundtrips)"
 TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
     cargo bench --offline -p bench --bench stm_wirepath
+
+echo "==> bench smoke (stm_durpath: redo-log overhead per fsync policy + replay recovery)"
+TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
+    TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
+    cargo bench --offline -p bench --bench stm_durpath
 
 # Offline regression gate, two tiers:
 #
@@ -95,6 +113,7 @@ echo "==> bench regression gate (fresh min vs committed baseline median, 50%)"
 cargo run --release --offline -p testkit --bin bench_compare -- . target/testkit-bench --threshold 50
 
 cp target/testkit-bench/BENCH_fastpath_*.json target/testkit-bench/BENCH_getpath_*.json \
-   target/testkit-bench/BENCH_setpath_*.json target/testkit-bench/BENCH_wirepath_*.json .
+   target/testkit-bench/BENCH_setpath_*.json target/testkit-bench/BENCH_wirepath_*.json \
+   target/testkit-bench/BENCH_durpath_*.json .
 
 echo "==> verify OK"
