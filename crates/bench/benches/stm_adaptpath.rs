@@ -1,0 +1,121 @@
+//! Adaptive-runtime benches: what the feedback-loop machinery costs and
+//! what the hot-key privatized path buys (DESIGN.md §15).
+//!
+//! Groups:
+//!
+//! * `adaptpath_hot` — single-key GETs, two paired arms: the key armed
+//!   in the hot set (served from the privatized copy, no transaction)
+//!   vs the same GET on a hot-free cache (read-only fast-lane
+//!   transaction). Interleaved via `bench_pair`, so the ratio is stable
+//!   across host-noise epochs. A second pair measures the *unarmed*
+//!   overhead: the probe + popularity-sketch cost a cold key pays when
+//!   `hot_slots` is on but the key is not hot.
+//! * `adaptpath_ctl` — the controller's own costs: one synchronous
+//!   `adapt_tick` epoch over a populated cache (stat sweep + sketch
+//!   drain + policy), and one full quiesce-and-swap `switch_config`
+//!   round trip on a bare runtime.
+//!
+//! Gates: the armed arm must actually serve privatized hits and the
+//! switch arm must count every switch — silent fall-through to the
+//! transactional path would otherwise benchmark the wrong code.
+//! Absolute drift is caught by the committed `BENCH_adaptpath_*.json`
+//! baselines through the bench_compare gate; the hot-vs-tx ratio itself
+//! is reported, not gated — on a single-core host the two paths are
+//! close enough that a hard floor would flake.
+
+use std::hint::black_box;
+
+use mcache::{Branch, McCache, McConfig, McHandle, Stage};
+use testkit::bench::Criterion;
+use testkit::{criterion_group, criterion_main};
+use tm::{Algorithm, ContentionManager, TmRuntime};
+
+const VALUE: &[u8] = &[0x5a; 100];
+const HOT_KEY: &[u8] = b"adapt:hot:key";
+
+fn cache(hot_slots: usize) -> McHandle {
+    let handle = McCache::start(McConfig {
+        branch: Branch::It(Stage::OnCommit),
+        workers: 1,
+        hot_slots,
+        // The §5 pure-read lane: the fair comparison point, since the
+        // adaptive controller requires it to see read-only commits.
+        refcount_elision: true,
+        ..Default::default()
+    });
+    assert_eq!(
+        handle.set(0, HOT_KEY, VALUE, 0, 0),
+        mcache::StoreStatus::Stored
+    );
+    handle
+}
+
+fn bench_hot(c: &mut Criterion) {
+    let plain = cache(0);
+    let armed = cache(64);
+    armed.hot_install_keys(&[HOT_KEY]);
+    // Prime the privatized copy: the first GET after arming repopulates.
+    assert!(armed.get(0, HOT_KEY).is_some());
+
+    let cold = cache(64); // hot set on, HOT_KEY deliberately not armed
+
+    let mut g = c.benchmark_group("adaptpath_hot");
+    g.sample_size(20);
+    g.bench_pair(
+        "get/privatized",
+        |b| b.iter(|| black_box(armed.get(0, HOT_KEY))),
+        "get/transactional",
+        |b| b.iter(|| black_box(plain.get(0, HOT_KEY))),
+    );
+    g.bench_pair(
+        "get/unarmed_probe",
+        |b| b.iter(|| black_box(cold.get(0, HOT_KEY))),
+        "get/no_hot_set",
+        |b| b.iter(|| black_box(plain.get(0, HOT_KEY))),
+    );
+    g.finish();
+
+    let s = armed.stats();
+    assert!(
+        s.hot_hits > 0,
+        "armed arm never served a privatized hit — it benchmarked the tx path"
+    );
+    assert_eq!(
+        cold.stats().hot_hits,
+        0,
+        "unarmed arm served privatized hits — it benchmarked the wrong path"
+    );
+}
+
+fn bench_ctl(c: &mut Criterion) {
+    let h = cache(64);
+    for i in 0..512u32 {
+        let key = format!("adapt:ctl:{i}");
+        h.set(0, key.as_bytes(), VALUE, 0, 0);
+        h.get(0, key.as_bytes());
+    }
+
+    let rt = TmRuntime::builder().algorithm(Algorithm::Eager).build();
+
+    let mut g = c.benchmark_group("adaptpath_ctl");
+    g.sample_size(15);
+    g.bench_function("controller/tick", |b| b.iter(|| black_box(h.adapt_tick())));
+    let mut flip = false;
+    g.bench_function("controller/switch_quiesce", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let algo = if flip { Algorithm::Norec } else { Algorithm::Eager };
+            black_box(rt.switch_config(algo, ContentionManager::GCC_DEFAULT))
+                .expect("rwlock runtime must accept switches")
+        })
+    });
+    g.finish();
+
+    assert!(
+        rt.stats().config_switches > 0,
+        "switch arm never actually switched"
+    );
+}
+
+criterion_group!(benches, bench_hot, bench_ctl);
+criterion_main!(benches);

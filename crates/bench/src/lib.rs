@@ -187,6 +187,12 @@ impl BenchConfig {
             dur_fsync: mcache::DurFsync::Off,
             dur_segment_bytes: 4 << 20,
             dur_compact_ratio: 0.5,
+            // Figures and tables measure fixed configurations; the
+            // adaptive controller has its own bench (stm_adaptpath) and
+            // the mcslap --phase-shift schedule.
+            adapt: false,
+            adapt_epoch_ms: 50,
+            hot_slots: 0,
         }
     }
 }

@@ -5,7 +5,7 @@
 //! synchronization in both the condvar (Figure 2, left) and semaphore
 //! (Figure 2, comments) forms.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -19,6 +19,7 @@ use crate::core::{AllocError, CacheCore, GetHit};
 use crate::ctx::Ctx;
 use crate::dur::{self, DurLog, DurSnapshot, Record};
 use crate::hashes::jenkins_hash;
+use crate::hot::{HotLookup, HotSet, HotSketch, HotState};
 use crate::item::ItemHandle;
 use crate::policy::{Branch, Category, ItemMode, Policy, SectionKind};
 use crate::sem::Semaphore;
@@ -27,6 +28,19 @@ use crate::stats::{GlobalSnapshot, ThreadSnapshot, ThreadStats};
 
 /// Longest accepted key, as in memcached.
 pub const KEY_MAX: usize = 250;
+
+/// Every Nth GET of a hot key deliberately bypasses the privatized copy
+/// and runs the real transactional lookup, so the backing item keeps
+/// collecting LRU bumps (a hot key served purely from the hot set would
+/// age to the LRU tail and be evicted).
+const HOT_REFRESH_EVERY: u64 = 64;
+
+/// Minimum epoch sketch count for a key hash to be worth arming.
+const HOT_MIN_COUNT: u64 = 8;
+
+/// Bounds for the controller's magazine-capacity retuning.
+const MAG_MIN: usize = 2;
+const MAG_MAX: usize = 1024;
 
 /// Cache configuration.
 #[derive(Clone, Debug)]
@@ -91,6 +105,19 @@ pub struct McConfig {
     /// rewrite it as a single sealed segment whenever the live entries
     /// account for less than this fraction of the on-disk bytes.
     pub dur_compact_ratio: f64,
+    /// Run the adaptive controller (DESIGN §15): a feedback thread that
+    /// samples TM and cache counters every [`McConfig::adapt_epoch_ms`]
+    /// and retunes the running configuration — algorithm + contention
+    /// manager via [`tm::TmRuntime::switch_config`], the LRU-bump cadence,
+    /// the per-worker magazine capacity, and the hot-key set. Only
+    /// meaningful on transactional branches; ignored elsewhere.
+    pub adapt: bool,
+    /// The controller's sampling epoch, in milliseconds.
+    pub adapt_epoch_ms: u64,
+    /// Hot-key privatization slots (rounded up to a power of two). 0
+    /// disables the hot set entirely; nonzero arms it for the controller
+    /// (or tests) to install keys into. Transactional branches only.
+    pub hot_slots: usize,
 }
 
 impl Default for McConfig {
@@ -114,6 +141,9 @@ impl Default for McConfig {
             dur_fsync: crate::dur::DurFsync::EveryN(32),
             dur_segment_bytes: 4 << 20,
             dur_compact_ratio: 0.5,
+            adapt: false,
+            adapt_epoch_ms: 50,
+            hot_slots: 0,
         }
     }
 }
@@ -205,6 +235,22 @@ struct WorkerSlot {
     stats: ThreadStats,
     op_count: AtomicU64,
     magazine: Mutex<Magazine>,
+    /// Lossy key-popularity sketch, fed by this worker's GETs and drained
+    /// by the adaptive controller each epoch.
+    sketch: HotSketch,
+}
+
+/// The adaptive controller's epoch baselines: counter values as of the
+/// previous tick, the configuration it believes is installed, and the
+/// hot-key tags it last armed. Locked only by the controller thread and
+/// the deterministic test hook ([`McCache::adapt_tick`]).
+struct AdaptState {
+    tm: StatsSnapshot,
+    sets: u64,
+    refills: u64,
+    flushes: u64,
+    cur: tm::adapt::AdaptConfig,
+    armed: Vec<u32>,
 }
 
 // Layout guard (see crates/tm/tests/layout_guard.rs for the STM twins):
@@ -242,6 +288,25 @@ pub struct McCache {
     workers: Vec<WorkerSlot>,
     log_lines: AtomicU64,
     shutdown: AtomicBool,
+    // Adaptive-runtime state (DESIGN §15). The live knobs the controller
+    // writes and the hot paths read; each starts at its configured value
+    // and never leaves the hot path's cache line cold (plain relaxed
+    // atomics, no locks).
+    /// Live per-worker magazine capacity; `cfg.magazine` is only the seed.
+    mag_cap: AtomicUsize,
+    /// Live LRU-bump cadence; `cfg.lru_bump_every` is only the seed.
+    bump_every: AtomicU64,
+    /// Hot-key privatization table; present iff `cfg.hot_slots > 0` on a
+    /// transactional branch.
+    hot: Option<Arc<HotSet>>,
+    /// Controller epochs completed.
+    adapt_epochs: AtomicU64,
+    /// Magazine-capacity retunes applied.
+    adapt_mag_resizes: AtomicU64,
+    /// LRU-bump-cadence retunes applied.
+    adapt_ro_tunes: AtomicU64,
+    /// Controller epoch baselines (see [`AdaptState`]).
+    adapt_state: Mutex<AdaptState>,
     // Robustness telemetry: panics caught at the two supervision
     // boundaries (per-request guards in `proto`, maintenance respawn).
     request_panics: AtomicU64,
@@ -305,6 +370,26 @@ pub struct CacheStats {
     pub request_panics: u64,
     /// Maintenance-thread panics recovered by respawn.
     pub maintenance_panics: u64,
+    /// Adaptive-controller epochs completed (0 when the controller is off).
+    pub adapt_epochs: u64,
+    /// Algorithm/CM switches the TM runtime has performed.
+    pub adapt_switches: u64,
+    /// Magazine-capacity retunes the controller applied.
+    pub adapt_mag_resizes: u64,
+    /// LRU-bump-cadence retunes the controller applied.
+    pub adapt_ro_tunes: u64,
+    /// Live per-worker magazine capacity.
+    pub magazine_cap: u64,
+    /// Live LRU-bump cadence.
+    pub lru_bump_every: u64,
+    /// GETs served from the privatized hot-key set.
+    pub hot_hits: u64,
+    /// Hot-key installs (slots armed by retunes).
+    pub hot_installs: u64,
+    /// Wholesale hot-set invalidations (evictions, rebalances, flushes).
+    pub hot_invalidations: u64,
+    /// Currently armed hot-key slots.
+    pub hot_armed: u64,
 }
 
 impl McCache {
@@ -355,8 +440,11 @@ impl McCache {
                         Vec::new()
                     },
                 }),
+                sketch: HotSketch::default(),
             })
             .collect();
+        let hot = (cfg.hot_slots > 0 && policy.item_mode == ItemMode::Transactional)
+            .then(|| Arc::new(HotSet::new(cfg.hot_slots)));
         let cache = Arc::new(McCache {
             policy,
             rt,
@@ -372,6 +460,20 @@ impl McCache {
             workers,
             log_lines: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            mag_cap: AtomicUsize::new(cfg.magazine),
+            bump_every: AtomicU64::new(cfg.lru_bump_every),
+            hot,
+            adapt_epochs: AtomicU64::new(0),
+            adapt_mag_resizes: AtomicU64::new(0),
+            adapt_ro_tunes: AtomicU64::new(0),
+            adapt_state: Mutex::new(AdaptState {
+                tm: StatsSnapshot::default(),
+                sets: 0,
+                refills: 0,
+                flushes: 0,
+                cur: tm::adapt::AdaptConfig { algorithm: cfg.algorithm, cm },
+                armed: Vec::new(),
+            }),
             request_panics: AtomicU64::new(0),
             maintenance_panics: AtomicU64::new(0),
             request_panic_trap: AtomicBool::new(false),
@@ -400,6 +502,9 @@ impl McCache {
         if cache.cfg.maintenance {
             threads.push(Self::supervised(&cache, McCache::assoc_maintenance_loop));
             threads.push(Self::supervised(&cache, McCache::slab_rebalance_loop));
+        }
+        if cache.cfg.adapt && cache.policy.item_mode == ItemMode::Transactional {
+            threads.push(Self::supervised(&cache, McCache::adapt_loop));
         }
         McHandle { cache, threads }
     }
@@ -478,12 +583,23 @@ impl McCache {
         // `cmd_total` cell; fold the shards back in so `cmd_total` keeps
         // meaning "every command ever processed".
         global.cmd_total += threads.cmd_shard;
+        let hot = self.hot.as_deref();
         CacheStats {
             global,
             threads,
             log_lines: self.log_lines.load(Ordering::Relaxed),
             request_panics: self.request_panics(),
             maintenance_panics: self.maintenance_panics(),
+            adapt_epochs: self.adapt_epochs.load(Ordering::Relaxed),
+            adapt_switches: self.rt.stats().config_switches,
+            adapt_mag_resizes: self.adapt_mag_resizes.load(Ordering::Relaxed),
+            adapt_ro_tunes: self.adapt_ro_tunes.load(Ordering::Relaxed),
+            magazine_cap: self.mag_cap.load(Ordering::Relaxed) as u64,
+            lru_bump_every: self.bump_every.load(Ordering::Relaxed),
+            hot_hits: hot.map_or(0, |h| h.hits.load(Ordering::Relaxed)),
+            hot_installs: hot.map_or(0, |h| h.installs.load(Ordering::Relaxed)),
+            hot_invalidations: hot.map_or(0, |h| h.invalidations.load(Ordering::Relaxed)),
+            hot_armed: hot.map_or(0, |h| h.armed() as u64),
         }
     }
 
@@ -569,6 +685,84 @@ impl McCache {
             },
         );
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Hot-key publication (DESIGN §15.4)
+    // ------------------------------------------------------------------
+
+    /// The hot set's current invalidation generation — capture BEFORE the
+    /// critical section whose outcome will be published. 0 when the hot
+    /// set is off (publishes are no-ops then anyway).
+    fn hot_gen(&self) -> u64 {
+        self.hot.as_deref().map_or(0, HotSet::current_gen)
+    }
+
+    /// Publishes a freshly linked item to the hot set from the linking
+    /// transaction's onCommit hook, stamped with the commit stamp — after
+    /// the store is globally visible, before the client's reply (which is
+    /// what makes hot reads read-your-writes). Must run inside the same
+    /// section as the link, after the CAS id was assigned; `gen` is the
+    /// generation captured before the section.
+    #[allow(clippy::too_many_arguments)]
+    fn hot_record_store<'e>(
+        &'e self,
+        ctx: &mut Ctx<'_, 'e>,
+        h: ItemHandle,
+        key: &[u8],
+        hv: u32,
+        value: &[u8],
+        flags: u32,
+        gen: u64,
+    ) -> Result<(), Abort> {
+        let Some(hot) = &self.hot else { return Ok(()) };
+        if !hot.is_tagged(hv) {
+            return Ok(());
+        }
+        let it = self.core.arena.resolve(h);
+        let cas = it.cas(ctx)?;
+        let (exp, _) = it.times(ctx)?;
+        let hot = Arc::clone(hot);
+        let key = key.to_vec();
+        let value = value.to_vec();
+        ctx.defer_or_run(move || {
+            hot.publish(
+                hv,
+                &key,
+                gen,
+                tm::last_commit_stamp(),
+                HotState::Present { value, flags, cas, exp },
+            );
+        });
+        Ok(())
+    }
+
+    /// Publishes a commit-stamped [`HotState::Absent`] for a deleted key.
+    fn hot_record_delete<'e>(&'e self, ctx: &mut Ctx<'_, 'e>, key: &[u8], hv: u32, gen: u64) {
+        let Some(hot) = &self.hot else { return };
+        if !hot.is_tagged(hv) {
+            return;
+        }
+        let hot = Arc::clone(hot);
+        let key = key.to_vec();
+        ctx.defer_or_run(move || {
+            hot.publish(hv, &key, gen, tm::last_commit_stamp(), HotState::Absent);
+        });
+    }
+
+    /// Publishes a commit-stamped [`HotState::Unknown`] for a key mutated
+    /// without a re-renderable value (incr/decr, touch): never served, but
+    /// it fences out repopulation from pre-mutation observations.
+    fn hot_record_disturb<'e>(&'e self, ctx: &mut Ctx<'_, 'e>, key: &[u8], hv: u32, gen: u64) {
+        let Some(hot) = &self.hot else { return };
+        if !hot.is_tagged(hv) {
+            return;
+        }
+        let hot = Arc::clone(hot);
+        let key = key.to_vec();
+        ctx.defer_or_run(move || {
+            hot.publish(hv, &key, gen, tm::last_commit_stamp(), HotState::Unknown);
+        });
     }
 
     /// Startup recovery: scan the log directory, replay the surviving
@@ -925,7 +1119,8 @@ impl McCache {
         let now = self.rel_time();
         let stripe = self.core.item_locks.stripe(hv);
         let ops = self.workers[w].op_count.fetch_add(1, Ordering::Relaxed);
-        let bump_hint = self.cfg.lru_bump_every != 0 && ops.is_multiple_of(self.cfg.lru_bump_every);
+        let bump_cadence = self.bump_every.load(Ordering::Relaxed);
+        let bump_hint = bump_cadence != 0 && ops.is_multiple_of(bump_cadence);
         let core = &self.core;
         let policy = self.policy;
 
@@ -963,6 +1158,38 @@ impl McCache {
                 hit
             }
             ItemMode::Transactional => {
+                // Hot-key privatization (DESIGN §15.4): feed the popularity
+                // sketch, then try the privatized copy. Every
+                // HOT_REFRESH_EVERY-th access falls through on purpose so
+                // the real item still gets LRU bumps — a hot key served
+                // purely from the hot set would otherwise age to the LRU
+                // tail and be evicted under memory pressure.
+                let hot = self.hot.as_deref();
+                if hot.is_some() {
+                    self.workers[w].sketch.note(hv);
+                }
+                let hot = hot.filter(|h| h.is_tagged(hv));
+                if let Some(hs) = hot {
+                    if !ops.is_multiple_of(HOT_REFRESH_EVERY) {
+                        match hs.lookup(hv, key, now) {
+                            HotLookup::Hit(v) => {
+                                self.get_stats_privatized(w, 1, 0);
+                                return Some(v);
+                            }
+                            HotLookup::Absent => {
+                                self.get_stats_privatized(w, 0, 1);
+                                return None;
+                            }
+                            HotLookup::Stale => {}
+                        }
+                    }
+                }
+                // Repopulation metadata, captured BEFORE the transaction:
+                // any writer committing after this observation stamp mints
+                // a strictly larger one, and any eviction committing after
+                // this generation bumps it — either way the publish below
+                // can never mask a newer state.
+                let hot_obs = hot.map(|hs| (hs.current_gen(), self.rt.observation_stamp()));
                 // The trimmed GET of the read-path overdrive: the
                 // transaction carries only what the paper's IP shape needs
                 // atomically — hash walk, key memcmp, refcount bump — and
@@ -979,6 +1206,18 @@ impl McCache {
                         Ok(h)
                     },
                 );
+                if let (Some(hs), Some((gen, obs))) = (hot, hot_obs) {
+                    let state = match &hit {
+                        Some(h) => HotState::Present {
+                            value: h.value.clone(),
+                            flags: h.flags,
+                            cas: h.cas,
+                            exp: h.exp,
+                        },
+                        None => HotState::Absent,
+                    };
+                    hs.publish(hv, key, gen, obs, state);
+                }
                 if let Some(h) = &hit {
                     if h.needs_bump {
                         self.update_section(key, hv, h.handle, now);
@@ -1032,13 +1271,13 @@ impl McCache {
         let elide = self.cfg.refcount_elision;
         // Hash + LRU-bump decisions are per-key and side-effecting
         // (op_count advances), so take them once, outside the retry loop.
+        let bump_cadence = self.bump_every.load(Ordering::Relaxed);
         let meta: Vec<(u32, bool)> = keys
             .iter()
             .map(|key| {
                 let hv = jenkins_hash(key, 0);
                 let ops = self.workers[w].op_count.fetch_add(1, Ordering::Relaxed);
-                let bump =
-                    self.cfg.lru_bump_every != 0 && ops.is_multiple_of(self.cfg.lru_bump_every);
+                let bump = bump_cadence != 0 && ops.is_multiple_of(bump_cadence);
                 (hv, bump)
             })
             .collect();
@@ -1272,6 +1511,9 @@ impl McCache {
                     Err(AllocError::TooLarge) => StoreStatus::TooLarge,
                     Err(AllocError::OutOfMemory) => StoreStatus::OutOfMemory,
                     Ok(a) => {
+                        // Captured after the (possibly evicting) alloc
+                        // section committed, before the link section.
+                        let hot_gen = self.hot_gen();
                         // The store transaction *begins* with the value
                         // memcpy — libc on every path, so this section
                         // starts serial until Lib (IT-Max's persistent
@@ -1304,6 +1546,9 @@ impl McCache {
                                 )?;
                                 if st == StoreStatus::Stored {
                                     self.dur_store_record(ctx, a.handle, key, value, flags)?;
+                                    self.hot_record_store(
+                                        ctx, a.handle, key, hv, value, flags, hot_gen,
+                                    )?;
                                 }
                                 core.item_release(ctx, &policy, a.handle)?;
                                 let tstats = &self.workers[w].stats;
@@ -1419,6 +1664,7 @@ impl McCache {
                 }
             })
             .collect();
+        let hot_gen = self.hot_gen();
         let tstats = &self.workers[w].stats;
         let mut statuses: Vec<StoreStatus> = Vec::with_capacity(ops.len());
         let mut reclaims: Vec<ItemHandle> = Vec::new();
@@ -1459,6 +1705,7 @@ impl McCache {
                     )?;
                     if st == StoreStatus::Stored {
                         self.dur_store_record(ctx, h, op.key, op.value, op.flags)?;
+                        self.hot_record_store(ctx, h, op.key, hv, op.value, op.flags, hot_gen)?;
                     }
                     if st == StoreStatus::Stored || !mags {
                         // Magazine chunks that failed their predicate stay
@@ -1528,7 +1775,20 @@ impl McCache {
             |ctx| {
                 let sig = ctx.volatile_read(&policy, core.arena.rebalance_signal.word())?;
                 let _ = sig;
-                core.alloc_item(ctx, &policy, key, flags, exptime, nbytes, now, held_stripe)
+                let r =
+                    core.alloc_item(ctx, &policy, key, flags, exptime, nbytes, now, held_stripe)?;
+                if let Ok(a) = &r {
+                    if a.evicted > 0 {
+                        // Eviction bypasses per-key hot publication:
+                        // invalidate the hot set wholesale at this
+                        // section's commit.
+                        if let Some(hot) = &self.hot {
+                            let hot = Arc::clone(hot);
+                            ctx.defer_or_run(move || hot.bump_gen());
+                        }
+                    }
+                }
+                Ok(r)
             },
         )
     }
@@ -1564,7 +1824,7 @@ impl McCache {
     fn magazine_refill(&self, w: usize, class: u8) -> Option<ItemHandle> {
         let core = &self.core;
         let policy = self.policy;
-        let cap = self.cfg.magazine;
+        let cap = self.mag_cap.load(Ordering::Relaxed).max(1);
         let mut scratch: Vec<ItemHandle> = Vec::with_capacity(cap);
         let mut flushed = false;
         loop {
@@ -1577,6 +1837,12 @@ impl McCache {
                     let _ = sig;
                     let (got, evicted) =
                         core.refill_batch(ctx, &policy, class, cap, &mut scratch)?;
+                    if evicted > 0 {
+                        if let Some(hot) = &self.hot {
+                            let hot = Arc::clone(hot);
+                            ctx.defer_or_run(move || hot.bump_gen());
+                        }
+                    }
                     if got > 0 {
                         core.global.bump(ctx, &core.global.magazine_refills)?;
                     }
@@ -1617,7 +1883,7 @@ impl McCache {
     /// op) the row never overflows and the spill path never runs.
     fn magazine_put(&self, w: usize, h: ItemHandle) {
         let core = &self.core;
-        let cap = self.cfg.magazine;
+        let cap = self.mag_cap.load(Ordering::Relaxed).max(1);
         let mut mag = self.workers[w].magazine.lock().unwrap();
         let row = &mut mag.rows[h.class as usize];
         if row.len() >= cap {
@@ -1690,6 +1956,7 @@ impl McCache {
             // delivers the wakeup and counts the failed op.
             return StoreStatus::OutOfMemory;
         };
+        let hot_gen = self.hot_gen();
         let tstats = &self.workers[w].stats;
         let mut reclaimed: Option<ItemHandle> = None;
         let (st, signal) = self.tx_section(
@@ -1706,6 +1973,7 @@ impl McCache {
                     self.link_new_tx(ctx, mode, key, hv, handle, false, true, Some(&mut reclaimed))?;
                 if st == StoreStatus::Stored {
                     self.dur_store_record(ctx, handle, key, value, flags)?;
+                    self.hot_record_store(ctx, handle, key, hv, value, flags, hot_gen)?;
                     core.item_release(ctx, &policy, handle)?;
                 }
                 self.stats_inline(ctx, &tstats.set_cmds, None)?;
@@ -1863,6 +2131,7 @@ impl McCache {
                     self.ip_item_lock(stripe);
                 }
                 let inline_stats = self.policy.item_mode == ItemMode::Transactional;
+                let hot_gen = self.hot_gen();
                 let tstats = &self.workers[w].stats;
                 let found = self.tx_section(
                     &[Category::VolatileFlag],
@@ -1872,6 +2141,7 @@ impl McCache {
                             Some(h) => {
                                 core.unlink_item(ctx, &policy, h, hv)?;
                                 self.dur_record(ctx, Record::Del { key: key.to_vec() });
+                                self.hot_record_delete(ctx, key, hv, hot_gen);
                                 true
                             }
                             None => false,
@@ -1931,6 +2201,7 @@ impl McCache {
                 res
             }
             ItemMode::Transactional => {
+                let hot_gen = self.hot_gen();
                 let tstats = &self.workers[w].stats;
                 self.tx_section(
                     &[Category::VolatileFlag],
@@ -1942,6 +2213,10 @@ impl McCache {
                                 ctx,
                                 Record::Arith { cas, value: new, key: key.to_vec() },
                             );
+                            // The new decimal rendering is not in hand
+                            // here; fence the hot slot instead of serving
+                            // a pre-arith value.
+                            self.hot_record_disturb(ctx, key, hv, hot_gen);
                         }
                         self.stats_inline(ctx, &tstats.arith_cmds, None)?;
                         Ok(r)
@@ -1981,11 +2256,24 @@ impl McCache {
                 self.ip_item_unlock(stripe);
                 r
             }
-            ItemMode::Transactional => self.tx_section(
-                &[Category::VolatileFlag],
-                &[Category::Libc, Category::AssertAbort],
-                |ctx| self.touch_inner(ctx, key, hv, exptime, now),
-            ),
+            ItemMode::Transactional => {
+                let hot_gen = self.hot_gen();
+                self.tx_section(
+                    &[Category::VolatileFlag],
+                    &[Category::Libc, Category::AssertAbort],
+                    |ctx| {
+                        let found = self.touch_inner(ctx, key, hv, exptime, now)?;
+                        if found {
+                            // The expiry changed; the privatized copy's is
+                            // stale. (A no-op touch commits with an elided
+                            // stamp and the fence publish loses — which is
+                            // correct: nothing changed.)
+                            self.hot_record_disturb(ctx, key, hv, hot_gen);
+                        }
+                        Ok(found)
+                    },
+                )
+            }
         };
         self.op_stats(w, |t| (&t.touch_cmds, None));
         self.bump_cmd_total();
@@ -2042,6 +2330,10 @@ impl McCache {
             self.tx_section(&[], &[], |ctx| {
                 core.flush_all(ctx, now)?;
                 self.dur_record(ctx, Record::FlushAll { flush_unix });
+                if let Some(hot) = &self.hot {
+                    let hot = Arc::clone(hot);
+                    ctx.defer_or_run(move || hot.bump_gen());
+                }
                 Ok(())
             });
         }
@@ -2210,9 +2502,147 @@ impl McCache {
             if core.arena.rebalance_step(ctx, &policy, donor, receiver)? {
                 let n = ctx.get_word(core.global.rebalances.word())?;
                 ctx.put_word(core.global.rebalances.word(), n + 1)?;
+                // A reassigned page's items vanished without per-key
+                // publication; invalidate the hot set at commit.
+                if let Some(hot) = &self.hot {
+                    let hot = Arc::clone(hot);
+                    ctx.defer_or_run(move || hot.bump_gen());
+                }
             }
         }
         ctx.volatile_write(&policy, core.arena.rebalance_signal.word(), 0)?;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive controller (DESIGN §15)
+    // ------------------------------------------------------------------
+
+    /// The feedback loop: sleep one epoch (in short chunks so shutdown
+    /// stays prompt), then evaluate. Runs under the same supervisor as the
+    /// maintenance threads — a panicking tick loses one epoch, not the
+    /// controller.
+    fn adapt_loop(&self) {
+        let epoch = Duration::from_millis(self.cfg.adapt_epoch_ms.max(5));
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let mut left = epoch;
+            while left > Duration::ZERO {
+                let step = left.min(Duration::from_millis(20));
+                std::thread::sleep(step);
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                left = left.saturating_sub(step);
+            }
+            self.adapt_tick();
+        }
+    }
+
+    /// One controller epoch, run synchronously: sample counter deltas
+    /// since the previous tick, feed them to the pure policy in
+    /// [`tm::adapt`], and apply whatever changed. Public (hidden) so tests
+    /// can drive epochs deterministically without the timer thread.
+    #[doc(hidden)]
+    pub fn adapt_tick(&self) {
+        let mut st = self.adapt_state.lock().unwrap();
+        let tm_now = self.rt.stats();
+        let delta = StatsSnapshot {
+            commits: tm_now.commits.saturating_sub(st.tm.commits),
+            read_only_commits: tm_now
+                .read_only_commits
+                .saturating_sub(st.tm.read_only_commits),
+            aborts: tm_now.aborts.saturating_sub(st.tm.aborts),
+            ..Default::default()
+        };
+        // (a) Algorithm + contention manager, via the quiesce-and-swap.
+        let next = tm::adapt::decide(&delta, st.cur);
+        if next != st.cur
+            && self.policy.serial_lock
+            && self.rt.switch_config(next.algorithm, next.cm).is_ok()
+        {
+            st.cur = next;
+        }
+        // (b) Read-lane tuning: in strongly read-dominated phases, stretch
+        // the LRU-bump cadence so more GETs stay pure read-only fast-lane
+        // commits; restore the configured cadence when writes return.
+        if delta.commits >= tm::adapt::MIN_EPOCH_COMMITS {
+            let base = self.cfg.lru_bump_every;
+            let ro_frac = delta.read_only_commits as f64 / delta.commits as f64;
+            let target = if base != 0 && ro_frac >= tm::adapt::RO_HIGH {
+                base.saturating_mul(8)
+            } else {
+                base
+            };
+            if self.bump_every.load(Ordering::Relaxed) != target {
+                self.bump_every.store(target, Ordering::Relaxed);
+                self.adapt_ro_tunes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // (c) Magazine autosizing from observed refill/flush churn.
+        let sets_now: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.stats.snapshot_direct().set_cmds)
+            .sum();
+        let g = self.core.global.snapshot_direct();
+        if self.magazines_on() {
+            let cap = self.mag_cap.load(Ordering::Relaxed);
+            let newcap = tm::adapt::size_magazine(
+                cap,
+                sets_now.saturating_sub(st.sets),
+                g.magazine_refills.saturating_sub(st.refills),
+                g.magazine_flushes.saturating_sub(st.flushes),
+                MAG_MIN,
+                MAG_MAX,
+            );
+            if newcap != cap {
+                self.mag_cap.store(newcap, Ordering::Relaxed);
+                self.adapt_mag_resizes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // (d) Hot keys: aggregate the per-worker sketches and rearm when
+        // the top set changed. Deterministic order: count desc, hash asc.
+        if let Some(hot) = &self.hot {
+            let mut counts: std::collections::BTreeMap<u32, u64> = Default::default();
+            for wslot in &self.workers {
+                for (hv, c) in wslot.sketch.drain() {
+                    *counts.entry(hv).or_insert(0) += c as u64;
+                }
+            }
+            let mut top: Vec<(u32, u64)> = counts
+                .into_iter()
+                .filter(|&(_, c)| c >= HOT_MIN_COUNT)
+                .collect();
+            top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            top.truncate(self.cfg.hot_slots);
+            let tags: Vec<u32> = top.into_iter().map(|(hv, _)| hv).collect();
+            if !tags.is_empty() && tags != st.armed {
+                hot.retune(&tags);
+                st.armed = tags;
+            }
+        }
+        st.tm = tm_now;
+        st.sets = sets_now;
+        st.refills = g.magazine_refills;
+        st.flushes = g.magazine_flushes;
+        drop(st);
+        self.adapt_epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Arms exactly these keys in the hot set (tests and benchmarks; the
+    /// controller normally does this from the sketches).
+    #[doc(hidden)]
+    pub fn hot_install_keys(&self, keys: &[&[u8]]) {
+        if let Some(hot) = &self.hot {
+            let tags: Vec<u32> = keys.iter().map(|k| jenkins_hash(k, 0)).collect();
+            hot.retune(&tags);
+            self.adapt_state.lock().unwrap().armed = tags;
+        }
+    }
+
+    /// The TM configuration currently installed (reflects controller
+    /// switches).
+    pub fn tm_config(&self) -> (Algorithm, ContentionManager) {
+        (self.rt.algorithm(), self.rt.contention_manager())
     }
 }

@@ -134,6 +134,9 @@ pub struct GetHit {
     pub flags: u32,
     /// The item's CAS id.
     pub cas: u64,
+    /// Relative expiry (0 = never) — carried so hot-key repopulation can
+    /// preserve the TTL.
+    pub exp: u32,
     /// Whether the LRU position is stale enough to bump.
     pub needs_bump: bool,
 }
@@ -291,6 +294,7 @@ impl CacheCore {
         let value = it.read_value(ctx, policy, sizes)?;
         let flags = it.client_flags(ctx)?;
         let cas = it.cas(ctx)?;
+        let (exp, _) = it.times(ctx)?;
         if !elide_refcount {
             self.item_release(ctx, policy, h)?;
         }
@@ -299,6 +303,7 @@ impl CacheCore {
             value,
             flags,
             cas,
+            exp,
             needs_bump: bump_hint,
         }))
     }

@@ -45,6 +45,7 @@ pub mod core;
 pub mod ctx;
 pub mod dur;
 pub mod hashes;
+mod hot;
 pub mod item;
 pub mod lru;
 pub mod net;

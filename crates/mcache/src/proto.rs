@@ -42,6 +42,65 @@ pub fn execute_ascii(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
     }
 }
 
+/// The `stats` surface both protocols expose: one `(name, counter)` pair
+/// per statistic, in a stable order. The ASCII handler renders them as
+/// `STAT name value` lines; the binary handler ([`binary::Opcode::Stat`])
+/// as one key/value response packet each. The `dur_*` block appears only
+/// when the durability log is attached, matching the ASCII behavior.
+pub fn stat_pairs(cache: &McCache) -> Vec<(&'static str, u64)> {
+    let s = cache.stats();
+    let tm = cache.tm_stats();
+    let mut pairs = vec![
+        ("cmd_get", s.threads.get_cmds),
+        ("get_hits", s.threads.get_hits),
+        ("get_misses", s.threads.get_misses),
+        ("cmd_set", s.threads.set_cmds),
+        ("curr_items", s.global.curr_items),
+        ("total_items", s.global.total_items),
+        ("evictions", s.global.evictions),
+        ("hash_expansions", s.global.expansions),
+        ("slab_reassigns", s.global.rebalances),
+        ("request_panics", s.request_panics),
+        ("maintenance_panics", s.maintenance_panics),
+        // Write-path overdrive gauges: the STM's mutation fast lane
+        // and the per-worker slab magazines.
+        ("silent_store_elisions", tm.silent_store_elisions),
+        ("clock_tick_elisions", tm.clock_tick_elisions),
+        ("clock_cas_retries", tm.clock_cas_retries),
+        // Contention-path gauges: sharded commit clock, striped
+        // orec table, and NOrec's seqlock-bump elision.
+        ("clock_shard_syncs", tm.clock_shard_syncs),
+        ("orec_stripe_conflicts", tm.orec_stripe_conflicts),
+        ("seqlock_bump_elisions", tm.seqlock_bump_elisions),
+        ("magazine_refills", s.global.magazine_refills),
+        ("magazine_flushes", s.global.magazine_flushes),
+        // Adaptive-runtime gauges (DESIGN §15): controller epochs,
+        // the live knob positions, and the hot-key set.
+        ("adapt_epochs", s.adapt_epochs),
+        ("adapt_switches", s.adapt_switches),
+        ("adapt_mag_resizes", s.adapt_mag_resizes),
+        ("adapt_ro_tunes", s.adapt_ro_tunes),
+        ("magazine_cap", s.magazine_cap),
+        ("lru_bump_every", s.lru_bump_every),
+        ("hot_armed", s.hot_armed),
+        ("hot_hits", s.hot_hits),
+        ("hot_installs", s.hot_installs),
+        ("hot_invalidations", s.hot_invalidations),
+    ];
+    if let Some(d) = cache.dur_stats() {
+        pairs.extend([
+            ("dur_appends", d.appends),
+            ("dur_fsyncs", d.fsyncs),
+            ("dur_bytes", d.bytes),
+            ("log_write_errors", d.log_write_errors),
+            ("recovered_items", d.recovered_items),
+            ("torn_records_dropped", d.torn_records_dropped),
+            ("dur_compactions", d.compactions),
+        ]);
+    }
+    pairs
+}
+
 /// `true` when `key` is a protocol-legal key: nonempty and at most
 /// [`KEY_MAX`](crate::cache::KEY_MAX) bytes. The cache layer *asserts*
 /// these bounds, so the protocol layer must reject violations first —
@@ -216,48 +275,9 @@ fn execute_ascii_inner(cache: &McCache, w: usize, request: &[u8]) -> Vec<u8> {
             }
         }
         b"stats" => {
-            let s = cache.stats();
-            let tm = cache.tm_stats();
             let mut out = String::new();
-            for (k, v) in [
-                ("cmd_get", s.threads.get_cmds),
-                ("get_hits", s.threads.get_hits),
-                ("get_misses", s.threads.get_misses),
-                ("cmd_set", s.threads.set_cmds),
-                ("curr_items", s.global.curr_items),
-                ("total_items", s.global.total_items),
-                ("evictions", s.global.evictions),
-                ("hash_expansions", s.global.expansions),
-                ("slab_reassigns", s.global.rebalances),
-                ("request_panics", s.request_panics),
-                ("maintenance_panics", s.maintenance_panics),
-                // Write-path overdrive gauges: the STM's mutation fast lane
-                // and the per-worker slab magazines.
-                ("silent_store_elisions", tm.silent_store_elisions),
-                ("clock_tick_elisions", tm.clock_tick_elisions),
-                ("clock_cas_retries", tm.clock_cas_retries),
-                // Contention-path gauges: sharded commit clock, striped
-                // orec table, and NOrec's seqlock-bump elision.
-                ("clock_shard_syncs", tm.clock_shard_syncs),
-                ("orec_stripe_conflicts", tm.orec_stripe_conflicts),
-                ("seqlock_bump_elisions", tm.seqlock_bump_elisions),
-                ("magazine_refills", s.global.magazine_refills),
-                ("magazine_flushes", s.global.magazine_flushes),
-            ] {
+            for (k, v) in stat_pairs(cache) {
                 out.push_str(&format!("STAT {k} {v}\r\n"));
-            }
-            if let Some(d) = cache.dur_stats() {
-                for (k, v) in [
-                    ("dur_appends", d.appends),
-                    ("dur_fsyncs", d.fsyncs),
-                    ("dur_bytes", d.bytes),
-                    ("log_write_errors", d.log_write_errors),
-                    ("recovered_items", d.recovered_items),
-                    ("torn_records_dropped", d.torn_records_dropped),
-                    ("dur_compactions", d.compactions),
-                ] {
-                    out.push_str(&format!("STAT {k} {v}\r\n"));
-                }
             }
             out.push_str("END\r\n");
             out.into_bytes()
@@ -722,6 +742,12 @@ pub mod binary {
         /// `GETKQ k1 .. GETKQ kn, Noop` as one multiget
         /// (see [`execute_pipeline`]).
         GetKQ = 0x0d,
+        /// STAT: answered by a *series* of response packets, one per
+        /// statistic (key = stat name, value = decimal counter), closed
+        /// by a packet with an empty key and empty value. Dispatched in
+        /// [`execute_pipeline`] via [`stat_responses`] — the only opcode
+        /// whose single request fans out to multiple responses.
+        Stat = 0x10,
         /// Quiet SET: successes send no response, so a client can pipeline
         /// `SETQ k1 .. SETQ kn, Noop` as one bulk load — the write-path
         /// twin of the GETKQ multiget; [`execute_pipeline`] runs the whole
@@ -767,6 +793,7 @@ pub mod binary {
                 0x0b => Opcode::Version,
                 0x0c => Opcode::GetK,
                 0x0d => Opcode::GetKQ,
+                0x10 => Opcode::Stat,
                 0x11 => Opcode::SetQ,
                 0x14 => Opcode::DeleteQ,
                 _ => return None,
@@ -1022,6 +1049,37 @@ pub mod binary {
         }
     }
 
+    /// Answers one [`Opcode::Stat`] request with the full multi-packet
+    /// dump: one [`Status::Ok`] response per statistic from
+    /// [`super::stat_pairs`] (key = stat name, value = the counter in
+    /// decimal ASCII), then the canonical terminator — an empty-key,
+    /// empty-value packet. A non-empty request key selects a stat
+    /// subgroup, which this server does not implement: it answers a
+    /// single [`Status::KeyNotFound`], as real memcached does for an
+    /// unknown stat group.
+    pub fn stat_responses(cache: &McCache, req: &Request) -> Vec<Response> {
+        let mk = |key: Vec<u8>, value: Vec<u8>| Response {
+            status: Status::Ok,
+            opcode: req.opcode,
+            opaque: req.opaque,
+            cas: 0,
+            flags: 0,
+            key,
+            value,
+        };
+        if !req.key.is_empty() {
+            let mut r = mk(Vec::new(), Vec::new());
+            r.status = Status::KeyNotFound;
+            return vec![r];
+        }
+        let mut out: Vec<Response> = super::stat_pairs(cache)
+            .into_iter()
+            .map(|(k, v)| mk(k.as_bytes().to_vec(), v.to_string().into_bytes()))
+            .collect();
+        out.push(mk(Vec::new(), Vec::new()));
+        out
+    }
+
     /// Dispatches a pipelined batch of binary requests.
     ///
     /// Runs of consecutive quiet gets ([`Opcode::GetKQ`]/[`Opcode::GetQ`])
@@ -1108,6 +1166,33 @@ pub mod binary {
                 let r = execute(cache, w, &reqs[i]);
                 if r.status != Status::Ok {
                     out.push(r);
+                }
+                i += 1;
+                continue;
+            }
+            if reqs[i].opcode == Opcode::Stat {
+                // One request, many responses: the stat dump plus its
+                // empty-key terminator, under the same panic guard.
+                let rs = catch_unwind(AssertUnwindSafe(|| {
+                    if cache.take_request_panic_trap() {
+                        panic!("test trap: request panic");
+                    }
+                    stat_responses(cache, &reqs[i])
+                }));
+                match rs {
+                    Ok(rs) => out.extend(rs),
+                    Err(_panic) => {
+                        cache.note_request_panic();
+                        out.push(Response {
+                            status: Status::InternalError,
+                            opcode: reqs[i].opcode,
+                            opaque: reqs[i].opaque,
+                            cas: 0,
+                            flags: 0,
+                            key: Vec::new(),
+                            value: Vec::new(),
+                        });
+                    }
                 }
                 i += 1;
                 continue;
@@ -1232,6 +1317,11 @@ pub mod binary {
                 }
             }
             Opcode::Noop => {}
+            Opcode::Stat => {
+                // The server routes every frame through execute_pipeline,
+                // which intercepts STAT and fans out via stat_responses.
+                // A lone dispatch answers only the terminator packet.
+            }
             Opcode::Version => {
                 resp.value = format!("1.4.15-tm ({})", cache.branch()).into_bytes();
             }

@@ -1,0 +1,363 @@
+//! Adaptive-runtime integration tests (DESIGN.md §15): the controller's
+//! epoch tick is driven synchronously via `adapt_tick`, so every test is
+//! deterministic — no timer thread, no sleeps. Covers the four feedback
+//! arms end to end through the real cache paths: algorithm/CM switching
+//! on phase shifts, LRU-bump cadence stretching, magazine autosizing,
+//! and hot-key privatization (including every invalidation edge the
+//! publication protocol has to fence).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mcache::{ArithStatus, Branch, McCache, McConfig, SlabConfig, Stage, StoreStatus};
+use tm::Algorithm;
+
+fn start(hot_slots: usize, magazine: usize, lru_bump_every: u64) -> mcache::McHandle {
+    McCache::start(McConfig {
+        branch: Branch::It(Stage::OnCommit),
+        workers: 2,
+        slab: SlabConfig {
+            mem_limit: 8 << 20,
+            page_size: 64 << 10,
+            chunk_min: 96,
+            growth_factor: 1.5,
+        },
+        hash_power: 7,
+        hash_power_max: 10,
+        item_lock_power: 4,
+        maintenance: false,
+        lru_bump_every,
+        magazine,
+        hot_slots,
+        // GETs ride the pure-read fast lane (§5), so the controller can
+        // actually see a read-dominated phase as read-only commits.
+        refcount_elision: true,
+        ..Default::default()
+    })
+}
+
+/// Read-mostly phase → NOrec; write-storm phase → eager. The controller
+/// must see both transitions from real cache traffic, and the read
+/// phase must also stretch the LRU-bump cadence (×8) while the write
+/// phase restores it.
+#[test]
+fn controller_tracks_phase_shifts() {
+    let cache = start(0, 0, 16);
+    assert_eq!(cache.tm_config().0, Algorithm::Eager);
+    cache.adapt_tick(); // absorb startup transactions as the baseline
+
+    // Phase 1: read-mostly. A handful of sets, then a flood of gets.
+    for k in 0..8u32 {
+        let key = format!("phase-{k}");
+        assert_eq!(
+            cache.set(0, key.as_bytes(), b"v", 0, 0),
+            StoreStatus::Stored
+        );
+    }
+    for i in 0..4000u32 {
+        let key = format!("phase-{}", i % 8);
+        assert!(cache.get(0, key.as_bytes()).is_some());
+    }
+    cache.adapt_tick();
+    assert_eq!(
+        cache.tm_config().0,
+        Algorithm::Norec,
+        "read-dominated phase must switch to NOrec"
+    );
+    let s = cache.stats();
+    assert!(s.adapt_switches >= 1, "switch must be counted");
+    assert_eq!(s.lru_bump_every, 16 * 8, "read phase stretches the cadence");
+    assert!(s.adapt_ro_tunes >= 1);
+
+    // Phase 2: write storm.
+    for i in 0..2000u32 {
+        let key = format!("phase-{}", i % 8);
+        assert_eq!(
+            cache.set(0, key.as_bytes(), b"w", 0, 0),
+            StoreStatus::Stored
+        );
+    }
+    cache.adapt_tick();
+    assert_eq!(
+        cache.tm_config().0,
+        Algorithm::Norec,
+        "an uncontended write storm commits through the seqlock without \
+         aborts, so the controller must not pay a quiesce to leave NOrec \
+         (tm::adapt::WRITE_ABORT_MIN; the abort-pressure exit is covered \
+         by the policy unit tests, where aborts can be synthesized)"
+    );
+    assert_eq!(
+        cache.stats().lru_bump_every,
+        16,
+        "write phase restores the configured cadence"
+    );
+    cache.shutdown();
+}
+
+/// An epoch without enough commits must never trigger a switch, no
+/// matter how skewed its ratios look.
+#[test]
+fn idle_epochs_never_switch() {
+    let cache = start(0, 0, 0);
+    cache.adapt_tick();
+    let before = cache.tm_config();
+    for _ in 0..8 {
+        // Far below MIN_EPOCH_COMMITS worth of traffic per tick.
+        cache.set(0, b"idle", b"v", 0, 0);
+        cache.get(0, b"idle");
+        cache.adapt_tick();
+    }
+    assert_eq!(cache.tm_config(), before);
+    assert_eq!(cache.stats().adapt_switches, 0);
+    cache.shutdown();
+}
+
+/// NoLock branches have no serial lock to quiesce on: the controller
+/// must leave the algorithm alone (switch_config refuses) rather than
+/// tear down serializability.
+#[test]
+fn nolock_branch_refuses_switches() {
+    let cache = McCache::start(McConfig {
+        branch: Branch::ItNoLock,
+        workers: 1,
+        slab: SlabConfig {
+            mem_limit: 8 << 20,
+            page_size: 64 << 10,
+            chunk_min: 96,
+            growth_factor: 1.5,
+        },
+        hash_power: 7,
+        hash_power_max: 10,
+        item_lock_power: 4,
+        maintenance: false,
+        ..Default::default()
+    });
+    cache.adapt_tick();
+    cache.set(0, b"k", b"v", 0, 0);
+    for _ in 0..4000 {
+        cache.get(0, b"k");
+    }
+    cache.adapt_tick();
+    assert_eq!(cache.tm_config().0, Algorithm::Eager, "no serial lock, no switch");
+    assert_eq!(cache.stats().adapt_switches, 0);
+    cache.shutdown();
+}
+
+/// Overwrite-heavy traffic recycles freed chunks through the magazine
+/// without ever refilling it again: churn collapses and the controller
+/// must shrink an oversized magazine toward the floor.
+#[test]
+fn magazine_shrinks_when_churn_collapses() {
+    let cache = start(0, 512, 0);
+    assert_eq!(cache.stats().magazine_cap, 512);
+    cache.adapt_tick();
+    for round in 0..3 {
+        for i in 0..2000u32 {
+            let key = format!("mag-{}", i % 4);
+            assert_eq!(
+                cache.set(0, key.as_bytes(), b"xxxxxxxx", 0, 0),
+                StoreStatus::Stored,
+                "round {round}"
+            );
+        }
+        cache.adapt_tick();
+    }
+    let s = cache.stats();
+    assert!(
+        s.magazine_cap < 512,
+        "cap must shrink from 512, got {}",
+        s.magazine_cap
+    );
+    assert!(s.adapt_mag_resizes >= 1);
+    cache.shutdown();
+}
+
+/// The hot-key fast path must be invisible: read-your-writes across
+/// set, CAS-bearing re-set, delete, re-add, incr (Unknown fence), touch,
+/// and flush_all (generation bump). Hits must actually come from the
+/// privatized set (hot_hits advances).
+#[test]
+fn hot_path_read_your_writes() {
+    let cache = start(4, 0, 0);
+    assert_eq!(cache.set(0, b"hot-a", b"alpha", 7, 0), StoreStatus::Stored);
+    cache.hot_install_keys(&[b"hot-a", b"hot-n"]);
+    assert_eq!(cache.stats().hot_armed, 2);
+
+    // Populate via the write path, then read back — every read must see
+    // the latest committed value, whether served privatized or not.
+    assert_eq!(cache.set(0, b"hot-a", b"beta", 7, 0), StoreStatus::Stored);
+    for _ in 0..200 {
+        let g = cache.get(0, b"hot-a").expect("present");
+        assert_eq!(g.data, b"beta");
+        assert_eq!(g.flags, 7);
+    }
+    let s = cache.stats();
+    assert!(s.hot_hits > 0, "reads must be served from the hot set");
+    assert!(s.hot_installs > 0);
+
+    // Overwrite: the very next read must see the new value.
+    assert_eq!(cache.set(0, b"hot-a", b"gamma", 9, 0), StoreStatus::Stored);
+    for _ in 0..100 {
+        let g = cache.get(0, b"hot-a").expect("present");
+        assert_eq!(g.data, b"gamma");
+        assert_eq!(g.flags, 9);
+    }
+
+    // Delete: negative caching must not resurrect the old value.
+    assert!(cache.delete(0, b"hot-a"));
+    for _ in 0..100 {
+        assert!(cache.get(0, b"hot-a").is_none(), "deleted key must stay gone");
+    }
+    assert_eq!(cache.set(0, b"hot-a", b"delta", 0, 0), StoreStatus::Stored);
+    for _ in 0..100 {
+        assert_eq!(cache.get(0, b"hot-a").expect("re-added").data, b"delta");
+    }
+
+    // Arithmetic publishes an Unknown fence, not a value: reads fall
+    // through to the real path and must see every increment.
+    assert_eq!(cache.set(0, b"hot-n", b"41", 0, 0), StoreStatus::Stored);
+    assert_eq!(cache.arith(0, b"hot-n", 1, true), ArithStatus::Ok(42));
+    for _ in 0..50 {
+        assert_eq!(cache.get(0, b"hot-n").expect("numeric").data, b"42");
+    }
+    assert_eq!(cache.arith(0, b"hot-n", 8, true), ArithStatus::Ok(50));
+    assert_eq!(cache.get(0, b"hot-n").expect("numeric").data, b"50");
+
+    // Touch disturbs the entry (expiry changed out from under it).
+    assert!(cache.touch(0, b"hot-n", 0));
+    assert_eq!(cache.get(0, b"hot-n").expect("touched").data, b"50");
+
+    // flush_all bumps the generation: every privatized entry is fenced.
+    cache.flush_all(0);
+    for _ in 0..50 {
+        assert!(cache.get(0, b"hot-a").is_none(), "flushed key must be gone");
+        assert!(cache.get(0, b"hot-n").is_none(), "flushed key must be gone");
+    }
+    let s = cache.stats();
+    assert!(s.hot_invalidations >= 1, "flush must bump the generation");
+    cache.shutdown();
+}
+
+/// CAS tokens served from the hot set must be the real ones: a gets/cas
+/// round-trip through a privatized read has to succeed, and a stale
+/// token has to fail.
+#[test]
+fn hot_path_serves_real_cas_tokens() {
+    let cache = start(2, 0, 0);
+    cache.hot_install_keys(&[b"hot-cas"]);
+    assert_eq!(cache.set(0, b"hot-cas", b"one", 0, 0), StoreStatus::Stored);
+    // Warm the privatized entry, then read the CAS from it.
+    for _ in 0..8 {
+        cache.get(0, b"hot-cas");
+    }
+    let g = cache.get(0, b"hot-cas").expect("present");
+    assert_eq!(
+        cache.cas(0, b"hot-cas", b"two", 0, 0, g.cas),
+        StoreStatus::Stored,
+        "privatized CAS token must be honored"
+    );
+    assert_eq!(
+        cache.cas(0, b"hot-cas", b"three", 0, 0, g.cas),
+        StoreStatus::Exists,
+        "stale CAS token must be rejected"
+    );
+    assert_eq!(cache.get(0, b"hot-cas").expect("present").data, b"two");
+    cache.shutdown();
+}
+
+/// The controller discovers hot keys from the per-worker sketches alone:
+/// skewed traffic must arm the heavy hitter without any manual install.
+#[test]
+fn controller_arms_sketched_hot_keys() {
+    let cache = start(2, 0, 0);
+    cache.adapt_tick();
+    assert_eq!(cache.set(0, b"heavy", b"H", 0, 0), StoreStatus::Stored);
+    assert_eq!(cache.set(0, b"light", b"L", 0, 0), StoreStatus::Stored);
+    for i in 0..3000u32 {
+        cache.get(0, b"heavy");
+        if i % 100 == 0 {
+            cache.get(0, b"light");
+        }
+    }
+    cache.adapt_tick();
+    let s = cache.stats();
+    assert!(s.hot_armed >= 1, "sketch must arm the heavy hitter");
+    // The privatized path must now actually serve it.
+    let before = s.hot_hits;
+    for _ in 0..200 {
+        assert_eq!(cache.get(0, b"heavy").expect("present").data, b"H");
+    }
+    assert!(cache.stats().hot_hits > before);
+    cache.shutdown();
+}
+
+/// Concurrency smoke: writers and readers hammer tagged keys while the
+/// controller ticks (switching algorithms and retuning the hot set
+/// underneath them). Readers must never observe a value that was never
+/// current for their key.
+#[test]
+fn hot_path_concurrent_smoke() {
+    let cache = start(4, 64, 8);
+    let stop = Arc::new(AtomicBool::new(false));
+    const KEYS: usize = 3;
+    for k in 0..KEYS {
+        let key = format!("smoke-{k}");
+        assert_eq!(
+            cache.set(0, key.as_bytes(), b"gen-0000", 0, 0),
+            StoreStatus::Stored
+        );
+    }
+    cache.hot_install_keys(&[b"smoke-0", b"smoke-1", b"smoke-2"]);
+
+    let writer = {
+        let cache = Arc::clone(cache.cache());
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut gen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                gen += 1;
+                let val = format!("gen-{gen:04}");
+                for k in 0..KEYS {
+                    let key = format!("smoke-{k}");
+                    cache.set(0, key.as_bytes(), val.as_bytes(), 0, 0);
+                }
+            }
+            gen
+        })
+    };
+    let reader = {
+        let cache = Arc::clone(cache.cache());
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reads = 0u64;
+            let mut last = vec![0u64; KEYS];
+            while !stop.load(Ordering::Relaxed) {
+                for (k, floor) in last.iter_mut().enumerate() {
+                    let key = format!("smoke-{k}");
+                    let g = cache.get(1, key.as_bytes()).expect("never deleted");
+                    let text = std::str::from_utf8(&g.data).expect("utf8");
+                    let gen: u64 = text.strip_prefix("gen-").expect("shape").parse().expect("num");
+                    // Per-key monotonicity from one reader: a privatized
+                    // hit may lag the in-flight write by at most the
+                    // publication race, but must never go backwards.
+                    assert!(
+                        gen >= *floor,
+                        "key {k} went backwards: saw gen {gen} after {floor}"
+                    );
+                    *floor = gen;
+                    reads += 1;
+                }
+            }
+            reads
+        })
+    };
+    for _ in 0..60 {
+        cache.adapt_tick();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let gens = writer.join().expect("writer");
+    let reads = reader.join().expect("reader");
+    assert!(gens > 0 && reads > 0);
+    cache.shutdown();
+}

@@ -538,3 +538,88 @@ fn binary_oversized_body_closes_with_error_frame() {
     expect_closed(&mut s);
     assert!(srv.net_stats().frame_errors >= 1);
 }
+
+/// Binary STAT (0x10): a full stat dump — one packet per statistic with
+/// the stat name as the key and the decimal counter as the value —
+/// closed by the canonical empty-key/empty-value terminator. With a
+/// durability log attached, the `dur_*` block must ride along, and the
+/// counters themselves must reflect the traffic that preceded the dump.
+#[test]
+fn binary_stat_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!(
+        "mcache-binstat-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let handle = McCache::start(McConfig {
+        branch: Branch::It(Stage::OnCommit),
+        workers: 2,
+        slab: SlabConfig {
+            mem_limit: 8 << 20,
+            page_size: 256 << 10,
+            chunk_min: 96,
+            growth_factor: 1.5,
+        },
+        hash_power: 6,
+        hash_power_max: 8,
+        item_lock_power: 4,
+        maintenance: false,
+        dur_path: Some(dir.clone()),
+        ..Default::default()
+    });
+    let srv = Server::start(
+        handle,
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut s = connect(&srv);
+    let mut rb = Vec::new();
+
+    s.write_all(&bin_req(Opcode::Set, 1, b"sk", b"sv").encode()).unwrap();
+    assert_eq!(read_frame(&mut s, &mut rb).status, Status::Ok);
+    s.write_all(&bin_req(Opcode::Get, 2, b"sk", b"").encode()).unwrap();
+    assert_eq!(read_frame(&mut s, &mut rb).status, Status::Ok);
+
+    s.write_all(&bin_req(Opcode::Stat, 3, b"", b"").encode()).unwrap();
+    let mut stats = std::collections::HashMap::new();
+    loop {
+        let r = read_frame(&mut s, &mut rb);
+        assert_eq!((r.status, r.opcode, r.opaque), (Status::Ok, Opcode::Stat, 3));
+        if r.key.is_empty() {
+            assert!(r.value.is_empty(), "terminator carries no value");
+            break;
+        }
+        let name = String::from_utf8(r.key).expect("stat names are ASCII");
+        let val: u64 = String::from_utf8(r.value)
+            .expect("stat values are ASCII")
+            .parse()
+            .expect("stat values are decimal");
+        assert!(stats.insert(name, val).is_none(), "no duplicate stat keys");
+    }
+    assert!(stats["cmd_set"] >= 1, "the SET above must be counted");
+    assert!(stats["cmd_get"] >= 1 && stats["get_hits"] >= 1);
+    assert!(
+        stats.contains_key("dur_appends") && stats["dur_appends"] >= 1,
+        "durability counters must ride the binary STAT surface"
+    );
+    for k in ["dur_fsyncs", "dur_bytes", "dur_compactions", "adapt_epochs", "hot_hits"] {
+        assert!(stats.contains_key(k), "missing stat {k}");
+    }
+
+    // An unknown stat subgroup answers a single KeyNotFound, connection
+    // intact.
+    s.write_all(&bin_req(Opcode::Stat, 4, b"slabs", b"").encode()).unwrap();
+    let r = read_frame(&mut s, &mut rb);
+    assert_eq!((r.status, r.opaque), (Status::KeyNotFound, 4));
+    s.write_all(&bin_req(Opcode::Noop, 5, b"", b"").encode()).unwrap();
+    assert_eq!(read_frame(&mut s, &mut rb).opaque, 5, "connection survives");
+
+    drop(srv);
+    let _ = std::fs::remove_dir_all(&dir);
+}

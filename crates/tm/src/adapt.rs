@@ -1,0 +1,320 @@
+//! Workload-aware adaptation policy: the pure decision functions behind
+//! the feedback-loop controller (DESIGN.md §15).
+//!
+//! The paper's central lesson is that no single TM configuration wins
+//! across memcached's phases; "Optimistic Concurrency Control for
+//! Real-world Go Programs" shows profile-guided switching paying off on
+//! exactly this kind of server workload. This module is deliberately
+//! *only* the brain: every function here is a pure, deterministic map
+//! from observed counter deltas to a recommendation. Sampling cadence,
+//! stat collection, and the actual [`crate::TmRuntime::switch_config`]
+//! quiesce live with the caller (the cache's controller thread), which
+//! keeps the policy unit-testable — the same stat trace always produces
+//! the same decision sequence, and the testkit stress arm replays traces
+//! to prove it.
+//!
+//! # Signals
+//!
+//! * `read_only_commits / commits` — the phase's read fraction. Reads are
+//!   cheapest under NOrec (one seqlock load per read, no orec traffic);
+//!   writes are cheapest under eager (write-through, the paper's "lowest
+//!   latency and best scalability"). The bands below have a deliberate
+//!   gap (hysteresis) so a mixed phase does not flap between algorithms,
+//!   each flap costing a full quiesce.
+//! * `aborts / commits` — contention. Low: keep GCC's serialize-after
+//!   safety net (free when aborts are rare). Moderate: randomized
+//!   backoff (spreads the retry storm). Pathological: the hourglass
+//!   (guarantees the starving transaction a win).
+
+use crate::algo::Algorithm;
+use crate::cm::ContentionManager;
+use crate::stats::StatsSnapshot;
+
+/// An algorithm + contention-manager pair: what the controller switches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AdaptConfig {
+    /// The STM algorithm.
+    pub algorithm: Algorithm,
+    /// The contention manager.
+    pub cm: ContentionManager,
+}
+
+impl std::fmt::Display for AdaptConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.algorithm, self.cm)
+    }
+}
+
+/// Minimum committed transactions an epoch must contain before its deltas
+/// count as a signal. Below this the sampling noise dominates — an idle
+/// or just-started epoch must never trigger a quiesce.
+pub const MIN_EPOCH_COMMITS: u64 = 128;
+
+/// Read fraction at or above which the read lane dominates enough to
+/// prefer NOrec's zero-metadata reads.
+pub const RO_HIGH: f64 = 0.85;
+
+/// Read fraction at or below which the write lane dominates enough to
+/// prefer eager's write-through. The gap up to [`RO_HIGH`] is the
+/// hysteresis band where the current algorithm is kept.
+pub const RO_LOW: f64 = 0.55;
+
+/// Aborts-per-commit at or above which the policy escalates to the
+/// hourglass (pathological contention: starving transactions need a
+/// guaranteed win, not a randomized delay).
+pub const ABORT_STORM: f64 = 2.0;
+
+/// Aborts-per-commit at or above which the policy switches to randomized
+/// exponential backoff.
+pub const ABORT_HIGH: f64 = 0.5;
+
+/// Aborts-per-commit at or below which contention is low enough to fall
+/// back to GCC's serialize-after-100 default (costless until a
+/// transaction actually aborts 100 times in a row).
+pub const ABORT_LOW: f64 = 0.1;
+
+/// Aborts-per-commit below which a write-heavy phase is *not* enough to
+/// leave NOrec. NOrec's write path is one seqlock CAS per commit — on an
+/// uncontended machine it beats eager's per-orec acquisition, and the
+/// quiesce a switch costs buys nothing. What makes NOrec collapse under
+/// writes is its global commit serialization, and the visible symptom of
+/// that collapse is validation aborts; only when they appear is eager's
+/// write-through worth the switch.
+pub const WRITE_ABORT_MIN: f64 = 0.05;
+
+/// The backoff configuration the policy escalates to under moderate
+/// contention.
+pub const BACKOFF: ContentionManager = ContentionManager::Backoff { max_shift: 6 };
+
+/// The hourglass configuration the policy escalates to under an abort
+/// storm.
+pub const HOURGLASS: ContentionManager = ContentionManager::Hourglass(32);
+
+/// Recommends a configuration for the next epoch from one epoch's
+/// counter deltas. Pure and deterministic: the same `(delta, current)`
+/// always yields the same answer, and an epoch without enough commits
+/// ([`MIN_EPOCH_COMMITS`]) always yields `current` unchanged.
+pub fn decide(delta: &StatsSnapshot, current: AdaptConfig) -> AdaptConfig {
+    if delta.commits < MIN_EPOCH_COMMITS {
+        return current;
+    }
+    let commits = delta.commits as f64;
+    let ro_frac = delta.read_only_commits as f64 / commits;
+    let abort_rate = delta.aborts as f64 / commits;
+
+    let algorithm = if ro_frac >= RO_HIGH && abort_rate < ABORT_HIGH {
+        Algorithm::Norec
+    } else if ro_frac <= RO_LOW
+        && (current.algorithm != Algorithm::Norec || abort_rate >= WRITE_ABORT_MIN)
+    {
+        // Write-heavy: eager's write-through wins — except that NOrec is
+        // only abandoned once aborts show its commit serialization
+        // actually hurting ([`WRITE_ABORT_MIN`]); an uncontended write
+        // storm commits through the seqlock just fine.
+        Algorithm::Eager
+    } else {
+        current.algorithm
+    };
+
+    let cm = if abort_rate >= ABORT_STORM {
+        HOURGLASS
+    } else if abort_rate >= ABORT_HIGH {
+        BACKOFF
+    } else if abort_rate <= ABORT_LOW {
+        ContentionManager::GCC_DEFAULT
+    } else {
+        current.cm
+    };
+
+    AdaptConfig { algorithm, cm }
+}
+
+/// Minimum stores an epoch must contain before magazine churn counts as
+/// a signal.
+pub const MIN_EPOCH_STORES: u64 = 256;
+
+/// Target refill amortization: a magazine should absorb at least this
+/// many stores per slab round-trip. More refills than `stores / 32`
+/// means capacity is too small for the allocation rate — grow. This arm
+/// exists because the churn balance below is scale-invariant at steady
+/// state (`refills ≈ stores / C` makes `churn × C ≈ stores` at *every*
+/// capacity), so without it a magazine shrunk during a quiet phase could
+/// never grow back when the store rate returns.
+pub const MAG_REFILL_AMORTIZATION: u64 = 32;
+
+/// Recommends a per-worker slab-magazine capacity from one epoch's
+/// observed churn (`refills + flushes`) against its store count.
+///
+/// A magazine of capacity `C` refills `C` slots at a time, so a
+/// store-dominated steady state performs about `stores / C` refills:
+/// `churn * C ≈ stores` is the balanced operating point. Churn running
+/// at more than twice that means the magazine cycles too fast (each
+/// refill/flush is a full slab transaction) — double the capacity.
+/// Churn below a quarter of it means capacity is parked doing nothing —
+/// halve, releasing slots back to the shared slab class. The ×2/÷4
+/// bands, like the algorithm bands, leave a hysteresis gap so a stable
+/// workload settles instead of oscillating.
+///
+/// Pure and deterministic; clamps to `[min, max]`, and an epoch with
+/// fewer than [`MIN_EPOCH_STORES`] stores keeps `current`.
+pub fn size_magazine(
+    current: usize,
+    stores: u64,
+    refills: u64,
+    flushes: u64,
+    min: usize,
+    max: usize,
+) -> usize {
+    if stores < MIN_EPOCH_STORES || current == 0 {
+        return current;
+    }
+    let churn = (refills + flushes).saturating_mul(current as u64);
+    if churn > stores.saturating_mul(2) || refills > stores / MAG_REFILL_AMORTIZATION {
+        (current * 2).min(max)
+    } else if churn * 4 < stores {
+        (current / 2).max(min)
+    } else {
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(algorithm: Algorithm, cm: ContentionManager) -> AdaptConfig {
+        AdaptConfig { algorithm, cm }
+    }
+
+    fn delta(commits: u64, read_only: u64, aborts: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            commits,
+            read_only_commits: read_only,
+            aborts,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_epochs_never_switch() {
+        let cur = cfg(Algorithm::Eager, ContentionManager::GCC_DEFAULT);
+        let d = delta(MIN_EPOCH_COMMITS - 1, 0, 10 * MIN_EPOCH_COMMITS);
+        assert_eq!(decide(&d, cur), cur, "a noisy tiny epoch must be ignored");
+    }
+
+    #[test]
+    fn read_mostly_prefers_norec() {
+        let cur = cfg(Algorithm::Eager, ContentionManager::GCC_DEFAULT);
+        let d = delta(1000, 950, 10);
+        assert_eq!(decide(&d, cur).algorithm, Algorithm::Norec);
+    }
+
+    #[test]
+    fn write_heavy_prefers_eager() {
+        // From Norec, leaving needs abort pressure past WRITE_ABORT_MIN.
+        let cur = cfg(Algorithm::Norec, ContentionManager::GCC_DEFAULT);
+        let d = delta(1000, 300, 100);
+        assert_eq!(decide(&d, cur).algorithm, Algorithm::Eager);
+        // From Lazy there is no such defense: eager's write-through is
+        // strictly the better write path.
+        let cur = cfg(Algorithm::Lazy, ContentionManager::GCC_DEFAULT);
+        let d = delta(1000, 300, 10);
+        assert_eq!(decide(&d, cur).algorithm, Algorithm::Eager);
+    }
+
+    #[test]
+    fn uncontended_write_storm_keeps_norec() {
+        // 30% reads but only 1% aborts: NOrec's seqlock commit is not
+        // the bottleneck, so the quiesce a switch costs buys nothing.
+        let cur = cfg(Algorithm::Norec, ContentionManager::GCC_DEFAULT);
+        let d = delta(1000, 300, 10);
+        assert_eq!(decide(&d, cur).algorithm, Algorithm::Norec);
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_current_algorithm() {
+        let d = delta(1000, 700, 10); // 0.7: between RO_LOW and RO_HIGH
+        for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::Norec] {
+            let cur = cfg(algo, ContentionManager::GCC_DEFAULT);
+            assert_eq!(decide(&d, cur).algorithm, algo);
+        }
+    }
+
+    #[test]
+    fn contention_escalates_and_relaxes() {
+        let cur = cfg(Algorithm::Eager, ContentionManager::GCC_DEFAULT);
+        assert_eq!(decide(&delta(1000, 100, 600), cur).cm, BACKOFF);
+        assert_eq!(decide(&delta(1000, 100, 2500), cur).cm, HOURGLASS);
+        let stormy = cfg(Algorithm::Eager, HOURGLASS);
+        assert_eq!(
+            decide(&delta(1000, 100, 50), stormy).cm,
+            ContentionManager::GCC_DEFAULT,
+            "calm epochs must fall back to the serialize-after safety net"
+        );
+        // The band between ABORT_LOW and ABORT_HIGH keeps the current CM.
+        assert_eq!(decide(&delta(1000, 100, 300), stormy).cm, HOURGLASS);
+    }
+
+    #[test]
+    fn read_mostly_under_storm_does_not_pick_norec() {
+        // A high read fraction with a raging abort rate means the writers
+        // that do exist are fighting; NOrec's single seqlock would make
+        // that worse.
+        let cur = cfg(Algorithm::Eager, ContentionManager::GCC_DEFAULT);
+        let got = decide(&delta(1000, 900, 800), cur);
+        assert_eq!(got.algorithm, Algorithm::Eager);
+        assert_eq!(got.cm, BACKOFF);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_over_a_trace() {
+        // The controller-determinism contract: replaying the same stat
+        // trace from the same start produces the same decision sequence.
+        let trace: Vec<StatsSnapshot> = (0..64)
+            .map(|i| delta(500 + i * 37, (i * 61) % 500, (i * 13) % 700))
+            .collect();
+        let run = |mut cur: AdaptConfig| {
+            let mut out = Vec::new();
+            for d in &trace {
+                cur = decide(d, cur);
+                out.push(cur);
+            }
+            out
+        };
+        let start = cfg(Algorithm::Eager, ContentionManager::GCC_DEFAULT);
+        assert_eq!(run(start), run(start));
+    }
+
+    #[test]
+    fn magazine_grows_under_churn_and_shrinks_idle() {
+        // cap 8, 1024 stores, 512 refills: churn*C = 4096 > 2048.
+        assert_eq!(size_magazine(8, 1024, 512, 0, 4, 256), 16);
+        // churn*C = 8*32 = 256 > 1024/4 = 256 (not <) and < 2048, and
+        // refills sit exactly at the amortization target: hold.
+        assert_eq!(size_magazine(8, 1024, 32, 0, 4, 256), 8);
+        // churn*C = 8*16 = 128 < 256: shrink.
+        assert_eq!(size_magazine(8, 1024, 16, 0, 4, 256), 4);
+        // Clamps.
+        assert_eq!(size_magazine(256, 10_000, 10_000, 0, 4, 256), 256);
+        assert_eq!(size_magazine(4, 10_000, 0, 0, 4, 256), 4);
+        // No signal: below the store floor, or magazines off entirely.
+        assert_eq!(size_magazine(8, 100, 100, 100, 4, 256), 8);
+        assert_eq!(size_magazine(0, 10_000, 0, 0, 4, 256), 0);
+    }
+
+    #[test]
+    fn flushes_count_toward_churn() {
+        assert_eq!(size_magazine(8, 1024, 256, 256, 4, 256), 16);
+    }
+
+    #[test]
+    fn shrunk_magazine_regrows_under_refill_pressure() {
+        // A magazine parked at the floor during a quiet phase must climb
+        // back when a store storm returns: refills ≈ stores / C is the
+        // steady state at every C, so the churn-balance arm alone would
+        // hold it at 2 forever.
+        assert_eq!(size_magazine(2, 1024, 512, 0, 2, 1024), 4);
+        // Once refills amortize past the target, growth stops.
+        assert_eq!(size_magazine(64, 2048, 32, 0, 2, 1024), 64);
+    }
+}

@@ -347,6 +347,31 @@ impl ShardedClock {
         }
     }
 
+    /// Raises this clock so every future tick exceeds `v`. Used by the
+    /// algorithm switch to align the orec clock with NOrec's sequence lock:
+    /// the caller must hold the serial lock exclusively (no committer can
+    /// race the raise), so commit stamps minted after the switch are
+    /// guaranteed to exceed every stamp published before it.
+    pub fn raise_to(&self, v: u64) {
+        let k = self.my_shard();
+        let slot = &self.shards[k];
+        loop {
+            if self.scan_max() >= v {
+                return;
+            }
+            let cur = slot.value.load(Ordering::Acquire);
+            let end = self.next_on(v, k as u64);
+            if slot
+                .value
+                .compare_exchange(cur, end, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.cache_put(end);
+                return;
+            }
+        }
+    }
+
     /// Copies every shard's counters.
     pub fn shard_stats(&self) -> Vec<ClockShardStats> {
         self.shards
@@ -425,6 +450,19 @@ impl SeqLock {
     pub fn end_commit(&self, snapshot: u64) {
         debug_assert_eq!(self.load(), snapshot + 1);
         self.0.store(snapshot + 2, Ordering::Release);
+    }
+
+    /// Raises the sequence to at least `v`, rounded up to even. The
+    /// algorithm-switch twin of [`ShardedClock::raise_to`]: the caller must
+    /// hold the serial lock exclusively, so no committer holds the lock
+    /// (the value is even) and none can race the store.
+    pub fn raise_to(&self, v: u64) {
+        let cur = self.load();
+        debug_assert_eq!(cur & 1, 0, "raise_to with a committer in flight");
+        let target = (v + 1) & !1;
+        if target > cur {
+            self.0.store(target, Ordering::Release);
+        }
     }
 }
 

@@ -131,6 +131,11 @@ counters! {
     /// the sequence bump were both skipped, so concurrent readers kept
     /// their snapshots instead of revalidating.
     seqlock_bump_elisions,
+    /// Live algorithm/contention-manager swaps performed by
+    /// `TmRuntime::switch_config` (each one a full quiesce under the
+    /// serial write lock). No-op switches (already at the target
+    /// configuration) are not counted.
+    config_switches,
 }
 
 impl TmStats {

@@ -102,6 +102,7 @@ pub struct WorkloadBuilder {
     mix: OpMix,
     hot_fraction: f64,
     hot_probability: f64,
+    zipf_theta: f64,
     seed: u64,
     binary: bool,
 }
@@ -118,6 +119,7 @@ impl Default for WorkloadBuilder {
             mix: OpMix::default(),
             hot_fraction: 0.0,
             hot_probability: 0.0,
+            zipf_theta: 0.0,
             seed: 0x6d656d736c6170, // "memslap"
             binary: true,
         }
@@ -184,6 +186,27 @@ impl WorkloadBuilder {
         self
     }
 
+    /// Zipfian key popularity with exponent `theta` in `[0, 1)`: key
+    /// index 0 is the hottest, index 1 the second-hottest, and so on
+    /// (ranks are *not* scrambled, so tests and the hot-key benches know
+    /// exactly which keys are hot). `theta = 0` restores the uniform
+    /// distribution; YCSB's default skew is `0.99`. Overrides
+    /// [`Self::skew`] when set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not in `[0.0, 1.0)` (the Gray et al.
+    /// generator below needs `theta < 1`; hotter skews than 0.99 are not
+    /// meaningfully different for cache workloads).
+    pub fn zipf(mut self, theta: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "zipf theta {theta} outside [0, 1)"
+        );
+        self.zipf_theta = theta;
+        self
+    }
+
     /// RNG seed; streams are deterministic in (seed, thread id).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -213,11 +236,62 @@ impl WorkloadBuilder {
                 Arc::from(k.into_boxed_slice())
             })
             .collect();
+        let zipf = (self.zipf_theta > 0.0).then(|| Zipf::new(self.key_count, self.zipf_theta));
         Workload {
             keys,
+            zipf,
             cfg: self,
         }
     }
+}
+
+/// Precomputed state for Zipfian(θ) rank draws over `0..n`, using the
+/// analytic inversion from Gray et al., *Quickly Generating
+/// Billion-Record Synthetic Databases* (SIGMOD '94) — the same generator
+/// YCSB uses. Building is `O(n)` (one pass to sum the zeta series); each
+/// draw is then `O(1)`, so streams stay cheap and, crucially for this
+/// workspace, fully deterministic in the seed.
+#[derive(Clone, Copy, Debug)]
+struct Zipf {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Zipf {
+        let n = n.max(1);
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(n.min(2), theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    fn draw(&self, rng: &mut SmallRng) -> usize {
+        // 53 random bits -> u uniform in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        r.min(self.n - 1)
+    }
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
 }
 
 /// A fully-specified workload: configuration plus the rendered keyspace.
@@ -225,6 +299,7 @@ impl WorkloadBuilder {
 pub struct Workload {
     cfg: WorkloadBuilder,
     keys: Vec<Arc<[u8]>>,
+    zipf: Option<Zipf>,
 }
 
 impl fmt::Debug for Workload {
@@ -331,7 +406,13 @@ impl Workload {
             mix: self.cfg.mix,
             hot_fraction: self.cfg.hot_fraction,
             hot_probability: self.cfg.hot_probability,
+            zipf: self.zipf,
         }
+    }
+
+    /// The configured Zipfian exponent (0 = uniform keys).
+    pub fn zipf_theta(&self) -> f64 {
+        self.cfg.zipf_theta
     }
 }
 
@@ -354,11 +435,14 @@ pub struct OpStream {
     mix: OpMix,
     hot_fraction: f64,
     hot_probability: f64,
+    zipf: Option<Zipf>,
 }
 
 impl OpStream {
     fn pick_key(&mut self) -> usize {
-        if self.hot_probability > 0.0 && self.rng.gen_bool(self.hot_probability) {
+        if let Some(z) = &self.zipf {
+            z.draw(&mut self.rng)
+        } else if self.hot_probability > 0.0 && self.rng.gen_bool(self.hot_probability) {
             let hot = ((self.key_count as f64 * self.hot_fraction) as usize).max(1);
             self.rng.gen_range(0..hot)
         } else {
@@ -468,6 +552,62 @@ mod tests {
             hot_hits > 8_000,
             "expected ~90% of ops on the hot 1%: {hot_hits}"
         );
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ranks() {
+        let w = Workload::builder()
+            .key_count(1000)
+            .execute_number(20_000)
+            .zipf(0.99)
+            .build();
+        let mut counts = vec![0usize; 1000];
+        for op in w.stream(0) {
+            counts[op.key_index()] += 1;
+        }
+        // Under θ=0.99 the head dominates: rank 0 alone draws ~1/ζ(n) of
+        // traffic (about 1/8 for n=1000), and the top 10 ranks well over
+        // a third. Uniform would put 1% on the top 10.
+        assert!(counts[0] > 1_000, "rank 0 drew only {}", counts[0]);
+        let top10: usize = counts[..10].iter().sum();
+        assert!(top10 > 20_000 / 3, "top-10 ranks drew only {top10}");
+        assert!(
+            counts[0] >= counts[500],
+            "head rank colder than the tail: {} vs {}",
+            counts[0],
+            counts[500]
+        );
+    }
+
+    #[test]
+    fn zipf_streams_are_deterministic_and_cover_the_tail() {
+        let w = Workload::builder()
+            .key_count(100)
+            .execute_number(5_000)
+            .zipf(0.9)
+            .build();
+        let a: Vec<Op> = w.stream(1).collect();
+        let b: Vec<Op> = w.stream(1).collect();
+        assert_eq!(a, b);
+        let max_key = a.iter().map(|op| op.key_index()).max().unwrap();
+        assert!(max_key > 50, "tail never sampled (max key {max_key})");
+        assert!(max_key < 100);
+    }
+
+    #[test]
+    fn zipf_single_key_keyspace() {
+        let w = Workload::builder()
+            .key_count(1)
+            .execute_number(100)
+            .zipf(0.5)
+            .build();
+        assert!(w.stream(0).all(|op| op.key_index() == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn zipf_theta_one_rejected() {
+        let _ = Workload::builder().zipf(1.0);
     }
 
     #[test]
