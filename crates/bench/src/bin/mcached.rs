@@ -12,13 +12,16 @@
 //! delivered. All three paths drain the workers, seal the redo log (when
 //! `--dur-path` is set), print the final wire counters, and exit 0.
 //! `--port 0` binds an ephemeral port; the `LISTENING` line reports the
-//! real one. Starting on a `--dur-path` that already holds a log replays
-//! it before the socket opens.
+//! real one. `--udp PORT` and `--unix PATH` open the extra transports
+//! (each gets its own `LISTENING-UDP` / `LISTENING-UNIX` line), and
+//! `--event-loop {epoll,poll}` selects the readiness backend. Starting
+//! on a `--dur-path` that already holds a log replays it before the
+//! socket opens.
 
 use std::io::BufRead;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use mcache::net::{NetConfig, Server};
+use mcache::net::{EventLoop, NetConfig, Server};
 use mcache::{Branch, DurFsync, McCache, McConfig, Stage};
 
 struct Args {
@@ -29,6 +32,10 @@ struct Args {
     magazine: usize,
     dur_path: Option<std::path::PathBuf>,
     dur_fsync: DurFsync,
+    udp_port: Option<u16>,
+    unix_path: Option<std::path::PathBuf>,
+    event_loop: EventLoop,
+    idle_timeout_ms: u64,
 }
 
 fn parse_branch(name: &str) -> Option<Branch> {
@@ -58,6 +65,10 @@ fn parse_args() -> Args {
         magazine: 0,
         dur_path: None,
         dur_fsync: DurFsync::EveryN(32),
+        udp_port: None,
+        unix_path: None,
+        event_loop: EventLoop::default(),
+        idle_timeout_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,6 +110,35 @@ fn parse_args() -> Args {
                 } else {
                     eprintln!("--dur-path needs a directory");
                     std::process::exit(2);
+                }
+            }
+            "--udp" | "-U" => {
+                if let Some(v) = num(&mut it) {
+                    args.udp_port = Some(v as u16);
+                } else {
+                    eprintln!("--udp needs a port (0 = ephemeral)");
+                    std::process::exit(2);
+                }
+            }
+            "--unix" | "-s" => {
+                if let Some(p) = it.next() {
+                    args.unix_path = Some(std::path::PathBuf::from(p));
+                } else {
+                    eprintln!("--unix needs a socket path");
+                    std::process::exit(2);
+                }
+            }
+            "--event-loop" => {
+                if let Some(b) = it.next().as_deref().and_then(|s| s.parse().ok()) {
+                    args.event_loop = b;
+                } else {
+                    eprintln!("--event-loop takes epoll | poll");
+                    std::process::exit(2);
+                }
+            }
+            "--idle-timeout-ms" => {
+                if let Some(v) = num(&mut it) {
+                    args.idle_timeout_ms = v as u64;
                 }
             }
             "--dur-fsync" => {
@@ -164,6 +204,10 @@ fn main() {
         NetConfig {
             addr: format!("{}:{}", args.host, args.port),
             workers: args.threads,
+            event_loop: args.event_loop,
+            udp_addr: args.udp_port.map(|p| format!("{}:{}", args.host, p)),
+            unix_path: args.unix_path,
+            idle_timeout_ms: args.idle_timeout_ms,
             ..Default::default()
         },
     )
@@ -171,9 +215,15 @@ fn main() {
         eprintln!("bind failed: {e}");
         std::process::exit(1);
     });
-    // The harness contract: one line, then serve until the pipe or a
-    // signal says stop.
+    // The harness contract: one LISTENING line per bound transport, then
+    // serve until the pipe or a signal says stop.
     println!("LISTENING {}", server.local_addr());
+    if let Some(u) = server.udp_addr() {
+        println!("LISTENING-UDP {u}");
+    }
+    if let Some(p) = server.unix_path() {
+        println!("LISTENING-UNIX {}", p.display());
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -202,12 +252,15 @@ fn main() {
     let s = server.cache().stats();
     println!(
         "shutdown: total_connections={} curr_connections={} bytes_read={} bytes_written={} \
-         frame_errors={} cmd_get={} cmd_set={} request_panics={}",
+         frame_errors={} accept_errors={} conn_timeouts={} cmd_get={} cmd_set={} \
+         request_panics={}",
         ns.total_connections,
         ns.curr_connections,
         ns.bytes_read,
         ns.bytes_written,
         ns.frame_errors,
+        ns.accept_errors,
+        ns.conn_timeouts,
         s.threads.get_cmds,
         s.threads.set_cmds,
         s.request_panics,

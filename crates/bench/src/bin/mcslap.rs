@@ -16,11 +16,19 @@
 //! $ cargo run --release -p bench --bin mcslap -- \
 //!       --tcp 127.0.0.1:11311 --connections 4 --multiget 8
 //! ```
+//!
+//! `--unix PATH` and `--udp HOST:PORT` run the same oracle-checked
+//! workload over the other transports; socket modes report p50/p95/p99
+//! roundtrip latency. Two connection-scale scenarios ride on the stream
+//! transports: `--churn N` (N workers × `--execute-number` full
+//! connect → set → get → quit lifecycles) and `--fanin N` (N held
+//! connections, a thin get stream rotating across them, and a final
+//! per-connection liveness sweep).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use bench::wire::WireConn;
+use bench::wire::{UdpClient, WireConn};
 use mcache::proto::binary::{self, Opcode, Request, Status};
 use mcache::{Branch, McCache, McConfig, Stage, StoreMode, StoreOp};
 use tm::{Algorithm, ContentionManager};
@@ -35,6 +43,18 @@ struct Args {
     keys: usize,
     /// Run over TCP against this `HOST:PORT` instead of in-process.
     tcp: Option<String>,
+    /// Run over UDP (memcached frame headers) against this `HOST:PORT`.
+    udp: Option<String>,
+    /// Run over a Unix-domain socket at this path.
+    unix: Option<std::path::PathBuf>,
+    /// Connection-churn storm: each worker runs `--execute-number`
+    /// connect → set → get → quit cycles against the `--tcp`/`--unix`
+    /// target. 0 = off.
+    churn: usize,
+    /// Connection fan-in: hold this many mostly-idle connections open
+    /// while a thin stream of gets rotates across them, then prove every
+    /// one still answers. 0 = off.
+    fanin: usize,
     /// Client connections in `--tcp` mode (each with its own thread and
     /// workload stream); 0 = `--concurrency`.
     connections: usize,
@@ -130,6 +150,10 @@ fn parse_args() -> Args {
         value_size: 256,
         keys: 2000,
         tcp: None,
+        udp: None,
+        unix: None,
+        churn: 0,
+        fanin: 0,
         connections: 0,
         read_ratio: 90,
         multiget: 1,
@@ -261,6 +285,32 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             }
+            "--udp" => {
+                if let Some(a) = it.next() {
+                    args.udp = Some(a);
+                } else {
+                    eprintln!("--udp needs HOST:PORT");
+                    std::process::exit(2);
+                }
+            }
+            "--unix" => {
+                if let Some(p) = it.next() {
+                    args.unix = Some(std::path::PathBuf::from(p));
+                } else {
+                    eprintln!("--unix needs a socket path");
+                    std::process::exit(2);
+                }
+            }
+            "--churn" => {
+                if let Some(v) = num(&mut it) {
+                    args.churn = v.max(1);
+                }
+            }
+            "--fanin" => {
+                if let Some(v) = num(&mut it) {
+                    args.fanin = v.max(1);
+                }
+            }
             "--connections" => {
                 if let Some(v) = num(&mut it) {
                     args.connections = v.max(1);
@@ -315,9 +365,23 @@ fn main() {
         run_phase_shift(&args);
         return;
     }
-    if let Some(addr) = args.tcp.clone() {
-        run_tcp(&args, &addr);
+    if let Some(addr) = args.udp.clone() {
+        run_udp(&args, &addr);
         return;
+    }
+    if let Some(target) = StreamTarget::from_args(&args) {
+        if args.churn > 0 {
+            run_churn(&args, &target);
+        } else if args.fanin > 0 {
+            run_fanin(&args, &target);
+        } else {
+            run_stream(&args, &target);
+        }
+        return;
+    }
+    if args.churn > 0 || args.fanin > 0 {
+        eprintln!("--churn/--fanin need a --tcp or --unix target");
+        std::process::exit(2);
     }
     let wl = Arc::new(
         Workload::builder()
@@ -809,15 +873,95 @@ fn run_restart(args: &Args) {
     }
 }
 
+/// A stream-transport target: TCP address or Unix socket path. The
+/// protocol is byte-identical on both, so every socket mode runs against
+/// either through one connect seam.
+#[derive(Clone)]
+enum StreamTarget {
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+impl StreamTarget {
+    fn from_args(args: &Args) -> Option<StreamTarget> {
+        #[cfg(unix)]
+        if let Some(p) = args.unix.clone() {
+            return Some(StreamTarget::Unix(p));
+        }
+        #[cfg(not(unix))]
+        if args.unix.is_some() {
+            eprintln!("--unix is only supported on Unix platforms");
+            std::process::exit(2);
+        }
+        args.tcp.clone().map(StreamTarget::Tcp)
+    }
+
+    fn connect(&self) -> std::io::Result<WireConn> {
+        match self {
+            StreamTarget::Tcp(addr) => WireConn::connect(addr),
+            #[cfg(unix)]
+            StreamTarget::Unix(path) => WireConn::connect_unix(path),
+        }
+    }
+
+    /// Connects with retry — the churn storm and the 10k fan-in can
+    /// outrun the server's accept backlog, which surfaces as transient
+    /// refusals/resets rather than queueing.
+    fn connect_retry(&self) -> WireConn {
+        let mut delay = std::time::Duration::from_millis(1);
+        for _ in 0..200 {
+            match self.connect() {
+                Ok(c) => return c,
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(std::time::Duration::from_millis(100));
+                }
+            }
+        }
+        panic!("could not connect to {} after retries", self.describe());
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            StreamTarget::Tcp(addr) => format!("tcp {addr}"),
+            #[cfg(unix)]
+            StreamTarget::Unix(path) => format!("unix {}", path.display()),
+        }
+    }
+}
+
+/// Sorts nanosecond samples and prints p50/p95/p99 in microseconds.
+fn print_latency(label: &str, mut ns: Vec<u64>) {
+    if ns.is_empty() {
+        return;
+    }
+    ns.sort_unstable();
+    let pick = |p: f64| ns[((ns.len() - 1) as f64 * p).round() as usize] as f64 / 1000.0;
+    println!(
+        "latency_us[{label}]: p50={:.1} p95={:.1} p99={:.1} (n={})",
+        pick(0.50),
+        pick(0.95),
+        pick(0.99),
+        ns.len(),
+    );
+}
+
+/// Per-worker latency samples drain into one shared sink at thread exit.
+fn drain_latency(sink: &Mutex<Vec<u64>>, local: Vec<u64>) {
+    sink.lock().expect("latency sink").extend(local);
+}
+
 /// Sentinel opaque for the trailing Noop in quiet pipelines; key
 /// indices (the other opaques in flight) can never reach it.
 const NOOP_OPAQUE: u32 = u32::MAX;
 
-/// The `--tcp` mode: same workloads, real sockets against a running
-/// `mcached`. Every GET hit is verified against the workload oracle
-/// (values are a pure function of the key index), and the run asserts
-/// the server counted zero frame errors.
-fn run_tcp(args: &Args, addr: &str) {
+/// The `--tcp`/`--unix` mode: same workloads, real sockets against a
+/// running `mcached`. Every GET hit is verified against the workload
+/// oracle (values are a pure function of the key index), the report
+/// includes per-roundtrip latency percentiles, and the run asserts the
+/// server counted zero frame errors.
+fn run_stream(args: &Args, target: &StreamTarget) {
     let workers = if args.connections > 0 {
         args.connections
     } else {
@@ -842,7 +986,7 @@ fn run_tcp(args: &Args, addr: &str) {
     // Preload the whole keyspace through one connection: noreply sets
     // in bulk writes, then a version roundtrip as the sync point.
     {
-        let mut conn = WireConn::connect(addr).expect("connect for preload");
+        let mut conn = target.connect().expect("connect for preload");
         let mut buf = Vec::new();
         for i in 0..wl.key_count() {
             let value = wl.value(i);
@@ -866,17 +1010,19 @@ fn run_tcp(args: &Args, addr: &str) {
         assert!(v.starts_with(b"VERSION"), "unexpected preload sync: {v:?}");
     }
 
+    let lat = Mutex::new(Vec::new());
     let start = Instant::now();
     std::thread::scope(|s| {
         for w in 0..workers {
             let wl = wl.clone();
-            s.spawn(move || run_tcp_worker(args, addr, &wl, w));
+            let lat = &lat;
+            s.spawn(move || run_stream_worker(args, target, &wl, w, lat));
         }
     });
     let secs = start.elapsed().as_secs_f64();
     let total_ops = workers * args.execute_number;
 
-    let mut conn = WireConn::connect(addr).expect("connect for stats");
+    let mut conn = target.connect().expect("connect for stats");
     let stats = conn.ascii_stats().expect("final stats");
     let stat = |k: &str| {
         stats
@@ -886,18 +1032,19 @@ fn run_tcp(args: &Args, addr: &str) {
             .unwrap_or_else(|| panic!("server stats missing {k}"))
     };
     println!(
-        "{} ops in {:.3}s = {:.0} ops/s  ({} connections, tcp {}, {}, {}% reads, \
+        "{} ops in {:.3}s = {:.0} ops/s  ({} connections, {}, {}, {}% reads, \
          multiget {}, setq-pipeline {})",
         total_ops,
         secs,
         total_ops as f64 / secs,
         workers,
-        addr,
+        target.describe(),
         if args.binary { "binary" } else { "ascii" },
         args.read_ratio,
         args.multiget,
         args.setq_pipeline,
     );
+    print_latency("roundtrip", lat.into_inner().expect("latency sink"));
     println!(
         "server: hits={} misses={} curr_connections={} bytes_read={} bytes_written={} \
          frame_errors={}",
@@ -912,32 +1059,40 @@ fn run_tcp(args: &Args, addr: &str) {
     assert_eq!(stat("request_panics"), 0, "no handler may have panicked");
 }
 
-fn run_tcp_worker(args: &Args, addr: &str, wl: &Workload, w: usize) {
-    let mut conn = WireConn::connect(addr).expect("worker connect");
+fn run_stream_worker(
+    args: &Args,
+    target: &StreamTarget,
+    wl: &Workload,
+    w: usize,
+    lat_sink: &Mutex<Vec<u64>>,
+) {
+    let mut conn = target.connect().expect("worker connect");
+    let mut lat: Vec<u64> = Vec::new();
     let mut get_batch: Vec<usize> = Vec::new();
     let mut set_batch: Vec<usize> = Vec::new();
     for op in wl.stream(w) {
         if args.multiget > 1 {
             if let Op::Get(k) = op {
-                flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+                flush_tcp_sets(args, &mut conn, wl, &mut set_batch, &mut lat);
                 get_batch.push(k);
                 if get_batch.len() == args.multiget {
-                    flush_tcp_gets(args, &mut conn, wl, &mut get_batch);
+                    flush_tcp_gets(args, &mut conn, wl, &mut get_batch, &mut lat);
                 }
                 continue;
             }
-            flush_tcp_gets(args, &mut conn, wl, &mut get_batch);
+            flush_tcp_gets(args, &mut conn, wl, &mut get_batch, &mut lat);
         }
         if args.setq_pipeline > 1 {
             if let Op::Set(k) = op {
                 set_batch.push(k);
                 if set_batch.len() == args.setq_pipeline {
-                    flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+                    flush_tcp_sets(args, &mut conn, wl, &mut set_batch, &mut lat);
                 }
                 continue;
             }
-            flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+            flush_tcp_sets(args, &mut conn, wl, &mut set_batch, &mut lat);
         }
+        let op_start = Instant::now();
         if args.binary {
             let req = match op {
                 Op::Get(k) => Request {
@@ -1031,18 +1186,27 @@ fn run_tcp_worker(args: &Args, addr: &str, wl: &Workload, w: usize) {
                 }
             }
         }
+        lat.push(op_start.elapsed().as_nanos() as u64);
     }
-    flush_tcp_gets(args, &mut conn, wl, &mut get_batch);
-    flush_tcp_sets(args, &mut conn, wl, &mut set_batch);
+    flush_tcp_gets(args, &mut conn, wl, &mut get_batch, &mut lat);
+    flush_tcp_sets(args, &mut conn, wl, &mut set_batch, &mut lat);
+    drain_latency(lat_sink, lat);
 }
 
 /// Flushes a `--multiget` batch over the wire: one `get k1 .. kn` line
 /// (ASCII) or a GETKQ burst terminated by a Noop (binary). Every hit is
 /// verified against the oracle.
-fn flush_tcp_gets(args: &Args, conn: &mut WireConn, wl: &Workload, batch: &mut Vec<usize>) {
+fn flush_tcp_gets(
+    args: &Args,
+    conn: &mut WireConn,
+    wl: &Workload,
+    batch: &mut Vec<usize>,
+    lat: &mut Vec<u64>,
+) {
     if batch.is_empty() {
         return;
     }
+    let flush_start = Instant::now();
     if args.binary {
         let mut reqs: Vec<Request> = batch
             .iter()
@@ -1088,15 +1252,23 @@ fn flush_tcp_gets(args: &Args, conn: &mut WireConn, wl: &Workload, batch: &mut V
             );
         }
     }
+    lat.push(flush_start.elapsed().as_nanos() as u64);
     batch.clear();
 }
 
 /// Flushes a `--setq-pipeline` batch: a concatenated burst of loud sets
 /// (ASCII) or quiet SETQ frames terminated by a Noop (binary).
-fn flush_tcp_sets(args: &Args, conn: &mut WireConn, wl: &Workload, batch: &mut Vec<usize>) {
+fn flush_tcp_sets(
+    args: &Args,
+    conn: &mut WireConn,
+    wl: &Workload,
+    batch: &mut Vec<usize>,
+    lat: &mut Vec<u64>,
+) {
     if batch.is_empty() {
         return;
     }
+    let flush_start = Instant::now();
     if args.binary {
         let mut reqs: Vec<Request> = batch
             .iter()
@@ -1144,5 +1316,380 @@ fn flush_tcp_sets(args: &Args, conn: &mut WireConn, wl: &Workload, batch: &mut V
             assert_eq!(line, b"STORED", "pipelined SET must store");
         }
     }
+    lat.push(flush_start.elapsed().as_nanos() as u64);
     batch.clear();
+}
+
+/// Parses the reassembled ASCII response to a single-key UDP `get`:
+/// `Some(data)` on a hit, `None` on a clean miss. Panics on anything
+/// else — UDP responses are whole by construction once reassembled.
+fn parse_udp_get(resp: &[u8]) -> Option<Vec<u8>> {
+    if resp == b"END\r\n" {
+        return None;
+    }
+    let header_end = resp.windows(2).position(|w| w == b"\r\n").expect("VALUE line");
+    let header = String::from_utf8_lossy(&resp[..header_end]);
+    let mut parts = header.split_whitespace();
+    assert_eq!(parts.next(), Some("VALUE"), "unexpected UDP get response: {header:?}");
+    let _key = parts.next().expect("key");
+    let _flags = parts.next().expect("flags");
+    let len: usize = parts.next().expect("len").parse().expect("len parses");
+    let data_start = header_end + 2;
+    let data = resp[data_start..data_start + len].to_vec();
+    assert_eq!(
+        &resp[data_start + len..],
+        b"\r\nEND\r\n",
+        "UDP get response must end cleanly"
+    );
+    Some(data)
+}
+
+/// The `--udp` mode: the ASCII workload over memcached-framed UDP
+/// datagrams. Each request is one datagram; responses reassemble from
+/// sequenced datagrams (large values fan out across several). Every hit
+/// is oracle-verified and the run asserts zero server frame errors.
+fn run_udp(args: &Args, addr: &str) {
+    let workers = if args.connections > 0 {
+        args.connections
+    } else {
+        args.concurrency
+    };
+    let wl = Arc::new(
+        Workload::builder()
+            .concurrency(workers)
+            .execute_number(args.execute_number)
+            .key_count(args.keys)
+            .value_size_range(args.value_size, args.value_size_max.max(args.value_size))
+            .mix(OpMix {
+                get: args.read_ratio as u32,
+                set: 100 - args.read_ratio as u32,
+                delete: 0,
+                incr: 0,
+            })
+            .build(),
+    );
+
+    // Preload serially through one client — loud sets, each acked, so
+    // the keyspace is fully resident before the clock starts.
+    {
+        let mut client = UdpClient::connect(addr).expect("udp connect for preload");
+        for i in 0..wl.key_count() {
+            let value = wl.value(i);
+            let mut req = format!(
+                "set {} 0 0 {}\r\n",
+                String::from_utf8_lossy(wl.key(i)),
+                value.len()
+            )
+            .into_bytes();
+            req.extend_from_slice(&value);
+            req.extend_from_slice(b"\r\n");
+            let resp = client.roundtrip(&req).expect("preload set");
+            assert_eq!(resp, b"STORED\r\n", "preload SET must store");
+        }
+    }
+
+    let lat = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let wl = wl.clone();
+            let lat = &lat;
+            s.spawn(move || {
+                let mut client = UdpClient::connect(addr).expect("udp worker connect");
+                let mut local: Vec<u64> = Vec::new();
+                for op in wl.stream(w) {
+                    let op_start = Instant::now();
+                    match op {
+                        Op::Get(k) => {
+                            let req = format!("get {}\r\n", String::from_utf8_lossy(wl.key(k)));
+                            let resp = client.roundtrip(req.as_bytes()).expect("udp get");
+                            if let Some(data) = parse_udp_get(&resp) {
+                                assert!(
+                                    wl.verify_value(k, &data),
+                                    "UDP GET returned wrong bytes for key index {k}"
+                                );
+                            }
+                        }
+                        Op::Set(k) => {
+                            let value = wl.value(k);
+                            let mut req = format!(
+                                "set {} 0 0 {}\r\n",
+                                String::from_utf8_lossy(wl.key(k)),
+                                value.len()
+                            )
+                            .into_bytes();
+                            req.extend_from_slice(&value);
+                            req.extend_from_slice(b"\r\n");
+                            let resp = client.roundtrip(&req).expect("udp set");
+                            assert_eq!(resp, b"STORED\r\n", "UDP SET must store");
+                        }
+                        Op::Delete(k) => {
+                            let req =
+                                format!("delete {}\r\n", String::from_utf8_lossy(wl.key(k)));
+                            client.roundtrip(req.as_bytes()).expect("udp delete");
+                        }
+                        Op::Incr(k, d) => {
+                            let req = format!(
+                                "incr {} {}\r\n",
+                                String::from_utf8_lossy(wl.key(k)),
+                                d
+                            );
+                            client.roundtrip(req.as_bytes()).expect("udp incr");
+                        }
+                    }
+                    local.push(op_start.elapsed().as_nanos() as u64);
+                }
+                drain_latency(lat, local);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_ops = workers * args.execute_number;
+
+    let mut client = UdpClient::connect(addr).expect("udp connect for stats");
+    let resp = client.roundtrip(b"stats\r\n").expect("final stats");
+    let mut stats: Vec<(String, u64)> = Vec::new();
+    for line in resp.split(|&b| b == b'\n') {
+        let text = String::from_utf8_lossy(line);
+        let mut parts = text.split_whitespace();
+        if let (Some("STAT"), Some(k), Some(v)) = (parts.next(), parts.next(), parts.next()) {
+            stats.push((k.to_string(), v.parse().expect("stat value")));
+        }
+    }
+    let stat = |k: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("server stats missing {k}"))
+    };
+    println!(
+        "{} ops in {:.3}s = {:.0} ops/s  ({} clients, udp {}, ascii, {}% reads)",
+        total_ops,
+        secs,
+        total_ops as f64 / secs,
+        workers,
+        addr,
+        args.read_ratio,
+    );
+    print_latency("udp-roundtrip", lat.into_inner().expect("latency sink"));
+    println!(
+        "server: hits={} misses={} udp_datagrams_rx={} udp_datagrams_tx={} frame_errors={}",
+        stat("get_hits"),
+        stat("get_misses"),
+        stat("udp_datagrams_rx"),
+        stat("udp_datagrams_tx"),
+        stat("frame_errors"),
+    );
+    assert_eq!(stat("frame_errors"), 0, "clean UDP run must not desync frames");
+    assert_eq!(stat("request_panics"), 0, "no handler may have panicked");
+}
+
+/// The `--churn` storm: every worker runs `--execute-number` full
+/// connection lifecycles — connect, one oracle-checked set + get, `quit`,
+/// wait for the server's FIN. Exercises accept, registration, and
+/// teardown at rates steady-state workloads never reach; the latency
+/// report is per whole lifecycle.
+fn run_churn(args: &Args, target: &StreamTarget) {
+    let workers = args.churn;
+    let cycles = args.execute_number;
+    let wl = Workload::builder()
+        .concurrency(workers)
+        .execute_number(1)
+        .key_count(args.keys)
+        .value_size_range(args.value_size, args.value_size_max.max(args.value_size))
+        .build();
+
+    let lat = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let wl = &wl;
+            let lat = &lat;
+            s.spawn(move || {
+                let mut local: Vec<u64> = Vec::new();
+                for c in 0..cycles {
+                    let k = (w * cycles + c) % wl.key_count();
+                    let cycle_start = Instant::now();
+                    let mut conn = target.connect_retry();
+                    let value = wl.value(k);
+                    let mut req = format!(
+                        "set {} 0 0 {}\r\n",
+                        String::from_utf8_lossy(wl.key(k)),
+                        value.len()
+                    )
+                    .into_bytes();
+                    req.extend_from_slice(&value);
+                    req.extend_from_slice(b"\r\n");
+                    let line = conn.ascii_line(&req).expect("churn set");
+                    assert_eq!(line, b"STORED", "churn SET must store");
+                    let hits = conn.ascii_get(&[wl.key(k).as_ref()], false).expect("churn get");
+                    assert!(
+                        wl.verify_value(k, &hits[0].data),
+                        "churn GET returned wrong bytes for key index {k}"
+                    );
+                    conn.send(b"quit\r\n").expect("churn quit");
+                    // The server closes after `quit`; reading the FIN
+                    // proves the teardown path ran, not just our drop.
+                    assert!(conn.read_line().is_err(), "server must close after quit");
+                    local.push(cycle_start.elapsed().as_nanos() as u64);
+                }
+                drain_latency(lat, local);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total = workers * cycles;
+
+    let mut conn = target.connect_retry();
+    let stats = conn.ascii_stats().expect("final stats");
+    let stat = |k: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("server stats missing {k}"))
+    };
+    println!(
+        "{} connection lifecycles in {:.3}s = {:.0} conns/s  ({} churn workers, {})",
+        total,
+        secs,
+        total as f64 / secs,
+        workers,
+        target.describe(),
+    );
+    print_latency("conn-lifecycle", lat.into_inner().expect("latency sink"));
+    println!(
+        "server: total_connections={} curr_connections={} accept_errors={} frame_errors={}",
+        stat("total_connections"),
+        stat("curr_connections"),
+        stat("accept_errors"),
+        stat("frame_errors"),
+    );
+    assert!(
+        stat("total_connections") >= total as u64,
+        "server must have seen every churned connection"
+    );
+    assert_eq!(stat("frame_errors"), 0, "clean churn must not desync frames");
+    assert_eq!(stat("request_panics"), 0, "no handler may have panicked");
+}
+
+/// The `--fanin` scenario: hold N mostly-idle connections open at once
+/// while a thin stream of oracle-checked gets rotates across them, then
+/// prove every single connection still answers a `version` roundtrip.
+/// This is the readiness-notification showcase — a polling loop pays for
+/// all N sockets every iteration; epoll pays only for the active ones.
+fn run_fanin(args: &Args, target: &StreamTarget) {
+    let total_conns = args.fanin;
+    let threads = args.concurrency.min(total_conns).max(1);
+    let wl = Workload::builder()
+        .concurrency(threads)
+        .execute_number(1)
+        .key_count(args.keys)
+        .value_size_range(args.value_size, args.value_size_max.max(args.value_size))
+        .build();
+
+    // Preload through one connection so the rotating gets can hit.
+    {
+        let mut conn = target.connect_retry();
+        let mut buf = Vec::new();
+        for i in 0..wl.key_count() {
+            let value = wl.value(i);
+            buf.extend_from_slice(
+                format!(
+                    "set {} 0 0 {} noreply\r\n",
+                    String::from_utf8_lossy(wl.key(i)),
+                    value.len()
+                )
+                .as_bytes(),
+            );
+            buf.extend_from_slice(&value);
+            buf.extend_from_slice(b"\r\n");
+            if buf.len() > 256 << 10 {
+                conn.send(&buf).expect("fanin preload send");
+                buf.clear();
+            }
+        }
+        conn.send(&buf).expect("fanin preload send");
+        let v = conn.ascii_line(b"version\r\n").expect("fanin preload sync");
+        assert!(v.starts_with(b"VERSION"), "unexpected preload sync: {v:?}");
+    }
+
+    let lat = Mutex::new(Vec::new());
+    let opened = Mutex::new(0usize);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let wl = &wl;
+            let lat = &lat;
+            let opened = &opened;
+            s.spawn(move || {
+                // This thread's share of the fan-in set.
+                let share = total_conns / threads + usize::from(t < total_conns % threads);
+                let mut conns: Vec<WireConn> = Vec::with_capacity(share);
+                for _ in 0..share {
+                    conns.push(target.connect_retry());
+                }
+                *opened.lock().expect("opened") += conns.len();
+                let mut local: Vec<u64> = Vec::new();
+                // A thin stream of gets rotates over the set: every
+                // connection is touched at least once when
+                // execute_number >= share, the rest stay idle — the
+                // server must keep them all registered without burning
+                // CPU on their silence.
+                for i in 0..args.execute_number {
+                    let conn = &mut conns[i % share];
+                    let k = (t * args.execute_number + i) % wl.key_count();
+                    let op_start = Instant::now();
+                    let hits = conn.ascii_get(&[wl.key(k).as_ref()], false).expect("fanin get");
+                    assert!(
+                        wl.verify_value(k, &hits[0].data),
+                        "fan-in GET returned wrong bytes for key index {k}"
+                    );
+                    local.push(op_start.elapsed().as_nanos() as u64);
+                }
+                // Liveness sweep: every held connection must still answer.
+                for conn in &mut conns {
+                    let v = conn.ascii_line(b"version\r\n").expect("fanin liveness");
+                    assert!(v.starts_with(b"VERSION"), "fan-in connection went dead: {v:?}");
+                }
+                drain_latency(lat, local);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let opened = opened.into_inner().expect("opened");
+    assert_eq!(opened, total_conns, "every fan-in connection must open");
+    let total_ops = threads * args.execute_number;
+
+    let mut conn = target.connect_retry();
+    let stats = conn.ascii_stats().expect("final stats");
+    let stat = |k: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("server stats missing {k}"))
+    };
+    println!(
+        "{} gets across {} held connections in {:.3}s = {:.0} ops/s  ({} threads, {})",
+        total_ops,
+        total_conns,
+        secs,
+        total_ops as f64 / secs,
+        threads,
+        target.describe(),
+    );
+    print_latency("fanin-get", lat.into_inner().expect("latency sink"));
+    println!(
+        "server: curr_connections={} total_connections={} accept_errors={} \
+         conn_timeouts={} frame_errors={}",
+        stat("curr_connections"),
+        stat("total_connections"),
+        stat("accept_errors"),
+        stat("conn_timeouts"),
+        stat("frame_errors"),
+    );
+    assert_eq!(stat("frame_errors"), 0, "clean fan-in must not desync frames");
+    assert_eq!(stat("request_panics"), 0, "no handler may have panicked");
 }

@@ -1,16 +1,46 @@
 //! A minimal blocking memcached wire client for loopback load
-//! generation and tests: mcslap's `--tcp` mode, the `stm_wirepath`
-//! bench, and the conformance suites drive [`mcache::net::Server`]
-//! through real sockets with this.
+//! generation and tests: mcslap's `--tcp`/`--unix`/`--udp` modes, the
+//! `stm_wirepath`/`stm_netpath` benches, and the conformance suites
+//! drive [`mcache::net::Server`] through real sockets with this.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, UdpSocket};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
+use mcache::net::udp::{decode_header, encode_header, UDP_HEADER};
 use mcache::proto::binary::{Request, Response};
+
+/// The client end of a stream transport: TCP or Unix-domain.
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.write_all(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write_all(buf),
+        }
+    }
+}
 
 /// One blocking client connection with a response reassembly buffer.
 pub struct WireConn {
-    stream: TcpStream,
+    stream: ClientStream,
     rbuf: Vec<u8>,
     rpos: usize,
 }
@@ -29,12 +59,24 @@ pub struct AsciiValue {
 }
 
 impl WireConn {
-    /// Connects (blocking, `TCP_NODELAY`).
+    /// Connects over TCP (blocking, `TCP_NODELAY`).
     pub fn connect(addr: &str) -> io::Result<WireConn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(WireConn {
-            stream,
+            stream: ClientStream::Tcp(stream),
+            rbuf: Vec::new(),
+            rpos: 0,
+        })
+    }
+
+    /// Connects over a Unix-domain socket. The protocol on the wire is
+    /// byte-identical to TCP, so every method works unchanged.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &std::path::Path) -> io::Result<WireConn> {
+        let stream = UnixStream::connect(path)?;
+        Ok(WireConn {
+            stream: ClientStream::Unix(stream),
             rbuf: Vec::new(),
             rpos: 0,
         })
@@ -115,33 +157,28 @@ impl WireConn {
             if line == b"END" {
                 return Ok(out);
             }
-            let text = String::from_utf8_lossy(&line);
-            let mut parts = text.split_whitespace();
-            let (Some("VALUE"), Some(key), Some(flags), Some(len)) =
-                (parts.next(), parts.next(), parts.next(), parts.next())
-            else {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected get response line: {text:?}"),
-                ));
-            };
-            let flags: u32 = flags.parse().map_err(bad_data)?;
-            let len: usize = len.parse().map_err(bad_data)?;
-            let cas: u64 = match parts.next() {
-                Some(c) => c.parse().map_err(bad_data)?,
-                None => 0,
-            };
-            let data = self.read_exact_bytes(len)?;
-            let crlf = self.read_exact_bytes(2)?;
-            if crlf != b"\r\n" {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "missing data CRLF"));
+            match parse_value_line(&line) {
+                Some((key, flags, len, cas)) => {
+                    let data = self.read_exact_bytes(len)?;
+                    let crlf = self.read_exact_bytes(2)?;
+                    if crlf != b"\r\n" {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "missing data CRLF",
+                        ));
+                    }
+                    out.push(AsciiValue { key, flags, cas, data });
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "unexpected get response line: {:?}",
+                            String::from_utf8_lossy(&line)
+                        ),
+                    ))
+                }
             }
-            out.push(AsciiValue {
-                key: key.as_bytes().to_vec(),
-                flags,
-                cas,
-                data,
-            });
         }
     }
 
@@ -205,6 +242,122 @@ impl WireConn {
     }
 }
 
+/// Parses one `VALUE <key> <flags> <len> [cas]` line.
+fn parse_value_line(line: &[u8]) -> Option<(Vec<u8>, u32, usize, u64)> {
+    let text = String::from_utf8_lossy(line);
+    let mut parts = text.split_whitespace();
+    let (Some("VALUE"), Some(key), Some(flags), Some(len)) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return None;
+    };
+    let flags: u32 = flags.parse().ok()?;
+    let len: usize = len.parse().ok()?;
+    let cas: u64 = match parts.next() {
+        Some(c) => c.parse().ok()?,
+        None => 0,
+    };
+    Some((key.as_bytes().to_vec(), flags, len, cas))
+}
+
 fn bad_data<E: std::fmt::Display>(e: E) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// UDP client
+// ---------------------------------------------------------------------
+
+/// A blocking UDP client speaking memcached's 8-byte UDP frame
+/// protocol, with multi-datagram response reassembly that tolerates
+/// out-of-order arrival across interleaved request ids.
+pub struct UdpClient {
+    sock: UdpSocket,
+    next_rid: u16,
+    /// Partially reassembled responses, keyed by request id:
+    /// `(received_count, per-seq slots)`.
+    partial: HashMap<u16, (usize, Vec<Option<Vec<u8>>>)>,
+    /// Fully reassembled responses not yet handed out.
+    ready: HashMap<u16, Vec<u8>>,
+}
+
+impl UdpClient {
+    /// Binds an ephemeral local port and connects it to the server.
+    pub fn connect(addr: &str) -> io::Result<UdpClient> {
+        let sock = UdpSocket::bind("0.0.0.0:0")?;
+        sock.connect(addr)?;
+        sock.set_read_timeout(Some(Duration::from_secs(5)))?;
+        Ok(UdpClient {
+            sock,
+            next_rid: 1,
+            partial: HashMap::new(),
+            ready: HashMap::new(),
+        })
+    }
+
+    /// Sets the receive timeout (reassembly gives up with `TimedOut`).
+    pub fn set_timeout(&self, d: Duration) -> io::Result<()> {
+        self.sock.set_read_timeout(Some(d))
+    }
+
+    /// Sends one request datagram (`seq=0 total=1`) under a fresh
+    /// request id and returns that id.
+    pub fn send_request(&mut self, payload: &[u8]) -> io::Result<u16> {
+        let rid = self.next_rid;
+        self.next_rid = self.next_rid.wrapping_add(1).max(1);
+        self.send_request_rid(rid, payload)?;
+        Ok(rid)
+    }
+
+    /// Sends one request datagram under an explicit request id (the
+    /// out-of-order conformance tests pick their own).
+    pub fn send_request_rid(&mut self, rid: u16, payload: &[u8]) -> io::Result<()> {
+        let mut wire = Vec::with_capacity(UDP_HEADER + payload.len());
+        wire.extend_from_slice(&encode_header(rid, 0, 1));
+        wire.extend_from_slice(payload);
+        self.sock.send(&wire)?;
+        Ok(())
+    }
+
+    /// Receives datagrams until the response for `rid` is fully
+    /// reassembled, buffering completed responses for other in-flight
+    /// request ids along the way.
+    pub fn recv_response(&mut self, rid: u16) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; 64 << 10];
+        loop {
+            if let Some(full) = self.ready.remove(&rid) {
+                return Ok(full);
+            }
+            let n = self.sock.recv(&mut buf)?;
+            let Some((got_rid, seq, total)) = decode_header(&buf[..n]) else {
+                continue; // runt datagram; UDP is lossy, keep waiting
+            };
+            if total == 0 || seq >= total {
+                continue;
+            }
+            let (count, slots) = self
+                .partial
+                .entry(got_rid)
+                .or_insert_with(|| (0, vec![None; total as usize]));
+            if slots.len() != total as usize || slots[seq as usize].is_some() {
+                continue; // header disagreement or duplicate: drop
+            }
+            slots[seq as usize] = Some(buf[UDP_HEADER..n].to_vec());
+            *count += 1;
+            if *count == slots.len() {
+                let (_, slots) = self.partial.remove(&got_rid).expect("just inserted");
+                let mut full = Vec::new();
+                for s in slots {
+                    full.extend_from_slice(&s.expect("all slots filled"));
+                }
+                self.ready.insert(got_rid, full);
+            }
+        }
+    }
+
+    /// One full roundtrip: send `payload`, reassemble the response.
+    pub fn roundtrip(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        let rid = self.send_request(payload)?;
+        self.recv_response(rid)
+    }
 }

@@ -1,9 +1,20 @@
 //! Per-connection state machine: buffer management, incremental frame
 //! scanning, and coalesced dispatch into the protocol layer.
+//!
+//! The same state machine serves TCP and Unix-domain streams (the
+//! [`Stream`] enum) and both event backends: the polling loop pumps
+//! every connection each round, the epoll loop pumps on readiness
+//! edges and uses the [`Pump::repump`] signal to keep draining work
+//! that a single pump capped (edge-triggered epoll only re-notifies on
+//! new bytes, so capped work must be carried by the worker, not the
+//! kernel).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 use crate::cache::McCache;
 use crate::proto::{self, binary, FrameScan};
@@ -22,8 +33,65 @@ const MAX_READS_PER_PUMP: usize = 16;
 /// often.
 const MAX_FRAMES_PER_RUN: usize = 64;
 
+/// A connected byte stream: TCP or Unix-domain. Both are nonblocking
+/// and drive the identical frame scanner and dispatcher.
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    /// The raw fd, for epoll registration.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+/// What one pump did and what the worker owes the connection next.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Pump {
+    /// Keep the connection registered (false = close it now).
+    pub(crate) keep: bool,
+    /// Any bytes moved — the polling backend's idle-sleep signal.
+    pub(crate) busy: bool,
+    /// Work remains that no readiness edge will announce: the read cap
+    /// stopped short of `WouldBlock`, or dispatch hit its output budget
+    /// with complete frames still buffered. The epoll worker must pump
+    /// again without waiting; the polling worker re-pumps every round
+    /// anyway.
+    pub(crate) repump: bool,
+}
+
+impl Pump {
+    fn closed(busy: bool) -> Pump {
+        Pump { keep: false, busy, repump: false }
+    }
+}
+
 pub(crate) struct Connection {
-    stream: TcpStream,
+    stream: Stream,
     /// Unconsumed request bytes; the head is always a frame boundary
     /// (or the inside of a swallowed block, tracked by `swallow`).
     rbuf: Vec<u8>,
@@ -34,10 +102,20 @@ pub(crate) struct Connection {
     swallow: usize,
     /// Close once `wbuf` drains (after `quit` or an unsyncable error).
     close_after_flush: bool,
+    /// Last moment any bytes moved on this connection — the idle
+    /// reaper's clock.
+    pub(crate) last_activity: Instant,
+    /// Whether this connection is currently registered with `EPOLLOUT`
+    /// armed (epoll backend only; tracked here so the worker issues
+    /// `epoll_ctl` only on arm/disarm edges, not every pump).
+    pub(crate) epollout_armed: bool,
+    /// Whether this connection sits in the worker's hot (repump) list,
+    /// so the list stays duplicate-free.
+    pub(crate) hot: bool,
 }
 
 impl Connection {
-    pub(crate) fn new(stream: TcpStream) -> Connection {
+    pub(crate) fn new(stream: Stream) -> Connection {
         Connection {
             stream,
             rbuf: Vec::new(),
@@ -45,37 +123,58 @@ impl Connection {
             wpos: 0,
             swallow: 0,
             close_after_flush: false,
+            last_activity: Instant::now(),
+            epollout_armed: false,
+            hot: false,
         }
     }
 
-    /// One poll round: flush pending writes, drain the socket, dispatch
-    /// every complete frame, flush again. Returns `(keep, busy)` —
-    /// whether the connection stays registered and whether any bytes
-    /// moved (the worker's idle-sleep signal).
-    pub(crate) fn pump(&mut self, cache: &McCache, w: usize, shared: &Shared) -> (bool, bool) {
+    /// The raw fd, for epoll registration.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        self.stream.raw_fd()
+    }
+
+    /// Response bytes still owed to the peer — EPOLLOUT wants arming
+    /// while this is nonzero.
+    pub(crate) fn pending_out(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// One pump round: flush pending writes, drain the socket, dispatch
+    /// every complete frame, flush again. Works identically for both
+    /// backends; see [`Pump`] for what the worker does with the result.
+    pub(crate) fn pump(&mut self, cache: &McCache, w: usize, shared: &Shared) -> Pump {
         let mut busy = false;
         if !self.flush(shared, &mut busy) {
-            return (false, busy);
+            return Pump::closed(busy);
         }
         // Backpressure: a client that pipelines requests but does not
         // drain responses parks here — no reads, no dispatch — until
         // its backlog flushes below the high-water mark, so `wbuf`
         // cannot grow without bound (memcached's conn state machine
         // does the same by leaving conn_mwrite until the buffer
-        // drains).
-        if self.wbuf.len() - self.wpos >= shared.cfg.wbuf_high_water.max(1) {
+        // drains). Parking is edge-safe: parked implies the last write
+        // hit `WouldBlock`, so an EPOLLOUT edge is guaranteed and the
+        // next pump starts with the flush above.
+        if self.pending_out() >= shared.cfg.wbuf_high_water.max(1) {
             shared
                 .stats
                 .backpressure_stalls
                 .fetch_add(1, Ordering::Relaxed);
-            return (true, busy);
+            if busy {
+                self.last_activity = Instant::now();
+            }
+            return Pump { keep: true, busy, repump: false };
         }
         let mut chunk = vec![0u8; shared.cfg.read_chunk];
         let mut peer_closed = false;
+        let mut hit_read_cap = true;
         for _ in 0..MAX_READS_PER_PUMP {
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
                     peer_closed = true;
+                    hit_read_cap = false;
                     break;
                 }
                 Ok(n) => {
@@ -83,25 +182,39 @@ impl Connection {
                     shared.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
                     self.rbuf.extend_from_slice(&chunk[..n]);
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    hit_read_cap = false;
+                    break;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return (false, busy),
+                Err(_) => return Pump::closed(busy),
             }
         }
-        self.dispatch(cache, w, shared);
+        let more_frames = self.dispatch(cache, w, shared);
         if !self.flush(shared, &mut busy) {
-            return (false, busy);
+            return Pump::closed(busy);
+        }
+        if busy {
+            self.last_activity = Instant::now();
         }
         if peer_closed {
             // Whatever could be answered was; a half-open client gets
             // the remaining responses dropped with the connection, as
             // memcached does.
-            return (false, busy);
+            return Pump::closed(busy);
         }
         if self.close_after_flush && self.wpos == self.wbuf.len() {
-            return (false, busy);
+            return Pump::closed(busy);
         }
-        (true, busy)
+        Pump {
+            keep: true,
+            busy,
+            // The read cap stopping short of `WouldBlock` means bytes
+            // may still sit in the socket buffer with no future edge to
+            // announce them; budget-capped dispatch leaves complete
+            // frames in `rbuf` the same way.
+            repump: hit_read_cap || more_frames,
+        }
     }
 
     /// Nonblocking write of the pending response bytes. Returns `false`
@@ -127,18 +240,20 @@ impl Connection {
         true
     }
 
-    /// Executes every complete frame at the head of `rbuf`.
-    fn dispatch(&mut self, cache: &McCache, w: usize, shared: &Shared) {
+    /// Executes every complete frame at the head of `rbuf`. Returns
+    /// whether complete frames may remain buffered (the dispatch output
+    /// budget stopped the run early).
+    fn dispatch(&mut self, cache: &McCache, w: usize, shared: &Shared) -> bool {
         if self.swallow > 0 {
             let n = self.swallow.min(self.rbuf.len());
             self.rbuf.drain(..n);
             self.swallow -= n;
             if self.swallow > 0 {
-                return;
+                return false;
             }
         }
         if self.rbuf.is_empty() {
-            return;
+            return false;
         }
         let outcome = run_frames(cache, w, shared, &self.rbuf);
         self.wbuf.extend_from_slice(&outcome.out);
@@ -147,14 +262,19 @@ impl Connection {
         if outcome.close {
             self.close_after_flush = true;
         }
+        outcome.more && !outcome.close
     }
 }
 
-struct DispatchOutcome {
-    out: Vec<u8>,
-    consumed: usize,
-    swallow: usize,
-    close: bool,
+pub(crate) struct DispatchOutcome {
+    pub(crate) out: Vec<u8>,
+    pub(crate) consumed: usize,
+    pub(crate) swallow: usize,
+    pub(crate) close: bool,
+    /// The run stopped on its output budget with bytes (possibly whole
+    /// frames) left unconsumed — the caller must run again without
+    /// waiting for more input.
+    pub(crate) more: bool,
 }
 
 /// Scans `buf` frame by frame and executes coalesced runs: consecutive
@@ -162,12 +282,14 @@ struct DispatchOutcome {
 /// one batched transaction), consecutive binary frames via
 /// [`binary::execute_pipeline`] (GETQ/GETKQ and SETQ runs batch). The
 /// batch boundary is exactly the bytes the client's burst put in the
-/// buffer.
-fn run_frames(cache: &McCache, w: usize, shared: &Shared, buf: &[u8]) -> DispatchOutcome {
+/// buffer. Shared by the stream transports (via [`Connection`]) and the
+/// UDP endpoint (one datagram payload = one run).
+pub(crate) fn run_frames(cache: &McCache, w: usize, shared: &Shared, buf: &[u8]) -> DispatchOutcome {
     let mut out = Vec::new();
     let mut consumed = 0;
     let mut swallow = 0;
     let mut close = false;
+    let mut more = false;
     let mut ascii_run: Vec<&[u8]> = Vec::new();
     let mut bin_run: Vec<binary::Request> = Vec::new();
 
@@ -196,6 +318,7 @@ fn run_frames(cache: &McCache, w: usize, shared: &Shared, buf: &[u8]) -> Dispatc
     let out_budget = shared.cfg.wbuf_high_water.max(1);
     loop {
         if out.len() >= out_budget {
+            more = consumed < buf.len();
             break;
         }
         if ascii_run.len() >= MAX_FRAMES_PER_RUN || bin_run.len() >= MAX_FRAMES_PER_RUN {
@@ -253,6 +376,11 @@ fn run_frames(cache: &McCache, w: usize, shared: &Shared, buf: &[u8]) -> Dispatc
                 consumed += c;
                 swallow = s;
                 close = cl;
+                // Bytes may remain past the swallow region; with no
+                // further reads guaranteed, the caller re-runs once the
+                // swallow drains. A spurious re-run costs one
+                // `scan_frame` returning `Incomplete`.
+                more = !cl && swallow == 0 && consumed < buf.len();
                 break;
             }
         }
@@ -263,6 +391,7 @@ fn run_frames(cache: &McCache, w: usize, shared: &Shared, buf: &[u8]) -> Dispatc
         consumed,
         swallow,
         close,
+        more,
     }
 }
 
@@ -283,6 +412,10 @@ fn stats_with_net(cache: &McCache, w: usize, shared: &Shared) -> Vec<u8> {
         ("bytes_written", ns.bytes_written),
         ("frame_errors", ns.frame_errors),
         ("backpressure_stalls", ns.backpressure_stalls),
+        ("accept_errors", ns.accept_errors),
+        ("conn_timeouts", ns.conn_timeouts),
+        ("udp_datagrams_rx", ns.udp_datagrams_rx),
+        ("udp_datagrams_tx", ns.udp_datagrams_tx),
     ] {
         out.extend_from_slice(format!("STAT {k} {v}\r\n").as_bytes());
     }

@@ -1,15 +1,31 @@
-//! The TCP front end: puts the transactionalized cache on the wire.
+//! The wire front end: puts the transactionalized cache on the wire.
 //!
-//! Architecture (DESIGN §12):
+//! Architecture (DESIGN §12, §16):
 //!
-//! - **Sharded accept, thread-per-core workers.** One nonblocking
-//!   `TcpListener` is cloned into every worker thread; each worker
-//!   accepts directly off the shared socket (the kernel load-balances
+//! - **Sharded accept, thread-per-core workers.** The nonblocking
+//!   listeners are cloned into every worker thread; each worker
+//!   accepts directly off the shared sockets (the kernel load-balances
 //!   `accept` across the clones) and owns the connections it accepted
 //!   for their whole life. Worker `w` drives the cache exclusively
 //!   through worker slot `w`, so the STM's per-worker descriptors,
 //!   stats shards and slab magazines all stay thread-private — no
 //!   cross-thread handoff anywhere on the request path.
+//! - **Readiness-driven service.** On Linux each worker owns one epoll
+//!   instance ([`EventLoop::Epoll`], the default): its listener clones,
+//!   the shared UDP socket, and its connections are registered
+//!   edge-triggered, read interest is permanent, and `EPOLLOUT` is
+//!   armed only while a connection owes response bytes (the PR 7
+//!   backpressure marks double as the arm/disarm signal). Idle workers
+//!   sleep in `epoll_wait` — near-zero idle CPU, no sleep-quantum tail
+//!   latency, and scale to 10k mostly-idle connections. The PR 6
+//!   polling loop remains as [`EventLoop::Poll`], the portable
+//!   fallback; both backends drive the identical connection state
+//!   machine and are byte-equivalent on the wire.
+//! - **Three transports, one state machine.** TCP and Unix-domain
+//!   streams share [`conn::Connection`] verbatim; the UDP endpoint
+//!   (`udp.rs`) frames each datagram with memcached's 8-byte UDP
+//!   header and runs its payload through the same coalesced frame
+//!   dispatcher, fanning responses out as sequenced datagrams.
 //! - **Incremental framing.** Reads land in a per-connection buffer and
 //!   [`proto::scan_frame`] delimits complete frames with exact byte
 //!   counts, auto-detecting ASCII vs binary per frame. Partial frames
@@ -32,22 +48,77 @@
 //!   (small `get`s fanning out to megabyte values) therefore cannot
 //!   run the server out of memory; stalls are observable as the
 //!   `backpressure_stalls` stat.
+//! - **Self-defense.** `accept` hitting fd exhaustion backs off instead
+//!   of error-spinning (`accept_errors`), and the optional idle reaper
+//!   ([`NetConfig::idle_timeout_ms`]) closes connections with no
+//!   traffic so slow-loris partial frames cannot pin connection slots
+//!   (`conn_timeouts`).
 //!
-//! Everything is `std::net` + nonblocking polling — no epoll wrapper,
-//! no async runtime — so the server builds offline and hermetic.
+//! Everything is `std::net` + raw `epoll` syscalls — no async runtime,
+//! no external crates — so the server builds offline and hermetic.
 //!
 //! [`binary::execute_pipeline`]: crate::proto::binary::execute_pipeline
+//! [`proto::scan_frame`]: crate::proto::scan_frame
+//! [`proto::execute_ascii_run`]: crate::proto::execute_ascii_run
 
 mod conn;
+mod event;
 mod listener;
+pub mod udp;
 
 use std::io;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::cache::{McCache, McHandle};
+
+/// Which readiness backend the workers run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventLoop {
+    /// Edge-triggered epoll readiness (Linux). Idle workers sleep in
+    /// `epoll_wait`; non-Linux hosts silently fall back to [`Poll`].
+    ///
+    /// [`Poll`]: EventLoop::Poll
+    Epoll,
+    /// The portable polling loop: pump every connection each round,
+    /// nap [`NetConfig::idle_sleep_us`] when nothing moved.
+    Poll,
+}
+
+impl Default for EventLoop {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            EventLoop::Epoll
+        } else {
+            EventLoop::Poll
+        }
+    }
+}
+
+impl std::str::FromStr for EventLoop {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "epoll" => Ok(EventLoop::Epoll),
+            "poll" => Ok(EventLoop::Poll),
+            _ => Err(()),
+        }
+    }
+}
+
+impl std::fmt::Display for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EventLoop::Epoll => "epoll",
+            EventLoop::Poll => "poll",
+        })
+    }
+}
 
 /// Configuration for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -61,7 +132,8 @@ pub struct NetConfig {
     /// Bytes per `read(2)` into a connection buffer.
     pub read_chunk: usize,
     /// Poll-idle sleep in microseconds when a worker finds no bytes and
-    /// no new connections.
+    /// no new connections ([`EventLoop::Poll`] backend only — the epoll
+    /// backend sleeps in `epoll_wait` instead).
     pub idle_sleep_us: u64,
     /// Backpressure high-water mark: once a connection's pending
     /// response bytes reach this, the worker stops reading (and
@@ -70,8 +142,24 @@ pub struct NetConfig {
     /// cannot grow the write buffer without bound. Per-dispatch
     /// response output is budgeted by the same mark, so the buffer
     /// overshoots it by at most one coalesced run. Stalls are counted
-    /// in [`NetSnapshot::backpressure_stalls`].
+    /// in [`NetSnapshot::backpressure_stalls`]. On the epoll backend
+    /// the same state is the `EPOLLOUT` arm/disarm signal.
     pub wbuf_high_water: usize,
+    /// Readiness backend. Defaults to [`EventLoop::Epoll`] on Linux,
+    /// [`EventLoop::Poll`] elsewhere.
+    pub event_loop: EventLoop,
+    /// UDP endpoint (e.g. `"127.0.0.1:0"`); `None` = no UDP transport.
+    /// Serves the memcached UDP frame protocol ([`udp`]) on a socket
+    /// shared by every worker.
+    pub udp_addr: Option<String>,
+    /// Unix-domain-socket listener path for co-located clients; `None`
+    /// = no Unix transport. A stale socket file at the path is
+    /// replaced; the file is removed again at shutdown.
+    pub unix_path: Option<PathBuf>,
+    /// Idle-connection reaper: close connections with no traffic for
+    /// this many milliseconds. `0` (default) disables the reaper.
+    /// Timeouts are counted in [`NetSnapshot::conn_timeouts`].
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -82,6 +170,10 @@ impl Default for NetConfig {
             read_chunk: 16 << 10,
             idle_sleep_us: 200,
             wbuf_high_water: 4 << 20,
+            event_loop: EventLoop::default(),
+            udp_addr: None,
+            unix_path: None,
+            idle_timeout_ms: 0,
         }
     }
 }
@@ -96,6 +188,10 @@ pub struct NetStats {
     pub(crate) bytes_written: AtomicU64,
     pub(crate) frame_errors: AtomicU64,
     pub(crate) backpressure_stalls: AtomicU64,
+    pub(crate) accept_errors: AtomicU64,
+    pub(crate) conn_timeouts: AtomicU64,
+    pub(crate) udp_datagrams_rx: AtomicU64,
+    pub(crate) udp_datagrams_tx: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetStats`].
@@ -110,13 +206,25 @@ pub struct NetSnapshot {
     /// Payload bytes written to sockets.
     pub bytes_written: u64,
     /// Frames that failed to scan or decode (oversized values,
-    /// unknown opcodes, unterminated lines, ...).
+    /// unknown opcodes, unterminated lines, bad UDP headers, ...).
     pub frame_errors: u64,
     /// Pump rounds that skipped reading a connection because its
     /// pending responses sat at or above
     /// [`NetConfig::wbuf_high_water`] (a slow- or never-reading
     /// client being held back).
     pub backpressure_stalls: u64,
+    /// `accept` failures — dominated by fd exhaustion
+    /// (EMFILE/ENFILE), which additionally pauses the accept loop so
+    /// it cannot hot-spin while the table is full.
+    pub accept_errors: u64,
+    /// Connections closed by the idle reaper
+    /// ([`NetConfig::idle_timeout_ms`]).
+    pub conn_timeouts: u64,
+    /// UDP request datagrams received.
+    pub udp_datagrams_rx: u64,
+    /// UDP response datagrams sent (a large response counts once per
+    /// sequenced datagram).
+    pub udp_datagrams_tx: u64,
 }
 
 impl NetStats {
@@ -129,6 +237,10 @@ impl NetStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             frame_errors: self.frame_errors.load(Ordering::Relaxed),
             backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            conn_timeouts: self.conn_timeouts.load(Ordering::Relaxed),
+            udp_datagrams_rx: self.udp_datagrams_rx.load(Ordering::Relaxed),
+            udp_datagrams_tx: self.udp_datagrams_tx.load(Ordering::Relaxed),
         }
     }
 }
@@ -141,20 +253,22 @@ pub(crate) struct Shared {
     pub(crate) cfg: NetConfig,
 }
 
-/// A running TCP server owning the cache it serves.
+/// A running wire server owning the cache it serves.
 ///
 /// Dropping the server (or calling [`Server::shutdown`]) stops the
-/// workers, closes every connection, and then shuts the cache down via
-/// its [`McHandle`].
+/// workers, closes every connection, removes the Unix socket file, and
+/// then shuts the cache down via its [`McHandle`].
 pub struct Server {
     handle: Option<McHandle>,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
+    udp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
 }
 
 impl Server {
-    /// Binds `cfg.addr` and spawns the worker threads.
+    /// Binds the configured transports and spawns the worker threads.
     ///
     /// # Panics
     /// If `cfg.workers` exceeds the cache's worker slots.
@@ -162,6 +276,36 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let udp = match &cfg.udp_addr {
+            Some(addr) => {
+                let sock = UdpSocket::bind(addr)?;
+                sock.set_nonblocking(true)?;
+                Some(sock)
+            }
+            None => None,
+        };
+        let udp_addr = udp.as_ref().map(|s| s.local_addr()).transpose()?;
+        #[cfg(unix)]
+        let unix = match &cfg.unix_path {
+            Some(path) => {
+                // A stale socket file from a crashed run blocks bind;
+                // replace it. (A *live* server's file is a user error —
+                // they race on the same path either way.)
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        #[cfg(not(unix))]
+        if cfg.unix_path.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets need a unix platform",
+            ));
+        }
+        let unix_path = cfg.unix_path.clone();
         let workers = if cfg.workers == 0 {
             cache.worker_slots()
         } else {
@@ -180,12 +324,17 @@ impl Server {
         });
         let mut threads = Vec::with_capacity(workers);
         for w in 0..workers {
-            let l = listener.try_clone()?;
+            let io = listener::WorkerIo {
+                tcp: listener.try_clone()?,
+                #[cfg(unix)]
+                unix: unix.as_ref().map(|l| l.try_clone()).transpose()?,
+                udp: udp.as_ref().map(|s| s.try_clone()).transpose()?,
+            };
             let s = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("mc-net-{w}"))
-                    .spawn(move || listener::worker_loop(s, l, w))?,
+                    .spawn(move || listener::worker_loop(s, io, w))?,
             );
         }
         Ok(Server {
@@ -193,12 +342,25 @@ impl Server {
             shared,
             threads,
             local_addr,
+            udp_addr,
+            unix_path,
         })
     }
 
-    /// The bound address (resolves the ephemeral port from `addr:0`).
+    /// The bound TCP address (resolves the ephemeral port from
+    /// `addr:0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound UDP address, when [`NetConfig::udp_addr`] was set.
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
+    }
+
+    /// The Unix socket path, when [`NetConfig::unix_path`] was set.
+    pub fn unix_path(&self) -> Option<&std::path::Path> {
+        self.unix_path.as_deref()
     }
 
     /// The cache behind the server.
@@ -217,6 +379,9 @@ impl Server {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
         }
         self.handle.take(); // McHandle drop stops the cache
     }

@@ -29,31 +29,72 @@ cargo test -q --offline -p testkit --features chaos
 echo "==> chaos stress (5s, every combo, deterministic fault plan; all four schedules)"
 cargo run --release --offline -p testkit --features chaos --bin stress -- --chaos --seconds 5
 
-# Wire smoke: a real mcached on an ephemeral loopback port, two mcslap
-# --tcp workloads (each asserts every response against the workload
-# oracle and frame_errors=0 server-side), then a clean pipe-driven
-# shutdown that must exit 0.
-echo "==> wire smoke (mcached over loopback, mcslap --tcp on two workloads)"
+# Wire smoke: a real mcached on ephemeral TCP + UDP + Unix transports
+# (epoll backend — the default), mcslap workloads on every transport
+# plus the two connection-scale scenarios (each asserts every response
+# against the workload oracle and frame_errors=0 server-side), then a
+# clean pipe-driven shutdown that must exit 0.
+echo "==> wire smoke (mcached over loopback TCP/UDP/unix, epoll backend)"
 WIRE_LOG="$PWD/target/mcached-smoke.log"
 WIRE_CTL="$PWD/target/mcached-smoke.ctl"
-rm -f "$WIRE_CTL"
+WIRE_SOCK="$PWD/target/mcached-smoke.sock"
+rm -f "$WIRE_CTL" "$WIRE_SOCK"
 mkfifo "$WIRE_CTL"
-target/release/mcached --port 0 --threads 2 < "$WIRE_CTL" > "$WIRE_LOG" 2>&1 &
+target/release/mcached --port 0 --udp 0 --unix "$WIRE_SOCK" --threads 2 \
+    < "$WIRE_CTL" > "$WIRE_LOG" 2>&1 &
 WIRE_PID=$!
 exec 9> "$WIRE_CTL" # hold the control pipe open until shutdown
-for _ in $(seq 1 300); do grep -q '^LISTENING' "$WIRE_LOG" && break; sleep 0.1; done
-grep -q '^LISTENING' "$WIRE_LOG"
-WIRE_ADDR=$(awk '/^LISTENING/{print $2; exit}' "$WIRE_LOG")
+for _ in $(seq 1 300); do grep -q '^LISTENING-UNIX' "$WIRE_LOG" && break; sleep 0.1; done
+grep -q '^LISTENING-UNIX' "$WIRE_LOG"
+WIRE_ADDR=$(awk '/^LISTENING /{print $2; exit}' "$WIRE_LOG")
+WIRE_UDP=$(awk '/^LISTENING-UDP/{print $2; exit}' "$WIRE_LOG")
 target/release/mcslap --tcp "$WIRE_ADDR" --execute-number 5000 --concurrency 4 \
     --read-ratio 90 --multiget 8
 target/release/mcslap --tcp "$WIRE_ADDR" --execute-number 5000 --concurrency 4 \
     --read-ratio 50 --binary --multiget 4 --setq-pipeline 8
+target/release/mcslap --unix "$WIRE_SOCK" --execute-number 3000 --concurrency 2 \
+    --read-ratio 80
+target/release/mcslap --udp "$WIRE_UDP" --execute-number 2000 --connections 2 \
+    --read-ratio 90
+target/release/mcslap --udp "$WIRE_UDP" --execute-number 500 --connections 2 \
+    --keys 100 --value-size 4000   # multi-datagram responses
+echo "==> connection-scale smoke (churn storm + fan-in, epoll backend)"
+target/release/mcslap --tcp "$WIRE_ADDR" --churn 4 --execute-number 50 --keys 200
+target/release/mcslap --tcp "$WIRE_ADDR" --fanin 200 --concurrency 4 \
+    --execute-number 400 --keys 200
 echo shutdown >&9
 wait "$WIRE_PID"
 exec 9>&-
 rm -f "$WIRE_CTL"
 grep -q 'frame_errors=0' "$WIRE_LOG"
 echo "    wire smoke OK: $(tail -n 1 "$WIRE_LOG")"
+
+# The same connection-scale scenarios on the portable polling backend:
+# both backends must survive churn and fan-in with zero frame errors
+# and shut down cleanly.
+echo "==> connection-scale smoke (churn storm + fan-in, poll backend)"
+POLL_LOG="$PWD/target/mcached-poll-smoke.log"
+POLL_CTL="$PWD/target/mcached-poll-smoke.ctl"
+rm -f "$POLL_CTL"
+mkfifo "$POLL_CTL"
+target/release/mcached --port 0 --threads 2 --event-loop poll \
+    < "$POLL_CTL" > "$POLL_LOG" 2>&1 &
+POLL_PID=$!
+exec 8> "$POLL_CTL"
+for _ in $(seq 1 300); do grep -q '^LISTENING' "$POLL_LOG" && break; sleep 0.1; done
+grep -q '^LISTENING' "$POLL_LOG"
+POLL_ADDR=$(awk '/^LISTENING /{print $2; exit}' "$POLL_LOG")
+target/release/mcslap --tcp "$POLL_ADDR" --execute-number 2000 --concurrency 2 \
+    --read-ratio 90
+target/release/mcslap --tcp "$POLL_ADDR" --churn 2 --execute-number 30 --keys 100
+target/release/mcslap --tcp "$POLL_ADDR" --fanin 100 --concurrency 2 \
+    --execute-number 200 --keys 100
+echo shutdown >&8
+wait "$POLL_PID"
+exec 8>&-
+rm -f "$POLL_CTL"
+grep -q 'frame_errors=0' "$POLL_LOG"
+echo "    poll-backend smoke OK: $(tail -n 1 "$POLL_LOG")"
 
 # Durability tier: the kill-at-random-commit harness. 36 seeded kill
 # points sweep every (fsync policy x kill mode) combination — each child
@@ -115,6 +156,11 @@ TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
     TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
     cargo bench --offline -p bench --bench stm_adaptpath
 
+echo "==> bench smoke (stm_netpath: connection lifecycle + fan-in GET, epoll vs poll)"
+TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-15}" \
+    TESTKIT_BENCH_DIR="$PWD/target/testkit-bench" \
+    cargo bench --offline -p bench --bench stm_netpath
+
 # Offline regression gate, two tiers:
 #
 # 1. RATIO gates inside the benches themselves (stm_getpath asserts the
@@ -136,6 +182,7 @@ cargo run --release --offline -p testkit --bin bench_compare -- . target/testkit
 
 cp target/testkit-bench/BENCH_fastpath_*.json target/testkit-bench/BENCH_getpath_*.json \
    target/testkit-bench/BENCH_setpath_*.json target/testkit-bench/BENCH_wirepath_*.json \
-   target/testkit-bench/BENCH_durpath_*.json target/testkit-bench/BENCH_adaptpath_*.json .
+   target/testkit-bench/BENCH_durpath_*.json target/testkit-bench/BENCH_adaptpath_*.json \
+   target/testkit-bench/BENCH_netpath_*.json .
 
 echo "==> verify OK"
